@@ -1,0 +1,74 @@
+//! Ablation — TCP tuning: Nagle's algorithm and congestion control
+//! (paper §V-A: GlobalDB disables Nagle and uses BBR).
+//!
+//! Runs the synchronous-replication configuration on the Three-City WAN
+//! with the four combinations of {Nagle on/off} × {Reno, BBR}. Sync
+//! commits wait on WAN shipping, so both knobs surface directly in commit
+//! latency and throughput.
+//!
+//! Regenerate with: `cargo run -p gdb-bench --release --bin ablation_network`
+
+use gdb_bench::{print_table, BenchParams};
+use gdb_simnet::{CongestionModel, LinkParams, SimDuration};
+use gdb_workloads::driver::{run_workload, Workload};
+use gdb_workloads::tpcc::{TpccMix, TpccWorkload};
+use globaldb::{Cluster, ClusterConfig, ReplicationMode};
+
+fn main() {
+    let params = BenchParams::from_env();
+    let reno = CongestionModel::Reno {
+        window_bytes: 1 << 20,
+    };
+    let combos = [
+        ("Nagle on,  Reno", true, reno),
+        ("Nagle on,  BBR", true, CongestionModel::Bbr),
+        ("Nagle off, Reno", false, reno),
+        ("Nagle off, BBR (GlobalDB)", false, CongestionModel::Bbr),
+    ];
+    let mut rows = Vec::new();
+    for (label, nagle, congestion) in combos {
+        let config = ClusterConfig {
+            replication: ReplicationMode::SyncRemoteQuorum { quorum: 1 },
+            ..ClusterConfig::globaldb_three_city()
+        };
+        let mut cluster = Cluster::new(config);
+        // Apply the combo to every inter-region link before loading.
+        let regions = cluster.db.regions.clone();
+        for i in 0..regions.len() {
+            for j in (i + 1)..regions.len() {
+                let base = cluster.db.topo.link(regions[i], regions[j]);
+                cluster.db.topo.set_link(
+                    regions[i],
+                    regions[j],
+                    LinkParams {
+                        nagle,
+                        nagle_delay: SimDuration::from_millis(5),
+                        congestion,
+                        ..base
+                    },
+                );
+            }
+        }
+        let mut wl = TpccWorkload::new(params.scale, TpccMix::standard(), params.seed);
+        wl.set_all_local();
+        wl.setup(&mut cluster).expect("setup");
+        let mut report = run_workload(&mut cluster, &mut wl, params.run);
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.0}", report.tpmc()),
+            format!("{}", report.mean_latency("new_order")),
+            format!("{}", report.p99_latency("new_order")),
+        ]);
+    }
+    print_table(
+        "Ablation — Nagle × congestion control (sync replication, Three-City)",
+        &[
+            "network stack",
+            "tpmC (sim)",
+            "NewOrder mean",
+            "NewOrder p99",
+        ],
+        &rows,
+    );
+    println!("Expected: Nagle-off and BBR each improve sync-commit latency; combined is best.");
+}

@@ -1,0 +1,60 @@
+//! Fig. 1a — OLTP performance degrades as the cluster spans more distant
+//! regions (same rack → same city → three cities), for a classic
+//! shared-nothing deployment (centralized GTM + synchronous replication).
+//!
+//! Regenerate with: `cargo run -p gdb-bench --release --bin fig1a`
+
+use gdb_bench::{print_table, ratio, tpcc_run, BenchParams};
+use gdb_workloads::tpcc::TpccMix;
+use globaldb::{ClusterConfig, Geometry, SimDuration};
+
+fn main() {
+    let params = BenchParams::from_env();
+
+    let configs = [
+        (
+            "same rack",
+            ClusterConfig {
+                geometry: Geometry::OneRegion {
+                    injected_delay: SimDuration::ZERO,
+                },
+                ..ClusterConfig::baseline_one_region()
+            },
+        ),
+        (
+            "same city (2 ms)",
+            ClusterConfig {
+                geometry: Geometry::OneRegion {
+                    injected_delay: SimDuration::from_millis(2),
+                },
+                ..ClusterConfig::baseline_one_region()
+            },
+        ),
+        ("three cities", ClusterConfig::baseline_three_city()),
+    ];
+
+    let mut rows = Vec::new();
+    let mut base = 0.0;
+    for (label, config) in configs {
+        let (_, report) = tpcc_run(config, &params, TpccMix::standard(), |_| {});
+        let tpmc = report.tpmc();
+        if base == 0.0 {
+            base = tpmc;
+        }
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.0}", tpmc),
+            ratio(tpmc, base),
+            format!("{}", report.mean_latency("new_order")),
+        ]);
+    }
+    print_table(
+        "Fig. 1a — baseline GaussDB TPC-C vs geographic span",
+        &["deployment", "tpmC (sim)", "vs same rack", "NewOrder mean"],
+        &rows,
+    );
+    println!(
+        "Paper shape: throughput falls sharply as the cluster spans more \
+         distant regions (Fig. 1a)."
+    );
+}

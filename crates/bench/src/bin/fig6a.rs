@@ -1,0 +1,82 @@
+//! Fig. 6a — TPC-C throughput (100% local transactions):
+//! * baseline GaussDB loses ~2/3 of its throughput moving from One-Region
+//!   to Three-City (GTM round trips + synchronous WAN replication +
+//!   untuned log shipping);
+//! * GlobalDB recovers to ~91% of the One-Region figure (GClock + async
+//!   replication + LZ4 + BBR + Nagle-off);
+//! * GlobalDB shows no regression when deployed on One-Region.
+//!
+//! Regenerate with: `cargo run -p gdb-bench --release --bin fig6a`
+
+use gdb_bench::{print_table, ratio, tpcc_run, BenchParams};
+use gdb_workloads::tpcc::TpccMix;
+use globaldb::ClusterConfig;
+
+fn main() {
+    let params = BenchParams::from_env();
+
+    let configs = [
+        (
+            "baseline @ one-region",
+            ClusterConfig::baseline_one_region(),
+        ),
+        (
+            "baseline @ three-city",
+            ClusterConfig::baseline_three_city(),
+        ),
+        (
+            "GlobalDB @ one-region",
+            ClusterConfig::globaldb_one_region(),
+        ),
+        (
+            "GlobalDB @ three-city",
+            ClusterConfig::globaldb_three_city(),
+        ),
+    ];
+
+    let mut results = Vec::new();
+    for (label, config) in configs {
+        // 100% local transactions (§V-A).
+        let (_, report) = tpcc_run(config, &params, TpccMix::standard(), |wl| {
+            wl.set_all_local();
+        });
+        results.push((label, report.tpmc(), report.mean_latency("new_order")));
+    }
+
+    let baseline_one = results[0].1;
+    let globaldb_one = results[2].1;
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|(label, tpmc, lat)| {
+            vec![
+                label.to_string(),
+                format!("{:.0}", tpmc),
+                ratio(*tpmc, baseline_one),
+                format!("{lat}"),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 6a — TPC-C throughput, One-Region vs Three-City",
+        &[
+            "system",
+            "tpmC (sim)",
+            "vs baseline@one-region",
+            "NewOrder mean",
+        ],
+        &rows,
+    );
+
+    println!(
+        "baseline three-city retains {:.0}% of one-region (paper: ~33%)",
+        100.0 * results[1].1 / baseline_one
+    );
+    println!(
+        "GlobalDB three-city retains {:.0}% of GlobalDB one-region (paper: ~91%)",
+        100.0 * results[3].1 / globaldb_one
+    );
+    println!(
+        "GlobalDB one-region vs baseline one-region: {} (paper: no regression)",
+        gdb_bench::ratio(globaldb_one, baseline_one)
+    );
+}

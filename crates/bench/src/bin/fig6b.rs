@@ -1,0 +1,76 @@
+//! Fig. 6b — TPC-C throughput under injected network delay (Linux `tc`
+//! style) on the One-Region cluster, measured at a CN that is NOT
+//! co-located with the GTM server. Baseline GaussDB degrades by up to
+//! ~90% at 100 ms; GlobalDB is flat (no timestamp round trips).
+//!
+//! Regenerate with: `cargo run -p gdb-bench --release --bin fig6b`
+
+use gdb_bench::{print_table, tpcc_run, BenchParams};
+use gdb_workloads::tpcc::TpccMix;
+use globaldb::{ClusterConfig, Geometry, ReplicationMode, SimDuration, TmMode};
+
+fn main() {
+    let params = BenchParams::from_env();
+    let delays_ms = [0u64, 10, 25, 50, 100];
+
+    let mk = |mode: TmMode, delay_ms: u64| ClusterConfig {
+        geometry: Geometry::OneRegion {
+            injected_delay: SimDuration::from_millis(delay_ms),
+        },
+        tm_mode: mode,
+        // Async replication for both so the isolated effect is the
+        // transaction-management network overhead (§V-A).
+        replication: ReplicationMode::Async,
+        ..ClusterConfig::baseline_one_region()
+    };
+
+    let mut rows = Vec::new();
+    let mut base_gtm = 0.0;
+    let mut base_gclock = 0.0;
+    for &delay in &delays_ms {
+        // CN 1 is on a different host than the GTM (which lives on host 0).
+        let localize = |wl: &mut gdb_workloads::tpcc::TpccWorkload| {
+            wl.set_all_local();
+            wl.pin_cn = Some(1);
+            wl.local_warehouses_only = true;
+        };
+        let (_, r_gtm) = tpcc_run(
+            mk(TmMode::Gtm, delay),
+            &params,
+            TpccMix::standard(),
+            localize,
+        );
+        let (_, r_gclock) = tpcc_run(
+            mk(TmMode::GClock, delay),
+            &params,
+            TpccMix::standard(),
+            localize,
+        );
+        if delay == 0 {
+            base_gtm = r_gtm.tpmc();
+            base_gclock = r_gclock.tpmc();
+        }
+        rows.push(vec![
+            format!("{delay} ms"),
+            format!("{:.0}", r_gtm.tpmc()),
+            format!("{:.0}%", 100.0 * r_gtm.tpmc() / base_gtm.max(1e-9)),
+            format!("{:.0}", r_gclock.tpmc()),
+            format!("{:.0}%", 100.0 * r_gclock.tpmc() / base_gclock.max(1e-9)),
+        ]);
+    }
+    print_table(
+        "Fig. 6b — TPC-C throughput vs injected delay (CN not co-located with GTM)",
+        &[
+            "injected delay",
+            "baseline tpmC",
+            "baseline vs 0ms",
+            "GlobalDB tpmC",
+            "GlobalDB vs 0ms",
+        ],
+        &rows,
+    );
+    println!(
+        "Paper shape: baseline loses up to ~90% at 100 ms; GlobalDB holds \
+         its throughput regardless of delay."
+    );
+}

@@ -1,0 +1,118 @@
+//! Shared harness for the figure-regeneration binaries.
+//!
+//! Each binary under `src/bin/` regenerates one figure of the paper's
+//! evaluation (§V, Fig. 1a and Fig. 6a–d) or one ablation. Absolute
+//! numbers are simulated (the substrate is a deterministic virtual-time
+//! cluster, not the authors' hardware); the *shape* — who wins, by what
+//! factor, where the crossovers are — is the reproduction target.
+//!
+//! Environment knobs:
+//! * `GDB_BENCH_SCALE` = `tiny` | `small` (default) | `medium`
+//! * `GDB_BENCH_SECS`  = measured virtual seconds (default 10)
+//! * `GDB_BENCH_TERMINALS` = closed-loop terminals (default 24)
+
+use gdb_simnet::SimDuration;
+use gdb_workloads::driver::{run_workload, RunConfig, Workload};
+use gdb_workloads::tpcc::{TpccMix, TpccScale, TpccWorkload};
+use gdb_workloads::WorkloadReport;
+use globaldb::{Cluster, ClusterConfig};
+
+/// Scale/duration parameters shared by the binaries.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchParams {
+    pub scale: TpccScale,
+    pub run: RunConfig,
+    pub seed: u64,
+}
+
+impl BenchParams {
+    /// Read from the environment (defaults: small scale, 10 virtual s).
+    pub fn from_env() -> Self {
+        let scale = match std::env::var("GDB_BENCH_SCALE").as_deref() {
+            Ok("tiny") => TpccScale::tiny(),
+            Ok("medium") => TpccScale::medium(),
+            _ => TpccScale::small(),
+        };
+        let secs: u64 = std::env::var("GDB_BENCH_SECS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(10);
+        let terminals: usize = std::env::var("GDB_BENCH_TERMINALS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(24);
+        BenchParams {
+            scale,
+            run: RunConfig {
+                terminals,
+                duration: SimDuration::from_secs(secs),
+                warmup: SimDuration::from_secs(1),
+                think_time: SimDuration::from_millis(10),
+            },
+            seed: 42,
+        }
+    }
+}
+
+/// Build a cluster, load TPC-C, run the mix, and return the report.
+pub fn tpcc_run(
+    config: ClusterConfig,
+    params: &BenchParams,
+    mix: TpccMix,
+    tweak: impl FnOnce(&mut TpccWorkload),
+) -> (Cluster, WorkloadReport) {
+    let mut cluster = Cluster::new(config);
+    let mut wl = TpccWorkload::new(params.scale, mix, params.seed);
+    tweak(&mut wl);
+    wl.setup(&mut cluster).expect("tpcc setup");
+    let report = run_workload(&mut cluster, &mut wl, params.run);
+    (cluster, report)
+}
+
+/// Print an aligned results table (one figure per binary, paper-style).
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut out = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            out.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+        }
+        println!("{}", out.trim_end());
+    };
+    line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+    println!();
+}
+
+/// Format a throughput relative to a baseline ("3.2x").
+pub fn ratio(value: f64, base: f64) -> String {
+    if base <= 0.0 {
+        "n/a".into()
+    } else {
+        format!("{:.2}x", value / base)
+    }
+}
+
+/// Mean RCP lag across regions in milliseconds (freshness metric).
+pub fn rcp_lag_ms(cluster: &Cluster) -> f64 {
+    let now_us = cluster.now().as_micros() as f64;
+    let regions = cluster.db.rcp.len().max(1) as f64;
+    let total: f64 = cluster
+        .db
+        .rcp
+        .iter()
+        .map(|r| (now_us - r.current().as_micros() as f64).max(0.0))
+        .sum();
+    total / regions / 1_000.0
+}

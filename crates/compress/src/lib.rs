@@ -1,0 +1,87 @@
+//! LZ4-block-format-style compression, implemented from scratch.
+//!
+//! GaussDB-Global compresses redo logs with LZ4 before shipping them across
+//! regions (paper §V-A). This crate provides a compatible-in-spirit LZ77
+//! codec using the LZ4 block layout (token byte, literal run, little-endian
+//! 16-bit match offset, extension bytes), tuned for the highly repetitive
+//! byte patterns of physical redo logs.
+//!
+//! The format produced here is *self-contained*, not interoperable with
+//! reference LZ4 (we prepend the decompressed length as a varint so the
+//! decoder can pre-allocate); everything else follows the block spec:
+//!
+//! ```text
+//! [uncompressed-len varint] then sequences of:
+//!   token: (literal_len:4 | match_len-4:4)
+//!   [literal_len 255-extension bytes]*  literals
+//!   offset: u16 LE (1..=65535)          — absent in the final sequence
+//!   [match_len 255-extension bytes]*
+//! ```
+
+pub mod lz;
+
+pub use lz::{compress, decompress, CompressError};
+
+/// Which codec a replication channel uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Codec {
+    /// Ship raw bytes.
+    #[default]
+    None,
+    /// LZ4-style compression (paper's configuration).
+    Lz4,
+}
+
+impl Codec {
+    /// Encode `data`, returning the wire bytes.
+    pub fn encode(&self, data: &[u8]) -> Vec<u8> {
+        match self {
+            Codec::None => data.to_vec(),
+            Codec::Lz4 => compress(data),
+        }
+    }
+
+    /// Decode wire bytes produced by [`Codec::encode`].
+    pub fn decode(&self, wire: &[u8]) -> Result<Vec<u8>, CompressError> {
+        match self {
+            Codec::None => Ok(wire.to_vec()),
+            Codec::Lz4 => decompress(wire),
+        }
+    }
+
+    /// The on-wire size of `data` under this codec (for network cost
+    /// modelling without materializing the encoding twice).
+    pub fn wire_size(&self, data: &[u8]) -> usize {
+        match self {
+            Codec::None => data.len(),
+            Codec::Lz4 => compress(data).len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codec_none_is_identity() {
+        let data = b"hello world".to_vec();
+        let wire = Codec::None.encode(&data);
+        assert_eq!(wire, data);
+        assert_eq!(Codec::None.decode(&wire).unwrap(), data);
+    }
+
+    #[test]
+    fn codec_lz4_roundtrip_and_shrinks_redundancy() {
+        let data: Vec<u8> = b"redo-record:".iter().cycle().take(4096).copied().collect();
+        let wire = Codec::Lz4.encode(&data);
+        assert!(
+            wire.len() < data.len() / 4,
+            "got {} of {}",
+            wire.len(),
+            data.len()
+        );
+        assert_eq!(Codec::Lz4.decode(&wire).unwrap(), data);
+        assert_eq!(Codec::Lz4.wire_size(&data), wire.len());
+    }
+}

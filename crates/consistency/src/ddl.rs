@@ -1,0 +1,103 @@
+//! DDL visibility gating for ROR queries (paper §IV-A).
+//!
+//! A DDL statement must be visible to subsequent queries, but replicas
+//! replay it with a delay. A ROR query is admitted only if:
+//!
+//! 1. the RCP is greater than the largest DDL timestamp in the cluster
+//!    (every DDL has replayed everywhere), or
+//! 2. the RCP is greater than the DDL timestamp of *each table involved in
+//!    the query*.
+//!
+//! Otherwise the query must fall back to the primary (or wait).
+
+use gdb_model::{TableId, Timestamp};
+use std::collections::HashMap;
+
+/// Tracks committed DDL timestamps cluster-wide.
+#[derive(Debug, Default, Clone)]
+pub struct DdlTracker {
+    per_table: HashMap<TableId, Timestamp>,
+    max_ddl: Timestamp,
+}
+
+impl DdlTracker {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a DDL affecting `table` committed at `ts`.
+    pub fn record(&mut self, table: TableId, ts: Timestamp) {
+        let e = self.per_table.entry(table).or_insert(Timestamp::ZERO);
+        *e = (*e).max(ts);
+        self.max_ddl = self.max_ddl.max(ts);
+    }
+
+    /// Largest DDL timestamp recorded.
+    pub fn max_ddl(&self) -> Timestamp {
+        self.max_ddl
+    }
+
+    /// Last DDL timestamp for one table (ZERO if never altered).
+    pub fn table_ddl(&self, table: TableId) -> Timestamp {
+        self.per_table
+            .get(&table)
+            .copied()
+            .unwrap_or(Timestamp::ZERO)
+    }
+
+    /// The paper's two-condition admission check for a ROR query over
+    /// `tables` at the given RCP.
+    pub fn ror_allowed(&self, rcp: Timestamp, tables: &[TableId]) -> bool {
+        // Condition 1: all DDLs everywhere have replayed.
+        if rcp > self.max_ddl {
+            return true;
+        }
+        // Condition 2: all DDLs on the involved tables have replayed.
+        tables.iter().all(|t| rcp > self.table_ddl(*t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_ddl_always_allows() {
+        let d = DdlTracker::new();
+        assert!(d.ror_allowed(Timestamp(1), &[TableId(1)]));
+    }
+
+    #[test]
+    fn condition1_global_replay() {
+        let mut d = DdlTracker::new();
+        d.record(TableId(1), Timestamp(100));
+        d.record(TableId(2), Timestamp(200));
+        assert_eq!(d.max_ddl(), Timestamp(200));
+        // RCP past every DDL: any query allowed, even on altered tables.
+        assert!(d.ror_allowed(Timestamp(201), &[TableId(1), TableId(2)]));
+        // RCP exactly at the max DDL: not strictly greater — falls through
+        // to condition 2.
+        assert!(!d.ror_allowed(Timestamp(200), &[TableId(2)]));
+    }
+
+    #[test]
+    fn condition2_per_table() {
+        let mut d = DdlTracker::new();
+        d.record(TableId(1), Timestamp(100));
+        d.record(TableId(2), Timestamp(500)); // recent DDL on table 2
+                                              // RCP = 150: table 1's DDL replayed, table 2's has not.
+        assert!(d.ror_allowed(Timestamp(150), &[TableId(1)]));
+        assert!(!d.ror_allowed(Timestamp(150), &[TableId(2)]));
+        assert!(!d.ror_allowed(Timestamp(150), &[TableId(1), TableId(2)]));
+        // A table never altered is always fine under condition 2.
+        assert!(d.ror_allowed(Timestamp(150), &[TableId(9)]));
+    }
+
+    #[test]
+    fn multiple_ddls_keep_the_latest() {
+        let mut d = DdlTracker::new();
+        d.record(TableId(1), Timestamp(100));
+        d.record(TableId(1), Timestamp(50)); // older, ignored
+        assert_eq!(d.table_ddl(TableId(1)), Timestamp(100));
+    }
+}

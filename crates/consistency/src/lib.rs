@@ -1,0 +1,25 @@
+//! The Replica Consistency Point (paper §IV-A, Fig. 4).
+//!
+//! With asynchronous replication each replica shard has a different amount
+//! of redo applied, so "read the latest on each replica" would produce an
+//! inconsistent cross-shard snapshot. GlobalDB instead computes the
+//! **RCP**: the largest commit timestamp available on *all* replicas —
+//! `RCP = min over replicas of (max applied commit timestamp)` — and runs
+//! every read-on-replica query at that snapshot.
+//!
+//! * [`RcpCalculator`] — collects per-replica max timestamps and computes
+//!   a *monotonically non-decreasing* RCP (clients may be re-routed
+//!   between CNs; the RCP must never move backwards from their
+//!   perspective).
+//! * [`CollectorElection`] — one CN per remote site collects and
+//!   distributes the RCP; if it dies another takes over.
+//! * [`DdlTracker`] — the two DDL-visibility conditions a ROR query must
+//!   pass (all DDL replayed, or all DDL *on the query's tables* replayed).
+
+pub mod collector;
+pub mod ddl;
+pub mod rcp;
+
+pub use collector::CollectorElection;
+pub use ddl::DdlTracker;
+pub use rcp::RcpCalculator;

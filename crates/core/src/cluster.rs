@@ -1,0 +1,971 @@
+//! The GlobalDB cluster: state, background activities, and the public API.
+
+use crate::config::{ClusterConfig, Placement, RoutingPolicy};
+use crate::ror::RorService;
+use crate::shardlog::ShardLog;
+use crate::stats::{ClusterStats, TxnOutcome};
+use crate::txn::TxnHandle;
+use gdb_consistency::{CollectorElection, DdlTracker, RcpCalculator};
+use gdb_model::{GdbError, GdbResult, TableId, TableSchema, Timestamp, TxnId};
+use gdb_replication::{ReplicaApplier, ShippingChannel};
+use gdb_simclock::GClock;
+use gdb_simnet::{NetNodeId, RegionId, Sim, SimDuration, SimTime, Topology};
+use gdb_sqlengine::plan::BoundDdl;
+use gdb_sqlengine::{prepare, ExecOutput, Prepared};
+use gdb_storage::{Catalog, DataNodeStorage};
+use gdb_txnmgr::{CnTm, GtmServer, TmMode, TransitionOrchestrator};
+use gdb_wal::{RedoPayload, RedoRecord};
+
+/// One computing node.
+pub struct Cn {
+    pub node: NetNodeId,
+    pub region: RegionId,
+    pub tm: CnTm,
+    /// The RCP value distributed to this CN by its region's collector.
+    pub rcp: Timestamp,
+}
+
+/// One replica data node of a shard.
+pub struct Replica {
+    pub node: NetNodeId,
+    pub region: RegionId,
+    pub applier: ReplicaApplier,
+    pub channel: ShippingChannel,
+    /// Virtual time at which the replica finishes its current replay
+    /// backlog (load / freshness modelling).
+    pub busy_until: SimTime,
+    /// When the shipping stream finishes transmitting its current backlog
+    /// — TCP serializes batches, so a saturated link queues them (FIFO)
+    /// and replica freshness degrades accordingly.
+    pub stream_free: SimTime,
+    /// Arrival time of the previous batch (jitter on the propagation leg
+    /// must not reorder a FIFO stream).
+    pub last_arrival: SimTime,
+    /// Incarnation counter: bumped when the replica is rebuilt (failover
+    /// resync), so in-flight delivery events from the old stream are
+    /// dropped instead of corrupting the new one.
+    pub epoch: u64,
+}
+
+/// One shard: primary data node plus replicas.
+pub struct Shard {
+    pub primary: NetNodeId,
+    pub region: RegionId,
+    pub storage: DataNodeStorage,
+    pub log: ShardLog,
+    pub replicas: Vec<Replica>,
+}
+
+/// Tracks the GTM timestamp issue rate (used for GTM-mode staleness
+/// estimation, paper §IV-B).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct GtmRate {
+    last_counter: u64,
+    last_at: SimTime,
+    pub per_sec: f64,
+}
+
+impl GtmRate {
+    fn observe(&mut self, counter: u64, now: SimTime) {
+        let dt = now.since(self.last_at).as_secs_f64();
+        if dt > 0.0 {
+            self.per_sec = (counter.saturating_sub(self.last_counter)) as f64 / dt;
+        }
+        self.last_counter = counter;
+        self.last_at = now;
+    }
+}
+
+/// The full cluster state (the "world" of the event simulation).
+pub struct GlobalDb {
+    pub config: ClusterConfig,
+    pub topo: Topology,
+    pub regions: Vec<RegionId>,
+    pub gtm: GtmServer,
+    pub gtm_node: NetNodeId,
+    pub orchestrator: TransitionOrchestrator,
+    pub cns: Vec<Cn>,
+    pub shards: Vec<Shard>,
+    /// Authoritative catalog (CNs are stateless and share it).
+    pub catalog: Catalog,
+    pub ddl: DdlTracker,
+    /// Per-region RCP calculators (collector-CN state).
+    pub rcp: Vec<RcpCalculator>,
+    /// Per-region collector elections.
+    pub collectors: Vec<CollectorElection>,
+    pub gtm_rate: GtmRate,
+    /// Per-table replication-mode overrides (the paper's future-work item:
+    /// synchronous replicated tables co-existing with asynchronous ones,
+    /// trading update latency for maximal freshness on selected tables).
+    pub table_replication: std::collections::HashMap<TableId, gdb_replication::ReplicationMode>,
+    pub stats: ClusterStats,
+    pub(crate) txn_seq: u64,
+    /// Set when an online transition completes (observed by tests/benches).
+    pub last_transition_completed: Option<gdb_txnmgr::TransitionDirection>,
+}
+
+impl GlobalDb {
+    /// Next cluster-unique transaction id originating at `cn`.
+    pub(crate) fn next_txn_id(&mut self, cn: usize) -> TxnId {
+        self.txn_seq += 1;
+        TxnId::compose(cn as u16, self.txn_seq)
+    }
+
+    /// Lazily synchronize a CN's clock with its regional time device
+    /// (the paper syncs every 1 ms; we fast-forward to the latest
+    /// boundary instead of simulating every round).
+    pub(crate) fn sync_cn_clock(&mut self, cn: usize, now: SimTime) {
+        let interval = self.config.gclock.sync_interval;
+        if interval.is_zero() {
+            return;
+        }
+        let aligned =
+            SimTime::from_nanos((now.as_nanos() / interval.as_nanos()) * interval.as_nanos());
+        let g: &mut GClock = &mut self.cns[cn].tm.gclock;
+        if g.clock().last_sync() < aligned {
+            g.sync(aligned);
+        }
+    }
+
+    /// The shard index owning `key` of `table`.
+    pub(crate) fn shard_of(&self, schema: &TableSchema, key: &gdb_model::RowKey) -> usize {
+        schema.shard_of_pk(key, self.shards.len() as u16).0 as usize
+    }
+
+    /// Nearest shard to a CN (for reads of replicated tables).
+    pub(crate) fn nearest_shard(&self, cn: usize) -> usize {
+        let cn_node = self.cns[cn].node;
+        (0..self.shards.len())
+            .min_by_key(|&s| self.topo.nominal_rtt(cn_node, self.shards[s].primary))
+            .unwrap_or(0)
+    }
+
+    /// Current RCP visible at a CN.
+    pub fn cn_rcp(&self, cn: usize) -> Timestamp {
+        self.cns[cn].rcp
+    }
+
+    pub fn cn_mode(&self, cn: usize) -> TmMode {
+        self.cns[cn].tm.mode
+    }
+
+    // ---- Background activities (scheduled as events by Cluster) --------
+
+    /// Seal and ship one shard's redo to its replicas. Returns the
+    /// deliveries to schedule: `(replica node, epoch, deliver_at, records)`
+    /// — replicas are addressed by node id + incarnation so failover never
+    /// misroutes in-flight batches.
+    fn flush_shard(
+        &mut self,
+        shard_idx: usize,
+        now: SimTime,
+    ) -> Vec<(NetNodeId, u64, SimTime, Vec<RedoRecord>)> {
+        let codec = self.config.codec;
+        let shard_region = self.shards[shard_idx].region;
+        let shard = &mut self.shards[shard_idx];
+        shard.log.seal_upto(now);
+        let mut deliveries = Vec::new();
+        for replica in shard.replicas.iter_mut() {
+            loop {
+                // Refresh the channel's codec if the config changed.
+                let _ = codec;
+                let Some(wire) = replica.channel.drain(shard.log.sealed()) else {
+                    break;
+                };
+                // Propagation (latency + jitter + injected delay) with a
+                // minimal payload; transmission is modelled separately so
+                // a saturated stream queues batches behind each other.
+                let Some(propagation) = self.topo.one_way(shard.primary, replica.node, 1) else {
+                    // Replica unreachable: rewind so we retry later.
+                    replica.channel.rewind(wire.batch.first_lsn);
+                    break;
+                };
+                let link = self
+                    .topo
+                    .link(shard_region, self.topo.node_region(replica.node));
+                let tx = SimDuration::from_secs_f64(
+                    wire.wire_bytes as f64 / link.effective_bandwidth().max(1) as f64,
+                );
+                let start = now.max(replica.stream_free);
+                replica.stream_free = start + tx;
+                let arrive = (replica.stream_free + propagation).max(replica.last_arrival);
+                replica.last_arrival = arrive;
+                deliveries.push((replica.node, replica.epoch, arrive, wire.batch.records));
+            }
+        }
+        deliveries
+    }
+
+    fn replica_mut(
+        &mut self,
+        shard_idx: usize,
+        node: NetNodeId,
+        epoch: u64,
+    ) -> Option<&mut Replica> {
+        self.shards[shard_idx]
+            .replicas
+            .iter_mut()
+            .find(|r| r.node == node && r.epoch == epoch)
+    }
+
+    /// Deliver a shipped batch at a replica: model replay time, then
+    /// apply. Returns `None` if the replica incarnation is gone (failover).
+    fn deliver_batch(
+        &mut self,
+        shard_idx: usize,
+        node: NetNodeId,
+        epoch: u64,
+        record_count: usize,
+        arrived: SimTime,
+    ) -> Option<SimTime> {
+        let replay = self.config.replay;
+        let replica = self.replica_mut(shard_idx, node, epoch)?;
+        let start = replica.busy_until.max(arrived);
+        let done = start + replay.batch_delay(record_count);
+        replica.busy_until = done;
+        Some(done)
+    }
+
+    fn apply_batch(
+        &mut self,
+        shard_idx: usize,
+        node: NetNodeId,
+        epoch: u64,
+        records: &[RedoRecord],
+        at: SimTime,
+    ) {
+        let Some(replica) = self.replica_mut(shard_idx, node, epoch) else {
+            return; // stale incarnation: the replica was rebuilt/promoted
+        };
+        if let Err(e) = replica.applier.apply_batch(records, at) {
+            panic!("replica replay failed (shard {shard_idx}, node {node:?}): {e}");
+        }
+    }
+
+    /// One RCP collection round for a region (paper §IV-A): the collector
+    /// CN gathers max commit timestamps from the replicas at its site,
+    /// computes `min`, and distributes it to the region's CNs.
+    fn rcp_round(&mut self, region_idx: usize, _now: SimTime) {
+        let region = self.regions[region_idx];
+        // Refresh the collector election from node health: if the current
+        // collector CN died, the next alive CN in the region takes over
+        // (paper §IV-A); with every CN down, the round is skipped.
+        let region_cns: Vec<usize> = (0..self.cns.len())
+            .filter(|&i| self.cns[i].region == region)
+            .collect();
+        for (slot, &cn) in region_cns.iter().enumerate() {
+            if self.topo.is_node_down(self.cns[cn].node) {
+                self.collectors[region_idx].on_cn_down(slot);
+            } else {
+                self.collectors[region_idx].on_cn_up(slot);
+            }
+        }
+        let Some(_collector) = self.collectors[region_idx].collector() else {
+            return;
+        };
+        // Report every replica located in this region.
+        let mut slot = 0u32;
+        for shard in &self.shards {
+            for replica in &shard.replicas {
+                if replica.region == region {
+                    self.rcp[region_idx].report(slot, replica.applier.max_commit_ts());
+                }
+                slot += 1;
+            }
+        }
+        let rcp = self.rcp[region_idx].compute();
+        // Distribute to the region's alive CNs (monotone adoption).
+        for i in 0..self.cns.len() {
+            if self.cns[i].region == region && !self.topo.is_node_down(self.cns[i].node) {
+                self.cns[i].rcp = self.cns[i].rcp.max(rcp);
+            }
+        }
+        self.stats.rcp_rounds += 1;
+        // Track the GTM issue rate for GTM-mode staleness estimation.
+        let counter = self.gtm.current().0;
+        let now = _now;
+        if region_idx == 0 {
+            self.gtm_rate.observe(counter, now);
+        }
+    }
+
+    /// Clock-health watchdog (paper §III-A / Fig. 3): if any CN reports an
+    /// unhealthy clock while the cluster runs in GClock mode, fall back to
+    /// centralized GTM mode online. Returns true if a transition started.
+    fn clock_health_check(&mut self) -> bool {
+        if self.orchestrator.in_progress() {
+            return false;
+        }
+        let in_gclock = self.cns.iter().any(|c| c.tm.mode == TmMode::GClock);
+        let unhealthy = self.cns.iter().any(|c| !c.tm.gclock.is_healthy());
+        in_gclock && unhealthy
+    }
+
+    /// Send a heartbeat transaction to every shard so replica max-commit
+    /// timestamps advance even when idle (paper §IV-A).
+    fn heartbeat(&mut self, now: SimTime) {
+        // CN 0 (or the first alive CN) drives heartbeats.
+        let Some(cn_idx) = (0..self.cns.len()).find(|&i| !self.topo.is_node_down(self.cns[i].node))
+        else {
+            return;
+        };
+        self.sync_cn_clock(cn_idx, now);
+        let ts = match self.cns[cn_idx].tm.mode {
+            TmMode::GClock => {
+                let ts = self.cns[cn_idx].tm.gclock.assign_timestamp(now);
+                self.gtm.observe_commit(ts);
+                ts
+            }
+            TmMode::Gtm => match self.gtm.commit_gtm() {
+                Ok((ts, _)) => ts,
+                Err(_) => return,
+            },
+            TmMode::Dual => {
+                let g = self.cns[cn_idx].tm.gclock.assign_timestamp(now);
+                self.gtm.commit_dual(g)
+            }
+        };
+        let txn = self.next_txn_id(cn_idx);
+        for shard in &mut self.shards {
+            shard
+                .log
+                .append(now, txn, RedoPayload::Heartbeat { commit_ts: ts });
+        }
+        self.stats.heartbeats_sent += 1;
+    }
+
+    /// Rebuild the per-region RCP calculators after replica membership
+    /// changes (promotion / permanent removal). CN-visible RCP values stay
+    /// monotone because CNs only ever adopt larger values.
+    pub(crate) fn rebuild_rcp_groups(&mut self) {
+        for (region_idx, &region) in self.regions.iter().enumerate() {
+            let mut expected = Vec::new();
+            let mut slot = 0u32;
+            for shard in &self.shards {
+                for replica in &shard.replicas {
+                    if replica.region == region {
+                        expected.push(slot);
+                    }
+                    slot += 1;
+                }
+            }
+            self.rcp[region_idx] = gdb_consistency::RcpCalculator::new(expected);
+        }
+    }
+
+    /// Vacuum primaries up to the cluster-wide minimum RCP (safe horizon:
+    /// every replica and every client snapshot is at or above it).
+    fn vacuum(&mut self) -> usize {
+        let horizon = self
+            .rcp
+            .iter()
+            .map(|r| r.current())
+            .min()
+            .unwrap_or(Timestamp::ZERO);
+        if horizon == Timestamp::ZERO {
+            return 0;
+        }
+        let h = horizon.prev();
+        self.shards
+            .iter_mut()
+            .map(|s| {
+                let mut removed = s.storage.vacuum(h);
+                // Replicas vacuum at the same horizon: every client
+                // snapshot (RCP-gated) is at or above it.
+                for replica in &mut s.replicas {
+                    removed += replica.applier.storage.vacuum(h);
+                }
+                removed
+            })
+            .sum()
+    }
+}
+
+/// The cluster plus its event engine — the object users interact with.
+pub struct Cluster {
+    pub db: GlobalDb,
+    pub sim: Sim<GlobalDb>,
+}
+
+impl Cluster {
+    /// Build a cluster and start its background activities.
+    pub fn new(config: ClusterConfig) -> Self {
+        let (topo, placement) = config.build_topology();
+        let Placement {
+            regions,
+            cn_nodes,
+            gtm_node,
+            shards: shard_placement,
+        } = placement;
+
+        let mut cns = Vec::new();
+        for (i, (node, region)) in cn_nodes.iter().enumerate() {
+            let mut gclock = GClock::new(
+                config.seed.wrapping_add(i as u64 * 7919),
+                // Deterministic per-CN drift within ±(bound/2).
+                ((i as f64 * 37.0) % config.gclock.max_drift_ppm)
+                    - config.gclock.max_drift_ppm / 2.0,
+                config.gclock,
+            );
+            gclock.sync(SimTime::ZERO);
+            cns.push(Cn {
+                node: *node,
+                region: *region,
+                tm: CnTm::new(config.tm_mode, gclock),
+                rcp: Timestamp::ZERO,
+            });
+        }
+
+        let shards: Vec<Shard> = shard_placement
+            .into_iter()
+            .map(|sp| Shard {
+                primary: sp.primary,
+                region: sp.primary_region,
+                storage: DataNodeStorage::new(),
+                log: ShardLog::new(),
+                replicas: sp
+                    .replicas
+                    .into_iter()
+                    .map(|(node, region)| Replica {
+                        node,
+                        region,
+                        applier: ReplicaApplier::new(DataNodeStorage::new()),
+                        channel: ShippingChannel::new(config.codec),
+                        busy_until: SimTime::ZERO,
+                        stream_free: SimTime::ZERO,
+                        last_arrival: SimTime::ZERO,
+                        epoch: 0,
+                    })
+                    .collect(),
+            })
+            .collect();
+
+        // Per-region RCP: expected slots are the replicas in that region.
+        let mut rcp = Vec::new();
+        let mut collectors = Vec::new();
+        for &region in &regions {
+            let mut expected = Vec::new();
+            let mut slot = 0u32;
+            for shard in &shards {
+                for replica in &shard.replicas {
+                    if replica.region == region {
+                        expected.push(slot);
+                    }
+                    slot += 1;
+                }
+            }
+            rcp.push(RcpCalculator::new(expected));
+            let cn_count_in_region = cns.iter().filter(|c| c.region == region).count();
+            collectors.push(CollectorElection::new(cn_count_in_region.max(1)));
+        }
+
+        let cn_count = cns.len();
+        let mut db = GlobalDb {
+            config,
+            topo,
+            regions,
+            gtm: GtmServer::new(),
+            gtm_node,
+            orchestrator: TransitionOrchestrator::new(cn_count),
+            cns,
+            shards,
+            catalog: Catalog::new(),
+            ddl: DdlTracker::new(),
+            rcp,
+            collectors,
+            gtm_rate: GtmRate::default(),
+            table_replication: std::collections::HashMap::new(),
+            stats: ClusterStats::default(),
+            txn_seq: 0,
+            last_transition_completed: None,
+        };
+        db.gtm.set_mode(db.config.tm_mode);
+
+        let mut sim = Sim::new();
+        // Schedule the recurring background activities.
+        for s in 0..db.shards.len() {
+            let interval = db.config.flush_interval;
+            sim.schedule_at(SimTime::ZERO + interval, move |w: &mut GlobalDb, sim| {
+                flush_event(w, sim, s);
+            });
+        }
+        for r in 0..db.regions.len() {
+            let interval = db.config.rcp_interval;
+            sim.schedule_at(SimTime::ZERO + interval, move |w: &mut GlobalDb, sim| {
+                rcp_event(w, sim, r);
+            });
+        }
+        let hb = db.config.heartbeat_interval;
+        sim.schedule_at(SimTime::ZERO + hb, |w: &mut GlobalDb, sim| {
+            heartbeat_event(w, sim);
+        });
+        if let Some(interval) = db.config.vacuum_interval {
+            sim.schedule_at(SimTime::ZERO + interval, |w: &mut GlobalDb, sim| {
+                vacuum_event(w, sim);
+            });
+        }
+
+        Cluster { db, sim }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Advance virtual time, processing background activity.
+    pub fn run_until(&mut self, t: SimTime) {
+        self.sim.run_until(&mut self.db, t);
+    }
+
+    /// Prepare a SQL statement against the cluster catalog.
+    pub fn prepare(&self, sql: &str) -> GdbResult<Prepared> {
+        prepare(sql, &self.db.catalog)
+    }
+
+    /// Execute a DDL statement cluster-wide at the current virtual time.
+    /// DDL replicates to every shard's redo stream and is tracked for the
+    /// ROR visibility conditions (§IV-A).
+    pub fn ddl(&mut self, sql: &str) -> GdbResult<()> {
+        let now = self.sim.now();
+        let prepared = prepare(sql, &self.db.catalog)?;
+        let bound = match prepared.bound {
+            gdb_sqlengine::BoundStatement::Ddl(d) => d,
+            _ => return Err(GdbError::Plan("not a DDL statement".into())),
+        };
+        // DDL commits through the transaction manager like any write.
+        let cn_idx = 0;
+        self.db.sync_cn_clock(cn_idx, now);
+        let ts = match self.db.cns[cn_idx].tm.mode {
+            TmMode::GClock => {
+                let ts = self.db.cns[cn_idx].tm.gclock.assign_timestamp(now);
+                self.db.gtm.observe_commit(ts);
+                ts
+            }
+            TmMode::Gtm => self.db.gtm.commit_gtm()?.0,
+            TmMode::Dual => {
+                let g = self.db.cns[cn_idx].tm.gclock.assign_timestamp(now);
+                self.db.gtm.commit_dual(g)
+            }
+        };
+        let txn = self.db.next_txn_id(cn_idx);
+
+        let (kind, table_for_ddl) = match &bound {
+            BoundDdl::CreateTable {
+                name,
+                columns,
+                primary_key,
+                distribution_key,
+                distribution,
+            } => {
+                let id = self.db.catalog.allocate_table_id();
+                let schema = TableSchema {
+                    id,
+                    name: name.clone(),
+                    columns: columns.clone(),
+                    primary_key: primary_key.clone(),
+                    distribution_key: distribution_key.clone(),
+                    distribution: distribution.clone(),
+                };
+                self.db.catalog.create_table(schema.clone())?;
+                for shard in &mut self.db.shards {
+                    shard.storage.create_table(schema.clone())?;
+                }
+                (gdb_wal::DdlKind::CreateTable(schema), id)
+            }
+            BoundDdl::DropTable(id) => {
+                self.db.catalog.drop_table(*id)?;
+                for shard in &mut self.db.shards {
+                    shard.storage.drop_table(*id)?;
+                }
+                (gdb_wal::DdlKind::DropTable(*id), *id)
+            }
+            BoundDdl::CreateIndex {
+                table,
+                name,
+                columns,
+            } => {
+                self.db
+                    .catalog
+                    .create_index(*table, name.clone(), columns.clone())?;
+                for shard in &mut self.db.shards {
+                    shard
+                        .storage
+                        .create_index(*table, name.clone(), columns.clone())?;
+                }
+                (
+                    gdb_wal::DdlKind::CreateIndex {
+                        table: *table,
+                        index_name: name.clone(),
+                        columns: columns.clone(),
+                    },
+                    *table,
+                )
+            }
+            BoundDdl::DropIndex { name, table } => {
+                self.db.catalog.drop_index(name)?;
+                for shard in &mut self.db.shards {
+                    shard.storage.drop_index(name)?;
+                }
+                (
+                    gdb_wal::DdlKind::DropIndex {
+                        table: *table,
+                        index_name: name.clone(),
+                    },
+                    *table,
+                )
+            }
+        };
+        for shard in &mut self.db.shards {
+            shard.log.append(
+                now,
+                txn,
+                RedoPayload::Ddl {
+                    commit_ts: ts,
+                    kind: kind.clone(),
+                },
+            );
+        }
+        self.db.ddl.record(table_for_ddl, ts);
+        self.db.cns[cn_idx].tm.finish_commit(ts);
+        Ok(())
+    }
+
+    /// Bulk-load rows directly into primaries *and* replicas at timestamp
+    /// 1 (benchmark setup: start from a fully synchronized state without
+    /// paying per-row transaction costs).
+    pub fn bulk_load(&mut self, table: TableId, rows: Vec<gdb_model::Row>) -> GdbResult<usize> {
+        // Replicas learn about tables through DDL replay; make sure any
+        // pending DDL has reached them before installing rows directly.
+        self.sync_replicas_now();
+        let schema = self.db.catalog.table(table)?.clone();
+        let shard_count = self.db.shards.len() as u16;
+        let ts = Timestamp(1);
+        let mut n = 0;
+        for mut row in rows {
+            schema.coerce_row(&mut row);
+            schema.check_row(&row)?;
+            let key = schema.primary_key_of(&row);
+            let targets: Vec<usize> = match schema.distribution {
+                gdb_model::DistributionKind::Replicated => (0..self.db.shards.len()).collect(),
+                _ => vec![schema.shard_of_pk(&key, shard_count).0 as usize],
+            };
+            for s in targets {
+                let shard = &mut self.db.shards[s];
+                shard
+                    .storage
+                    .apply_put(table, key.clone(), row.clone(), ts, SimTime::ZERO)?;
+                for replica in &mut shard.replicas {
+                    replica.applier.storage.apply_put(
+                        table,
+                        key.clone(),
+                        row.clone(),
+                        ts,
+                        SimTime::ZERO,
+                    )?;
+                }
+            }
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Ship and apply everything sealed so far without network delay
+    /// (setup helper).
+    fn sync_replicas_now(&mut self) {
+        let now = self.sim.now();
+        for s in 0..self.db.shards.len() {
+            self.db.shards[s].log.seal_upto(now);
+            let deliveries = self.db.flush_shard(s, now);
+            for (node, epoch, _at, records) in deliveries {
+                self.db.apply_batch(s, node, epoch, &records, now);
+            }
+        }
+    }
+
+    /// After bulk loading, fast-forward the replication cursors and RCP so
+    /// replicas are "caught up" with the loaded state.
+    pub fn finish_load(&mut self) {
+        let now = self.sim.now();
+        self.db.heartbeat(now);
+        self.sync_replicas_now();
+        for r in 0..self.db.regions.len() {
+            self.db.rcp_round(r, now);
+        }
+    }
+
+    /// Run a closed transaction at virtual time `at` from `cn`.
+    ///
+    /// `read_only` marks the transaction ROR-eligible (it will read at the
+    /// RCP snapshot from replicas when the routing policy allows);
+    /// `single_shard` engages the paper's single-shard begin bypass in
+    /// GClock mode.
+    pub fn run_transaction<R>(
+        &mut self,
+        cn: usize,
+        at: SimTime,
+        read_only: bool,
+        single_shard: bool,
+        f: impl FnOnce(&mut TxnHandle) -> GdbResult<R>,
+    ) -> GdbResult<(R, TxnOutcome)> {
+        let at = at.max(self.sim.now());
+        self.sim.run_until(&mut self.db, at);
+        let mut handle = TxnHandle::begin(&mut self.db, cn, at, read_only, single_shard)?;
+        match f(&mut handle) {
+            Ok(value) => {
+                let outcome = handle.commit()?;
+                self.db.stats.record_txn(&outcome);
+                Ok((value, outcome))
+            }
+            Err(e) => {
+                handle.abort();
+                self.db.stats.aborted += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Convenience: run one SQL statement as its own transaction.
+    pub fn execute_sql(
+        &mut self,
+        cn: usize,
+        at: SimTime,
+        sql: &str,
+        params: &[gdb_model::Datum],
+    ) -> GdbResult<(ExecOutput, TxnOutcome)> {
+        let prepared = self.prepare(sql)?;
+        self.execute_prepared(cn, at, &prepared, params)
+    }
+
+    /// Convenience: run one prepared statement as its own transaction.
+    pub fn execute_prepared(
+        &mut self,
+        cn: usize,
+        at: SimTime,
+        prepared: &Prepared,
+        params: &[gdb_model::Datum],
+    ) -> GdbResult<(ExecOutput, TxnOutcome)> {
+        if matches!(prepared.bound, gdb_sqlengine::BoundStatement::Ddl(_)) {
+            self.run_until(at);
+            self.ddl(&prepared.sql)?;
+            return Ok((
+                ExecOutput::Count(0),
+                TxnOutcome {
+                    commit_ts: None,
+                    snapshot: Timestamp::ZERO,
+                    completed_at: self.sim.now(),
+                    latency: SimDuration::ZERO,
+                    shards_written: vec![],
+                    used_replica: false,
+                },
+            ));
+        }
+        let read_only = prepared.bound.is_read_only();
+        self.run_transaction(cn, at, read_only, false, |txn| {
+            txn.execute(prepared, params)
+        })
+    }
+
+    /// Kick off an online TM-mode transition (Figs. 2–3). The cluster
+    /// stays fully available; watch
+    /// [`GlobalDb::last_transition_completed`] for completion.
+    pub fn start_transition(&mut self, direction: gdb_txnmgr::TransitionDirection) {
+        crate::transition::start_transition(&mut self.db, &mut self.sim, direction);
+    }
+
+    /// Run a vacuum pass at the current virtual time.
+    pub fn vacuum(&mut self) -> usize {
+        self.db.vacuum()
+    }
+
+    /// Override the replication mode of one table (paper future work:
+    /// "synchronous replicated tables that co-exist with asynchronous
+    /// tables"). Commits touching the table pay the synchronous quorum
+    /// wait; other tables keep the cluster-wide default.
+    pub fn set_table_replication(
+        &mut self,
+        table_name: &str,
+        mode: gdb_replication::ReplicationMode,
+    ) -> GdbResult<()> {
+        let id = self.db.catalog.table_by_name(table_name)?.id;
+        self.db.table_replication.insert(id, mode);
+        Ok(())
+    }
+
+    /// Crash a shard's primary data node (paper §IV: replicas keep serving
+    /// read-only queries until the primary recovers or a replica is
+    /// promoted). Writes to the shard fail until promotion.
+    pub fn fail_primary(&mut self, shard_idx: usize) {
+        let node = self.db.shards[shard_idx].primary;
+        self.db.topo.set_node_down(node, true);
+    }
+
+    /// Promote one of a shard's replicas to primary (paper §IV).
+    ///
+    /// Durability follows the replication mode exactly:
+    /// * under synchronous quorum replication every acknowledged commit
+    ///   was already durable on the replicas, so the outstanding redo is
+    ///   force-delivered to the chosen replica before the switch — no
+    ///   acknowledged commit is lost;
+    /// * under asynchronous replication the replica only has what reached
+    ///   it — the unreplicated tail of acknowledged commits is lost, the
+    ///   trade-off the paper accepts for WAN performance.
+    ///
+    /// The remaining replicas full-resync from the new primary and the
+    /// shard starts a fresh redo stream.
+    pub fn promote_replica(&mut self, shard_idx: usize, replica_idx: usize) -> GdbResult<()> {
+        let now = self.sim.now();
+        if replica_idx >= self.db.shards[shard_idx].replicas.len() {
+            return Err(GdbError::Internal(format!(
+                "shard {shard_idx} has no replica {replica_idx}"
+            )));
+        }
+
+        if self.db.config.replication.is_sync() {
+            // Acknowledged commits are durable on the quorum: deliver the
+            // whole outstanding stream to the chosen replica first.
+            self.db.shards[shard_idx].log.seal_upto(now);
+            loop {
+                let (node, epoch, batch) = {
+                    let shard = &mut self.db.shards[shard_idx];
+                    let replica = &mut shard.replicas[replica_idx];
+                    match replica.channel.drain(shard.log.sealed()) {
+                        Some(wire) => (replica.node, replica.epoch, wire.batch.records),
+                        None => break,
+                    }
+                };
+                self.db.apply_batch(shard_idx, node, epoch, &batch, now);
+            }
+        }
+
+        let codec = self.db.config.codec;
+        let shard = &mut self.db.shards[shard_idx];
+        let promoted = shard.replicas.remove(replica_idx);
+        let old_primary = shard.primary;
+        shard.primary = promoted.node;
+        shard.region = promoted.region;
+        // Pending (uncommitted) transactions die with their coordinators.
+        shard.storage = promoted.applier.into_storage();
+        shard.log = ShardLog::new();
+        // Remaining replicas full-resync from the new primary: fresh
+        // applier over a snapshot of the promoted state, fresh channel on
+        // the new (empty) redo stream, new incarnation.
+        for replica in &mut shard.replicas {
+            replica.applier = ReplicaApplier::new(shard.storage.clone());
+            replica.channel = ShippingChannel::new(codec);
+            replica.busy_until = now;
+            replica.stream_free = now;
+            replica.last_arrival = now;
+            replica.epoch += 1;
+        }
+        let _ = old_primary;
+
+        // Replica membership changed: rebuild the per-region RCP groups.
+        self.db.rebuild_rcp_groups();
+        Ok(())
+    }
+
+    /// Re-admit a recovered node as a replica of `shard` (paper §IV: a
+    /// failed primary "recovers" — here it returns in the replica role).
+    /// The node full-resyncs from the current primary snapshot and then
+    /// follows the redo stream from the current sealed head.
+    pub fn rejoin_as_replica(&mut self, shard_idx: usize, node: NetNodeId) -> GdbResult<()> {
+        let now = self.sim.now();
+        self.db.topo.set_node_down(node, false);
+        let region = self.db.topo.node_region(node);
+        let codec = self.db.config.codec;
+        // Seal so the snapshot covers everything durable right now; the
+        // channel resumes at the sealed head.
+        self.db.shards[shard_idx].log.seal_upto(now);
+        let head = self.db.shards[shard_idx].log.sealed_head();
+        let shard = &mut self.db.shards[shard_idx];
+        // The snapshot's high-water mark: nothing above the primary's
+        // installed state is claimed.
+        let max_ts = shard
+            .replicas
+            .iter()
+            .map(|r| r.applier.max_commit_ts())
+            .max()
+            .unwrap_or(Timestamp::ZERO);
+        let mut channel = ShippingChannel::new(codec);
+        channel.rewind(head);
+        shard.replicas.push(Replica {
+            node,
+            region,
+            applier: ReplicaApplier::resumed(shard.storage.clone(), head, max_ts),
+            channel,
+            busy_until: now,
+            stream_free: now,
+            last_arrival: now,
+            epoch: 0,
+        });
+        self.db.rebuild_rcp_groups();
+        Ok(())
+    }
+
+    /// Access the ROR service view (for diagnostics / tests).
+    pub fn ror_service(&mut self) -> RorService<'_> {
+        RorService { db: &mut self.db }
+    }
+}
+
+// ---- Recurring event functions ------------------------------------------
+
+fn flush_event(w: &mut GlobalDb, sim: &mut Sim<GlobalDb>, shard: usize) {
+    let now = sim.now();
+    let deliveries = w.flush_shard(shard, now);
+    for (node, epoch, deliver_at, records) in deliveries {
+        sim.schedule_at(deliver_at, move |w: &mut GlobalDb, sim| {
+            let Some(done) = w.deliver_batch(shard, node, epoch, records.len(), sim.now()) else {
+                return;
+            };
+            sim.schedule_at(done, move |w: &mut GlobalDb, sim| {
+                w.apply_batch(shard, node, epoch, &records, sim.now());
+            });
+        });
+    }
+    let interval = w.config.flush_interval;
+    sim.schedule_after(interval, move |w: &mut GlobalDb, sim| {
+        flush_event(w, sim, shard);
+    });
+}
+
+fn rcp_event(w: &mut GlobalDb, sim: &mut Sim<GlobalDb>, region: usize) {
+    w.rcp_round(region, sim.now());
+    let interval = w.config.rcp_interval;
+    sim.schedule_after(interval, move |w: &mut GlobalDb, sim| {
+        rcp_event(w, sim, region);
+    });
+}
+
+fn heartbeat_event(w: &mut GlobalDb, sim: &mut Sim<GlobalDb>) {
+    w.heartbeat(sim.now());
+    // The heartbeat doubles as the clock-health watchdog: a failed clock
+    // triggers the online fallback to GTM mode (Fig. 3).
+    if w.clock_health_check() {
+        crate::transition::start_transition(w, sim, gdb_txnmgr::TransitionDirection::ToGtm);
+    }
+    let interval = w.config.heartbeat_interval;
+    sim.schedule_after(interval, move |w: &mut GlobalDb, sim| {
+        heartbeat_event(w, sim);
+    });
+}
+
+fn vacuum_event(w: &mut GlobalDb, sim: &mut Sim<GlobalDb>) {
+    let removed = w.vacuum();
+    w.stats.versions_vacuumed += removed as u64;
+    let Some(interval) = w.config.vacuum_interval else {
+        return;
+    };
+    sim.schedule_after(interval, move |w: &mut GlobalDb, sim| {
+        vacuum_event(w, sim);
+    });
+}
+
+// The RoutingPolicy is re-checked per query; nothing cluster-global
+// changes when it flips, so tests can toggle it live.
+impl GlobalDb {
+    pub fn set_routing(&mut self, routing: RoutingPolicy) {
+        self.config.routing = routing;
+    }
+}

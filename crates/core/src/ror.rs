@@ -1,0 +1,131 @@
+//! Read-On-Replica node selection glue (paper §IV-B, Fig. 5).
+//!
+//! Builds per-shard candidate metrics (staleness, latency, load, health)
+//! from live cluster state and runs the skyline selection from
+//! `gdb-router`. Replicas that have not yet applied up to the requested
+//! snapshot are excluded — the RCP guarantees *some* replica set has, and
+//! the primary always qualifies.
+
+use crate::cluster::GlobalDb;
+use gdb_model::Timestamp;
+use gdb_router::{estimate_staleness_gclock, estimate_staleness_gtm, NodeMetrics, Skyline};
+use gdb_simnet::{SimDuration, SimTime};
+use gdb_txnmgr::TmMode;
+
+/// Where a shard read should go.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadTarget {
+    Primary,
+    /// Index into the shard's replica list.
+    Replica(usize),
+}
+
+/// Diagnostic view over the ROR machinery.
+pub struct RorService<'a> {
+    pub db: &'a mut GlobalDb,
+}
+
+impl<'a> RorService<'a> {
+    /// The skyline a CN would compute for one shard right now.
+    pub fn skyline(
+        &mut self,
+        cn: usize,
+        shard: usize,
+        snapshot: Timestamp,
+        now: SimTime,
+    ) -> Skyline {
+        let (sky, _) = self.db.shard_candidates(cn, shard, snapshot, now);
+        sky
+    }
+}
+
+impl GlobalDb {
+    /// Candidate metrics for a shard: the primary plus every replica that
+    /// has applied at least up to `snapshot`.
+    pub(crate) fn shard_candidates(
+        &mut self,
+        cn: usize,
+        shard: usize,
+        snapshot: Timestamp,
+        now: SimTime,
+    ) -> (Skyline, Vec<ReadTarget>) {
+        let cn_node = self.cns[cn].node;
+        let cn_region = self.cns[cn].region;
+        let mode = self.cns[cn].tm.mode;
+        let gtm_head = self.gtm.current();
+        let gtm_rate = self.gtm_rate.per_sec;
+        let mut metrics = Vec::new();
+        let mut targets = Vec::new();
+
+        let shard_ref = &self.shards[shard];
+        // Primary: staleness zero by definition.
+        let primary_ok = !self.topo.is_node_down(shard_ref.primary)
+            && !self
+                .topo
+                .is_partitioned(cn_region, self.topo.node_region(shard_ref.primary));
+        metrics.push(NodeMetrics {
+            node: shard_ref.primary,
+            staleness: SimDuration::ZERO,
+            latency: self.topo.nominal_rtt(cn_node, shard_ref.primary),
+            load: 0.0,
+            healthy: primary_ok,
+        });
+        targets.push(ReadTarget::Primary);
+
+        for (ri, replica) in shard_ref.replicas.iter().enumerate() {
+            let caught_up = replica.applier.max_commit_ts() >= snapshot;
+            let up = !self.topo.is_node_down(replica.node)
+                && !self.topo.is_partitioned(cn_region, replica.region);
+            let staleness = match mode {
+                TmMode::GClock => estimate_staleness_gclock(now, replica.applier.max_commit_ts()),
+                TmMode::Gtm | TmMode::Dual => {
+                    estimate_staleness_gtm(replica.applier.max_commit_ts(), gtm_head, gtm_rate)
+                }
+            };
+            // Replay backlog inflates the load axis.
+            let backlog = replica.busy_until.since(now).as_secs_f64();
+            metrics.push(NodeMetrics {
+                node: replica.node,
+                staleness,
+                latency: self.topo.nominal_rtt(cn_node, replica.node),
+                load: backlog * 100.0,
+                healthy: up && caught_up,
+            });
+            targets.push(ReadTarget::Replica(ri));
+        }
+
+        (Skyline::compute(&metrics), targets)
+    }
+
+    /// Pick the read target for one shard access (skyline + bounded
+    /// staleness, falling back to the primary).
+    pub(crate) fn select_read_node(
+        &mut self,
+        cn: usize,
+        shard: usize,
+        snapshot: Timestamp,
+        now: SimTime,
+        freshness_bound: Option<SimDuration>,
+    ) -> ReadTarget {
+        let (sky, targets) = self.shard_candidates(cn, shard, snapshot, now);
+        let Some(pick) = sky.select(freshness_bound) else {
+            // Nothing on the skyline satisfies the bound (the primary is
+            // normally a zero-staleness candidate, so this means it is
+            // down too): fall back to the primary path and count it.
+            self.stats.ror_rejected_freshness += 1;
+            return ReadTarget::Primary;
+        };
+        // Map the picked node id back to its target.
+        let shard_ref = &self.shards[shard];
+        if pick.node == shard_ref.primary {
+            return ReadTarget::Primary;
+        }
+        for (ri, replica) in shard_ref.replicas.iter().enumerate() {
+            if replica.node == pick.node {
+                let _ = &targets;
+                return ReadTarget::Replica(ri);
+            }
+        }
+        ReadTarget::Primary
+    }
+}

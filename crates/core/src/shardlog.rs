@@ -1,0 +1,221 @@
+//! Virtual-time-ordered redo staging per shard.
+//!
+//! A transaction's whole logic executes at its start event, but the redo
+//! records it produces belong at the *virtual times* of the operations
+//! (PENDING_COMMIT at the first write, the commit record at the commit
+//! instant). Staging records keyed by `(virtual time, tiebreak)` and
+//! sealing them into the shipping [`RedoBuffer`] only up to the flush
+//! boundary reconstructs the interleaving a real primary would write —
+//! including commit records appearing out of timestamp order across
+//! transactions, the case the paper's PENDING_COMMIT safeguard exists for.
+
+use gdb_model::TxnId;
+use gdb_simnet::SimTime;
+use gdb_wal::{Lsn, RedoBuffer, RedoPayload};
+use std::collections::BTreeMap;
+
+/// The redo log of one primary shard: a staging area ordered by virtual
+/// time plus the sealed shipping buffer.
+#[derive(Debug, Default)]
+pub struct ShardLog {
+    staging: BTreeMap<(SimTime, u64), (TxnId, RedoPayload)>,
+    seq: u64,
+    sealed: RedoBuffer,
+    sealed_upto: SimTime,
+}
+
+impl ShardLog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stage a record produced at virtual time `at`. `at` must be at or
+    /// after the sealing boundary (events cannot produce records in the
+    /// already-shipped past; the event engine guarantees this).
+    pub fn append(&mut self, at: SimTime, txn: TxnId, payload: RedoPayload) {
+        debug_assert!(
+            at >= self.sealed_upto,
+            "append at {at} behind seal boundary {}",
+            self.sealed_upto
+        );
+        let key = (at.max(self.sealed_upto), self.seq);
+        self.seq += 1;
+        self.staging.insert(key, (txn, payload));
+    }
+
+    /// Seal all staged records with virtual time ≤ `upto` into the
+    /// shipping buffer (assigning final LSNs in virtual-time order).
+    /// Returns the number of records sealed.
+    pub fn seal_upto(&mut self, upto: SimTime) -> usize {
+        let mut sealed = 0;
+        while let Some(entry) = self.staging.first_entry() {
+            if entry.key().0 > upto {
+                break;
+            }
+            let ((_, _), (txn, payload)) = entry.remove_entry();
+            self.sealed.append(txn, payload);
+            sealed += 1;
+        }
+        self.sealed_upto = self.sealed_upto.max(upto);
+        sealed
+    }
+
+    /// The sealed shipping buffer (shipping channels drain from here).
+    pub fn sealed(&self) -> &RedoBuffer {
+        &self.sealed
+    }
+
+    pub fn sealed_head(&self) -> Lsn {
+        self.sealed.head_lsn()
+    }
+
+    /// Records still staged (not yet shippable).
+    pub fn staged_len(&self) -> usize {
+        self.staging.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdb_model::Timestamp;
+
+    fn commit(ts: u64) -> RedoPayload {
+        RedoPayload::Commit {
+            commit_ts: Timestamp(ts),
+        }
+    }
+
+    #[test]
+    fn sealing_orders_by_virtual_time_not_append_order() {
+        let mut log = ShardLog::new();
+        // T1 processed first but commits late (vtime 100).
+        log.append(
+            SimTime::from_millis(10),
+            TxnId(1),
+            RedoPayload::PendingCommit,
+        );
+        log.append(SimTime::from_millis(100), TxnId(1), commit(100));
+        // T2 processed second, commits early (vtime 30).
+        log.append(
+            SimTime::from_millis(20),
+            TxnId(2),
+            RedoPayload::PendingCommit,
+        );
+        log.append(SimTime::from_millis(30), TxnId(2), commit(30));
+
+        log.seal_upto(SimTime::from_millis(50));
+        let order: Vec<(TxnId, bool)> = log
+            .sealed()
+            .iter()
+            .map(|r| (r.txn, matches!(r.payload, RedoPayload::Commit { .. })))
+            .collect();
+        // Shipped so far: T1.pending, T2.pending, T2.commit — T1's commit
+        // (vtime 100) is still unsealed. T1's tuples stay locked on the
+        // replica exactly as the paper requires.
+        assert_eq!(
+            order,
+            vec![(TxnId(1), false), (TxnId(2), false), (TxnId(2), true)]
+        );
+        assert_eq!(log.staged_len(), 1);
+
+        log.seal_upto(SimTime::from_millis(100));
+        assert_eq!(log.sealed().len(), 4);
+        assert_eq!(log.staged_len(), 0);
+    }
+
+    #[test]
+    fn equal_time_records_keep_append_order() {
+        let mut log = ShardLog::new();
+        let t = SimTime::from_millis(5);
+        log.append(t, TxnId(1), RedoPayload::PendingCommit);
+        log.append(t, TxnId(1), commit(7));
+        log.seal_upto(t);
+        let kinds: Vec<bool> = log
+            .sealed()
+            .iter()
+            .map(|r| matches!(r.payload, RedoPayload::Commit { .. }))
+            .collect();
+        assert_eq!(kinds, vec![false, true]);
+    }
+
+    #[test]
+    fn seal_boundary_is_monotone_and_idempotent() {
+        let mut log = ShardLog::new();
+        log.append(SimTime::from_millis(10), TxnId(1), commit(1));
+        assert_eq!(log.seal_upto(SimTime::from_millis(10)), 1);
+        assert_eq!(log.seal_upto(SimTime::from_millis(10)), 0);
+        // A later event appending at exactly the boundary still works (it
+        // seals on the next flush).
+        log.append(SimTime::from_millis(10), TxnId(2), commit(2));
+        assert_eq!(log.seal_upto(SimTime::from_millis(15)), 1);
+    }
+
+    #[test]
+    fn lsns_are_contiguous_across_seals() {
+        let mut log = ShardLog::new();
+        for i in 0..10u64 {
+            log.append(SimTime::from_millis(i), TxnId(i), commit(i));
+        }
+        log.seal_upto(SimTime::from_millis(4));
+        log.seal_upto(SimTime::from_millis(9));
+        let lsns: Vec<u64> = log.sealed().iter().map(|r| r.lsn.0).collect();
+        assert_eq!(lsns, (0..10).collect::<Vec<_>>());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use gdb_model::Timestamp;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Sealed output is always ordered by (virtual time, append order)
+        /// and LSNs are dense, across arbitrary append/seal interleavings.
+        #[test]
+        fn sealing_preserves_vtime_order(
+            appends in proptest::collection::vec((0u64..100, any::<bool>()), 1..60)
+        ) {
+            let mut log = ShardLog::new();
+            let mut seal_floor = 0u64;
+            for (i, &(dt, seal)) in appends.iter().enumerate() {
+                // Appends may only target the unsealed future.
+                let at = seal_floor + dt;
+                log.append(
+                    SimTime::from_micros(at),
+                    TxnId(i as u64),
+                    RedoPayload::Commit { commit_ts: Timestamp(at) },
+                );
+                if seal {
+                    seal_floor = seal_floor.max(at);
+                    log.seal_upto(SimTime::from_micros(seal_floor));
+                }
+            }
+            log.seal_upto(SimTime::MAX);
+            let recs: Vec<_> = log.sealed().iter().collect();
+            // LSNs dense from 0.
+            for (i, r) in recs.iter().enumerate() {
+                prop_assert_eq!(r.lsn.0, i as u64);
+            }
+            // Commit timestamps (stamped = vtime here) non-decreasing per
+            // seal group is NOT guaranteed globally (later seals can carry
+            // earlier-vtime records only if appended later than the seal —
+            // impossible by construction), so the full stream is sorted by
+            // vtime within the monotone seal structure:
+            let times: Vec<u64> = recs.iter().map(|r| match r.payload {
+                RedoPayload::Commit { commit_ts } => commit_ts.0,
+                _ => 0,
+            }).collect();
+            // Every record sealed in an earlier batch has vtime <= the
+            // seal boundary of that batch <= any later append. We verify
+            // the weaker, still-critical invariant directly exercised by
+            // replicas: the stream never goes backwards by more than the
+            // staging window (here: it must be fully sorted because all
+            // appends happened at or after the last seal boundary).
+            for w in times.windows(2) {
+                prop_assert!(w[0] <= w[1], "stream order violated: {:?}", times);
+            }
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Cluster-level statistics and per-transaction outcomes.
+
+use gdb_model::Timestamp;
+use gdb_simnet::stats::LatencyHistogram;
+use gdb_simnet::{SimDuration, SimTime};
+
+/// What happened to one transaction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TxnOutcome {
+    /// Commit timestamp (None for pure reads in ROR mode, which carry the
+    /// RCP snapshot instead).
+    pub commit_ts: Option<Timestamp>,
+    /// The snapshot the transaction read at.
+    pub snapshot: Timestamp,
+    /// Virtual time the client observed completion.
+    pub completed_at: SimTime,
+    /// End-to-end latency as the client saw it.
+    pub latency: SimDuration,
+    /// Which shards the transaction wrote.
+    pub shards_written: Vec<usize>,
+    /// True if any read was served by a replica.
+    pub used_replica: bool,
+}
+
+/// Aggregate counters for a cluster run.
+#[derive(Debug, Default)]
+pub struct ClusterStats {
+    pub committed: u64,
+    pub aborted: u64,
+    pub reads_on_replica: u64,
+    pub reads_on_primary: u64,
+    pub replica_blocked_fallbacks: u64,
+    pub ror_rejected_freshness: u64,
+    pub ror_rejected_ddl: u64,
+    pub lock_waits: u64,
+    pub commit_wait_total: SimDuration,
+    pub heartbeats_sent: u64,
+    pub rcp_rounds: u64,
+    pub versions_vacuumed: u64,
+    pub latency: LatencyHistogram,
+}
+
+impl ClusterStats {
+    pub fn record_txn(&mut self, outcome: &TxnOutcome) {
+        self.committed += 1;
+        self.latency.record(outcome.latency);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates() {
+        let mut s = ClusterStats::default();
+        s.record_txn(&TxnOutcome {
+            commit_ts: Some(Timestamp(5)),
+            snapshot: Timestamp(4),
+            completed_at: SimTime::from_millis(10),
+            latency: SimDuration::from_millis(10),
+            shards_written: vec![0],
+            used_replica: false,
+        });
+        assert_eq!(s.committed, 1);
+        assert_eq!(s.latency.len(), 1);
+    }
+}

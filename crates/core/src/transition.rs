@@ -1,0 +1,90 @@
+//! Driving the online GTM↔GClock transition over the simulated network.
+//!
+//! The protocol state machines live in `gdb-txnmgr`
+//! ([`gdb_txnmgr::TransitionOrchestrator`], [`gdb_txnmgr::handle_cn_msg`]);
+//! this module delivers their messages with real network latency and arms
+//! the DUAL hold timer on the event queue. The cluster accepts
+//! transactions throughout — that is the entire point of DUAL mode.
+
+use crate::cluster::GlobalDb;
+use gdb_simnet::Sim;
+use gdb_txnmgr::{handle_cn_msg, TmMsg, TransitionDirection, TransitionEvent};
+
+/// Start a transition at the current virtual time.
+pub fn start_transition(
+    db: &mut GlobalDb,
+    sim: &mut Sim<GlobalDb>,
+    direction: TransitionDirection,
+) {
+    db.last_transition_completed = None;
+    let events = {
+        let GlobalDb {
+            orchestrator, gtm, ..
+        } = db;
+        orchestrator.start(direction, gtm)
+    };
+    enact(db, sim, events);
+}
+
+/// Apply orchestrator side effects: send messages (with latency) or arm
+/// the hold timer.
+fn enact(db: &mut GlobalDb, sim: &mut Sim<GlobalDb>, events: Vec<TransitionEvent>) {
+    for ev in events {
+        match ev {
+            TransitionEvent::SendToCn { cn, msg } => {
+                let delay = db
+                    .topo
+                    .one_way(db.gtm_node, db.cns[cn].node, 128)
+                    // An unreachable CN retries after a beat; the protocol
+                    // is idle-safe because acks gate every phase.
+                    .unwrap_or(gdb_simnet::SimDuration::from_millis(50));
+                sim.schedule_after(delay, move |w: &mut GlobalDb, sim| {
+                    deliver_to_cn(w, sim, cn, msg.clone());
+                });
+            }
+            TransitionEvent::StartHoldTimer { duration } => {
+                sim.schedule_after(duration, |w: &mut GlobalDb, sim| {
+                    let events = {
+                        let GlobalDb {
+                            orchestrator, gtm, ..
+                        } = w;
+                        orchestrator.on_hold_elapsed(gtm)
+                    };
+                    enact(w, sim, events);
+                });
+            }
+            TransitionEvent::Completed { direction } => {
+                db.last_transition_completed = Some(direction);
+            }
+        }
+    }
+}
+
+fn deliver_to_cn(db: &mut GlobalDb, sim: &mut Sim<GlobalDb>, cn: usize, msg: TmMsg) {
+    let now = sim.now();
+    db.sync_cn_clock(cn, now);
+    let reply = handle_cn_msg(cn, &mut db.cns[cn].tm, &msg, now);
+    if let Some(reply) = reply {
+        let delay = db
+            .topo
+            .one_way(db.cns[cn].node, db.gtm_node, 128)
+            .unwrap_or(gdb_simnet::SimDuration::from_millis(50));
+        sim.schedule_after(delay, move |w: &mut GlobalDb, sim| {
+            let events = {
+                let GlobalDb {
+                    orchestrator, gtm, ..
+                } = w;
+                match &reply {
+                    TmMsg::AckDual {
+                        cn,
+                        err_bound,
+                        gclock_upper,
+                    } => orchestrator.on_ack_dual(*cn, *err_bound, *gclock_upper, gtm),
+                    TmMsg::AckFinal { cn } => orchestrator.on_ack_final(*cn),
+                    _ => Vec::new(),
+                }
+            };
+            enact(w, sim, events);
+        });
+    }
+}

@@ -1,0 +1,1155 @@
+//! Transaction execution: the [`TxnHandle`] drives SQL plans against the
+//! distributed cluster, accumulating latency from every message the
+//! transaction would send (shard RTTs, GTM round trips, lock waits, commit
+//! waits, 2PC rounds, quorum waits).
+
+use crate::cluster::GlobalDb;
+use crate::config::RoutingPolicy;
+use crate::ror::ReadTarget;
+use crate::stats::TxnOutcome;
+use gdb_model::{
+    Datum, DistributionKind, GdbError, GdbResult, IndexId, Row, RowKey, TableId, TableSchema,
+    Timestamp, TxnId,
+};
+use gdb_replication::{quorum_wait, ReplicaReadResult, ReplicationMode};
+use gdb_simnet::{SimDuration, SimTime};
+use gdb_sqlengine::plan::BoundDdl;
+use gdb_sqlengine::{execute, DataAccess, ExecOutput, Prepared};
+use gdb_storage::{Catalog, LockOutcome};
+use gdb_txnmgr::{BeginPlan, CommitPlan, TmMode};
+use gdb_wal::RedoPayload;
+use std::collections::{BTreeSet, HashMap};
+
+/// Nominal request/response payload size for point operations.
+const OP_MSG_BYTES: u64 = 256;
+/// Placeholder lock lease; replaced with the exact commit-apply time at
+/// commit (nothing else runs between acquire and commit within one event).
+const LOCK_LEASE: SimDuration = SimDuration(10_000_000_000);
+
+#[derive(Debug, Clone)]
+struct WriteOp {
+    shard: usize,
+    table: TableId,
+    key: RowKey,
+    /// `None` = delete.
+    row: Option<Row>,
+}
+
+/// An open transaction bound to one computing node.
+pub struct TxnHandle<'a> {
+    pub(crate) db: &'a mut GlobalDb,
+    cn: usize,
+    txn: TxnId,
+    started_at: SimTime,
+    /// The running virtual-time cursor (start + accumulated latency).
+    pub now: SimTime,
+    snapshot: Timestamp,
+    /// True while this transaction reads at the RCP from replicas.
+    ror: bool,
+    freshness_bound: Option<SimDuration>,
+    single_shard_hint: bool,
+    overlay: HashMap<(TableId, RowKey), Option<Row>>,
+    write_log: Vec<WriteOp>,
+    first_write: HashMap<usize, SimTime>,
+    locked: Vec<(usize, TableId, RowKey)>,
+    shards_written: BTreeSet<usize>,
+    used_replica: bool,
+    finished: bool,
+}
+
+impl<'a> TxnHandle<'a> {
+    pub(crate) fn begin(
+        db: &'a mut GlobalDb,
+        cn: usize,
+        at: SimTime,
+        read_only: bool,
+        single_shard: bool,
+    ) -> GdbResult<Self> {
+        if db.topo.is_node_down(db.cns[cn].node) {
+            return Err(GdbError::NodeUnavailable(format!("cn {cn} is down")));
+        }
+        db.sync_cn_clock(cn, at);
+        let mut now = at;
+        let mut ror = false;
+        let mut freshness_bound = None;
+        let mut snapshot = Timestamp::ZERO;
+
+        if read_only {
+            if let RoutingPolicy::ReadOnReplica {
+                freshness_bound: fb,
+            } = db.config.routing
+            {
+                let rcp = db.cns[cn].rcp;
+                if rcp > Timestamp::ZERO {
+                    ror = true;
+                    freshness_bound = fb;
+                    snapshot = rcp;
+                }
+            }
+        }
+        if !ror {
+            match db.cns[cn].tm.plan_begin(now, single_shard) {
+                BeginPlan::ViaGtm => {
+                    let rtt = db
+                        .topo
+                        .rtt(db.cns[cn].node, db.gtm_node)
+                        .ok_or_else(|| GdbError::NodeUnavailable("GTM unreachable".into()))?;
+                    now += rtt;
+                    snapshot = db.gtm.begin_snapshot();
+                }
+                BeginPlan::Local {
+                    snapshot: s,
+                    invocation_wait,
+                } => {
+                    now += invocation_wait;
+                    snapshot = s;
+                }
+            }
+        }
+
+        let txn = db.next_txn_id(cn);
+        Ok(TxnHandle {
+            db,
+            cn,
+            txn,
+            started_at: at,
+            now,
+            snapshot,
+            ror,
+            freshness_bound,
+            single_shard_hint: single_shard,
+            overlay: HashMap::new(),
+            write_log: Vec::new(),
+            first_write: HashMap::new(),
+            locked: Vec::new(),
+            shards_written: BTreeSet::new(),
+            used_replica: false,
+            finished: false,
+        })
+    }
+
+    /// The snapshot this transaction reads at.
+    pub fn snapshot(&self) -> Timestamp {
+        self.snapshot
+    }
+
+    /// True while reads are served from replicas at the RCP.
+    pub fn is_ror(&self) -> bool {
+        self.ror
+    }
+
+    /// Execute a prepared statement inside this transaction.
+    pub fn execute(&mut self, prepared: &Prepared, params: &[Datum]) -> GdbResult<ExecOutput> {
+        if matches!(prepared.bound, gdb_sqlengine::BoundStatement::Ddl(_)) {
+            return Err(GdbError::Plan(
+                "DDL cannot run inside a transaction; use Cluster::ddl".into(),
+            ));
+        }
+        if self.ror {
+            if !prepared.bound.is_read_only() {
+                return Err(GdbError::Execution(
+                    "write statement in a read-only (ROR) transaction".into(),
+                ));
+            }
+            // DDL-visibility conditions (§IV-A): if the query's tables have
+            // unreplayed DDL, fall back to primary reads for the whole txn.
+            if !self
+                .db
+                .ddl
+                .ror_allowed(self.snapshot, &prepared.bound.tables())
+            {
+                self.db.stats.ror_rejected_ddl += 1;
+                self.fallback_to_primary()?;
+            }
+        }
+        execute(&prepared.bound, params, self)
+    }
+
+    /// Downgrade an ROR transaction to primary reads (DDL gate or
+    /// persistent replica blockage): acquire a normal snapshot.
+    fn fallback_to_primary(&mut self) -> GdbResult<()> {
+        self.ror = false;
+        match self.db.cns[self.cn]
+            .tm
+            .plan_begin(self.now, self.single_shard_hint)
+        {
+            BeginPlan::ViaGtm => {
+                let rtt = self
+                    .db
+                    .topo
+                    .rtt(self.db.cns[self.cn].node, self.db.gtm_node)
+                    .ok_or_else(|| GdbError::NodeUnavailable("GTM unreachable".into()))?;
+                self.now += rtt;
+                self.snapshot = self.db.gtm.begin_snapshot();
+            }
+            BeginPlan::Local {
+                snapshot,
+                invocation_wait,
+            } => {
+                self.now += invocation_wait;
+                self.snapshot = snapshot;
+            }
+        }
+        Ok(())
+    }
+
+    // ---- Shard routing helpers ---------------------------------------
+
+    fn schema(&self, table: TableId) -> GdbResult<TableSchema> {
+        self.db.catalog.table(table).cloned()
+    }
+
+    fn charge_rtt_to(&mut self, node: gdb_simnet::NetNodeId, bytes: u64) -> GdbResult<()> {
+        let cn_node = self.db.cns[self.cn].node;
+        let there = self
+            .db
+            .topo
+            .one_way(cn_node, node, OP_MSG_BYTES)
+            .ok_or_else(|| GdbError::NodeUnavailable("data node unreachable".into()))?;
+        let back = self
+            .db
+            .topo
+            .one_way(node, cn_node, bytes.max(OP_MSG_BYTES))
+            .ok_or_else(|| GdbError::NodeUnavailable("data node unreachable".into()))?;
+        self.now += there + back + self.db.config.op_cpu_cost;
+        Ok(())
+    }
+
+    /// Charge a parallel scatter to several shards (max of the RTTs).
+    fn charge_scatter(&mut self, shards: &[usize], bytes: u64) -> GdbResult<()> {
+        let cn_node = self.db.cns[self.cn].node;
+        let mut max = SimDuration::ZERO;
+        for &s in shards {
+            let primary = self.db.shards[s].primary;
+            let there = self
+                .db
+                .topo
+                .one_way(cn_node, primary, OP_MSG_BYTES)
+                .ok_or_else(|| GdbError::NodeUnavailable("shard unreachable".into()))?;
+            let back = self
+                .db
+                .topo
+                .one_way(primary, cn_node, bytes.max(OP_MSG_BYTES))
+                .ok_or_else(|| GdbError::NodeUnavailable("shard unreachable".into()))?;
+            max = max.max(there + back);
+        }
+        self.now += max + self.db.config.op_cpu_cost;
+        Ok(())
+    }
+
+    /// Which shards a range over `[lo, hi]` must touch.
+    fn shards_for_range(
+        &self,
+        schema: &TableSchema,
+        lo: Option<&RowKey>,
+        hi: Option<&RowKey>,
+    ) -> Vec<usize> {
+        let all: Vec<usize> = (0..self.db.shards.len()).collect();
+        if matches!(schema.distribution, DistributionKind::Replicated) {
+            return vec![self.db.nearest_shard(self.cn)];
+        }
+        let (Some(lo), Some(hi)) = (lo, hi) else {
+            return all;
+        };
+        // Length of the common prefix of lo and hi.
+        let mut common = 0;
+        while common < lo.0.len()
+            && common < hi.0.len()
+            && lo.0[common].key_cmp(&hi.0[common]) == std::cmp::Ordering::Equal
+        {
+            common += 1;
+        }
+        // Every distribution-key column must sit inside that common prefix
+        // (positions are relative to the primary key ordering).
+        let mut dist_vals = Vec::new();
+        for dc in &schema.distribution_key {
+            match schema.primary_key.iter().position(|pk| pk == dc) {
+                Some(pos) if pos < common => dist_vals.push(lo.0[pos].clone()),
+                _ => return all,
+            }
+        }
+        vec![
+            schema
+                .shard_of_key(&RowKey(dist_vals), self.db.shards.len() as u16)
+                .0 as usize,
+        ]
+    }
+
+    /// Shard(s) an index prefix read must touch.
+    fn shards_for_index_prefix(
+        &self,
+        schema: &TableSchema,
+        index_cols: &[usize],
+        prefix: &[Datum],
+    ) -> Vec<usize> {
+        if matches!(schema.distribution, DistributionKind::Replicated) {
+            return vec![self.db.nearest_shard(self.cn)];
+        }
+        let mut dist_vals = Vec::new();
+        for dc in &schema.distribution_key {
+            match index_cols.iter().position(|c| c == dc) {
+                Some(pos) if pos < prefix.len() => dist_vals.push(prefix[pos].clone()),
+                _ => return (0..self.db.shards.len()).collect(),
+            }
+        }
+        vec![
+            schema
+                .shard_of_key(&RowKey(dist_vals), self.db.shards.len() as u16)
+                .0 as usize,
+        ]
+    }
+
+    // ---- Read paths ----------------------------------------------------
+
+    /// Primary point read with in-flight-commit wait.
+    fn primary_point_read(
+        &mut self,
+        shard: usize,
+        table: TableId,
+        key: &RowKey,
+    ) -> GdbResult<Option<Row>> {
+        let primary = self.db.shards[shard].primary;
+        self.charge_rtt_to(primary, OP_MSG_BYTES)?;
+        self.db.stats.reads_on_primary += 1;
+        let snapshot = self.snapshot;
+        let vis = self.db.shards[shard].storage.read(table, key, snapshot)?;
+        Ok(match vis {
+            Some(v) => {
+                if v.commit_vtime > self.now {
+                    // The writing transaction's commit is still in flight
+                    // at our virtual time: wait for it (in-doubt wait).
+                    self.now = v.commit_vtime;
+                }
+                Some(v.row.clone())
+            }
+            None => None,
+        })
+    }
+
+    /// ROR point read: pick a node off the skyline; blocked tuples fall
+    /// back to the primary.
+    fn ror_point_read(
+        &mut self,
+        shard: usize,
+        table: TableId,
+        key: &RowKey,
+    ) -> GdbResult<Option<Row>> {
+        let target = self.db.select_read_node(
+            self.cn,
+            shard,
+            self.snapshot,
+            self.now,
+            self.freshness_bound,
+        );
+        match target {
+            ReadTarget::Primary => self.primary_point_read(shard, table, key),
+            ReadTarget::Replica(ri) => {
+                let node = self.db.shards[shard].replicas[ri].node;
+                self.charge_rtt_to(node, OP_MSG_BYTES)?;
+                let snapshot = self.snapshot;
+                let res = self.db.shards[shard].replicas[ri]
+                    .applier
+                    .read(table, key, snapshot)?;
+                match res {
+                    ReplicaReadResult::Row(r) => {
+                        self.used_replica = true;
+                        self.db.stats.reads_on_replica += 1;
+                        Ok(r.map(|(row, _)| row))
+                    }
+                    ReplicaReadResult::Blocked { .. } => {
+                        self.db.stats.replica_blocked_fallbacks += 1;
+                        self.primary_point_read(shard, table, key)
+                    }
+                }
+            }
+        }
+    }
+
+    fn merge_overlay_into_range(
+        &self,
+        table: TableId,
+        lo: Option<&RowKey>,
+        hi: Option<&RowKey>,
+        rows: &mut Vec<(RowKey, Row)>,
+    ) {
+        let mut changed = false;
+        for ((t, key), row) in &self.overlay {
+            if *t != table {
+                continue;
+            }
+            if lo.is_some_and(|l| key < l) || hi.is_some_and(|h| key > h) {
+                continue;
+            }
+            match rows.iter().position(|(k, _)| k == key) {
+                Some(i) => match row {
+                    Some(r) => rows[i].1 = r.clone(),
+                    None => {
+                        rows.remove(i);
+                    }
+                },
+                None => {
+                    if let Some(r) = row {
+                        rows.push((key.clone(), r.clone()));
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if changed {
+            rows.sort_by(|a, b| a.0.cmp(&b.0));
+        }
+    }
+}
+
+impl<'a> DataAccess for TxnHandle<'a> {
+    fn catalog(&self) -> &Catalog {
+        &self.db.catalog
+    }
+
+    fn point_read(&mut self, table: TableId, key: &RowKey) -> GdbResult<Option<Row>> {
+        if let Some(hit) = self.overlay.get(&(table, key.clone())) {
+            return Ok(hit.clone());
+        }
+        let schema = self.schema(table)?;
+        let shard = if matches!(schema.distribution, DistributionKind::Replicated) {
+            self.db.nearest_shard(self.cn)
+        } else {
+            self.db.shard_of(&schema, key)
+        };
+        if self.ror {
+            self.ror_point_read(shard, table, key)
+        } else {
+            self.primary_point_read(shard, table, key)
+        }
+    }
+
+    fn multi_point_read(&mut self, table: TableId, keys: &[RowKey]) -> GdbResult<Vec<Option<Row>>> {
+        if keys.is_empty() {
+            return Ok(Vec::new());
+        }
+        let schema = self.schema(table)?;
+        let replicated = matches!(schema.distribution, DistributionKind::Replicated);
+        // Group keys by shard; one parallel scatter round trip total.
+        let mut shard_of_key: Vec<usize> = Vec::with_capacity(keys.len());
+        let mut shards: Vec<usize> = Vec::new();
+        for key in keys {
+            let s = if replicated {
+                self.db.nearest_shard(self.cn)
+            } else {
+                self.db.shard_of(&schema, key)
+            };
+            shard_of_key.push(s);
+            if !shards.contains(&s) {
+                shards.push(s);
+            }
+        }
+        let snapshot = self.snapshot;
+        // Pick the read target per shard (skyline under ROR, else the
+        // primary) and charge ONE parallel scatter over the chosen nodes.
+        let mut targets: std::collections::HashMap<usize, ReadTarget> =
+            std::collections::HashMap::new();
+        let mut nodes: Vec<gdb_simnet::NetNodeId> = Vec::new();
+        for &s in &shards {
+            let t = if self.ror {
+                self.db
+                    .select_read_node(self.cn, s, snapshot, self.now, self.freshness_bound)
+            } else {
+                ReadTarget::Primary
+            };
+            let node = match t {
+                ReadTarget::Primary => self.db.shards[s].primary,
+                ReadTarget::Replica(ri) => self.db.shards[s].replicas[ri].node,
+            };
+            targets.insert(s, t);
+            nodes.push(node);
+        }
+        let bytes = OP_MSG_BYTES * (keys.len() as u64 / 4).max(1);
+        let cn_node = self.db.cns[self.cn].node;
+        let mut max_rtt = SimDuration::ZERO;
+        for &node in &nodes {
+            let there = self
+                .db
+                .topo
+                .one_way(cn_node, node, OP_MSG_BYTES)
+                .ok_or_else(|| GdbError::NodeUnavailable("read target unreachable".into()))?;
+            let back = self
+                .db
+                .topo
+                .one_way(node, cn_node, bytes)
+                .ok_or_else(|| GdbError::NodeUnavailable("read target unreachable".into()))?;
+            max_rtt = max_rtt.max(there + back);
+        }
+        self.now += max_rtt + self.db.config.op_cpu_cost;
+
+        let mut out = Vec::with_capacity(keys.len());
+        let mut max_wait = self.now;
+        for (key, &s) in keys.iter().zip(&shard_of_key) {
+            if let Some(hit) = self.overlay.get(&(table, key.clone())) {
+                out.push(hit.clone());
+                continue;
+            }
+            if let Some(ReadTarget::Replica(ri)) = targets.get(&s) {
+                let res = self.db.shards[s].replicas[*ri]
+                    .applier
+                    .read(table, key, snapshot)?;
+                match res {
+                    ReplicaReadResult::Row(r) => {
+                        self.used_replica = true;
+                        self.db.stats.reads_on_replica += 1;
+                        out.push(r.map(|(row, _)| row));
+                        continue;
+                    }
+                    ReplicaReadResult::Blocked { .. } => {
+                        // Blocked tuple: pay an extra primary round trip.
+                        self.db.stats.replica_blocked_fallbacks += 1;
+                        let primary = self.db.shards[s].primary;
+                        self.charge_rtt_to(primary, OP_MSG_BYTES)?;
+                    }
+                }
+            }
+            self.db.stats.reads_on_primary += 1;
+            let vis = self.db.shards[s].storage.read(table, key, snapshot)?;
+            out.push(match vis {
+                Some(v) => {
+                    if v.commit_vtime > max_wait {
+                        max_wait = v.commit_vtime;
+                    }
+                    Some(v.row.clone())
+                }
+                None => None,
+            });
+        }
+        self.now = self.now.max(max_wait);
+        Ok(out)
+    }
+
+    fn range_read(
+        &mut self,
+        table: TableId,
+        lo: Option<&RowKey>,
+        hi: Option<&RowKey>,
+    ) -> GdbResult<Vec<(RowKey, Row)>> {
+        let schema = self.schema(table)?;
+        let shards = self.shards_for_range(&schema, lo, hi);
+        let snapshot = self.snapshot;
+        let mut out: Vec<(RowKey, Row)> = Vec::new();
+        // Decide per shard: replica or primary.
+        let mut primary_shards = Vec::new();
+        if self.ror {
+            for &s in &shards {
+                let target =
+                    self.db
+                        .select_read_node(self.cn, s, snapshot, self.now, self.freshness_bound);
+                match target {
+                    ReadTarget::Replica(ri) => {
+                        let blocked = self.db.shards[s].replicas[ri]
+                            .applier
+                            .is_range_blocked(table, lo, hi);
+                        if blocked {
+                            self.db.stats.replica_blocked_fallbacks += 1;
+                            primary_shards.push(s);
+                            continue;
+                        }
+                        let node = self.db.shards[s].replicas[ri].node;
+                        self.charge_rtt_to(node, OP_MSG_BYTES * 4)?;
+                        self.used_replica = true;
+                        self.db.stats.reads_on_replica += 1;
+                        let rows = self.db.shards[s].replicas[ri]
+                            .applier
+                            .storage
+                            .range(table, lo, hi, snapshot)?;
+                        out.extend(rows.into_iter().map(|v| (v.key.clone(), v.row.clone())));
+                    }
+                    ReadTarget::Primary => primary_shards.push(s),
+                }
+            }
+        } else {
+            primary_shards = shards;
+        }
+        if !primary_shards.is_empty() {
+            self.charge_scatter(&primary_shards, OP_MSG_BYTES * 4)?;
+            self.db.stats.reads_on_primary += 1;
+            let mut max_wait = self.now;
+            for &s in &primary_shards {
+                let rows = self.db.shards[s].storage.range(table, lo, hi, snapshot)?;
+                for v in rows {
+                    if v.commit_vtime > max_wait {
+                        max_wait = v.commit_vtime;
+                    }
+                    out.push((v.key.clone(), v.row.clone()));
+                }
+            }
+            self.now = max_wait;
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        self.merge_overlay_into_range(table, lo, hi, &mut out);
+        Ok(out)
+    }
+
+    fn index_read(&mut self, index: IndexId, prefix: &[Datum]) -> GdbResult<Vec<(RowKey, Row)>> {
+        let def = self.db.catalog.index(index)?.clone();
+        let schema = self.schema(def.table)?;
+        let shards = self.shards_for_index_prefix(&schema, &def.columns, prefix);
+        let snapshot = self.snapshot;
+        let mut out: Vec<(RowKey, Row)> = Vec::new();
+        let mut primary_shards = Vec::new();
+        if self.ror {
+            for &s in &shards {
+                let target =
+                    self.db
+                        .select_read_node(self.cn, s, snapshot, self.now, self.freshness_bound);
+                match target {
+                    ReadTarget::Replica(ri) => {
+                        // Conservative: any pending write to this table on
+                        // the replica forces a primary fallback.
+                        let blocked = self.db.shards[s].replicas[ri]
+                            .applier
+                            .is_range_blocked(def.table, None, None);
+                        if blocked {
+                            self.db.stats.replica_blocked_fallbacks += 1;
+                            primary_shards.push(s);
+                            continue;
+                        }
+                        let node = self.db.shards[s].replicas[ri].node;
+                        self.charge_rtt_to(node, OP_MSG_BYTES * 2)?;
+                        self.used_replica = true;
+                        self.db.stats.reads_on_replica += 1;
+                        let rows = self.db.shards[s].replicas[ri]
+                            .applier
+                            .storage
+                            .index_lookup(index, prefix, snapshot)?;
+                        out.extend(rows);
+                    }
+                    ReadTarget::Primary => primary_shards.push(s),
+                }
+            }
+        } else {
+            primary_shards = shards;
+        }
+        if !primary_shards.is_empty() {
+            self.charge_scatter(&primary_shards, OP_MSG_BYTES * 2)?;
+            self.db.stats.reads_on_primary += 1;
+            for &s in &primary_shards {
+                let rows = self.db.shards[s]
+                    .storage
+                    .index_lookup(index, prefix, snapshot)?;
+                out.extend(rows);
+            }
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        // Overlay merge: recheck added/updated rows against the prefix.
+        let overlay_keys: Vec<(RowKey, Option<Row>)> = self
+            .overlay
+            .iter()
+            .filter(|((t, _), _)| *t == def.table)
+            .map(|((_, k), r)| (k.clone(), r.clone()))
+            .collect();
+        for (key, row) in overlay_keys {
+            out.retain(|(k, _)| *k != key);
+            if let Some(r) = row {
+                let matches = def
+                    .columns
+                    .iter()
+                    .zip(prefix)
+                    .all(|(&c, p)| r.0[c].key_cmp(p) == std::cmp::Ordering::Equal);
+                if matches {
+                    out.push((key, r));
+                }
+            }
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(out)
+    }
+
+    fn full_scan(&mut self, table: TableId) -> GdbResult<Vec<(RowKey, Row)>> {
+        self.range_read(table, None, None)
+    }
+
+    fn read_for_update(&mut self, table: TableId, key: &RowKey) -> GdbResult<Option<Row>> {
+        if self.ror {
+            return Err(GdbError::Execution(
+                "FOR UPDATE in a read-only (ROR) transaction".into(),
+            ));
+        }
+        let schema = self.schema(table)?;
+        let shards: Vec<usize> = if matches!(schema.distribution, DistributionKind::Replicated) {
+            (0..self.db.shards.len()).collect()
+        } else {
+            vec![self.db.shard_of(&schema, key)]
+        };
+        self.charge_scatter(&shards, OP_MSG_BYTES)?;
+        for &s in &shards {
+            self.lock_key(s, table, key)?;
+        }
+        if let Some(hit) = self.overlay.get(&(table, key.clone())) {
+            return Ok(hit.clone());
+        }
+        let s0 = shards[0];
+        let vis = self.db.shards[s0].storage.read_newest(table, key)?;
+        Ok(match vis {
+            Some(v) => {
+                if v.commit_vtime > self.now {
+                    self.now = v.commit_vtime;
+                }
+                Some(v.row.clone())
+            }
+            None => None,
+        })
+    }
+
+    fn insert(&mut self, table: TableId, row: Row) -> GdbResult<()> {
+        if self.ror {
+            return Err(GdbError::Execution(
+                "INSERT in a read-only (ROR) transaction".into(),
+            ));
+        }
+        let schema = self.schema(table)?;
+        let mut row = row;
+        schema.coerce_row(&mut row);
+        schema.check_row(&row)?;
+        let key = schema.primary_key_of(&row);
+        let replicated = matches!(schema.distribution, DistributionKind::Replicated);
+        let shards: Vec<usize> = if replicated {
+            (0..self.db.shards.len()).collect()
+        } else {
+            vec![self.db.shard_of(&schema, &key)]
+        };
+        // Duplicate check: overlay first, then committed state.
+        match self.overlay.get(&(table, key.clone())) {
+            Some(Some(_)) => return Err(GdbError::DuplicateKey(format!("{table} {key}"))),
+            Some(None) => {} // deleted in this txn; reinsert ok
+            None => {
+                if self.db.shards[shards[0]]
+                    .storage
+                    .table(table)?
+                    .exists_newest(&key)
+                {
+                    return Err(GdbError::DuplicateKey(format!("{table} {key}")));
+                }
+            }
+        }
+        self.charge_scatter(&shards, OP_MSG_BYTES)?;
+        for &s in &shards {
+            self.lock_key(s, table, &key)?;
+            self.stage_write(s, table, key.clone(), Some(row.clone()), true);
+        }
+        self.overlay.insert((table, key), Some(row));
+        Ok(())
+    }
+
+    fn update(&mut self, table: TableId, key: &RowKey, new_row: Row) -> GdbResult<()> {
+        if self.ror {
+            return Err(GdbError::Execution(
+                "UPDATE in a read-only (ROR) transaction".into(),
+            ));
+        }
+        let schema = self.schema(table)?;
+        let mut new_row = new_row;
+        schema.coerce_row(&mut new_row);
+        schema.check_row(&new_row)?;
+        let replicated = matches!(schema.distribution, DistributionKind::Replicated);
+        let shards: Vec<usize> = if replicated {
+            (0..self.db.shards.len()).collect()
+        } else {
+            vec![self.db.shard_of(&schema, key)]
+        };
+        self.charge_scatter(&shards, OP_MSG_BYTES)?;
+        for &s in &shards {
+            self.lock_key(s, table, key)?;
+            self.stage_write(s, table, key.clone(), Some(new_row.clone()), false);
+        }
+        self.overlay.insert((table, key.clone()), Some(new_row));
+        Ok(())
+    }
+
+    fn delete(&mut self, table: TableId, key: &RowKey) -> GdbResult<()> {
+        if self.ror {
+            return Err(GdbError::Execution(
+                "DELETE in a read-only (ROR) transaction".into(),
+            ));
+        }
+        let schema = self.schema(table)?;
+        let replicated = matches!(schema.distribution, DistributionKind::Replicated);
+        let shards: Vec<usize> = if replicated {
+            (0..self.db.shards.len()).collect()
+        } else {
+            vec![self.db.shard_of(&schema, key)]
+        };
+        self.charge_scatter(&shards, OP_MSG_BYTES)?;
+        for &s in &shards {
+            self.lock_key(s, table, key)?;
+            self.stage_write(s, table, key.clone(), None, false);
+        }
+        self.overlay.insert((table, key.clone()), None);
+        Ok(())
+    }
+
+    fn apply_ddl(&mut self, _ddl: &BoundDdl) -> GdbResult<()> {
+        Err(GdbError::Plan(
+            "DDL cannot run inside a transaction; use Cluster::ddl".into(),
+        ))
+    }
+}
+
+impl<'a> TxnHandle<'a> {
+    fn lock_key(&mut self, shard: usize, table: TableId, key: &RowKey) -> GdbResult<()> {
+        loop {
+            let outcome = self.db.shards[shard].storage.locks.acquire(
+                table,
+                key,
+                self.txn,
+                self.now,
+                self.now + LOCK_LEASE,
+            );
+            match outcome {
+                LockOutcome::Acquired => break,
+                LockOutcome::WaitUntil(t) => {
+                    self.db.stats.lock_waits += 1;
+                    self.now = t;
+                }
+            }
+        }
+        self.locked.push((shard, table, key.clone()));
+        Ok(())
+    }
+
+    fn stage_write(
+        &mut self,
+        shard: usize,
+        table: TableId,
+        key: RowKey,
+        row: Option<Row>,
+        is_insert: bool,
+    ) {
+        // PENDING_COMMIT is written before the transaction obtains its
+        // invocation timestamp / first write lands (paper §IV-A).
+        if !self.first_write.contains_key(&shard) {
+            self.first_write.insert(shard, self.now);
+            self.db.shards[shard]
+                .log
+                .append(self.now, self.txn, RedoPayload::PendingCommit);
+        }
+        let payload = match &row {
+            Some(r) => {
+                if is_insert {
+                    RedoPayload::Insert {
+                        table,
+                        key: key.clone(),
+                        row: r.clone(),
+                    }
+                } else {
+                    RedoPayload::Update {
+                        table,
+                        key: key.clone(),
+                        new_row: r.clone(),
+                    }
+                }
+            }
+            None => RedoPayload::Delete {
+                table,
+                key: key.clone(),
+            },
+        };
+        self.db.shards[shard]
+            .log
+            .append(self.now, self.txn, payload);
+        self.write_log.push(WriteOp {
+            shard,
+            table,
+            key,
+            row,
+        });
+        self.shards_written.insert(shard);
+    }
+
+    /// Estimated redo bytes for one shard's portion of the write set.
+    fn redo_bytes(&self, shard: usize) -> u64 {
+        let mut bytes = 64u64; // pending + commit framing
+        for w in &self.write_log {
+            if w.shard == shard {
+                bytes += 48;
+                if let Some(r) = &w.row {
+                    bytes +=
+                        r.0.iter()
+                            .map(|d| match d {
+                                Datum::Text(s) => s.len() as u64 + 2,
+                                _ => 9,
+                            })
+                            .sum::<u64>();
+                }
+            }
+        }
+        bytes
+    }
+
+    /// Strongest replication mode demanded by the tables this transaction
+    /// wrote on `shard` (per-table sync overrides, else the cluster mode).
+    fn shard_replication_mode(&self, shard: usize) -> ReplicationMode {
+        fn rank(m: ReplicationMode) -> u8 {
+            match m {
+                ReplicationMode::Async => 0,
+                ReplicationMode::SyncLocalQuorum => 1,
+                ReplicationMode::SyncRemoteQuorum { .. } => 2,
+            }
+        }
+        let mut mode = self.db.config.replication;
+        for w in &self.write_log {
+            if w.shard != shard {
+                continue;
+            }
+            if let Some(&m) = self.db.table_replication.get(&w.table) {
+                if rank(m) > rank(mode) {
+                    mode = m;
+                }
+            }
+        }
+        mode
+    }
+
+    /// Extra commit wait imposed by synchronous replication for one shard.
+    fn sync_quorum_wait(&mut self, shard: usize, bytes: u64) -> GdbResult<SimDuration> {
+        let mode = self.shard_replication_mode(shard);
+        let primary = self.db.shards[shard].primary;
+        let primary_region = self.db.shards[shard].region;
+        match mode {
+            ReplicationMode::Async => Ok(SimDuration::ZERO),
+            ReplicationMode::SyncLocalQuorum => {
+                // All same-region replicas; if none exist (geo placement),
+                // the nearest replica stands in.
+                let nodes: Vec<gdb_simnet::NetNodeId> = self.db.shards[shard]
+                    .replicas
+                    .iter()
+                    .filter(|r| r.region == primary_region)
+                    .map(|r| r.node)
+                    .collect();
+                let delays: Vec<Option<SimDuration>> = if nodes.is_empty() {
+                    let mut ds: Vec<Option<SimDuration>> = Vec::new();
+                    for r in 0..self.db.shards[shard].replicas.len() {
+                        let node = self.db.shards[shard].replicas[r].node;
+                        ds.push(self.db.topo.ship_rtt(primary, node, bytes));
+                    }
+                    let min = ds.iter().flatten().min().copied();
+                    vec![min]
+                } else {
+                    nodes
+                        .iter()
+                        .map(|&n| self.db.topo.ship_rtt(primary, n, bytes))
+                        .collect()
+                };
+                let q = delays.iter().flatten().count();
+                quorum_wait(&delays, q.max(1)).ok_or_else(|| {
+                    GdbError::NodeUnavailable("sync local quorum unreachable".into())
+                })
+            }
+            ReplicationMode::SyncRemoteQuorum { quorum } => {
+                let delays: Vec<Option<SimDuration>> = self.db.shards[shard]
+                    .replicas
+                    .iter()
+                    .map(|r| (r.node, r.region))
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .filter(|(_, region)| *region != primary_region || self.db.regions.len() == 1)
+                    .map(|(n, _)| self.db.topo.ship_rtt(primary, n, bytes))
+                    .collect();
+                quorum_wait(&delays, quorum).ok_or_else(|| {
+                    GdbError::NodeUnavailable("sync remote quorum unreachable".into())
+                })
+            }
+        }
+    }
+
+    /// Commit the transaction; consumes the handle's buffered writes.
+    pub fn commit(mut self) -> GdbResult<TxnOutcome> {
+        self.finished = true;
+        let cn_node = self.db.cns[self.cn].node;
+
+        if self.shards_written.is_empty() {
+            // Pure read: nothing to make durable.
+            return Ok(TxnOutcome {
+                commit_ts: None,
+                snapshot: self.snapshot,
+                completed_at: self.now,
+                latency: self.now.since(self.started_at),
+                shards_written: vec![],
+                used_replica: self.used_replica,
+            });
+        }
+
+        let write_shards: Vec<usize> = self.shards_written.iter().copied().collect();
+        let multi_shard = write_shards.len() > 1;
+
+        // -- 2PC prepare round (multi-shard only): writes + PREPARE must be
+        // durable (and quorum-replicated in sync modes) on every shard.
+        let mut prepare_done = self.now;
+        if multi_shard {
+            for &s in &write_shards {
+                let bytes = self.redo_bytes(s);
+                let ow = self
+                    .db
+                    .topo
+                    .one_way(cn_node, self.db.shards[s].primary, bytes)
+                    .ok_or_else(|| GdbError::NodeUnavailable("shard unreachable".into()))?;
+                let arrive = self.now + ow;
+                self.db.shards[s]
+                    .log
+                    .append(arrive, self.txn, RedoPayload::Prepare);
+                let q = self.sync_quorum_wait(s, bytes)?;
+                let back = self
+                    .db
+                    .topo
+                    .one_way(self.db.shards[s].primary, cn_node, OP_MSG_BYTES)
+                    .ok_or_else(|| GdbError::NodeUnavailable("shard unreachable".into()))?;
+                prepare_done = prepare_done.max(arrive + q + back);
+            }
+            self.now = prepare_done;
+        }
+
+        // -- Commit point: obtain the commit timestamp per mode.
+        self.db.sync_cn_clock(self.cn, self.now);
+        let plan = self.db.cns[self.cn].tm.plan_commit(self.now);
+        let (commit_ts, clock_wait) = match plan {
+            CommitPlan::GClockLocal { ts, commit_wait } => (ts, commit_wait),
+            CommitPlan::ViaGtmCounter => {
+                let rtt = self
+                    .db
+                    .topo
+                    .rtt(cn_node, self.db.gtm_node)
+                    .ok_or_else(|| GdbError::NodeUnavailable("GTM unreachable".into()))?;
+                self.now += rtt;
+                match self.db.gtm.commit_gtm() {
+                    Ok((ts, dual_wait)) => (ts, dual_wait),
+                    Err(e) => {
+                        // Straggler GTM transaction after the cluster moved
+                        // to GClock: abort (paper §III-A).
+                        self.abort_inner();
+                        return Err(e);
+                    }
+                }
+            }
+            CommitPlan::ViaGtmDual { gclock_ts } => {
+                let rtt = self
+                    .db
+                    .topo
+                    .rtt(cn_node, self.db.gtm_node)
+                    .ok_or_else(|| GdbError::NodeUnavailable("GTM unreachable".into()))?;
+                self.now += rtt;
+                let ts = self.db.gtm.commit_dual(gclock_ts);
+                let wait = self.db.cns[self.cn].tm.dual_post_wait(self.now, ts);
+                (ts, wait)
+            }
+        };
+        self.db.stats.commit_wait_total += clock_wait;
+
+        // -- Commit phase: ship the commit record to each shard; versions
+        // install and locks release at each shard's apply instant — but
+        // never before the commit wait ends (Spanner-style: releasing a
+        // hot-row lock early would let the next writer obtain a *smaller*
+        // timestamp than this commit's).
+        let wait_end = self.now + clock_wait;
+        let mut ack = wait_end;
+        for &s in &write_shards {
+            let bytes = if multi_shard {
+                OP_MSG_BYTES // writes shipped during prepare
+            } else {
+                self.redo_bytes(s)
+            };
+            let ow = self
+                .db
+                .topo
+                .one_way(cn_node, self.db.shards[s].primary, bytes)
+                .ok_or_else(|| GdbError::NodeUnavailable("shard unreachable".into()))?;
+            let apply_at = self.now + ow;
+            let visible_at = apply_at.max(wait_end);
+            let payload = if multi_shard {
+                RedoPayload::CommitPrepared { commit_ts }
+            } else {
+                RedoPayload::Commit { commit_ts }
+            };
+            self.db.shards[s].log.append(apply_at, self.txn, payload);
+
+            // Single-shard sync replication waits at commit time.
+            let mut shard_ack = apply_at;
+            if !multi_shard {
+                let q = self.sync_quorum_wait(s, bytes)?;
+                shard_ack = apply_at + q;
+            }
+            let back = self
+                .db
+                .topo
+                .one_way(self.db.shards[s].primary, cn_node, OP_MSG_BYTES)
+                .ok_or_else(|| GdbError::NodeUnavailable("shard unreachable".into()))?;
+            ack = ack.max(shard_ack + back);
+
+            // Install the versions on the primary at the apply instant.
+            for w in &self.write_log {
+                if w.shard != s {
+                    continue;
+                }
+                match &w.row {
+                    Some(r) => self.db.shards[s].storage.apply_put(
+                        w.table,
+                        w.key.clone(),
+                        r.clone(),
+                        commit_ts,
+                        visible_at,
+                    )?,
+                    None => self.db.shards[s].storage.apply_delete(
+                        w.table,
+                        w.key.clone(),
+                        commit_ts,
+                        visible_at,
+                    )?,
+                }
+            }
+            // Pin the locks to the visibility instant.
+            for (ls, table, key) in &self.locked {
+                if ls == &s {
+                    self.db.shards[s]
+                        .storage
+                        .locks
+                        .set_release(*table, key, self.txn, visible_at);
+                }
+            }
+        }
+        self.now = ack;
+
+        self.db.cns[self.cn].tm.finish_commit(commit_ts);
+        if self.db.cns[self.cn].tm.mode == TmMode::GClock {
+            // Asynchronous observe so the GTM can later take over without
+            // waiting (Fig. 3) and DUAL timestamps bridge (Listing 1).
+            self.db.gtm.observe_commit(commit_ts);
+        }
+
+        Ok(TxnOutcome {
+            commit_ts: Some(commit_ts),
+            snapshot: self.snapshot,
+            completed_at: self.now,
+            latency: self.now.since(self.started_at),
+            shards_written: write_shards,
+            used_replica: self.used_replica,
+        })
+    }
+
+    fn abort_inner(&mut self) {
+        for (shard, table, key) in std::mem::take(&mut self.locked) {
+            self.db.shards[shard]
+                .storage
+                .locks
+                .set_release(table, &key, self.txn, self.now);
+        }
+        for &s in &self.shards_written.clone() {
+            self.db.shards[s]
+                .log
+                .append(self.now, self.txn, RedoPayload::Abort);
+        }
+        self.overlay.clear();
+        self.write_log.clear();
+        self.finished = true;
+    }
+
+    /// Abort the transaction: release locks, discard buffered writes, and
+    /// emit ABORT records so replicas unlock the tuples.
+    pub fn abort(mut self) {
+        self.abort_inner();
+    }
+}

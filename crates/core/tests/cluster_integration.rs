@@ -1,0 +1,567 @@
+//! End-to-end integration tests for the GlobalDB cluster: SQL over
+//! sharded MVCC storage, asynchronous replication with RCP-consistent
+//! replica reads, 2PC, online mode transitions, and failure handling.
+
+use globaldb::{
+    Cluster, ClusterConfig, Datum, GdbError, Geometry, ReplicationMode, SimDuration, SimTime,
+    TmMode, TransitionDirection,
+};
+
+fn t(ms: u64) -> SimTime {
+    SimTime::from_millis(ms)
+}
+
+/// A small cluster with the accounts table loaded.
+fn cluster_with_accounts(config: ClusterConfig, rows: i64) -> Cluster {
+    let mut c = Cluster::new(config);
+    c.ddl(
+        "CREATE TABLE accounts (id INT NOT NULL, region TEXT, balance DECIMAL, \
+         PRIMARY KEY (id)) DISTRIBUTE BY HASH(id)",
+    )
+    .unwrap();
+    let table = c.db.catalog.table_by_name("accounts").unwrap().id;
+    let data: Vec<gdb_model::Row> = (0..rows)
+        .map(|i| {
+            gdb_model::Row(vec![
+                Datum::Int(i),
+                Datum::Text(if i % 2 == 0 { "east" } else { "west" }.into()),
+                Datum::Decimal(i * 100),
+            ])
+        })
+        .collect();
+    c.bulk_load(table, data).unwrap();
+    c.finish_load();
+    c
+}
+
+#[test]
+fn sql_insert_read_roundtrip() {
+    let mut c = cluster_with_accounts(ClusterConfig::globaldb_one_region(), 0);
+    let (out, outcome) = c
+        .execute_sql(
+            0,
+            t(10),
+            "INSERT INTO accounts VALUES (?, ?, ?)",
+            &[
+                Datum::Int(1),
+                Datum::Text("east".into()),
+                Datum::Decimal(500),
+            ],
+        )
+        .unwrap();
+    assert_eq!(out.count(), 1);
+    assert!(outcome.commit_ts.is_some());
+    assert!(!outcome.latency.is_zero(), "commit costs latency");
+
+    let (rows, _) = c
+        .execute_sql(
+            0,
+            t(20),
+            "SELECT balance FROM accounts WHERE id = ?",
+            &[Datum::Int(1)],
+        )
+        .unwrap();
+    assert_eq!(rows.rows()[0].0[0], Datum::Decimal(500));
+}
+
+#[test]
+fn multi_statement_transaction_reads_own_writes() {
+    let mut c = cluster_with_accounts(ClusterConfig::globaldb_one_region(), 10);
+    let ins = c.prepare("INSERT INTO accounts VALUES (?, ?, ?)").unwrap();
+    let sel = c
+        .prepare("SELECT balance FROM accounts WHERE id = ?")
+        .unwrap();
+    let upd = c
+        .prepare("UPDATE accounts SET balance = balance + ? WHERE id = ?")
+        .unwrap();
+
+    let ((), outcome) = c
+        .run_transaction(0, t(10), false, false, |txn| {
+            txn.execute(
+                &ins,
+                &[
+                    Datum::Int(100),
+                    Datum::Text("east".into()),
+                    Datum::Decimal(10),
+                ],
+            )?;
+            // Read our own uncommitted insert.
+            let out = txn.execute(&sel, &[Datum::Int(100)])?;
+            assert_eq!(out.rows()[0].0[0], Datum::Decimal(10));
+            // Update it twice; accumulation must be visible.
+            txn.execute(&upd, &[Datum::Decimal(5), Datum::Int(100)])?;
+            txn.execute(&upd, &[Datum::Decimal(7), Datum::Int(100)])?;
+            let out = txn.execute(&sel, &[Datum::Int(100)])?;
+            assert_eq!(out.rows()[0].0[0], Datum::Decimal(22));
+            Ok(())
+        })
+        .unwrap();
+    assert!(!outcome.shards_written.is_empty());
+
+    // Committed state visible to a later transaction.
+    let (rows, _) = c
+        .execute_sql(1, t(50), "SELECT balance FROM accounts WHERE id = 100", &[])
+        .unwrap();
+    assert_eq!(rows.rows()[0].0[0], Datum::Decimal(22));
+}
+
+#[test]
+fn aborted_transaction_leaves_no_trace() {
+    let mut c = cluster_with_accounts(ClusterConfig::globaldb_one_region(), 5);
+    let ins = c.prepare("INSERT INTO accounts VALUES (?, ?, ?)").unwrap();
+    let res: Result<((), _), _> = c.run_transaction(0, t(10), false, false, |txn| {
+        txn.execute(
+            &ins,
+            &[Datum::Int(99), Datum::Text("x".into()), Datum::Decimal(1)],
+        )?;
+        Err(GdbError::TxnAborted("client rollback".into()))
+    });
+    assert!(res.is_err());
+    let (rows, _) = c
+        .execute_sql(0, t(50), "SELECT id FROM accounts WHERE id = 99", &[])
+        .unwrap();
+    assert!(rows.rows().is_empty());
+    // A later insert of the same key succeeds (locks were released).
+    c.execute_sql(0, t(60), "INSERT INTO accounts VALUES (99, 'y', 2)", &[])
+        .unwrap();
+}
+
+#[test]
+fn replication_reaches_replicas_and_rcp_advances() {
+    let mut c = cluster_with_accounts(ClusterConfig::globaldb_one_region(), 4);
+    let (_, outcome) = c
+        .execute_sql(0, t(10), "INSERT INTO accounts VALUES (50, 'east', 1)", &[])
+        .unwrap();
+    let commit_ts = outcome.commit_ts.unwrap();
+
+    // Give shipping + replay + RCP rounds time to settle.
+    c.run_until(t(500));
+    let table = c.db.catalog.table_by_name("accounts").unwrap().id;
+    let schema = c.db.catalog.table(table).unwrap().clone();
+    let key = gdb_model::RowKey::single(50i64);
+    let shard = schema.shard_of_key(&key, c.db.shards.len() as u16).0 as usize;
+    for replica in &c.db.shards[shard].replicas {
+        assert!(
+            replica.applier.max_commit_ts() >= commit_ts,
+            "replica not caught up"
+        );
+    }
+    // The RCP visible at every CN covers the commit.
+    for cn in 0..3 {
+        assert!(c.db.cn_rcp(cn) >= commit_ts, "cn {cn} rcp behind");
+    }
+}
+
+#[test]
+fn ror_reads_hit_replicas_with_rcp_snapshot() {
+    let mut c = cluster_with_accounts(ClusterConfig::globaldb_one_region(), 20);
+    c.run_until(t(200)); // let the load + heartbeats settle into an RCP
+    let sel = c
+        .prepare("SELECT balance FROM accounts WHERE id = ?")
+        .unwrap();
+    let ((), outcome) = c
+        .run_transaction(1, t(210), true, true, |txn| {
+            assert!(txn.is_ror(), "read-only txn should use ROR");
+            let out = txn.execute(&sel, &[Datum::Int(3)])?;
+            assert_eq!(out.rows()[0].0[0], Datum::Decimal(300));
+            Ok(())
+        })
+        .unwrap();
+    assert!(outcome.used_replica, "read must be served by a replica");
+    assert!(c.db.stats.reads_on_replica > 0);
+}
+
+#[test]
+fn ror_respects_freshness_of_rcp_snapshot() {
+    // A write committed but not yet replicated is invisible to ROR reads
+    // (bounded staleness), then becomes visible once the RCP catches up.
+    let mut c = cluster_with_accounts(ClusterConfig::globaldb_one_region(), 10);
+    c.run_until(t(200));
+    c.execute_sql(
+        0,
+        t(210),
+        "UPDATE accounts SET balance = 7777 WHERE id = 2",
+        &[],
+    )
+    .unwrap();
+    let sel = c
+        .prepare("SELECT balance FROM accounts WHERE id = ?")
+        .unwrap();
+    // Immediately after: ROR snapshot (RCP) predates the update.
+    let ((), o1) = c
+        .run_transaction(1, t(212), true, true, |txn| {
+            let out = txn.execute(&sel, &[Datum::Int(2)])?;
+            let _: () = assert_eq!(out.rows()[0].0[0], Datum::Decimal(200));
+            Ok(())
+        })
+        .unwrap();
+    // Later: the RCP passed the commit; the new value is visible.
+    let ((), o2) = c
+        .run_transaction(1, t(600), true, true, |txn| {
+            let out = txn.execute(&sel, &[Datum::Int(2)])?;
+            let _: () = assert_eq!(out.rows()[0].0[0], Datum::Decimal(7777));
+            Ok(())
+        })
+        .unwrap();
+    assert!(o2.snapshot > o1.snapshot, "RCP advanced monotonically");
+}
+
+#[test]
+fn multi_shard_transactions_use_2pc_and_cost_more() {
+    let mut c = cluster_with_accounts(ClusterConfig::globaldb_one_region(), 100);
+    // Find two ids on different shards.
+    let table = c.db.catalog.table_by_name("accounts").unwrap().id;
+    let schema = c.db.catalog.table(table).unwrap().clone();
+    let shard_of = |i: i64| schema.shard_of_key(&gdb_model::RowKey::single(i), 6).0;
+    let a = 1i64;
+    let b = (2..100).find(|&i| shard_of(i) != shard_of(a)).unwrap();
+
+    let upd = c
+        .prepare("UPDATE accounts SET balance = balance + 1 WHERE id = ?")
+        .unwrap();
+    // Single-shard write.
+    let ((), o1) = c
+        .run_transaction(0, t(10), false, false, |txn| {
+            txn.execute(&upd, &[Datum::Int(a)])?;
+            Ok(())
+        })
+        .unwrap();
+    assert_eq!(o1.shards_written.len(), 1);
+    // Cross-shard write: 2PC.
+    let ((), o2) = c
+        .run_transaction(0, t(100), false, false, |txn| {
+            txn.execute(&upd, &[Datum::Int(a)])?;
+            txn.execute(&upd, &[Datum::Int(b)])?;
+            Ok(())
+        })
+        .unwrap();
+    assert_eq!(o2.shards_written.len(), 2);
+    assert!(
+        o2.latency > o1.latency,
+        "2PC must cost more: {} vs {}",
+        o2.latency,
+        o1.latency
+    );
+}
+
+#[test]
+fn lock_conflicts_serialize_hot_row_updates() {
+    let mut c = cluster_with_accounts(ClusterConfig::globaldb_one_region(), 5);
+    let upd = c
+        .prepare("UPDATE accounts SET balance = balance + 1 WHERE id = 0")
+        .unwrap();
+    // Two transactions updating the same row at overlapping times.
+    let ((), o1) = c
+        .run_transaction(0, t(10), false, false, |txn| {
+            txn.execute(&upd, &[])?;
+            Ok(())
+        })
+        .unwrap();
+    // Second starts before the first's commit applies.
+    let start2 = t(10) + SimDuration::from_micros(100);
+    let ((), o2) = c
+        .run_transaction(1, start2, false, false, |txn| {
+            txn.execute(&upd, &[])?;
+            Ok(())
+        })
+        .unwrap();
+    assert!(
+        c.db.stats.lock_waits > 0,
+        "second txn must wait for the lock"
+    );
+    assert!(o2.completed_at > o1.completed_at);
+    // Both increments applied.
+    let (rows, _) = c
+        .execute_sql(2, t(500), "SELECT balance FROM accounts WHERE id = 0", &[])
+        .unwrap();
+    assert_eq!(rows.rows()[0].0[0], Datum::Decimal(2));
+}
+
+#[test]
+fn gclock_mode_avoids_gtm_roundtrip_under_injected_delay() {
+    // With 50 ms injected inter-host delay, GTM-mode commits pay the GTM
+    // round trips; GClock commits only pay the (local) shard round trip
+    // plus the microsecond-scale commit wait. Run from CN 1 (not
+    // co-located with the GTM).
+    let mk = |mode: TmMode| {
+        let mut cfg = ClusterConfig::baseline_one_region();
+        cfg.geometry = Geometry::OneRegion {
+            injected_delay: SimDuration::from_millis(50),
+        };
+        cfg.tm_mode = mode;
+        cfg.replication = ReplicationMode::Async;
+        cluster_with_accounts(cfg, 10)
+    };
+    let run = |c: &mut Cluster| {
+        let (_, o) = c
+            .execute_sql(
+                1,
+                t(10),
+                "UPDATE accounts SET balance = 1 WHERE id = 1",
+                &[],
+            )
+            .unwrap();
+        o.latency
+    };
+    let mut gtm = mk(TmMode::Gtm);
+    let mut gclock = mk(TmMode::GClock);
+    let l_gtm = run(&mut gtm);
+    let l_gclock = run(&mut gclock);
+    assert!(
+        l_gtm.as_millis() >= l_gclock.as_millis() + 100,
+        "GTM {} vs GClock {}",
+        l_gtm,
+        l_gclock
+    );
+}
+
+#[test]
+fn sync_remote_quorum_pays_wan_latency_async_does_not() {
+    let mk = |repl: ReplicationMode| {
+        let mut cfg = ClusterConfig::globaldb_three_city();
+        cfg.replication = repl;
+        cluster_with_accounts(cfg, 10)
+    };
+    let run = |c: &mut Cluster| {
+        let (_, o) = c
+            .execute_sql(
+                0,
+                t(10),
+                "UPDATE accounts SET balance = 1 WHERE id = 1",
+                &[],
+            )
+            .unwrap();
+        o.latency
+    };
+    let mut sync = mk(ReplicationMode::SyncRemoteQuorum { quorum: 1 });
+    let mut async_ = mk(ReplicationMode::Async);
+    let l_sync = run(&mut sync);
+    let l_async = run(&mut async_);
+    assert!(
+        l_sync.as_millis() >= l_async.as_millis() + 10,
+        "sync {} vs async {}",
+        l_sync,
+        l_async
+    );
+}
+
+#[test]
+fn online_transition_gtm_to_gclock_without_downtime() {
+    let mut cfg = ClusterConfig::globaldb_one_region();
+    cfg.tm_mode = TmMode::Gtm;
+    let mut c = cluster_with_accounts(cfg, 50);
+    assert_eq!(c.db.cn_mode(0), TmMode::Gtm);
+
+    let upd = c
+        .prepare("UPDATE accounts SET balance = balance + 1 WHERE id = ?")
+        .unwrap();
+    // Keep writing while the transition runs.
+    c.run_until(t(100));
+    c.start_transition(TransitionDirection::ToGClock);
+    let mut committed = 0;
+    for i in 0..40u64 {
+        let at = t(100) + SimDuration::from_millis(i * 2);
+        if c.run_transaction((i % 3) as usize, at, false, false, |txn| {
+            txn.execute(&upd, &[Datum::Int((i % 50) as i64)])
+                .map(|_| ())
+        })
+        .is_ok()
+        {
+            committed += 1;
+        }
+    }
+    c.run_until(t(2000));
+    assert_eq!(
+        c.db.last_transition_completed,
+        Some(TransitionDirection::ToGClock)
+    );
+    for cn in 0..3 {
+        assert_eq!(c.db.cn_mode(cn), TmMode::GClock);
+    }
+    assert_eq!(c.db.gtm.mode(), TmMode::GClock);
+    // Zero downtime: every transaction issued during the transition
+    // committed (none were rejected; at most stragglers abort, and these
+    // all ran to completion within events).
+    assert_eq!(committed, 40);
+
+    // And writes work in the new mode.
+    c.execute_sql(
+        0,
+        t(2100),
+        "UPDATE accounts SET balance = 0 WHERE id = 1",
+        &[],
+    )
+    .unwrap();
+}
+
+#[test]
+fn online_transition_back_to_gtm_after_clock_failure() {
+    let mut c = cluster_with_accounts(ClusterConfig::globaldb_one_region(), 20);
+    assert_eq!(c.db.cn_mode(0), TmMode::GClock);
+    c.run_until(t(100));
+    // Some GClock commits happen first.
+    c.execute_sql(
+        0,
+        t(110),
+        "UPDATE accounts SET balance = 5 WHERE id = 3",
+        &[],
+    )
+    .unwrap();
+    // Clock trouble: fall back to GTM (Fig. 3).
+    c.start_transition(TransitionDirection::ToGtm);
+    c.run_until(t(1500));
+    assert_eq!(
+        c.db.last_transition_completed,
+        Some(TransitionDirection::ToGtm)
+    );
+    assert_eq!(c.db.gtm.mode(), TmMode::Gtm);
+    // New GTM timestamps exceed all previous GClock timestamps: a new
+    // write is visible to a subsequent read.
+    let (_, o) = c
+        .execute_sql(
+            1,
+            t(1600),
+            "UPDATE accounts SET balance = 6 WHERE id = 3",
+            &[],
+        )
+        .unwrap();
+    let commit = o.commit_ts.unwrap();
+    let (rows, o2) = c
+        .execute_sql(2, t(1700), "SELECT balance FROM accounts WHERE id = 3", &[])
+        .unwrap();
+    assert!(o2.snapshot >= commit);
+    assert_eq!(rows.rows()[0].0[0], Datum::Decimal(6));
+}
+
+#[test]
+fn replicated_table_writes_fan_out_reads_stay_local() {
+    let mut c = Cluster::new(ClusterConfig::globaldb_three_city());
+    c.ddl(
+        "CREATE TABLE item (i_id INT NOT NULL, i_name TEXT, PRIMARY KEY (i_id)) \
+         DISTRIBUTE BY REPLICATION",
+    )
+    .unwrap();
+    let (_, o) = c
+        .execute_sql(0, t(10), "INSERT INTO item VALUES (1, 'widget')", &[])
+        .unwrap();
+    // A replicated-table write touches every shard.
+    assert_eq!(o.shards_written.len(), c.db.shards.len());
+    // Readable from every CN.
+    for cn in 0..3 {
+        let (rows, _) = c
+            .execute_sql(
+                cn,
+                t(200 + cn as u64 * 10),
+                "SELECT i_name FROM item WHERE i_id = 1",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(rows.rows()[0].0[0], Datum::Text("widget".into()));
+    }
+}
+
+#[test]
+fn heartbeats_advance_rcp_without_writes() {
+    let mut c = cluster_with_accounts(ClusterConfig::globaldb_one_region(), 2);
+    c.run_until(t(300));
+    let rcp1 = c.db.cn_rcp(0);
+    c.run_until(t(800));
+    let rcp2 = c.db.cn_rcp(0);
+    assert!(
+        rcp2 > rcp1,
+        "idle cluster RCP must advance via heartbeats: {rcp1:?} vs {rcp2:?}"
+    );
+    assert!(c.db.stats.heartbeats_sent > 10);
+}
+
+#[test]
+fn replica_down_falls_back_to_primary() {
+    let mut c = cluster_with_accounts(ClusterConfig::globaldb_one_region(), 20);
+    c.run_until(t(300));
+    // Kill every replica of every shard.
+    let replica_nodes: Vec<_> =
+        c.db.shards
+            .iter()
+            .flat_map(|s| s.replicas.iter().map(|r| r.node))
+            .collect();
+    for n in replica_nodes {
+        c.db.topo.set_node_down(n, true);
+    }
+    let sel = c
+        .prepare("SELECT balance FROM accounts WHERE id = ?")
+        .unwrap();
+    let ((), outcome) = c
+        .run_transaction(0, t(310), true, true, |txn| {
+            let out = txn.execute(&sel, &[Datum::Int(4)])?;
+            let _: () = assert_eq!(out.rows()[0].0[0], Datum::Decimal(400));
+            Ok(())
+        })
+        .unwrap();
+    assert!(!outcome.used_replica, "must fall back to primary");
+}
+
+#[test]
+fn ddl_gates_ror_until_replicas_catch_up() {
+    let mut c = cluster_with_accounts(ClusterConfig::globaldb_one_region(), 10);
+    c.run_until(t(300));
+    // A fresh DDL on the accounts table.
+    c.run_until(t(310));
+    c.ddl("CREATE INDEX acc_by_region ON accounts (region)")
+        .unwrap();
+    let before = c.db.stats.ror_rejected_ddl;
+    let sel = c
+        .prepare("SELECT balance FROM accounts WHERE id = ?")
+        .unwrap();
+    // Immediately after the DDL: RCP has not passed the DDL timestamp, so
+    // ROR falls back (condition check fails).
+    let ((), o) = c
+        .run_transaction(1, t(311), true, true, |txn| {
+            txn.execute(&sel, &[Datum::Int(1)]).map(|_| ())
+        })
+        .unwrap();
+    assert!(c.db.stats.ror_rejected_ddl > before);
+    assert!(!o.used_replica);
+    // Much later the DDL has replayed everywhere; ROR works again. Pick an
+    // id whose shard primary is NOT co-hosted with CN 1 (otherwise the
+    // skyline correctly prefers the local primary).
+    c.run_until(t(1000));
+    let table = c.db.catalog.table_by_name("accounts").unwrap().id;
+    let schema = c.db.catalog.table(table).unwrap().clone();
+    let cn1_host = c.db.topo.node_host(c.db.cns[1].node);
+    let id = (0..10i64)
+        .find(|&i| {
+            let s = schema
+                .shard_of_key(&gdb_model::RowKey::single(i), c.db.shards.len() as u16)
+                .0 as usize;
+            c.db.topo.node_host(c.db.shards[s].primary) != cn1_host
+        })
+        .expect("some id on a non-local shard");
+    let ((), o2) = c
+        .run_transaction(1, t(1001), true, true, |txn| {
+            txn.execute(&sel, &[Datum::Int(id)]).map(|_| ())
+        })
+        .unwrap();
+    assert!(o2.used_replica);
+}
+
+#[test]
+fn deterministic_under_same_seed() {
+    let run = || {
+        let mut c = cluster_with_accounts(ClusterConfig::globaldb_three_city(), 30);
+        let upd = c
+            .prepare("UPDATE accounts SET balance = balance + 1 WHERE id = ?")
+            .unwrap();
+        let mut latencies = Vec::new();
+        for i in 0..10u64 {
+            let ((), o) = c
+                .run_transaction((i % 3) as usize, t(10 + i * 20), false, false, |txn| {
+                    txn.execute(&upd, &[Datum::Int((i % 30) as i64)])
+                        .map(|_| ())
+                })
+                .unwrap();
+            latencies.push(o.latency);
+        }
+        latencies
+    };
+    assert_eq!(run(), run(), "same seed ⇒ identical execution");
+}

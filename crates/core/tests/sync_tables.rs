@@ -1,0 +1,107 @@
+//! Per-table synchronous replication (the paper's future-work extension):
+//! a table marked synchronous pays the quorum wait on commit; the rest of
+//! the database keeps asynchronous latency.
+
+use globaldb::{Cluster, ClusterConfig, Datum, ReplicationMode, SimTime};
+
+#[test]
+fn sync_table_pays_quorum_wait_async_tables_do_not() {
+    let mut c = Cluster::new(ClusterConfig::globaldb_three_city());
+    for name in ["fast", "durable"] {
+        c.ddl(&format!(
+            "CREATE TABLE {name} (k INT NOT NULL, v INT, PRIMARY KEY (k)) \
+             DISTRIBUTE BY HASH(k)"
+        ))
+        .unwrap();
+        for k in 0..10i64 {
+            c.execute_sql(
+                0,
+                SimTime::from_millis(5),
+                &format!("INSERT INTO {name} VALUES (?, 0)"),
+                &[Datum::Int(k)],
+            )
+            .unwrap();
+        }
+    }
+    c.set_table_replication("durable", ReplicationMode::SyncRemoteQuorum { quorum: 2 })
+        .unwrap();
+
+    // Same-shape single-row updates against both tables from their home CN.
+    let lat = |c: &mut Cluster, table: &str, at_ms: u64| {
+        let table_id = c.db.catalog.table_by_name(table).unwrap().clone();
+        let k = (0..10i64)
+            .find(|&k| {
+                let shard = table_id
+                    .shard_of_pk(&gdb_model::RowKey::single(k), c.db.shards.len() as u16)
+                    .0 as usize;
+                c.db.shards[shard].region == c.db.cns[0].region
+            })
+            .unwrap_or(0);
+        let (_, o) = c
+            .execute_sql(
+                0,
+                SimTime::from_millis(at_ms),
+                &format!("UPDATE {table} SET v = 1 WHERE k = ?"),
+                &[Datum::Int(k)],
+            )
+            .unwrap();
+        o.latency
+    };
+    let fast = lat(&mut c, "fast", 100);
+    let durable = lat(&mut c, "durable", 200);
+    assert!(
+        durable.as_millis() >= fast.as_millis() + 20,
+        "sync table must pay the WAN quorum wait: fast={fast} durable={durable}"
+    );
+}
+
+#[test]
+fn mixed_transaction_takes_the_stronger_mode() {
+    let mut c = Cluster::new(ClusterConfig::globaldb_three_city());
+    c.ddl("CREATE TABLE a (k INT NOT NULL, v INT, PRIMARY KEY (k)) DISTRIBUTE BY HASH(k)")
+        .unwrap();
+    c.execute_sql(
+        0,
+        SimTime::from_millis(5),
+        "INSERT INTO a VALUES (1, 0)",
+        &[],
+    )
+    .unwrap();
+    let async_latency = {
+        let (_, o) = c
+            .execute_sql(
+                0,
+                SimTime::from_millis(50),
+                "UPDATE a SET v = 1 WHERE k = 1",
+                &[],
+            )
+            .unwrap();
+        o.latency
+    };
+    c.set_table_replication("a", ReplicationMode::SyncRemoteQuorum { quorum: 1 })
+        .unwrap();
+    let sync_latency = {
+        let (_, o) = c
+            .execute_sql(
+                0,
+                SimTime::from_millis(100),
+                "UPDATE a SET v = 2 WHERE k = 1",
+                &[],
+            )
+            .unwrap();
+        o.latency
+    };
+    assert!(sync_latency > async_latency);
+    // Reverting the override restores async latency.
+    c.set_table_replication("a", ReplicationMode::Async)
+        .unwrap();
+    let (_, o) = c
+        .execute_sql(
+            0,
+            SimTime::from_millis(150),
+            "UPDATE a SET v = 3 WHERE k = 1",
+            &[],
+        )
+        .unwrap();
+    assert!(o.latency.as_micros() <= async_latency.as_micros() + 500);
+}

@@ -1,0 +1,20 @@
+//! Shared data-model types for the GaussDB-Global reproduction.
+//!
+//! Every other crate in the workspace builds on these primitives: identifier
+//! newtypes, the [`Timestamp`] ordering domain that the GTM / GClock / DUAL
+//! transaction managers all produce into, SQL values ([`Datum`]), rows,
+//! schemas, and the common error type.
+
+pub mod datum;
+pub mod error;
+pub mod ids;
+pub mod row;
+pub mod schema;
+pub mod timestamp;
+
+pub use datum::{DataType, Datum};
+pub use error::{GdbError, GdbResult};
+pub use ids::{IndexId, ShardId, TableId, TxnId};
+pub use row::{Row, RowKey};
+pub use schema::{ColumnDef, DistributionKind, SchemaBuilder, TableSchema};
+pub use timestamp::{Timestamp, TimestampBound};

@@ -1,0 +1,199 @@
+//! Rows and row keys.
+
+use crate::datum::Datum;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A row: a vector of datums in schema column order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Row(pub Vec<Datum>);
+
+impl Row {
+    pub fn new(values: Vec<Datum>) -> Self {
+        Row(values)
+    }
+
+    pub fn get(&self, idx: usize) -> Option<&Datum> {
+        self.0.get(idx)
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Project the datums at `indices` into a new row (used to extract keys).
+    pub fn project(&self, indices: &[usize]) -> Row {
+        Row(indices.iter().map(|&i| self.0[i].clone()).collect())
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<Datum>> for Row {
+    fn from(v: Vec<Datum>) -> Self {
+        Row(v)
+    }
+}
+
+/// A primary-key value: the tuple of key-column datums.
+///
+/// Ordered with [`Datum::key_cmp`] so it can index a B-tree; hashed with
+/// [`Datum::stable_hash`] so shard placement is deterministic.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RowKey(pub Vec<Datum>);
+
+impl RowKey {
+    pub fn new(values: Vec<Datum>) -> Self {
+        RowKey(values)
+    }
+
+    /// Single-column key helper.
+    pub fn single(d: impl Into<Datum>) -> Self {
+        RowKey(vec![d.into()])
+    }
+
+    /// Combined stable hash of all key columns (for hash distribution).
+    pub fn stable_hash(&self) -> u64 {
+        let mut h: u64 = 0x9e3779b97f4a7c15;
+        for d in &self.0 {
+            h = h.rotate_left(13) ^ d.stable_hash();
+            h = h.wrapping_mul(0xff51afd7ed558ccd);
+        }
+        h
+    }
+}
+
+impl PartialOrd for RowKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for RowKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        for (a, b) in self.0.iter().zip(other.0.iter()) {
+            match a.key_cmp(b) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        self.0.len().cmp(&other.0.len())
+    }
+}
+
+impl fmt::Display for RowKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_projection() {
+        let r = Row::new(vec![Datum::Int(1), Datum::Text("a".into()), Datum::Int(3)]);
+        assert_eq!(
+            r.project(&[2, 0]),
+            Row::new(vec![Datum::Int(3), Datum::Int(1)])
+        );
+    }
+
+    #[test]
+    fn key_ordering_lexicographic() {
+        let a = RowKey::new(vec![Datum::Int(1), Datum::Int(2)]);
+        let b = RowKey::new(vec![Datum::Int(1), Datum::Int(3)]);
+        let c = RowKey::new(vec![Datum::Int(2)]);
+        assert!(a < b);
+        assert!(b < c);
+        // Prefix sorts before its extension.
+        let p = RowKey::new(vec![Datum::Int(1)]);
+        assert!(p < a);
+    }
+
+    #[test]
+    fn key_hash_order_independent_of_process() {
+        let k = RowKey::new(vec![Datum::Int(42), Datum::Text("w".into())]);
+        assert_eq!(k.stable_hash(), k.clone().stable_hash());
+        assert_ne!(
+            RowKey::single(1i64).stable_hash(),
+            RowKey::single(2i64).stable_hash()
+        );
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_datum() -> impl Strategy<Value = Datum> {
+        prop_oneof![
+            Just(Datum::Null),
+            any::<i64>().prop_map(Datum::Int),
+            any::<i64>().prop_map(Datum::Decimal),
+            "[a-z]{0,8}".prop_map(Datum::Text),
+            any::<bool>().prop_map(Datum::Bool),
+        ]
+    }
+
+    fn arb_key() -> impl Strategy<Value = RowKey> {
+        proptest::collection::vec(arb_datum(), 1..4).prop_map(RowKey)
+    }
+
+    proptest! {
+        /// RowKey ordering is a total order: antisymmetric and transitive
+        /// (required for BTreeMap correctness).
+        #[test]
+        fn key_order_is_total(a in arb_key(), b in arb_key(), c in arb_key()) {
+            use std::cmp::Ordering::*;
+            // Antisymmetry.
+            match a.cmp(&b) {
+                Less => prop_assert_eq!(b.cmp(&a), Greater),
+                Greater => prop_assert_eq!(b.cmp(&a), Less),
+                Equal => prop_assert_eq!(b.cmp(&a), Equal),
+            }
+            // Transitivity.
+            if a.cmp(&b) != Greater && b.cmp(&c) != Greater {
+                prop_assert_ne!(a.cmp(&c), Greater);
+            }
+        }
+
+        /// Equal keys hash equally (stable hash is a function of value).
+        #[test]
+        fn equal_keys_equal_hashes(a in arb_key()) {
+            let b = a.clone();
+            prop_assert_eq!(a.stable_hash(), b.stable_hash());
+        }
+
+        /// Ordering agrees with equality.
+        #[test]
+        fn order_consistent_with_eq(a in arb_key(), b in arb_key()) {
+            prop_assert_eq!(a == b, a.cmp(&b) == std::cmp::Ordering::Equal);
+        }
+    }
+}

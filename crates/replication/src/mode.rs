@@ -1,0 +1,78 @@
+//! Replication modes and quorum-wait math.
+
+use gdb_simnet::SimDuration;
+
+/// How commits interact with replica durability (paper §II-A/§II-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicationMode {
+    /// Commit acknowledges immediately; redo ships in the background.
+    /// GlobalDB's geo-distributed configuration: replica reads regain
+    /// consistency through the RCP.
+    Async,
+    /// Commit waits until all replicas *in the primary's own region* have
+    /// the log. Survives node failures but not a regional disaster.
+    SyncLocalQuorum,
+    /// Commit waits for `quorum` replicas anywhere (including remote
+    /// regions). Survives a site-level disaster; pays WAN latency on every
+    /// commit — the paper's baseline on the Three-City cluster.
+    SyncRemoteQuorum { quorum: usize },
+}
+
+impl ReplicationMode {
+    /// True if commits must wait on any replica acknowledgment.
+    pub fn is_sync(&self) -> bool {
+        !matches!(self, ReplicationMode::Async)
+    }
+}
+
+/// Given the one-way-plus-ack delays at which each replica would confirm
+/// durability (`None` = unreachable), the extra commit wait to reach a
+/// quorum of `quorum` confirmations. Returns `None` when the quorum cannot
+/// be met (commit must fail or degrade per policy).
+pub fn quorum_wait(delays: &[Option<SimDuration>], quorum: usize) -> Option<SimDuration> {
+    if quorum == 0 {
+        return Some(SimDuration::ZERO);
+    }
+    let mut reachable: Vec<SimDuration> = delays.iter().flatten().copied().collect();
+    if reachable.len() < quorum {
+        return None;
+    }
+    reachable.sort_unstable();
+    Some(reachable[quorum - 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Option<SimDuration> {
+        Some(SimDuration::from_millis(v))
+    }
+
+    #[test]
+    fn quorum_picks_kth_smallest() {
+        let delays = [ms(30), ms(10), ms(50)];
+        assert_eq!(quorum_wait(&delays, 1), Some(SimDuration::from_millis(10)));
+        assert_eq!(quorum_wait(&delays, 2), Some(SimDuration::from_millis(30)));
+        assert_eq!(quorum_wait(&delays, 3), Some(SimDuration::from_millis(50)));
+    }
+
+    #[test]
+    fn unreachable_replicas_are_skipped() {
+        let delays = [None, ms(40), ms(20)];
+        assert_eq!(quorum_wait(&delays, 2), Some(SimDuration::from_millis(40)));
+        assert_eq!(quorum_wait(&delays, 3), None);
+    }
+
+    #[test]
+    fn zero_quorum_is_free() {
+        assert_eq!(quorum_wait(&[None], 0), Some(SimDuration::ZERO));
+    }
+
+    #[test]
+    fn mode_sync_flag() {
+        assert!(!ReplicationMode::Async.is_sync());
+        assert!(ReplicationMode::SyncLocalQuorum.is_sync());
+        assert!(ReplicationMode::SyncRemoteQuorum { quorum: 2 }.is_sync());
+    }
+}

@@ -1,0 +1,85 @@
+//! Staleness estimation (paper §IV-B).
+//!
+//! * Under **GClock**, timestamps are (virtual) epoch time, so a replica's
+//!   staleness is simply "now minus its last committed timestamp".
+//! * Under **GTM**, timestamps are abstract counter ticks, so staleness is
+//!   estimated from the gap between the RCP and the replica's last
+//!   committed timestamp, divided by the rate at which the GTM issued
+//!   timestamps over the last interval.
+
+use gdb_model::Timestamp;
+use gdb_simnet::{SimDuration, SimTime};
+
+/// GClock-mode staleness: wall-clock distance between now and the
+/// replica's max applied commit timestamp (timestamps are µs).
+pub fn estimate_staleness_gclock(now: SimTime, last_committed: Timestamp) -> SimDuration {
+    let now_us = now.as_micros();
+    let ts_us = last_committed.as_micros();
+    SimDuration::from_micros(now_us.saturating_sub(ts_us))
+}
+
+/// GTM-mode staleness: `(rcp - last_committed) / issue_rate`, where
+/// `issue_rate` is timestamps issued per second during the last interval.
+/// A replica at the RCP has zero staleness; an idle GTM (rate 0) yields
+/// zero staleness since nothing has committed to miss.
+pub fn estimate_staleness_gtm(
+    last_committed: Timestamp,
+    rcp: Timestamp,
+    issue_rate_per_sec: f64,
+) -> SimDuration {
+    if issue_rate_per_sec <= 0.0 {
+        return SimDuration::ZERO;
+    }
+    let gap = rcp.0.saturating_sub(last_committed.0) as f64;
+    SimDuration::from_secs_f64(gap / issue_rate_per_sec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gclock_staleness_is_time_distance() {
+        let now = SimTime::from_secs(10);
+        let ts = Timestamp::from_micros(9_800_000); // 200 ms behind
+        assert_eq!(
+            estimate_staleness_gclock(now, ts),
+            SimDuration::from_millis(200)
+        );
+        // A timestamp in the "future" (clock error) clamps to zero.
+        let ahead = Timestamp::from_micros(11_000_000);
+        assert_eq!(estimate_staleness_gclock(now, ahead), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn gtm_staleness_scales_with_rate() {
+        // 1000 ts/sec, 500 ticks behind ⇒ 0.5 s stale.
+        assert_eq!(
+            estimate_staleness_gtm(Timestamp(500), Timestamp(1000), 1000.0),
+            SimDuration::from_millis(500)
+        );
+        // Faster rate, same gap ⇒ fresher.
+        assert_eq!(
+            estimate_staleness_gtm(Timestamp(500), Timestamp(1000), 10_000.0),
+            SimDuration::from_millis(50)
+        );
+    }
+
+    #[test]
+    fn gtm_staleness_edge_cases() {
+        // At or ahead of the RCP: zero.
+        assert_eq!(
+            estimate_staleness_gtm(Timestamp(1000), Timestamp(1000), 100.0),
+            SimDuration::ZERO
+        );
+        assert_eq!(
+            estimate_staleness_gtm(Timestamp(2000), Timestamp(1000), 100.0),
+            SimDuration::ZERO
+        );
+        // Idle GTM: zero.
+        assert_eq!(
+            estimate_staleness_gtm(Timestamp(0), Timestamp(1000), 0.0),
+            SimDuration::ZERO
+        );
+    }
+}

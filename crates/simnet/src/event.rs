@@ -1,0 +1,290 @@
+//! The discrete-event engine.
+//!
+//! A [`Sim<W>`] owns a priority queue of events, each a boxed closure that
+//! runs against the world state `W` at a scheduled virtual time. Events
+//! scheduled for the same instant fire in insertion order (a monotone
+//! sequence number breaks ties), which makes runs fully deterministic.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Sim<W>)>;
+
+struct Scheduled<W> {
+    at: SimTime,
+    seq: u64,
+    f: EventFn<W>,
+}
+
+impl<W> PartialEq for Scheduled<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<W> Eq for Scheduled<W> {}
+impl<W> PartialOrd for Scheduled<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Scheduled<W> {
+    // Reversed so that BinaryHeap (a max-heap) pops the earliest event.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The event queue and virtual clock.
+pub struct Sim<W> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Scheduled<W>>,
+    executed: u64,
+}
+
+impl<W> Default for Sim<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> Sim<W> {
+    pub fn new() -> Self {
+        Sim {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            executed: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule `f` to run at absolute virtual time `at`. Scheduling in the
+    /// past is clamped to "now" (the event still runs, immediately next).
+    pub fn schedule_at(&mut self, at: SimTime, f: impl FnOnce(&mut W, &mut Sim<W>) + 'static) {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled {
+            at,
+            seq,
+            f: Box::new(f),
+        });
+    }
+
+    /// Schedule `f` to run `after` from now.
+    pub fn schedule_after(
+        &mut self,
+        after: SimDuration,
+        f: impl FnOnce(&mut W, &mut Sim<W>) + 'static,
+    ) {
+        self.schedule_at(self.now + after, f);
+    }
+
+    /// Run the single earliest event. Returns `false` if the queue is empty.
+    pub fn step(&mut self, world: &mut W) -> bool {
+        match self.queue.pop() {
+            Some(ev) => {
+                debug_assert!(ev.at >= self.now, "time must be monotone");
+                self.now = ev.at;
+                self.executed += 1;
+                (ev.f)(world, self);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Run all events scheduled strictly before or at `until`. The clock is
+    /// left at `until` even if the queue drains earlier.
+    pub fn run_until(&mut self, world: &mut W, until: SimTime) {
+        loop {
+            match self.queue.peek() {
+                Some(ev) if ev.at <= until => {
+                    let ev = self.queue.pop().expect("peeked");
+                    self.now = ev.at;
+                    self.executed += 1;
+                    (ev.f)(world, self);
+                }
+                _ => break,
+            }
+        }
+        self.now = self.now.max(until);
+    }
+
+    /// Run events until the queue is empty (or `max_events` fire, as a
+    /// runaway guard). Returns the number of events executed.
+    pub fn run_to_completion(&mut self, world: &mut W, max_events: u64) -> u64 {
+        let start = self.executed;
+        while self.executed - start < max_events && self.step(world) {}
+        self.executed - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct World {
+        log: Vec<(u64, &'static str)>,
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim: Sim<World> = Sim::new();
+        let mut w = World::default();
+        sim.schedule_at(SimTime::from_millis(20), |w, s| {
+            w.log.push((s.now().as_millis(), "b"))
+        });
+        sim.schedule_at(SimTime::from_millis(10), |w, s| {
+            w.log.push((s.now().as_millis(), "a"))
+        });
+        sim.schedule_at(SimTime::from_millis(30), |w, s| {
+            w.log.push((s.now().as_millis(), "c"))
+        });
+        sim.run_to_completion(&mut w, 100);
+        assert_eq!(w.log, vec![(10, "a"), (20, "b"), (30, "c")]);
+    }
+
+    #[test]
+    fn same_time_fifo() {
+        let mut sim: Sim<World> = Sim::new();
+        let mut w = World::default();
+        for name in ["first", "second", "third"] {
+            sim.schedule_at(SimTime::from_millis(5), move |w, s| {
+                w.log.push((s.now().as_millis(), name))
+            });
+        }
+        sim.run_to_completion(&mut w, 100);
+        assert_eq!(w.log, vec![(5, "first"), (5, "second"), (5, "third")]);
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut sim: Sim<World> = Sim::new();
+        let mut w = World::default();
+        sim.schedule_at(SimTime::from_millis(1), |_, s| {
+            s.schedule_after(SimDuration::from_millis(4), |w: &mut World, s| {
+                w.log.push((s.now().as_millis(), "chained"));
+            });
+        });
+        sim.run_to_completion(&mut w, 100);
+        assert_eq!(w.log, vec![(5, "chained")]);
+    }
+
+    #[test]
+    fn run_until_stops_and_advances_clock() {
+        let mut sim: Sim<World> = Sim::new();
+        let mut w = World::default();
+        sim.schedule_at(SimTime::from_millis(10), |w, _| w.log.push((10, "in")));
+        sim.schedule_at(SimTime::from_millis(50), |w, _| w.log.push((50, "out")));
+        sim.run_until(&mut w, SimTime::from_millis(20));
+        assert_eq!(w.log, vec![(10, "in")]);
+        assert_eq!(sim.now(), SimTime::from_millis(20));
+        assert_eq!(sim.pending(), 1);
+    }
+
+    #[test]
+    fn scheduling_in_past_clamps_to_now() {
+        let mut sim: Sim<World> = Sim::new();
+        let mut w = World::default();
+        sim.schedule_at(SimTime::from_millis(10), |_, s| {
+            // Try to schedule "before now" — must clamp, not panic.
+            s.schedule_at(SimTime::from_millis(1), |w: &mut World, s| {
+                w.log.push((s.now().as_millis(), "clamped"));
+            });
+        });
+        sim.run_to_completion(&mut w, 100);
+        assert_eq!(w.log, vec![(10, "clamped")]);
+    }
+
+    #[test]
+    fn runaway_guard() {
+        let mut sim: Sim<World> = Sim::new();
+        let mut w = World::default();
+        // An event that perpetually reschedules itself.
+        fn tick(w: &mut World, s: &mut Sim<World>) {
+            w.log.push((s.now().as_millis(), "tick"));
+            s.schedule_after(SimDuration::from_millis(1), tick);
+        }
+        sim.schedule_at(SimTime::ZERO, tick);
+        let n = sim.run_to_completion(&mut w, 50);
+        assert_eq!(n, 50);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Events always fire in (time, insertion) order regardless of the
+        /// order they were scheduled in.
+        #[test]
+        fn events_fire_sorted(times in proptest::collection::vec(0u64..1_000, 1..50)) {
+            struct W {
+                fired: Vec<(u64, usize)>,
+            }
+            let mut sim: Sim<W> = Sim::new();
+            let mut w = W { fired: Vec::new() };
+            for (i, &t) in times.iter().enumerate() {
+                sim.schedule_at(SimTime::from_micros(t), move |w: &mut W, s| {
+                    w.fired.push((s.now().as_micros(), i));
+                });
+            }
+            sim.run_to_completion(&mut w, 10_000);
+            prop_assert_eq!(w.fired.len(), times.len());
+            // Non-decreasing times; ties broken by insertion order.
+            for pair in w.fired.windows(2) {
+                prop_assert!(pair[0].0 <= pair[1].0);
+                if pair[0].0 == pair[1].0 {
+                    prop_assert!(pair[0].1 < pair[1].1);
+                }
+            }
+        }
+
+        /// run_until(t) fires exactly the events at or before t and leaves
+        /// the rest pending.
+        #[test]
+        fn run_until_is_a_clean_cut(
+            times in proptest::collection::vec(0u64..1_000, 1..50),
+            cut in 0u64..1_000,
+        ) {
+            struct W {
+                count: usize,
+            }
+            let mut sim: Sim<W> = Sim::new();
+            let mut w = W { count: 0 };
+            for &t in &times {
+                sim.schedule_at(SimTime::from_micros(t), move |w: &mut W, _| {
+                    w.count += 1;
+                });
+            }
+            sim.run_until(&mut w, SimTime::from_micros(cut));
+            let expected = times.iter().filter(|&&t| t <= cut).count();
+            prop_assert_eq!(w.count, expected);
+            prop_assert_eq!(sim.pending(), times.len() - expected);
+            prop_assert_eq!(sim.now(), SimTime::from_micros(cut));
+        }
+    }
+}

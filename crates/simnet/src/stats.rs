@@ -1,0 +1,147 @@
+//! Small statistics helpers shared by the workload drivers and benches:
+//! latency histograms with percentile queries, and throughput counters.
+
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// A latency recorder with exact percentiles (stores all samples; workloads
+/// here are ≤ a few million samples, so this is fine and precise).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    samples_us: Vec<u64>,
+    sorted: bool,
+}
+
+impl LatencyHistogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record(&mut self, d: SimDuration) {
+        self.samples_us.push(d.as_micros());
+        self.sorted = false;
+    }
+
+    pub fn len(&self) -> usize {
+        self.samples_us.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples_us.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples_us.sort_unstable();
+            self.sorted = true;
+        }
+    }
+
+    /// The q-th percentile (q in 0..=100), using nearest-rank.
+    pub fn percentile(&mut self, q: f64) -> SimDuration {
+        if self.samples_us.is_empty() {
+            return SimDuration::ZERO;
+        }
+        self.ensure_sorted();
+        let n = self.samples_us.len();
+        let rank = ((q / 100.0) * n as f64).ceil().max(1.0) as usize;
+        SimDuration::from_micros(self.samples_us[rank.min(n) - 1])
+    }
+
+    pub fn mean(&self) -> SimDuration {
+        if self.samples_us.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let sum: u64 = self.samples_us.iter().sum();
+        SimDuration::from_micros(sum / self.samples_us.len() as u64)
+    }
+
+    pub fn max(&mut self) -> SimDuration {
+        self.ensure_sorted();
+        SimDuration::from_micros(self.samples_us.last().copied().unwrap_or(0))
+    }
+
+    pub fn min(&mut self) -> SimDuration {
+        self.ensure_sorted();
+        SimDuration::from_micros(self.samples_us.first().copied().unwrap_or(0))
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        self.samples_us.extend_from_slice(&other.samples_us);
+        self.sorted = false;
+    }
+}
+
+/// A windowed throughput counter: events per virtual second.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct Throughput {
+    pub count: u64,
+    pub elapsed: SimDuration,
+}
+
+impl Throughput {
+    pub fn per_second(&self) -> f64 {
+        let s = self.elapsed.as_secs_f64();
+        if s <= 0.0 {
+            0.0
+        } else {
+            self.count as f64 / s
+        }
+    }
+
+    /// TPC-C style transactions-per-minute.
+    pub fn per_minute(&self) -> f64 {
+        self.per_second() * 60.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let mut h = LatencyHistogram::new();
+        assert_eq!(h.percentile(50.0), SimDuration::ZERO);
+        assert_eq!(h.mean(), SimDuration::ZERO);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut h = LatencyHistogram::new();
+        for ms in 1..=100u64 {
+            h.record(SimDuration::from_millis(ms));
+        }
+        assert_eq!(h.percentile(50.0).as_millis(), 50);
+        assert_eq!(h.percentile(99.0).as_millis(), 99);
+        assert_eq!(h.percentile(100.0).as_millis(), 100);
+        assert_eq!(h.min().as_millis(), 1);
+        assert_eq!(h.max().as_millis(), 100);
+        assert_eq!(h.mean().as_micros(), 50_500);
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(SimDuration::from_millis(1));
+        b.record(SimDuration::from_millis(3));
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.max().as_millis(), 3);
+    }
+
+    #[test]
+    fn throughput_math() {
+        let t = Throughput {
+            count: 600,
+            elapsed: SimDuration::from_secs(60),
+        };
+        assert!((t.per_second() - 10.0).abs() < 1e-9);
+        assert!((t.per_minute() - 600.0).abs() < 1e-9);
+        let z = Throughput::default();
+        assert_eq!(z.per_second(), 0.0);
+    }
+}

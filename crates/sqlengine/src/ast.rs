@@ -1,0 +1,140 @@
+//! The parse-time AST (unresolved names).
+
+use gdb_model::Datum;
+
+/// A parsed SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    CreateTable(CreateTable),
+    DropTable(String),
+    CreateIndex {
+        name: String,
+        table: String,
+        columns: Vec<String>,
+    },
+    DropIndex {
+        name: String,
+    },
+    Insert {
+        table: String,
+        columns: Option<Vec<String>>,
+        values: Vec<Vec<PExpr>>,
+    },
+    Select(SelectStmt),
+    Update {
+        table: String,
+        sets: Vec<(String, PExpr)>,
+        filter: Option<PExpr>,
+    },
+    Delete {
+        table: String,
+        filter: Option<PExpr>,
+    },
+}
+
+/// `CREATE TABLE` details.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateTable {
+    pub name: String,
+    pub columns: Vec<ColumnSpec>,
+    pub primary_key: Vec<String>,
+    pub distribute: Option<DistSpec>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnSpec {
+    pub name: String,
+    pub data_type: ParsedType,
+    pub not_null: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParsedType {
+    Int,
+    Decimal,
+    Text,
+    Bool,
+}
+
+/// `DISTRIBUTE BY ...` clause (paper §II-A: hash or range on the
+/// distribution key; replicated small tables).
+#[derive(Debug, Clone, PartialEq)]
+pub enum DistSpec {
+    Hash(Vec<String>),
+    Range {
+        columns: Vec<String>,
+        split_points: Vec<i64>,
+    },
+    Replication,
+}
+
+/// A `SELECT` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    pub items: Vec<SelectItem>,
+    /// 1 or 2 tables (two-table joins via WHERE equality, TPC-C style).
+    pub from: Vec<String>,
+    pub filter: Option<PExpr>,
+    /// `(column, descending)`.
+    pub order_by: Option<(String, bool)>,
+    pub limit: Option<u64>,
+    pub for_update: bool,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    Star,
+    Expr(PExpr),
+}
+
+/// Parse-time expressions; column names unresolved.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PExpr {
+    Lit(Datum),
+    /// `?` placeholder, numbered left-to-right from 0.
+    Param(usize),
+    /// Possibly table-qualified column reference.
+    Col(Option<String>, String),
+    Bin(Box<PExpr>, BinOp, Box<PExpr>),
+    Not(Box<PExpr>),
+    Between {
+        expr: Box<PExpr>,
+        lo: Box<PExpr>,
+        hi: Box<PExpr>,
+    },
+    InList {
+        expr: Box<PExpr>,
+        list: Vec<PExpr>,
+    },
+    IsNull {
+        expr: Box<PExpr>,
+        negated: bool,
+    },
+    /// Aggregate call; `None` argument = `COUNT(*)`.
+    Agg(AggFunc, Option<Box<PExpr>>, bool),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Eq,
+    Neq,
+    Lt,
+    Lte,
+    Gt,
+    Gte,
+    And,
+    Or,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Min,
+    Max,
+    Avg,
+}

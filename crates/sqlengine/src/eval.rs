@@ -1,0 +1,292 @@
+//! Expression evaluation.
+//!
+//! NULL semantics are simplified two-valued logic: any comparison against
+//! NULL is false (`IS NULL` exists for explicit checks). This matches what
+//! the TPC-C / Sysbench statements rely on.
+
+use crate::ast::BinOp;
+use crate::plan::Expr;
+use gdb_model::{Datum, GdbError, GdbResult, Row};
+use std::cmp::Ordering;
+
+/// Row context: one optional row per slot (inner slot absent while
+/// evaluating outer-only expressions).
+pub struct RowCtx<'a> {
+    pub slots: [Option<&'a Row>; 2],
+}
+
+impl<'a> RowCtx<'a> {
+    pub fn empty() -> Self {
+        RowCtx {
+            slots: [None, None],
+        }
+    }
+
+    pub fn outer(row: &'a Row) -> Self {
+        RowCtx {
+            slots: [Some(row), None],
+        }
+    }
+
+    pub fn joined(outer: &'a Row, inner: &'a Row) -> Self {
+        RowCtx {
+            slots: [Some(outer), Some(inner)],
+        }
+    }
+}
+
+/// Evaluate a bound expression.
+pub fn eval(e: &Expr, params: &[Datum], ctx: &RowCtx) -> GdbResult<Datum> {
+    Ok(match e {
+        Expr::Lit(d) => d.clone(),
+        Expr::Param(i) => params
+            .get(*i)
+            .cloned()
+            .ok_or_else(|| GdbError::Execution(format!("missing parameter ${i}")))?,
+        Expr::ColRef { slot, idx } => {
+            let row = ctx.slots[*slot]
+                .ok_or_else(|| GdbError::Internal(format!("no row bound for slot {slot}")))?;
+            row.get(*idx)
+                .cloned()
+                .ok_or_else(|| GdbError::Internal(format!("column {idx} out of range")))?
+        }
+        Expr::Bin(l, op, r) => {
+            match op {
+                BinOp::And => {
+                    // Short-circuit.
+                    if !truthy(&eval(l, params, ctx)?) {
+                        return Ok(Datum::Bool(false));
+                    }
+                    return Ok(Datum::Bool(truthy(&eval(r, params, ctx)?)));
+                }
+                BinOp::Or => {
+                    if truthy(&eval(l, params, ctx)?) {
+                        return Ok(Datum::Bool(true));
+                    }
+                    return Ok(Datum::Bool(truthy(&eval(r, params, ctx)?)));
+                }
+                _ => {}
+            }
+            let lv = eval(l, params, ctx)?;
+            let rv = eval(r, params, ctx)?;
+            match op {
+                BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => arith(&lv, *op, &rv)?,
+                BinOp::Eq => cmp_bool(&lv, &rv, |o| o == Ordering::Equal),
+                BinOp::Neq => cmp_bool(&lv, &rv, |o| o != Ordering::Equal),
+                BinOp::Lt => cmp_bool(&lv, &rv, |o| o == Ordering::Less),
+                BinOp::Lte => cmp_bool(&lv, &rv, |o| o != Ordering::Greater),
+                BinOp::Gt => cmp_bool(&lv, &rv, |o| o == Ordering::Greater),
+                BinOp::Gte => cmp_bool(&lv, &rv, |o| o != Ordering::Less),
+                BinOp::And | BinOp::Or => unreachable!("handled above"),
+            }
+        }
+        Expr::Not(inner) => Datum::Bool(!truthy(&eval(inner, params, ctx)?)),
+        Expr::Between { expr, lo, hi } => {
+            let v = eval(expr, params, ctx)?;
+            let l = eval(lo, params, ctx)?;
+            let h = eval(hi, params, ctx)?;
+            let ge = matches!(v.sql_cmp(&l), Some(Ordering::Greater | Ordering::Equal));
+            let le = matches!(v.sql_cmp(&h), Some(Ordering::Less | Ordering::Equal));
+            Datum::Bool(ge && le)
+        }
+        Expr::InList { expr, list } => {
+            let v = eval(expr, params, ctx)?;
+            let mut found = false;
+            for item in list {
+                let iv = eval(item, params, ctx)?;
+                if v.sql_cmp(&iv) == Some(Ordering::Equal) {
+                    found = true;
+                    break;
+                }
+            }
+            Datum::Bool(found)
+        }
+        Expr::IsNull { expr, negated } => {
+            let v = eval(expr, params, ctx)?;
+            Datum::Bool(v.is_null() != *negated)
+        }
+    })
+}
+
+/// SQL truthiness: TRUE is true; everything else (FALSE, NULL, non-bools)
+/// is false.
+pub fn truthy(d: &Datum) -> bool {
+    matches!(d, Datum::Bool(true))
+}
+
+fn cmp_bool(l: &Datum, r: &Datum, f: impl Fn(Ordering) -> bool) -> Datum {
+    match l.sql_cmp(r) {
+        Some(o) => Datum::Bool(f(o)),
+        None => Datum::Bool(false), // NULL comparisons are false
+    }
+}
+
+/// Numeric arithmetic. Mixing Int and Decimal yields Decimal (raw scaled
+/// value arithmetic — the workload layer owns scale bookkeeping).
+fn arith(l: &Datum, op: BinOp, r: &Datum) -> GdbResult<Datum> {
+    let (lv, rv, decimal) = match (l, r) {
+        (Datum::Int(a), Datum::Int(b)) => (*a, *b, false),
+        (Datum::Decimal(a), Datum::Decimal(b)) => (*a, *b, true),
+        (Datum::Int(a), Datum::Decimal(b)) | (Datum::Decimal(a), Datum::Int(b)) => (*a, *b, true),
+        (Datum::Null, _) | (_, Datum::Null) => return Ok(Datum::Null),
+        (a, b) => {
+            return Err(GdbError::Execution(format!(
+                "cannot apply arithmetic to {a} and {b}"
+            )))
+        }
+    };
+    let v = match op {
+        BinOp::Add => lv.wrapping_add(rv),
+        BinOp::Sub => lv.wrapping_sub(rv),
+        BinOp::Mul => lv.wrapping_mul(rv),
+        BinOp::Div => {
+            if rv == 0 {
+                return Err(GdbError::Execution("division by zero".into()));
+            }
+            lv / rv
+        }
+        _ => unreachable!(),
+    };
+    Ok(if decimal {
+        Datum::Decimal(v)
+    } else {
+        Datum::Int(v)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(v: i64) -> Expr {
+        Expr::Lit(Datum::Int(v))
+    }
+
+    fn no_rows() -> RowCtx<'static> {
+        RowCtx::empty()
+    }
+
+    #[test]
+    fn arithmetic_and_precedence_results() {
+        let e = Expr::Bin(
+            Box::new(lit(2)),
+            BinOp::Add,
+            Box::new(Expr::Bin(Box::new(lit(3)), BinOp::Mul, Box::new(lit(4)))),
+        );
+        assert_eq!(eval(&e, &[], &no_rows()).unwrap(), Datum::Int(14));
+    }
+
+    #[test]
+    fn division_by_zero_is_error() {
+        let e = Expr::Bin(Box::new(lit(1)), BinOp::Div, Box::new(lit(0)));
+        assert!(eval(&e, &[], &no_rows()).is_err());
+    }
+
+    #[test]
+    fn decimal_int_mixing() {
+        let e = Expr::Bin(
+            Box::new(Expr::Lit(Datum::Decimal(150))),
+            BinOp::Add,
+            Box::new(lit(50)),
+        );
+        assert_eq!(eval(&e, &[], &no_rows()).unwrap(), Datum::Decimal(200));
+    }
+
+    #[test]
+    fn null_propagates_through_arithmetic() {
+        let e = Expr::Bin(
+            Box::new(Expr::Lit(Datum::Null)),
+            BinOp::Add,
+            Box::new(lit(1)),
+        );
+        assert_eq!(eval(&e, &[], &no_rows()).unwrap(), Datum::Null);
+    }
+
+    #[test]
+    fn null_comparisons_are_false() {
+        let e = Expr::Bin(
+            Box::new(Expr::Lit(Datum::Null)),
+            BinOp::Eq,
+            Box::new(lit(1)),
+        );
+        assert_eq!(eval(&e, &[], &no_rows()).unwrap(), Datum::Bool(false));
+        let e2 = Expr::Bin(
+            Box::new(Expr::Lit(Datum::Null)),
+            BinOp::Neq,
+            Box::new(lit(1)),
+        );
+        assert_eq!(eval(&e2, &[], &no_rows()).unwrap(), Datum::Bool(false));
+    }
+
+    #[test]
+    fn params_resolve_and_missing_params_error() {
+        let e = Expr::Param(0);
+        assert_eq!(
+            eval(&e, &[Datum::Int(9)], &no_rows()).unwrap(),
+            Datum::Int(9)
+        );
+        assert!(eval(&Expr::Param(3), &[Datum::Int(9)], &no_rows()).is_err());
+    }
+
+    #[test]
+    fn column_refs_read_rows() {
+        let outer = Row(vec![Datum::Int(1), Datum::Text("a".into())]);
+        let inner = Row(vec![Datum::Int(2)]);
+        let ctx = RowCtx::joined(&outer, &inner);
+        assert_eq!(
+            eval(&Expr::ColRef { slot: 0, idx: 1 }, &[], &ctx).unwrap(),
+            Datum::Text("a".into())
+        );
+        assert_eq!(
+            eval(&Expr::ColRef { slot: 1, idx: 0 }, &[], &ctx).unwrap(),
+            Datum::Int(2)
+        );
+    }
+
+    #[test]
+    fn between_in_isnull() {
+        let between = Expr::Between {
+            expr: Box::new(lit(5)),
+            lo: Box::new(lit(1)),
+            hi: Box::new(lit(10)),
+        };
+        assert_eq!(eval(&between, &[], &no_rows()).unwrap(), Datum::Bool(true));
+        let inlist = Expr::InList {
+            expr: Box::new(lit(3)),
+            list: vec![lit(1), lit(2), lit(3)],
+        };
+        assert_eq!(eval(&inlist, &[], &no_rows()).unwrap(), Datum::Bool(true));
+        let isnull = Expr::IsNull {
+            expr: Box::new(Expr::Lit(Datum::Null)),
+            negated: false,
+        };
+        assert_eq!(eval(&isnull, &[], &no_rows()).unwrap(), Datum::Bool(true));
+        let isnotnull = Expr::IsNull {
+            expr: Box::new(lit(1)),
+            negated: true,
+        };
+        assert_eq!(
+            eval(&isnotnull, &[], &no_rows()).unwrap(),
+            Datum::Bool(true)
+        );
+    }
+
+    #[test]
+    fn and_or_short_circuit() {
+        // (1 = 1) OR (1 / 0) — the division must never run.
+        let bad = Expr::Bin(Box::new(lit(1)), BinOp::Div, Box::new(lit(0)));
+        let ok = Expr::Bin(Box::new(lit(1)), BinOp::Eq, Box::new(lit(1)));
+        let e = Expr::Bin(Box::new(ok.clone()), BinOp::Or, Box::new(bad.clone()));
+        assert_eq!(eval(&e, &[], &no_rows()).unwrap(), Datum::Bool(true));
+        // (1 = 2) AND (1 / 0) — also short-circuits.
+        let ne = Expr::Bin(Box::new(lit(1)), BinOp::Eq, Box::new(lit(2)));
+        let e2 = Expr::Bin(Box::new(ne), BinOp::And, Box::new(bad));
+        assert_eq!(eval(&e2, &[], &no_rows()).unwrap(), Datum::Bool(false));
+    }
+
+    #[test]
+    fn not_inverts() {
+        let e = Expr::Not(Box::new(Expr::Lit(Datum::Bool(false))));
+        assert_eq!(eval(&e, &[], &no_rows()).unwrap(), Datum::Bool(true));
+    }
+}

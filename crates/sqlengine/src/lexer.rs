@@ -1,0 +1,346 @@
+//! The SQL lexer.
+
+use gdb_model::{GdbError, GdbResult};
+
+/// SQL tokens. Keywords are recognized case-insensitively and surfaced as
+/// upper-cased `Keyword`s; identifiers keep their original (lower-cased)
+/// spelling.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    Keyword(String),
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Param, // `?`
+    Comma,
+    LParen,
+    RParen,
+    Dot,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Eq,
+    Neq,
+    Lt,
+    Lte,
+    Gt,
+    Gte,
+    Semicolon,
+}
+
+const KEYWORDS: &[&str] = &[
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "AND",
+    "OR",
+    "NOT",
+    "INSERT",
+    "INTO",
+    "VALUES",
+    "UPDATE",
+    "SET",
+    "DELETE",
+    "CREATE",
+    "DROP",
+    "TABLE",
+    "INDEX",
+    "ON",
+    "PRIMARY",
+    "KEY",
+    "DISTRIBUTE",
+    "BY",
+    "HASH",
+    "RANGE",
+    "REPLICATION",
+    "INT",
+    "BIGINT",
+    "DECIMAL",
+    "TEXT",
+    "VARCHAR",
+    "CHAR",
+    "BOOLEAN",
+    "BOOL",
+    "NULL",
+    "ORDER",
+    "ASC",
+    "DESC",
+    "LIMIT",
+    "FOR",
+    "COUNT",
+    "SUM",
+    "MIN",
+    "MAX",
+    "AVG",
+    "DISTINCT",
+    "BETWEEN",
+    "IN",
+    "AS",
+    "TRUE",
+    "FALSE",
+    "IS",
+    "SPLIT",
+    "AT",
+    "NOT",
+    "UNIQUE",
+];
+
+/// Tokenize a SQL string.
+pub fn lex(sql: &str) -> GdbResult<Vec<Token>> {
+    let mut out = Vec::new();
+    let bytes = sql.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                // Line comment `--`.
+                if i + 1 < bytes.len() && bytes[i + 1] == b'-' {
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                } else {
+                    out.push(Token::Minus);
+                    i += 1;
+                }
+            }
+            '/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Semicolon);
+                i += 1;
+            }
+            '?' => {
+                out.push(Token::Param);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token::Neq);
+                    i += 2;
+                } else {
+                    return Err(GdbError::Parse(format!("unexpected '!' at byte {i}")));
+                }
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token::Lte);
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    out.push(Token::Neq);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token::Gte);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                // String literal with '' escaping.
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    if i >= bytes.len() {
+                        return Err(GdbError::Parse("unterminated string literal".into()));
+                    }
+                    if bytes[i] == b'\'' {
+                        if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        s.push(bytes[i] as char);
+                        i += 1;
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            '0'..='9' => {
+                let start = i;
+                let mut is_float = false;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit() || (bytes[i] == b'.' && !is_float))
+                {
+                    // Only treat '.' as part of the number if a digit follows.
+                    if bytes[i] == b'.' {
+                        if i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit() {
+                            is_float = true;
+                        } else {
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+                let text = &sql[start..i];
+                if is_float {
+                    let v: f64 = text
+                        .parse()
+                        .map_err(|_| GdbError::Parse(format!("bad number {text}")))?;
+                    out.push(Token::Float(v));
+                } else {
+                    let v: i64 = text
+                        .parse()
+                        .map_err(|_| GdbError::Parse(format!("bad number {text}")))?;
+                    out.push(Token::Int(v));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &sql[start..i];
+                let upper = word.to_ascii_uppercase();
+                if KEYWORDS.contains(&upper.as_str()) {
+                    out.push(Token::Keyword(upper));
+                } else {
+                    out.push(Token::Ident(word.to_ascii_lowercase()));
+                }
+            }
+            other => {
+                return Err(GdbError::Parse(format!(
+                    "unexpected character '{other}' at byte {i}"
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let toks = lex("select FROM Where").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Keyword("SELECT".into()),
+                Token::Keyword("FROM".into()),
+                Token::Keyword("WHERE".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn identifiers_lowercased() {
+        let toks = lex("C_FIRST warehouse_1").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("c_first".into()),
+                Token::Ident("warehouse_1".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_strings() {
+        let toks = lex("42 3.25 'it''s'").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Int(42),
+                Token::Float(3.25),
+                Token::Str("it's".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        let toks = lex("= != <> < <= > >= ? , ( ) . * + - /").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Eq,
+                Token::Neq,
+                Token::Neq,
+                Token::Lt,
+                Token::Lte,
+                Token::Gt,
+                Token::Gte,
+                Token::Param,
+                Token::Comma,
+                Token::LParen,
+                Token::RParen,
+                Token::Dot,
+                Token::Star,
+                Token::Plus,
+                Token::Minus,
+                Token::Slash,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = lex("select -- a comment\n 1").unwrap();
+        assert_eq!(toks, vec![Token::Keyword("SELECT".into()), Token::Int(1)]);
+    }
+
+    #[test]
+    fn errors_surface() {
+        assert!(lex("'unterminated").is_err());
+        assert!(lex("se#lect").is_err());
+        assert!(lex("a ! b").is_err());
+    }
+
+    #[test]
+    fn trailing_dot_not_part_of_number() {
+        // "1." followed by non-digit: Int then Dot.
+        let toks = lex("1.x").unwrap();
+        assert_eq!(
+            toks,
+            vec![Token::Int(1), Token::Dot, Token::Ident("x".into())]
+        );
+    }
+}

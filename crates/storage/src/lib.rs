@@ -1,0 +1,27 @@
+//! Shared-nothing MVCC storage engine (one instance per data node).
+//!
+//! GaussDB data nodes host horizontal portions of tables selected by the
+//! distribution key (paper §II-A) and use multi-version concurrency control
+//! for visibility checking. This crate implements:
+//!
+//! * [`table::Table`] — a B-tree keyed heap of version chains with
+//!   timestamp-based snapshot visibility (the paper's R.1/R.2 rules reduce
+//!   to `commit_ts ≤ snapshot_ts` once timestamps are assigned correctly).
+//!   Each version also carries the *virtual time* its commit completed, so
+//!   the simulation can model readers waiting on in-flight commits.
+//! * [`lock::LockTable`] — row write locks with virtual-time release,
+//!   giving PostgreSQL-style read-committed update semantics (writers wait
+//!   for the current holder, then update the latest committed version).
+//! * [`catalog::Catalog`] — table/index metadata, shared by CNs and DNs.
+//! * [`engine::DataNodeStorage`] — the per-DN facade combining all of the
+//!   above, plus secondary index maintenance.
+
+pub mod catalog;
+pub mod engine;
+pub mod lock;
+pub mod table;
+
+pub use catalog::Catalog;
+pub use engine::DataNodeStorage;
+pub use lock::{LockOutcome, LockTable};
+pub use table::{Table, Version, VisibleRow};

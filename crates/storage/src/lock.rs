@@ -1,0 +1,341 @@
+//! Row write locks with virtual-time release.
+//!
+//! The simulation executes each transaction's logic at its start event, but
+//! its commit completes later in virtual time (after network round trips
+//! and the GClock commit wait). A row lock is therefore held until the
+//! holder's commit *virtual time*; a later transaction that wants the row
+//! observes the release time and adds the wait to its own latency — exactly
+//! the blocking a real lock manager would produce.
+
+use gdb_model::{RowKey, TableId, TxnId};
+use gdb_simnet::SimTime;
+use std::collections::HashMap;
+
+/// Result of a lock attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockOutcome {
+    /// The lock is yours; proceed.
+    Acquired,
+    /// Held by another transaction until the given virtual time; wait
+    /// until then (adding to your latency) and retry.
+    WaitUntil(SimTime),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LockState {
+    holder: TxnId,
+    release_at: SimTime,
+}
+
+/// The per-data-node lock table.
+#[derive(Debug, Default, Clone)]
+pub struct LockTable {
+    locks: HashMap<(TableId, RowKey), LockState>,
+    /// Total lock-wait events (contention metric).
+    pub waits: u64,
+}
+
+impl LockTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Try to take the write lock on `(table, key)` for `txn` at virtual
+    /// time `now`, holding it until `release_at` (the txn's commit time).
+    ///
+    /// Re-acquisition by the same holder extends the release time.
+    /// A lock whose release time has passed is expired and replaceable.
+    pub fn acquire(
+        &mut self,
+        table: TableId,
+        key: &RowKey,
+        txn: TxnId,
+        now: SimTime,
+        release_at: SimTime,
+    ) -> LockOutcome {
+        let entry = self.locks.entry((table, key.clone()));
+        match entry {
+            std::collections::hash_map::Entry::Occupied(mut o) => {
+                let state = o.get_mut();
+                if state.holder == txn {
+                    state.release_at = state.release_at.max(release_at);
+                    return LockOutcome::Acquired;
+                }
+                if state.release_at <= now {
+                    // Previous holder's commit already completed.
+                    *state = LockState {
+                        holder: txn,
+                        release_at,
+                    };
+                    return LockOutcome::Acquired;
+                }
+                self.waits += 1;
+                LockOutcome::WaitUntil(state.release_at)
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(LockState {
+                    holder: txn,
+                    release_at,
+                });
+                LockOutcome::Acquired
+            }
+        }
+    }
+
+    /// Extend the release time of all locks held by `txn` (its commit time
+    /// moved later, e.g. a 2PC round lengthened the transaction).
+    pub fn extend(&mut self, txn: TxnId, release_at: SimTime) {
+        for state in self.locks.values_mut() {
+            if state.holder == txn {
+                state.release_at = state.release_at.max(release_at);
+            }
+        }
+    }
+
+    /// Release all locks held by `txn` (abort path — commit releases
+    /// implicitly by letting release times expire).
+    pub fn release_all(&mut self, txn: TxnId) {
+        self.locks.retain(|_, s| s.holder != txn);
+    }
+
+    /// Set the exact release time of one lock held by `txn` (the commit
+    /// path pins each lock to the transaction's per-shard commit-apply
+    /// instant).
+    pub fn set_release(&mut self, table: TableId, key: &RowKey, txn: TxnId, at: SimTime) {
+        if let Some(s) = self.locks.get_mut(&(table, key.clone())) {
+            if s.holder == txn {
+                s.release_at = at;
+            }
+        }
+    }
+
+    /// Drop expired entries (housekeeping so the map doesn't grow forever).
+    pub fn sweep(&mut self, now: SimTime) {
+        self.locks.retain(|_, s| s.release_at > now);
+    }
+
+    /// Current holder of a lock, if unexpired.
+    pub fn holder(&self, table: TableId, key: &RowKey, now: SimTime) -> Option<TxnId> {
+        self.locks
+            .get(&(table, key.clone()))
+            .filter(|s| s.release_at > now)
+            .map(|s| s.holder)
+    }
+
+    pub fn len(&self) -> usize {
+        self.locks.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.locks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(v: i64) -> RowKey {
+        RowKey::single(v)
+    }
+
+    const T: TableId = TableId(1);
+
+    #[test]
+    fn uncontended_acquire() {
+        let mut lt = LockTable::new();
+        assert_eq!(
+            lt.acquire(
+                T,
+                &key(1),
+                TxnId(1),
+                SimTime::ZERO,
+                SimTime::from_millis(10)
+            ),
+            LockOutcome::Acquired
+        );
+        assert_eq!(lt.holder(T, &key(1), SimTime::ZERO), Some(TxnId(1)));
+    }
+
+    #[test]
+    fn contended_lock_reports_release_time() {
+        let mut lt = LockTable::new();
+        lt.acquire(
+            T,
+            &key(1),
+            TxnId(1),
+            SimTime::ZERO,
+            SimTime::from_millis(50),
+        );
+        match lt.acquire(
+            T,
+            &key(1),
+            TxnId(2),
+            SimTime::from_millis(10),
+            SimTime::from_millis(60),
+        ) {
+            LockOutcome::WaitUntil(t) => assert_eq!(t, SimTime::from_millis(50)),
+            other => panic!("expected wait, got {other:?}"),
+        }
+        assert_eq!(lt.waits, 1);
+        // After the release time, txn 2 can take it.
+        assert_eq!(
+            lt.acquire(
+                T,
+                &key(1),
+                TxnId(2),
+                SimTime::from_millis(50),
+                SimTime::from_millis(60)
+            ),
+            LockOutcome::Acquired
+        );
+        assert_eq!(
+            lt.holder(T, &key(1), SimTime::from_millis(55)),
+            Some(TxnId(2))
+        );
+    }
+
+    #[test]
+    fn reentrant_acquire_extends() {
+        let mut lt = LockTable::new();
+        lt.acquire(
+            T,
+            &key(1),
+            TxnId(1),
+            SimTime::ZERO,
+            SimTime::from_millis(10),
+        );
+        assert_eq!(
+            lt.acquire(
+                T,
+                &key(1),
+                TxnId(1),
+                SimTime::ZERO,
+                SimTime::from_millis(30)
+            ),
+            LockOutcome::Acquired
+        );
+        // Another txn must wait until the extended time.
+        match lt.acquire(
+            T,
+            &key(1),
+            TxnId(2),
+            SimTime::from_millis(5),
+            SimTime::from_millis(40),
+        ) {
+            LockOutcome::WaitUntil(t) => assert_eq!(t, SimTime::from_millis(30)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn extend_moves_all_of_txns_locks() {
+        let mut lt = LockTable::new();
+        lt.acquire(
+            T,
+            &key(1),
+            TxnId(1),
+            SimTime::ZERO,
+            SimTime::from_millis(10),
+        );
+        lt.acquire(
+            T,
+            &key(2),
+            TxnId(1),
+            SimTime::ZERO,
+            SimTime::from_millis(10),
+        );
+        lt.extend(TxnId(1), SimTime::from_millis(99));
+        match lt.acquire(
+            T,
+            &key(2),
+            TxnId(2),
+            SimTime::from_millis(20),
+            SimTime::from_millis(100),
+        ) {
+            LockOutcome::WaitUntil(t) => assert_eq!(t, SimTime::from_millis(99)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn release_all_on_abort() {
+        let mut lt = LockTable::new();
+        lt.acquire(
+            T,
+            &key(1),
+            TxnId(1),
+            SimTime::ZERO,
+            SimTime::from_millis(50),
+        );
+        lt.release_all(TxnId(1));
+        assert_eq!(
+            lt.acquire(
+                T,
+                &key(1),
+                TxnId(2),
+                SimTime::ZERO,
+                SimTime::from_millis(10)
+            ),
+            LockOutcome::Acquired
+        );
+    }
+
+    #[test]
+    fn sweep_clears_expired() {
+        let mut lt = LockTable::new();
+        lt.acquire(
+            T,
+            &key(1),
+            TxnId(1),
+            SimTime::ZERO,
+            SimTime::from_millis(10),
+        );
+        lt.acquire(
+            T,
+            &key(2),
+            TxnId(2),
+            SimTime::ZERO,
+            SimTime::from_millis(90),
+        );
+        lt.sweep(SimTime::from_millis(50));
+        assert_eq!(lt.len(), 1);
+        assert_eq!(
+            lt.holder(T, &key(2), SimTime::from_millis(50)),
+            Some(TxnId(2))
+        );
+    }
+
+    #[test]
+    fn different_keys_do_not_conflict() {
+        let mut lt = LockTable::new();
+        lt.acquire(
+            T,
+            &key(1),
+            TxnId(1),
+            SimTime::ZERO,
+            SimTime::from_millis(50),
+        );
+        assert_eq!(
+            lt.acquire(
+                T,
+                &key(2),
+                TxnId(2),
+                SimTime::ZERO,
+                SimTime::from_millis(50)
+            ),
+            LockOutcome::Acquired
+        );
+        // Same key, different table: also no conflict.
+        assert_eq!(
+            lt.acquire(
+                TableId(2),
+                &key(1),
+                TxnId(3),
+                SimTime::ZERO,
+                SimTime::from_millis(50)
+            ),
+            LockOutcome::Acquired
+        );
+    }
+}

@@ -1,0 +1,413 @@
+//! Versioned tables with snapshot visibility.
+
+use gdb_model::{GdbError, GdbResult, Row, RowKey, Timestamp};
+use gdb_simnet::SimTime;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// One committed version of a row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Version {
+    /// Commit timestamp of the writing transaction.
+    pub commit_ts: Timestamp,
+    /// Virtual time at which the commit completed (used to model readers
+    /// waiting on a commit that is in flight at their read time).
+    pub commit_vtime: SimTime,
+    /// The row contents; `None` is a deletion tombstone.
+    pub row: Option<Row>,
+}
+
+/// A visible row returned by a snapshot read.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VisibleRow<'a> {
+    pub key: &'a RowKey,
+    pub row: &'a Row,
+    pub commit_ts: Timestamp,
+    /// If the version's commit completes after the reader's current virtual
+    /// time, the reader must wait until this instant (commit in flight).
+    pub commit_vtime: SimTime,
+}
+
+/// The version chain for one primary key, newest last.
+#[derive(Debug, Clone, Default)]
+pub struct VersionChain {
+    versions: Vec<Version>,
+}
+
+impl VersionChain {
+    /// Append a version. Chains must stay ordered by commit timestamp —
+    /// guaranteed by the lock table (a writer waits out the previous holder
+    /// whose commit wait, in turn, guarantees a larger timestamp).
+    fn push(&mut self, key: &RowKey, v: Version) -> GdbResult<()> {
+        if let Some(last) = self.versions.last() {
+            if v.commit_ts < last.commit_ts {
+                return Err(GdbError::Internal(format!(
+                    "version chain order violation at {key}: {} (vtime {}) after {} (vtime {})",
+                    v.commit_ts, v.commit_vtime, last.commit_ts, last.commit_vtime
+                )));
+            }
+        }
+        self.versions.push(v);
+        Ok(())
+    }
+
+    /// The newest version visible at `snapshot` (may be a tombstone).
+    fn visible_at(&self, snapshot: Timestamp) -> Option<&Version> {
+        self.versions.iter().rev().find(|v| v.commit_ts <= snapshot)
+    }
+
+    /// The newest version regardless of snapshot (for read-committed
+    /// updates after a lock wait).
+    fn newest(&self) -> Option<&Version> {
+        self.versions.last()
+    }
+
+    /// Drop versions no longer visible to any snapshot ≥ `horizon`
+    /// (vacuum). Keeps the newest version at or below the horizon plus
+    /// everything above it.
+    fn vacuum(&mut self, horizon: Timestamp) -> usize {
+        // Index of the newest version with commit_ts <= horizon.
+        let keep_from = match self.versions.iter().rposition(|v| v.commit_ts <= horizon) {
+            Some(i) => i,
+            None => return 0,
+        };
+        let removed = keep_from;
+        if removed > 0 {
+            self.versions.drain(0..removed);
+        }
+        removed
+    }
+
+    pub fn len(&self) -> usize {
+        self.versions.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.versions.is_empty()
+    }
+}
+
+/// A versioned table: primary-key ordered chains.
+#[derive(Debug, Default, Clone)]
+pub struct Table {
+    rows: BTreeMap<RowKey, VersionChain>,
+    /// Count of version installs (write amplification metric).
+    pub versions_installed: u64,
+}
+
+impl Table {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install a committed version (insert, update, or tombstone).
+    /// `row = None` is a delete.
+    pub fn install_version(
+        &mut self,
+        key: RowKey,
+        row: Option<Row>,
+        commit_ts: Timestamp,
+        commit_vtime: SimTime,
+    ) -> GdbResult<()> {
+        self.versions_installed += 1;
+        let chain = self.rows.entry(key.clone()).or_default();
+        chain.push(
+            &key,
+            Version {
+                commit_ts,
+                commit_vtime,
+                row,
+            },
+        )
+    }
+
+    /// Point read at a snapshot. Tombstones read as `None`.
+    pub fn read(&self, key: &RowKey, snapshot: Timestamp) -> Option<VisibleRow<'_>> {
+        let (key, chain) = self.rows.get_key_value(key)?;
+        let v = chain.visible_at(snapshot)?;
+        v.row.as_ref().map(|row| VisibleRow {
+            key,
+            row,
+            commit_ts: v.commit_ts,
+            commit_vtime: v.commit_vtime,
+        })
+    }
+
+    /// The newest committed row regardless of snapshot (read-committed
+    /// update path, used after acquiring the row lock).
+    pub fn read_newest(&self, key: &RowKey) -> Option<VisibleRow<'_>> {
+        let (key, chain) = self.rows.get_key_value(key)?;
+        let v = chain.newest()?;
+        v.row.as_ref().map(|row| VisibleRow {
+            key,
+            row,
+            commit_ts: v.commit_ts,
+            commit_vtime: v.commit_vtime,
+        })
+    }
+
+    /// True if any version (even a tombstone) exists for the key.
+    pub fn contains_any_version(&self, key: &RowKey) -> bool {
+        self.rows.contains_key(key)
+    }
+
+    /// True if the key has a live (non-tombstone) newest version.
+    pub fn exists_newest(&self, key: &RowKey) -> bool {
+        self.read_newest(key).is_some()
+    }
+
+    /// Range scan `[lo, hi]` (inclusive bounds; `None` = unbounded) at a
+    /// snapshot, in key order.
+    pub fn range(
+        &self,
+        lo: Option<&RowKey>,
+        hi: Option<&RowKey>,
+        snapshot: Timestamp,
+    ) -> Vec<VisibleRow<'_>> {
+        let lo_b = lo.map_or(Bound::Unbounded, |k| Bound::Included(k.clone()));
+        let hi_b = hi.map_or(Bound::Unbounded, |k| Bound::Included(k.clone()));
+        self.rows
+            .range((lo_b, hi_b))
+            .filter_map(|(key, chain)| {
+                chain.visible_at(snapshot).and_then(|v| {
+                    v.row.as_ref().map(|row| VisibleRow {
+                        key,
+                        row,
+                        commit_ts: v.commit_ts,
+                        commit_vtime: v.commit_vtime,
+                    })
+                })
+            })
+            .collect()
+    }
+
+    /// Full scan at a snapshot.
+    pub fn scan(&self, snapshot: Timestamp) -> Vec<VisibleRow<'_>> {
+        self.range(None, None, snapshot)
+    }
+
+    /// Number of distinct keys (live or dead).
+    pub fn key_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Vacuum all chains up to `horizon`; returns versions removed.
+    pub fn vacuum(&mut self, horizon: Timestamp) -> usize {
+        let mut removed = 0;
+        for chain in self.rows.values_mut() {
+            removed += chain.vacuum(horizon);
+        }
+        // Drop keys whose only remaining version is an old tombstone.
+        self.rows.retain(|_, chain| {
+            !(chain.len() == 1
+                && chain.versions[0].row.is_none()
+                && chain.versions[0].commit_ts <= horizon)
+        });
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdb_model::Datum;
+
+    fn k(v: i64) -> RowKey {
+        RowKey::single(v)
+    }
+
+    fn r(v: i64, s: &str) -> Row {
+        Row(vec![Datum::Int(v), Datum::Text(s.into())])
+    }
+
+    fn t(ts: u64) -> Timestamp {
+        Timestamp(ts)
+    }
+
+    #[test]
+    fn snapshot_reads_see_correct_version() {
+        let mut tbl = Table::new();
+        tbl.install_version(k(1), Some(r(1, "v1")), t(10), SimTime::from_millis(10))
+            .unwrap();
+        tbl.install_version(k(1), Some(r(1, "v2")), t(20), SimTime::from_millis(20))
+            .unwrap();
+
+        assert!(tbl.read(&k(1), t(5)).is_none(), "before first commit");
+        assert_eq!(tbl.read(&k(1), t(10)).unwrap().row, &r(1, "v1"));
+        assert_eq!(tbl.read(&k(1), t(15)).unwrap().row, &r(1, "v1"));
+        assert_eq!(tbl.read(&k(1), t(20)).unwrap().row, &r(1, "v2"));
+        assert_eq!(tbl.read(&k(1), t(99)).unwrap().row, &r(1, "v2"));
+    }
+
+    #[test]
+    fn tombstones_hide_rows() {
+        let mut tbl = Table::new();
+        tbl.install_version(k(1), Some(r(1, "x")), t(10), SimTime::ZERO)
+            .unwrap();
+        tbl.install_version(k(1), None, t(20), SimTime::ZERO)
+            .unwrap();
+        assert!(tbl.read(&k(1), t(15)).is_some());
+        assert!(tbl.read(&k(1), t(20)).is_none());
+        assert!(tbl.read(&k(1), t(25)).is_none());
+        assert!(!tbl.exists_newest(&k(1)));
+        assert!(tbl.contains_any_version(&k(1)));
+    }
+
+    #[test]
+    fn out_of_order_install_rejected() {
+        let mut tbl = Table::new();
+        tbl.install_version(k(1), Some(r(1, "a")), t(20), SimTime::ZERO)
+            .unwrap();
+        let err = tbl
+            .install_version(k(1), Some(r(1, "b")), t(10), SimTime::ZERO)
+            .unwrap_err();
+        assert!(matches!(err, GdbError::Internal(_)));
+    }
+
+    #[test]
+    fn equal_timestamps_allowed() {
+        // Replays of idempotent records may install at the same ts.
+        let mut tbl = Table::new();
+        tbl.install_version(k(1), Some(r(1, "a")), t(10), SimTime::ZERO)
+            .unwrap();
+        tbl.install_version(k(1), Some(r(1, "b")), t(10), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(tbl.read(&k(1), t(10)).unwrap().row, &r(1, "b"));
+    }
+
+    #[test]
+    fn range_scan_is_key_ordered_and_snapshot_filtered() {
+        let mut tbl = Table::new();
+        for i in [5i64, 1, 3, 2, 4] {
+            tbl.install_version(k(i), Some(r(i, "x")), t(10), SimTime::ZERO)
+                .unwrap();
+        }
+        tbl.install_version(k(6), Some(r(6, "late")), t(50), SimTime::ZERO)
+            .unwrap();
+        let rows = tbl.range(Some(&k(2)), Some(&k(5)), t(20));
+        let keys: Vec<i64> = rows.iter().map(|v| v.key.0[0].as_int().unwrap()).collect();
+        assert_eq!(keys, vec![2, 3, 4, 5]);
+        // Row committed at 50 invisible at snapshot 20, visible at 50.
+        assert_eq!(tbl.scan(t(20)).len(), 5);
+        assert_eq!(tbl.scan(t(50)).len(), 6);
+    }
+
+    #[test]
+    fn read_newest_ignores_snapshot() {
+        let mut tbl = Table::new();
+        tbl.install_version(k(1), Some(r(1, "old")), t(10), SimTime::ZERO)
+            .unwrap();
+        tbl.install_version(k(1), Some(r(1, "new")), t(90), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(tbl.read_newest(&k(1)).unwrap().row, &r(1, "new"));
+    }
+
+    #[test]
+    fn vacuum_prunes_dead_versions() {
+        let mut tbl = Table::new();
+        for ts in [10u64, 20, 30, 40] {
+            tbl.install_version(k(1), Some(r(1, "v")), t(ts), SimTime::ZERO)
+                .unwrap();
+        }
+        let removed = tbl.vacuum(t(30));
+        assert_eq!(removed, 2); // versions at 10 and 20 removed; 30 kept
+        assert_eq!(tbl.read(&k(1), t(30)).unwrap().commit_ts, t(30));
+        assert_eq!(tbl.read(&k(1), t(99)).unwrap().commit_ts, t(40));
+    }
+
+    #[test]
+    fn vacuum_drops_old_tombstoned_keys() {
+        let mut tbl = Table::new();
+        tbl.install_version(k(1), Some(r(1, "x")), t(10), SimTime::ZERO)
+            .unwrap();
+        tbl.install_version(k(1), None, t(20), SimTime::ZERO)
+            .unwrap();
+        tbl.vacuum(t(50));
+        assert_eq!(tbl.key_count(), 0);
+    }
+
+    #[test]
+    fn commit_vtime_propagates_to_reads() {
+        let mut tbl = Table::new();
+        tbl.install_version(k(1), Some(r(1, "x")), t(10), SimTime::from_millis(77))
+            .unwrap();
+        assert_eq!(
+            tbl.read(&k(1), t(10)).unwrap().commit_vtime,
+            SimTime::from_millis(77)
+        );
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use gdb_model::Datum;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Visibility is the newest version with commit_ts <= snapshot —
+        /// checked against a naive reference model.
+        #[test]
+        fn visibility_matches_reference(
+            writes in proptest::collection::vec((0i64..5, 1u64..100, any::<bool>()), 1..40),
+            snapshot in 0u64..120,
+        ) {
+            let mut sorted = writes.clone();
+            // Install in ts order per key to respect chain ordering.
+            sorted.sort_by_key(|(_, ts, _)| *ts);
+            let mut tbl = Table::new();
+            for (key, ts, delete) in &sorted {
+                let row = if *delete { None } else {
+                    Some(Row(vec![Datum::Int(*key), Datum::Int(*ts as i64)]))
+                };
+                tbl.install_version(
+                    RowKey::single(*key),
+                    row,
+                    Timestamp(*ts),
+                    SimTime::ZERO,
+                ).unwrap();
+            }
+            // Reference: for each key, last write with ts <= snapshot.
+            for key in 0i64..5 {
+                let expected = sorted
+                    .iter().rfind(|(k, ts, _)| *k == key && *ts <= snapshot)
+                    .and_then(|(_, ts, delete)| {
+                        if *delete { None } else { Some(*ts as i64) }
+                    });
+                let got = tbl
+                    .read(&RowKey::single(key), Timestamp(snapshot))
+                    .map(|v| v.row.0[1].as_int().unwrap());
+                prop_assert_eq!(got, expected, "key {}", key);
+            }
+        }
+
+        /// Vacuum never changes what snapshots at/above the horizon see.
+        #[test]
+        fn vacuum_preserves_visible_state(
+            writes in proptest::collection::vec((0i64..3, 1u64..50), 1..30),
+            horizon in 1u64..60,
+        ) {
+            let mut sorted = writes.clone();
+            sorted.sort_by_key(|(_, ts)| *ts);
+            let mut tbl = Table::new();
+            for (key, ts) in &sorted {
+                tbl.install_version(
+                    RowKey::single(*key),
+                    Some(Row(vec![Datum::Int(*ts as i64)])),
+                    Timestamp(*ts),
+                    SimTime::ZERO,
+                ).unwrap();
+            }
+            let before: Vec<_> = (horizon..62).map(|s| {
+                (0i64..3).map(|k| tbl.read(&RowKey::single(k), Timestamp(s)).map(|v| v.row.clone()))
+                    .collect::<Vec<_>>()
+            }).collect();
+            tbl.vacuum(Timestamp(horizon));
+            let after: Vec<_> = (horizon..62).map(|s| {
+                (0i64..3).map(|k| tbl.read(&RowKey::single(k), Timestamp(s)).map(|v| v.row.clone()))
+                    .collect::<Vec<_>>()
+            }).collect();
+            prop_assert_eq!(before, after);
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Transaction management for GaussDB-Global (paper §III).
+//!
+//! Three timestamp-generation modes coexist:
+//!
+//! * **GTM** — the classic centralized Global Transaction Manager: a
+//!   counter starting at zero, incremented once per transaction
+//!   (paper Eq. 2). Every begin/commit pays a round trip to the GTM server.
+//! * **GClock** — decentralized, Spanner-style: timestamps come from the
+//!   node's synchronized clock (`TS = T_clock + T_err`, Eq. 1) and commits
+//!   perform a commit wait. No central round trips.
+//! * **DUAL** — the bridge used during *online* transitions:
+//!   `TS_DUAL = max(TS_GTM, TS_GClock) + 1` (Eq. 3), issued by the GTM
+//!   server so it is larger than both domains.
+//!
+//! [`GtmServer`] implements the server side (including raising its counter
+//! past observed GClock commits, and the "GTM transactions wait 2× the max
+//! error bound while the server is in DUAL" rule that prevents the
+//! Listing-1 anomaly). [`CnTm`] is the per-computing-node view that plans
+//! begins/commits. [`TransitionOrchestrator`] drives the zero-downtime
+//! GTM↔GClock transition protocol of Figs. 2–3.
+
+pub mod cn;
+pub mod gtm;
+pub mod mode;
+pub mod transition;
+
+pub use cn::{BeginPlan, CnTm, CommitPlan};
+pub use gtm::GtmServer;
+pub use mode::{TmMode, TmMsg};
+pub use transition::{handle_cn_msg, TransitionDirection, TransitionEvent, TransitionOrchestrator};

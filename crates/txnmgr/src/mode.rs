@@ -1,0 +1,51 @@
+//! Transaction-management modes and the transition-protocol messages.
+
+use gdb_model::Timestamp;
+use gdb_simnet::SimDuration;
+use std::fmt;
+
+/// Which timestamp-generation scheme a node (GTM server or CN) is in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TmMode {
+    /// Centralized counter via the GTM server (paper Eq. 2).
+    #[default]
+    Gtm,
+    /// Bridge mode during transitions (paper Eq. 3).
+    Dual,
+    /// Decentralized synchronized clocks (paper Eq. 1).
+    GClock,
+}
+
+impl fmt::Display for TmMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TmMode::Gtm => write!(f, "GTM"),
+            TmMode::Dual => write!(f, "DUAL"),
+            TmMode::GClock => write!(f, "GClock"),
+        }
+    }
+}
+
+/// Messages of the transition protocol (Figs. 2–3). The cluster layer
+/// delivers these over the simulated network; the state machines in
+/// [`crate::gtm`]/[`crate::cn`]/[`crate::transition`] consume them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TmMsg {
+    /// GTM server → CN: switch to DUAL mode.
+    SwitchToDual,
+    /// CN → GTM server: acknowledged DUAL. Carries the CN's current clock
+    /// error bound (GTM→GClock direction uses it to size the hold wait)
+    /// and its current GClock upper bound (GClock→GTM direction uses it to
+    /// initialize the counter above all issued GClock timestamps).
+    AckDual {
+        cn: usize,
+        err_bound: SimDuration,
+        gclock_upper: Timestamp,
+    },
+    /// GTM server → CN: switch to GClock mode (end of Fig. 2).
+    SwitchToGClock,
+    /// GTM server → CN: switch back to GTM mode (end of Fig. 3).
+    SwitchToGtm,
+    /// CN → GTM server: final-mode switch acknowledged.
+    AckFinal { cn: usize },
+}

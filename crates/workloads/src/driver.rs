@@ -1,0 +1,106 @@
+//! The closed-loop, multi-terminal workload driver.
+//!
+//! Terminals are simulated clients: each issues a transaction, waits for
+//! completion (in virtual time), thinks, and repeats. A binary heap orders
+//! terminals by their next start instant so the whole run is a single
+//! deterministic interleaving of client work with the cluster's background
+//! activity (replication, RCP rounds, heartbeats).
+
+use crate::report::WorkloadReport;
+use gdb_model::GdbResult;
+use globaldb::{Cluster, SimDuration, SimTime, TxnOutcome};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A benchmark workload: setup (schema + load) plus a per-terminal
+/// transaction generator.
+pub trait Workload {
+    /// Create schema and load initial data.
+    fn setup(&mut self, cluster: &mut Cluster) -> GdbResult<()>;
+
+    /// Run one transaction for `terminal` starting at `at`. Returns the
+    /// transaction kind label and its outcome.
+    fn run_one(
+        &mut self,
+        cluster: &mut Cluster,
+        terminal: usize,
+        at: SimTime,
+    ) -> (&'static str, GdbResult<TxnOutcome>);
+}
+
+/// Driver configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    pub terminals: usize,
+    /// Measured virtual duration (after warmup).
+    pub duration: SimDuration,
+    /// Unmeasured warmup.
+    pub warmup: SimDuration,
+    /// Think time between a completion and the next request.
+    pub think_time: SimDuration,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            terminals: 60,
+            duration: SimDuration::from_secs(10),
+            warmup: SimDuration::from_secs(1),
+            think_time: SimDuration::from_millis(10),
+        }
+    }
+}
+
+/// Run `workload` against `cluster` (setup must already have happened).
+pub fn run_workload(
+    cluster: &mut Cluster,
+    workload: &mut dyn Workload,
+    config: RunConfig,
+) -> WorkloadReport {
+    let t0 = cluster.now();
+    let measure_from = t0 + config.warmup;
+    let t_end = measure_from + config.duration;
+
+    let replica_reads_before = cluster.db.stats.reads_on_replica;
+    let primary_reads_before = cluster.db.stats.reads_on_primary;
+
+    let mut report = WorkloadReport {
+        duration: config.duration,
+        ..Default::default()
+    };
+
+    // Stagger terminal starts to avoid a thundering herd at t0.
+    let mut heap: BinaryHeap<Reverse<(SimTime, usize)>> = (0..config.terminals)
+        .map(|i| Reverse((t0 + SimDuration::from_micros(1 + i as u64 * 137), i)))
+        .collect();
+
+    while let Some(Reverse((at, terminal))) = heap.pop() {
+        if at >= t_end {
+            break;
+        }
+        let (kind, result) = workload.run_one(cluster, terminal, at);
+        let next = match result {
+            Ok(outcome) => {
+                if at >= measure_from {
+                    report.record_commit(kind, outcome.latency);
+                }
+                outcome.completed_at + config.think_time
+            }
+            Err(e) if e.is_retryable() => {
+                if at >= measure_from {
+                    report.record_abort(kind);
+                }
+                at + config.think_time
+            }
+            Err(e) => panic!("workload error ({kind}): {e}"),
+        };
+        heap.push(Reverse((next, terminal)));
+    }
+    // Drain background work to the end of the window so replica/RCP state
+    // is consistent for whoever inspects the cluster next.
+    cluster.run_until(t_end);
+
+    report.reads_on_replica = cluster.db.stats.reads_on_replica - replica_reads_before;
+    report.reads_on_primary = cluster.db.stats.reads_on_primary - primary_reads_before;
+    report
+}

@@ -1,0 +1,133 @@
+//! TPC-C consistency conditions (clause 3.3.2), checked through SQL.
+//!
+//! Run after a workload to certify that the database survived the run with
+//! its invariants intact — the strongest end-to-end correctness signal the
+//! benchmark offers. Adapted to the scaled schema:
+//!
+//! * **C1** — for each district: `d_next_o_id − 1` = max(`o_id`) in both
+//!   `orders` and `new_order` (when the district has undelivered orders).
+//! * **C2** — for each district: the `new_order` ids form a contiguous
+//!   range (`max − min + 1` = count).
+//! * **C3** — for each order: `o_ol_cnt` = count of its `order_line` rows.
+//! * **C4** — per warehouse: `w_ytd` = sum of its districts' `d_ytd`.
+
+use super::TpccScale;
+use gdb_model::{Datum, GdbError, GdbResult};
+use globaldb::Cluster;
+
+/// Verify all four conditions; returns the number of entities checked.
+pub fn verify(cluster: &mut Cluster, scale: &TpccScale) -> GdbResult<usize> {
+    let mut checked = 0;
+    let now = cluster.now();
+
+    for w in 1..=scale.warehouses {
+        // C4: warehouse ytd equals the sum of district ytds.
+        let (wy, _) = cluster.execute_sql(
+            0,
+            now,
+            "SELECT w_ytd FROM warehouse WHERE w_id = ?",
+            &[Datum::Int(w)],
+        )?;
+        let w_ytd = wy.rows()[0].0[0].as_decimal().unwrap_or(0);
+        let (dy, _) = cluster.execute_sql(
+            0,
+            now,
+            "SELECT SUM(d_ytd) FROM district WHERE d_w_id = ?",
+            &[Datum::Int(w)],
+        )?;
+        let d_sum = dy.rows()[0].0[0].as_decimal().unwrap_or(0);
+        // Both start at 30 000.00 per district/warehouse; payments add to
+        // both equally — compare the deltas.
+        let initial_w = 3_000_000;
+        let initial_d = 3_000_000 * scale.districts_per_warehouse;
+        if w_ytd - initial_w != d_sum - initial_d {
+            return Err(GdbError::Internal(format!(
+                "C4 violated for warehouse {w}: w_ytd delta {} != district sum delta {}",
+                w_ytd - initial_w,
+                d_sum - initial_d
+            )));
+        }
+        checked += 1;
+
+        for d in 1..=scale.districts_per_warehouse {
+            // C1: order counter vs max order id.
+            let (next, _) = cluster.execute_sql(
+                0,
+                now,
+                "SELECT d_next_o_id FROM district WHERE d_w_id = ? AND d_id = ?",
+                &[Datum::Int(w), Datum::Int(d)],
+            )?;
+            let next_oid = next.rows()[0].0[0].as_int().unwrap_or(0);
+            let (max_o, _) = cluster.execute_sql(
+                0,
+                now,
+                "SELECT MAX(o_id) FROM orders WHERE o_w_id = ? AND o_d_id = ?",
+                &[Datum::Int(w), Datum::Int(d)],
+            )?;
+            let max_oid = max_o.rows()[0].0[0].as_int().unwrap_or(0);
+            if next_oid - 1 != max_oid {
+                return Err(GdbError::Internal(format!(
+                    "C1 violated for district ({w},{d}): d_next_o_id {next_oid} vs max o_id {max_oid}"
+                )));
+            }
+
+            // C2: new_order ids are contiguous.
+            let (no, _) = cluster.execute_sql(
+                0,
+                now,
+                "SELECT COUNT(*), MIN(no_o_id), MAX(no_o_id) FROM new_order \
+                 WHERE no_w_id = ? AND no_d_id = ?",
+                &[Datum::Int(w), Datum::Int(d)],
+            )?;
+            let rows = no.rows();
+            let count = rows[0].0[0].as_int().unwrap_or(0);
+            if count > 0 {
+                let min = rows[0].0[1].as_int().unwrap_or(0);
+                let max = rows[0].0[2].as_int().unwrap_or(0);
+                if max - min + 1 != count {
+                    return Err(GdbError::Internal(format!(
+                        "C2 violated for district ({w},{d}): new_order ids not contiguous \
+                         (min {min}, max {max}, count {count})"
+                    )));
+                }
+                if max != next_oid - 1 {
+                    return Err(GdbError::Internal(format!(
+                        "C1/new_order violated for district ({w},{d}): max no_o_id {max} vs \
+                         d_next_o_id {next_oid}"
+                    )));
+                }
+            }
+            checked += 1;
+
+            // C3: o_ol_cnt matches the actual order_line count (sample the
+            // newest 5 orders per district to keep the check fast).
+            let (orders, _) = cluster.execute_sql(
+                0,
+                now,
+                "SELECT o_id, o_ol_cnt FROM orders WHERE o_w_id = ? AND o_d_id = ? \
+                 ORDER BY o_id DESC LIMIT 5",
+                &[Datum::Int(w), Datum::Int(d)],
+            )?;
+            for row in orders.rows() {
+                let o_id = row.0[0].as_int().unwrap_or(0);
+                let ol_cnt = row.0[1].as_int().unwrap_or(0);
+                let (lines, _) = cluster.execute_sql(
+                    0,
+                    now,
+                    "SELECT COUNT(*) FROM order_line \
+                     WHERE ol_w_id = ? AND ol_d_id = ? AND ol_o_id = ?",
+                    &[Datum::Int(w), Datum::Int(d), Datum::Int(o_id)],
+                )?;
+                let actual = lines.rows()[0].0[0].as_int().unwrap_or(0);
+                if actual != ol_cnt {
+                    return Err(GdbError::Internal(format!(
+                        "C3 violated for order ({w},{d},{o_id}): o_ol_cnt {ol_cnt} vs \
+                         {actual} order lines"
+                    )));
+                }
+                checked += 1;
+            }
+        }
+    }
+    Ok(checked)
+}

@@ -1,0 +1,450 @@
+//! TPC-C (TPC Benchmark C, revision 5.11) for the GlobalDB cluster.
+
+pub mod consistency;
+pub mod loader;
+pub mod schema;
+pub mod txns;
+
+use globaldb::Cluster;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Scale parameters. The paper runs 600 warehouses on physical hardware;
+/// the simulation runs scaled-down databases with the same *shape*
+/// (cardinality ratios follow the spec; absolute sizes are configurable).
+#[derive(Debug, Clone, Copy)]
+pub struct TpccScale {
+    pub warehouses: i64,
+    pub districts_per_warehouse: i64,
+    pub customers_per_district: i64,
+    pub items: i64,
+    /// Initial orders per district (last 30% stay undelivered, feeding
+    /// Delivery and Stock-Level).
+    pub initial_orders_per_district: i64,
+}
+
+impl TpccScale {
+    /// Minimal scale for unit/integration tests.
+    pub fn tiny() -> Self {
+        TpccScale {
+            warehouses: 2,
+            districts_per_warehouse: 2,
+            customers_per_district: 30,
+            items: 100,
+            initial_orders_per_district: 20,
+        }
+    }
+
+    /// Benchmark scale (fits comfortably in memory; ratios per spec).
+    pub fn small() -> Self {
+        TpccScale {
+            warehouses: 4,
+            districts_per_warehouse: 10,
+            customers_per_district: 300,
+            items: 1_000,
+            initial_orders_per_district: 100,
+        }
+    }
+
+    /// Larger benchmark scale.
+    pub fn medium() -> Self {
+        TpccScale {
+            warehouses: 12,
+            districts_per_warehouse: 10,
+            customers_per_district: 600,
+            items: 2_000,
+            initial_orders_per_district: 200,
+        }
+    }
+}
+
+/// Transaction mix (weights; the standard mix is 45/43/4/4/4).
+#[derive(Debug, Clone, Copy)]
+pub struct TpccMix {
+    pub new_order: u32,
+    pub payment: u32,
+    pub order_status: u32,
+    pub delivery: u32,
+    pub stock_level: u32,
+}
+
+impl TpccMix {
+    /// The full TPC-C mix used in Fig. 6a/6b.
+    pub fn standard() -> Self {
+        TpccMix {
+            new_order: 45,
+            payment: 43,
+            order_status: 4,
+            delivery: 4,
+            stock_level: 4,
+        }
+    }
+
+    /// The read-only variant of Fig. 6c: Order-Status + Stock-Level only.
+    pub fn read_only() -> Self {
+        TpccMix {
+            new_order: 0,
+            payment: 0,
+            order_status: 50,
+            delivery: 0,
+            stock_level: 50,
+        }
+    }
+
+    pub fn total(&self) -> u32 {
+        self.new_order + self.payment + self.order_status + self.delivery + self.stock_level
+    }
+
+    /// Pick a transaction kind by weight.
+    pub fn pick(&self, rng: &mut SmallRng) -> TxnKind {
+        let mut r = rng.gen_range(0..self.total());
+        for (kind, w) in [
+            (TxnKind::NewOrder, self.new_order),
+            (TxnKind::Payment, self.payment),
+            (TxnKind::OrderStatus, self.order_status),
+            (TxnKind::Delivery, self.delivery),
+            (TxnKind::StockLevel, self.stock_level),
+        ] {
+            if r < w {
+                return kind;
+            }
+            r -= w;
+        }
+        TxnKind::NewOrder
+    }
+}
+
+/// The five TPC-C transaction types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnKind {
+    NewOrder,
+    Payment,
+    OrderStatus,
+    Delivery,
+    StockLevel,
+}
+
+impl TxnKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            TxnKind::NewOrder => "new_order",
+            TxnKind::Payment => "payment",
+            TxnKind::OrderStatus => "order_status",
+            TxnKind::Delivery => "delivery",
+            TxnKind::StockLevel => "stock_level",
+        }
+    }
+
+    /// Read-only types are ROR-eligible.
+    pub fn is_read_only(self) -> bool {
+        matches!(self, TxnKind::OrderStatus | TxnKind::StockLevel)
+    }
+}
+
+/// TPC-C non-uniform random (clause 2.1.6): hot-spot-skewed selection.
+/// The constant `A` follows the spec's table, adapted to scaled ranges.
+pub fn nurand(rng: &mut SmallRng, x: i64, y: i64) -> i64 {
+    let range = y - x + 1;
+    let a = if range <= 1_000 {
+        255
+    } else if range <= 3_000 {
+        1_023
+    } else {
+        8_191
+    };
+    let c = a / 2; // the spec's run-time constant C; fixed per run
+    (((rng.gen_range(0..=a) | rng.gen_range(x..=y)) + c) % range) + x
+}
+
+/// The spec's last-name generator: three syllables from a 3-digit number.
+pub fn last_name(num: i64) -> String {
+    const SYLLABLES: [&str; 10] = [
+        "BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING",
+    ];
+    let n = num.clamp(0, 999);
+    format!(
+        "{}{}{}",
+        SYLLABLES[(n / 100) as usize],
+        SYLLABLES[((n / 10) % 10) as usize],
+        SYLLABLES[(n % 10) as usize]
+    )
+}
+
+/// Random last-name number for transactions (NURand over 0..=999).
+pub fn random_last_name(rng: &mut SmallRng) -> String {
+    last_name(nurand(rng, 0, 999))
+}
+
+/// The TPC-C workload, pluggable into [`crate::driver::run_workload`].
+pub struct TpccWorkload {
+    pub scale: TpccScale,
+    pub mix: TpccMix,
+    /// Probability a transaction is submitted to a CN that is *not* the
+    /// home CN of its warehouse (the paper's remote-transaction knob,
+    /// §V-A: "we modify our workloads to control the proportion of remote
+    /// transactions").
+    pub remote_cn_fraction: f64,
+    /// For the read-only variant: fraction of Stock-Level queries probing
+    /// a remote warehouse's stock (Fig. 6c runs 50% multi-shard).
+    pub multi_shard_read_fraction: f64,
+    /// Force all transactions onto one CN (Fig. 6b measures a node not
+    /// co-located with the GTM).
+    pub pin_cn: Option<usize>,
+    /// With `pin_cn`, restrict terminals to warehouses homed at that CN
+    /// (the paper's per-machine workload affinity).
+    pub local_warehouses_only: bool,
+    /// Fraction of Payment transactions whose customer lives at a remote
+    /// warehouse (spec: 0.15). The paper's "100% local transactions"
+    /// configuration (§V-A) sets this to 0.
+    pub remote_payment_fraction: f64,
+    /// Per-line probability of a remote supply warehouse in New-Order
+    /// (spec: 0.01). Set to 0 for the 100%-local configuration.
+    pub remote_supply_fraction: f64,
+    statements: Option<txns::Statements>,
+    /// Home CN per warehouse (index w-1).
+    home_cn: Vec<usize>,
+    rng: rand::rngs::SmallRng,
+    h_seq: i64,
+    seed: u64,
+}
+
+impl TpccWorkload {
+    /// The paper's "100% local transactions" configuration (§V-A): no
+    /// cross-warehouse touches at all.
+    pub fn set_all_local(&mut self) {
+        self.remote_cn_fraction = 0.0;
+        self.remote_payment_fraction = 0.0;
+        self.remote_supply_fraction = 0.0;
+        self.multi_shard_read_fraction = 0.0;
+    }
+
+    pub fn new(scale: TpccScale, mix: TpccMix, seed: u64) -> Self {
+        use rand::SeedableRng;
+        TpccWorkload {
+            scale,
+            mix,
+            remote_cn_fraction: 0.0,
+            multi_shard_read_fraction: 0.5,
+            pin_cn: None,
+            local_warehouses_only: false,
+            remote_payment_fraction: 0.15,
+            remote_supply_fraction: 0.01,
+            statements: None,
+            home_cn: Vec::new(),
+            rng: rand::rngs::SmallRng::seed_from_u64(seed ^ 0x7bcc_5eed),
+            h_seq: 0,
+            seed,
+        }
+    }
+
+    /// Home CN of a warehouse: the CN co-located (same host, else same
+    /// region) with the warehouse's shard primary.
+    fn compute_home_cns(&mut self, cluster: &Cluster) {
+        let schema = cluster
+            .db
+            .catalog
+            .table_by_name("warehouse")
+            .expect("warehouse table")
+            .clone();
+        let shard_count = cluster.db.shards.len() as u16;
+        self.home_cn = (1..=self.scale.warehouses)
+            .map(|w| {
+                let shard = schema
+                    .shard_of_pk(&gdb_model::RowKey::single(w), shard_count)
+                    .0 as usize;
+                let primary = cluster.db.shards[shard].primary;
+                let p_host = cluster.db.topo.node_host(primary);
+                let p_region = cluster.db.topo.node_region(primary);
+                cluster
+                    .db
+                    .cns
+                    .iter()
+                    .position(|cn| cluster.db.topo.node_host(cn.node) == p_host)
+                    .or_else(|| cluster.db.cns.iter().position(|cn| cn.region == p_region))
+                    .unwrap_or(0)
+            })
+            .collect();
+    }
+
+    fn pick_cn(&mut self, w: i64, cn_count: usize) -> usize {
+        use rand::Rng;
+        if let Some(pin) = self.pin_cn {
+            return pin;
+        }
+        let home = self.home_cn[(w - 1) as usize];
+        if cn_count > 1 && self.rng.gen_bool(self.remote_cn_fraction) {
+            let mut other = self.rng.gen_range(0..cn_count - 1);
+            if other >= home {
+                other += 1;
+            }
+            other
+        } else {
+            home
+        }
+    }
+}
+
+impl crate::driver::Workload for TpccWorkload {
+    fn setup(&mut self, cluster: &mut globaldb::Cluster) -> gdb_model::GdbResult<()> {
+        loader::load(cluster, &self.scale, self.seed)?;
+        self.statements = Some(txns::Statements::prepare(cluster)?);
+        self.compute_home_cns(cluster);
+        Ok(())
+    }
+
+    fn run_one(
+        &mut self,
+        cluster: &mut globaldb::Cluster,
+        terminal: usize,
+        at: gdb_simnet::SimTime,
+    ) -> (&'static str, gdb_model::GdbResult<globaldb::TxnOutcome>) {
+        use rand::Rng;
+        let st = self.statements.take().expect("setup() must run first");
+        let (w, dist) = match (self.pin_cn, self.local_warehouses_only) {
+            (Some(cn), true) => {
+                let local: Vec<i64> = (1..=self.scale.warehouses)
+                    .filter(|&w| self.home_cn[(w - 1) as usize] == cn)
+                    .collect();
+                if local.is_empty() {
+                    (
+                        (terminal as i64 % self.scale.warehouses) + 1,
+                        ((terminal as i64 / self.scale.warehouses)
+                            % self.scale.districts_per_warehouse)
+                            + 1,
+                    )
+                } else {
+                    let w = local[terminal % local.len()];
+                    let dist =
+                        ((terminal / local.len()) as i64 % self.scale.districts_per_warehouse) + 1;
+                    (w, dist)
+                }
+            }
+            _ => (
+                (terminal as i64 % self.scale.warehouses) + 1,
+                ((terminal as i64 / self.scale.warehouses) % self.scale.districts_per_warehouse)
+                    + 1,
+            ),
+        };
+        let kind = self.mix.pick(&mut self.rng);
+        let cn = self.pick_cn(w, cluster.db.cns.len());
+        let result = match kind {
+            TxnKind::NewOrder => txns::new_order(
+                cluster,
+                &st,
+                &mut self.rng,
+                &self.scale,
+                cn,
+                at,
+                w,
+                dist,
+                self.remote_supply_fraction,
+            ),
+            TxnKind::Payment => {
+                self.h_seq += 1;
+                txns::payment(
+                    cluster,
+                    &st,
+                    &mut self.rng,
+                    &self.scale,
+                    cn,
+                    at,
+                    w,
+                    dist,
+                    self.h_seq * 10_000 + terminal as i64,
+                    self.remote_payment_fraction,
+                )
+            }
+            TxnKind::OrderStatus => {
+                txns::order_status(cluster, &st, &mut self.rng, &self.scale, cn, at, w, dist)
+            }
+            TxnKind::Delivery => {
+                txns::delivery(cluster, &st, &mut self.rng, &self.scale, cn, at, w)
+            }
+            TxnKind::StockLevel => {
+                let stock_w = if self.scale.warehouses > 1
+                    && self.rng.gen_bool(self.multi_shard_read_fraction)
+                {
+                    let mut o = self.rng.gen_range(1..=self.scale.warehouses - 1);
+                    if o >= w {
+                        o += 1;
+                    }
+                    o
+                } else {
+                    w
+                };
+                txns::stock_level(
+                    cluster,
+                    &st,
+                    &mut self.rng,
+                    &self.scale,
+                    cn,
+                    at,
+                    w,
+                    dist,
+                    stock_w,
+                )
+            }
+        };
+        self.statements = Some(st);
+        (kind.name(), result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mix_weights_pick_all_kinds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mix = TpccMix::standard();
+        let mut counts = [0u32; 5];
+        for _ in 0..10_000 {
+            match mix.pick(&mut rng) {
+                TxnKind::NewOrder => counts[0] += 1,
+                TxnKind::Payment => counts[1] += 1,
+                TxnKind::OrderStatus => counts[2] += 1,
+                TxnKind::Delivery => counts[3] += 1,
+                TxnKind::StockLevel => counts[4] += 1,
+            }
+        }
+        // Roughly 45/43/4/4/4.
+        assert!((4_000..5_000).contains(&counts[0]), "{counts:?}");
+        assert!((3_800..4_800).contains(&counts[1]), "{counts:?}");
+        for &c in &counts[2..] {
+            assert!((200..700).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn read_only_mix_has_no_writes() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mix = TpccMix::read_only();
+        for _ in 0..1000 {
+            assert!(mix.pick(&mut rng).is_read_only());
+        }
+    }
+
+    #[test]
+    fn nurand_stays_in_range_and_is_skewed() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut seen_low = 0;
+        for _ in 0..10_000 {
+            let v = nurand(&mut rng, 1, 3000);
+            assert!((1..=3000).contains(&v));
+            if v <= 1500 {
+                seen_low += 1;
+            }
+        }
+        // NURand is non-uniform but covers both halves.
+        assert!(seen_low > 2_000 && seen_low < 8_500, "{seen_low}");
+    }
+
+    #[test]
+    fn last_names_match_spec_examples() {
+        assert_eq!(last_name(0), "BARBARBAR");
+        assert_eq!(last_name(371), "PRICALLYOUGHT");
+        assert_eq!(last_name(999), "EINGEINGEING");
+    }
+}

@@ -1,0 +1,47 @@
+//! The TPC-C schema (nine tables), distributed by warehouse as the paper's
+//! deployment does; `ITEM` is replicated to every shard.
+
+/// DDL statements creating the full TPC-C schema, in dependency order.
+pub fn ddl() -> Vec<&'static str> {
+    vec![
+        "CREATE TABLE warehouse (
+            w_id INT NOT NULL, w_name TEXT, w_tax DECIMAL, w_ytd DECIMAL,
+            PRIMARY KEY (w_id)) DISTRIBUTE BY HASH(w_id)",
+        "CREATE TABLE district (
+            d_w_id INT NOT NULL, d_id INT NOT NULL, d_name TEXT,
+            d_tax DECIMAL, d_ytd DECIMAL, d_next_o_id INT,
+            PRIMARY KEY (d_w_id, d_id)) DISTRIBUTE BY HASH(d_w_id)",
+        "CREATE TABLE customer (
+            c_w_id INT NOT NULL, c_d_id INT NOT NULL, c_id INT NOT NULL,
+            c_last TEXT, c_first TEXT, c_credit TEXT,
+            c_discount DECIMAL, c_balance DECIMAL, c_ytd_payment DECIMAL,
+            c_payment_cnt INT, c_delivery_cnt INT, c_data TEXT,
+            PRIMARY KEY (c_w_id, c_d_id, c_id)) DISTRIBUTE BY HASH(c_w_id)",
+        "CREATE INDEX cust_by_last ON customer (c_w_id, c_d_id, c_last)",
+        "CREATE TABLE history (
+            h_w_id INT NOT NULL, h_id INT NOT NULL,
+            h_d_id INT, h_c_w_id INT, h_c_d_id INT, h_c_id INT,
+            h_amount DECIMAL, h_date INT,
+            PRIMARY KEY (h_w_id, h_id)) DISTRIBUTE BY HASH(h_w_id)",
+        "CREATE TABLE orders (
+            o_w_id INT NOT NULL, o_d_id INT NOT NULL, o_id INT NOT NULL,
+            o_c_id INT, o_carrier_id INT, o_ol_cnt INT, o_entry_d INT,
+            PRIMARY KEY (o_w_id, o_d_id, o_id)) DISTRIBUTE BY HASH(o_w_id)",
+        "CREATE INDEX ord_by_cust ON orders (o_w_id, o_d_id, o_c_id)",
+        "CREATE TABLE new_order (
+            no_w_id INT NOT NULL, no_d_id INT NOT NULL, no_o_id INT NOT NULL,
+            PRIMARY KEY (no_w_id, no_d_id, no_o_id)) DISTRIBUTE BY HASH(no_w_id)",
+        "CREATE TABLE order_line (
+            ol_w_id INT NOT NULL, ol_d_id INT NOT NULL, ol_o_id INT NOT NULL,
+            ol_number INT NOT NULL, ol_i_id INT, ol_supply_w_id INT,
+            ol_delivery_d INT, ol_quantity INT, ol_amount DECIMAL,
+            PRIMARY KEY (ol_w_id, ol_d_id, ol_o_id, ol_number)) DISTRIBUTE BY HASH(ol_w_id)",
+        "CREATE TABLE item (
+            i_id INT NOT NULL, i_name TEXT, i_price DECIMAL, i_data TEXT,
+            PRIMARY KEY (i_id)) DISTRIBUTE BY REPLICATION",
+        "CREATE TABLE stock (
+            s_w_id INT NOT NULL, s_i_id INT NOT NULL,
+            s_quantity INT, s_ytd INT, s_order_cnt INT, s_remote_cnt INT, s_data TEXT,
+            PRIMARY KEY (s_w_id, s_i_id)) DISTRIBUTE BY HASH(s_w_id)",
+    ]
+}

@@ -1,0 +1,100 @@
+//! Cross-shard transfers with two-phase commit: a classic bank workload
+//! demonstrating atomicity across shards and the money-conservation
+//! invariant under concurrent transfers.
+//!
+//! ```text
+//! cargo run --release --example bank_2pc
+//! ```
+#![allow(clippy::inconsistent_digit_grouping)] // money literals read as dollars_cents
+
+use globaldb::{Cluster, ClusterConfig, Datum, GdbError, SimDuration, SimTime};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const ACCOUNTS: i64 = 200;
+const INITIAL: i64 = 1_000_00; // $1000.00 per account
+
+fn main() {
+    let mut cluster = Cluster::new(ClusterConfig::globaldb_three_city());
+    cluster
+        .ddl(
+            "CREATE TABLE bank (id INT NOT NULL, balance DECIMAL, \
+             PRIMARY KEY (id)) DISTRIBUTE BY HASH(id)",
+        )
+        .unwrap();
+    let table = cluster.db.catalog.table_by_name("bank").unwrap().id;
+    cluster
+        .bulk_load(
+            table,
+            (0..ACCOUNTS)
+                .map(|i| gdb_model::Row(vec![Datum::Int(i), Datum::Decimal(INITIAL)]))
+                .collect(),
+        )
+        .unwrap();
+    cluster.finish_load();
+
+    let read_bal = cluster
+        .prepare("SELECT balance FROM bank WHERE id = ? FOR UPDATE")
+        .unwrap();
+    let set_bal = cluster
+        .prepare("UPDATE bank SET balance = ? WHERE id = ?")
+        .unwrap();
+
+    let mut rng = SmallRng::seed_from_u64(7);
+    let mut committed = 0u64;
+    let mut rejected = 0u64;
+    let mut two_pc = 0u64;
+    for i in 0..400u64 {
+        let from = rng.gen_range(0..ACCOUNTS);
+        let mut to = rng.gen_range(0..ACCOUNTS - 1);
+        if to >= from {
+            to += 1;
+        }
+        let amount = rng.gen_range(1..=500_00i64);
+        let at = SimTime::from_millis(10) + SimDuration::from_millis(i * 2);
+        let cn = (i % 3) as usize;
+        let result = cluster.run_transaction(cn, at, false, false, |txn| {
+            // Debit with an overdraft check, credit the receiver.
+            let out = txn.execute(&read_bal, &[Datum::Int(from)])?;
+            let bal = out.rows()[0].0[0].as_decimal().unwrap();
+            if bal < amount {
+                return Err(GdbError::TxnAborted("insufficient funds".into()));
+            }
+            txn.execute(&set_bal, &[Datum::Decimal(bal - amount), Datum::Int(from)])?;
+            let out = txn.execute(&read_bal, &[Datum::Int(to)])?;
+            let to_bal = out.rows()[0].0[0].as_decimal().unwrap();
+            txn.execute(&set_bal, &[Datum::Decimal(to_bal + amount), Datum::Int(to)])?;
+            Ok(())
+        });
+        match result {
+            Ok((_, o)) => {
+                committed += 1;
+                if o.shards_written.len() > 1 {
+                    two_pc += 1;
+                }
+            }
+            Err(_) => rejected += 1,
+        }
+    }
+    println!(
+        "{committed} transfers committed ({two_pc} via cross-shard 2PC), \
+         {rejected} rejected for insufficient funds"
+    );
+
+    // Money conservation: the sum of balances is unchanged.
+    cluster.run_until(cluster.now() + SimDuration::from_secs(1));
+    let (out, _) = cluster
+        .execute_sql(0, cluster.now(), "SELECT SUM(balance) FROM bank", &[])
+        .unwrap();
+    let total = out.rows()[0].0[0].as_decimal().unwrap();
+    println!(
+        "sum of balances: {} (expected {})",
+        total,
+        ACCOUNTS * INITIAL
+    );
+    assert_eq!(total, ACCOUNTS * INITIAL, "money was created or destroyed!");
+    println!(
+        "money conserved across {} concurrent transfers ✓",
+        committed
+    );
+}

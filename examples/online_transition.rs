@@ -1,0 +1,95 @@
+//! Online transaction-management transition (paper §III-A, Figs. 2–3):
+//! start in centralized GTM mode, switch to decentralized GClock *while
+//! writing*, then fall back to GTM as if a clock fault occurred — all with
+//! zero downtime.
+//!
+//! ```text
+//! cargo run --release --example online_transition
+//! ```
+
+use globaldb::{Cluster, ClusterConfig, Datum, SimTime, TmMode, TransitionDirection};
+
+fn main() {
+    let mut config = ClusterConfig::globaldb_one_region();
+    config.tm_mode = TmMode::Gtm;
+    let mut cluster = Cluster::new(config);
+    cluster
+        .ddl("CREATE TABLE kv (k INT NOT NULL, v INT, PRIMARY KEY (k)) DISTRIBUTE BY HASH(k)")
+        .unwrap();
+    for k in 0..16i64 {
+        cluster
+            .execute_sql(
+                0,
+                SimTime::from_millis(5),
+                "INSERT INTO kv VALUES (?, 0)",
+                &[Datum::Int(k)],
+            )
+            .unwrap();
+    }
+
+    let upd = cluster
+        .prepare("UPDATE kv SET v = v + 1 WHERE k = ?")
+        .unwrap();
+    let write = |cluster: &mut Cluster, at_ms: u64, k: i64| {
+        let res = cluster.run_transaction(
+            (k % 3) as usize,
+            SimTime::from_millis(at_ms),
+            false,
+            true,
+            |txn| txn.execute(&upd, &[Datum::Int(k)]).map(|_| ()),
+        );
+        let mode = cluster.db.cn_mode((k % 3) as usize);
+        match res {
+            Ok((_, o)) => println!(
+                "t={at_ms:>5} ms  [{mode}]  write k={k}: ts={:?} latency={}",
+                o.commit_ts.unwrap(),
+                o.latency
+            ),
+            Err(e) => println!("t={at_ms:>5} ms  [{mode}]  write k={k}: RETRY ({e})"),
+        }
+    };
+
+    println!("— phase 1: centralized GTM mode —");
+    for i in 0..4 {
+        write(&mut cluster, 20 + i * 10, i as i64);
+    }
+
+    println!("— phase 2: online transition GTM → GClock (cluster stays up) —");
+    cluster.start_transition(TransitionDirection::ToGClock);
+    for i in 0..8 {
+        write(&mut cluster, 70 + i * 5, i as i64);
+    }
+    cluster.run_until(SimTime::from_millis(400));
+    println!(
+        "transition completed: {:?}; GTM server mode: {}",
+        cluster.db.last_transition_completed,
+        cluster.db.gtm.mode()
+    );
+
+    println!("— phase 3: decentralized GClock mode (timestamps are epoch µs) —");
+    for i in 0..4 {
+        write(&mut cluster, 420 + i * 10, i as i64);
+    }
+
+    println!("— phase 4: clock fault! fall back to GTM (Fig. 3: no aborts, no wait) —");
+    cluster.db.cns[0].tm.gclock.set_healthy(false);
+    cluster.start_transition(TransitionDirection::ToGtm);
+    for i in 0..8 {
+        write(&mut cluster, 480 + i * 5, i as i64);
+    }
+    cluster.run_until(SimTime::from_millis(900));
+    println!(
+        "transition completed: {:?}; GTM server mode: {}",
+        cluster.db.last_transition_completed,
+        cluster.db.gtm.mode()
+    );
+
+    // Every increment survived both transitions.
+    let (out, _) = cluster
+        .execute_sql(0, SimTime::from_millis(950), "SELECT SUM(v) FROM kv", &[])
+        .unwrap();
+    println!(
+        "total increments recorded: {:?} (expected 24)",
+        out.rows()[0].0[0]
+    );
+}

@@ -1,0 +1,15 @@
+//! Umbrella crate for the GaussDB-Global reproduction: re-exports the
+//! public API of every subsystem crate. See README.md for a tour.
+pub use gdb_compress as compress;
+pub use gdb_consistency as consistency;
+pub use gdb_model as model;
+pub use gdb_replication as replication;
+pub use gdb_router as router;
+pub use gdb_simclock as simclock;
+pub use gdb_simnet as simnet;
+pub use gdb_sqlengine as sqlengine;
+pub use gdb_storage as storage;
+pub use gdb_txnmgr as txnmgr;
+pub use gdb_wal as wal;
+pub use gdb_workloads as workloads;
+pub use globaldb::*;
