@@ -1,0 +1,88 @@
+//! Replayable chaos runs from the command line:
+//!
+//! ```text
+//! cargo run -p gdb-chaos --bin nemesis -- --seed 7 --duration 10s
+//! cargo run -p gdb-chaos --bin nemesis -- --plan primary-failover
+//! ```
+//!
+//! The same `--seed` always produces the identical fault schedule, event
+//! interleaving, and trace. Exits non-zero if any invariant was violated.
+
+use gdb_chaos::plan::canned;
+use gdb_chaos::{run_nemesis, run_plan, ChaosConfig};
+use gdb_simnet::SimDuration;
+use std::process::ExitCode;
+
+fn parse_duration(s: &str) -> Option<SimDuration> {
+    if let Some(ms) = s.strip_suffix("ms") {
+        return ms.parse::<u64>().ok().map(SimDuration::from_millis);
+    }
+    if let Some(secs) = s.strip_suffix('s') {
+        return secs.parse::<u64>().ok().map(SimDuration::from_secs);
+    }
+    s.parse::<u64>().ok().map(SimDuration::from_secs)
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: nemesis [--seed N] [--duration 60s|500ms] [--plan NAME]\n\
+         plans: {}",
+        canned::all()
+            .iter()
+            .map(|p| p.name.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut seed: u64 = 1;
+    let mut duration = SimDuration::from_secs(3);
+    let mut plan_name: Option<String> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--duration" => {
+                i += 1;
+                duration = args
+                    .get(i)
+                    .and_then(|v| parse_duration(v))
+                    .unwrap_or_else(|| usage());
+            }
+            "--plan" => {
+                i += 1;
+                plan_name = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    let mut cfg = ChaosConfig::quick(seed);
+    cfg.duration = duration;
+
+    let report = match plan_name {
+        Some(name) => match canned::by_name(&name) {
+            Some(plan) => run_plan(plan, &cfg),
+            None => usage(),
+        },
+        None => run_nemesis(seed, &cfg),
+    };
+
+    print!("{}", report.render());
+    if report.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

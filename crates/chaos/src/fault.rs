@@ -1,0 +1,170 @@
+//! The fault taxonomy and its application to a live cluster.
+//!
+//! Each [`Fault`] maps onto the fault-injection API of
+//! [`globaldb::GlobalDb`], so a fault fires from *inside* a scheduled
+//! simulation event exactly like the background activity it disturbs.
+
+use gdb_simnet::NetNodeId;
+use globaldb::{GlobalDb, SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// One injectable fault. Injection faults usually come paired with their
+/// recovery counterpart later in the plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// Crash a shard's primary DN. Writes to the shard fail (retryably)
+    /// until recovery; replicas keep serving RCP reads.
+    CrashPrimary { shard: usize },
+    /// Restart a crashed primary in place: its WAL survived, replicas
+    /// catch up by resuming the redo stream where they left off.
+    RestartPrimary { shard: usize },
+    /// Fail over: promote a replica of the shard to primary (remaining
+    /// replicas full-resync; sync-mode promotions lose nothing).
+    PromoteReplica { shard: usize, replica: usize },
+    /// Re-admit the most recently crashed primary of `shard` as a replica
+    /// (full resync from the current primary, then stream-follow).
+    RejoinOldPrimary { shard: usize },
+    /// Crash one replica DN; in-flight redo batches die with it.
+    CrashReplica { shard: usize, replica: usize },
+    /// Restart a crashed replica with WAL catch-up (the channel rewinds
+    /// to its durable resume point).
+    RestartReplica { shard: usize, replica: usize },
+    /// Crash the GTM server. GClock commits are unaffected; GTM/DUAL
+    /// commits fail retryably.
+    CrashGtm,
+    /// GTM failover: the standby resumes from the durable counter.
+    RestartGtm,
+    /// Crash a computing node — if it is its region's RCP collector, the
+    /// next alive CN takes over at the next round.
+    CrashCn { cn: usize },
+    /// Restart a crashed CN with a fresh clock sync.
+    RestartCn { cn: usize },
+    /// Partition two regions (indexes into `GlobalDb::regions`).
+    PartitionRegions { a: usize, b: usize },
+    /// Heal a region partition.
+    HealRegions { a: usize, b: usize },
+    /// `tc`-style transient delay spike on every inter-host message.
+    DelaySpike { extra: SimDuration },
+    /// End the delay spike.
+    ClearDelay,
+    /// Cut a CN's clock-sync daemon off its time device: drift (and the
+    /// commit-wait error bound) grows until sync resumes.
+    ClockSyncOutage { cn: usize },
+    /// Reconnect the clock-sync daemon (immediate sync).
+    ClockSyncResume { cn: usize },
+}
+
+/// Runtime memory the engine keeps while a plan executes — currently the
+/// identity of crashed-and-replaced primaries, so `RejoinOldPrimary` can
+/// name a node that only exists at execution time.
+#[derive(Debug, Default)]
+pub struct ChaosState {
+    /// Last crashed primary node per shard (consumed by rejoin).
+    pub crashed_primaries: HashMap<usize, NetNodeId>,
+}
+
+impl Fault {
+    /// Apply the fault to the world at virtual time `now`. Returns the
+    /// trace line describing what actually happened — including the cases
+    /// where the fault degenerates to a no-op (e.g. restarting a replica
+    /// that a promotion removed in the meantime).
+    pub fn apply(&self, db: &mut GlobalDb, state: &mut ChaosState, now: SimTime) -> String {
+        match *self {
+            Fault::CrashPrimary { shard } => {
+                let node = db.crash_primary(shard);
+                state.crashed_primaries.insert(shard, node);
+                format!("fault crash-primary shard={shard} node={}", node.0)
+            }
+            Fault::RestartPrimary { shard } => {
+                db.restart_primary(shard);
+                state.crashed_primaries.remove(&shard);
+                format!("recover restart-primary shard={shard}")
+            }
+            Fault::PromoteReplica { shard, replica } => {
+                if replica >= db.shards[shard].replicas.len() {
+                    return format!("skip promote shard={shard}: no replica {replica}");
+                }
+                match db.promote_replica_at(shard, replica, now) {
+                    Ok(()) => format!("recover promote shard={shard} replica={replica}"),
+                    Err(e) => format!("skip promote shard={shard}: {e}"),
+                }
+            }
+            Fault::RejoinOldPrimary { shard } => {
+                let Some(node) = state.crashed_primaries.remove(&shard) else {
+                    return format!("skip rejoin shard={shard}: no crashed primary");
+                };
+                match db.rejoin_as_replica_at(shard, node, now) {
+                    Ok(()) => format!("recover rejoin shard={shard} node={}", node.0),
+                    Err(e) => format!("skip rejoin shard={shard}: {e}"),
+                }
+            }
+            Fault::CrashReplica { shard, replica } => match db.crash_replica(shard, replica) {
+                Some(node) => {
+                    format!(
+                        "fault crash-replica shard={shard} replica={replica} node={}",
+                        node.0
+                    )
+                }
+                None => format!("skip crash-replica shard={shard}: no replica {replica}"),
+            },
+            Fault::RestartReplica { shard, replica } => {
+                db.restart_replica(shard, replica, now);
+                format!("recover restart-replica shard={shard} replica={replica}")
+            }
+            Fault::CrashGtm => {
+                db.crash_gtm();
+                "fault crash-gtm".into()
+            }
+            Fault::RestartGtm => {
+                db.restart_gtm();
+                "recover restart-gtm".into()
+            }
+            Fault::CrashCn { cn } => {
+                db.crash_cn(cn);
+                format!("fault crash-cn cn={cn}")
+            }
+            Fault::RestartCn { cn } => {
+                db.restart_cn(cn, now);
+                format!("recover restart-cn cn={cn}")
+            }
+            Fault::PartitionRegions { a, b } => {
+                db.partition_regions(a, b);
+                format!("fault partition regions {a}<->{b}")
+            }
+            Fault::HealRegions { a, b } => {
+                db.heal_regions(a, b);
+                format!("recover heal regions {a}<->{b}")
+            }
+            Fault::DelaySpike { extra } => {
+                db.set_injected_delay(extra);
+                format!("fault delay-spike +{}us", extra.as_micros())
+            }
+            Fault::ClearDelay => {
+                db.set_injected_delay(SimDuration::ZERO);
+                "recover clear-delay".into()
+            }
+            Fault::ClockSyncOutage { cn } => {
+                db.block_clock_sync(cn);
+                format!("fault clock-sync-outage cn={cn}")
+            }
+            Fault::ClockSyncResume { cn } => {
+                db.resume_clock_sync(cn, now);
+                format!("recover clock-sync-resume cn={cn}")
+            }
+        }
+    }
+
+    /// True for faults that break something (as opposed to recoveries).
+    pub fn is_injection(&self) -> bool {
+        matches!(
+            self,
+            Fault::CrashPrimary { .. }
+                | Fault::CrashReplica { .. }
+                | Fault::CrashGtm
+                | Fault::CrashCn { .. }
+                | Fault::PartitionRegions { .. }
+                | Fault::DelaySpike { .. }
+                | Fault::ClockSyncOutage { .. }
+        )
+    }
+}

@@ -1,0 +1,35 @@
+//! Chaos testing for GaussDB-Global: declarative fault plans, a seeded
+//! nemesis schedule generator, and an invariant oracle.
+//!
+//! The subsystem has two halves:
+//!
+//! * a **fault plan engine** ([`plan::FaultPlan`]) that schedules
+//!   [`fault::Fault`]s as first-class simulation events — node crashes and
+//!   restarts with WAL catch-up, replica promotion, GTM failover,
+//!   collector-CN crashes mid-RCP-round, region partitions, `tc`-style
+//!   delay spikes, and clock-sync outages — either hand-written (canned
+//!   plans) or generated from a seed by the [`nemesis`] module, so any run
+//!   replays bit-for-bit from `--seed N`;
+//! * an **invariant oracle** ([`oracle`]) that drives probe transactions
+//!   through the cluster while the plan executes and checks external
+//!   consistency, RCP monotonicity and bounds, replica-read correctness,
+//!   durability of acknowledged writes, and (via
+//!   [`gdb_workloads::tpcc::consistency`]) the TPC-C consistency
+//!   conditions once the dust settles.
+//!
+//! [`runner::run_plan`] / [`runner::run_nemesis`] tie the two together
+//! with a TPC-C workload running in the foreground.
+
+pub mod fault;
+pub mod nemesis;
+pub mod oracle;
+pub mod plan;
+pub mod runner;
+pub mod trace;
+
+pub use fault::Fault;
+pub use nemesis::NemesisConfig;
+pub use oracle::Oracle;
+pub use plan::{FaultEvent, FaultPlan};
+pub use runner::{run_nemesis, run_plan, ChaosConfig, ChaosReport};
+pub use trace::{Trace, TraceHandle};

@@ -1,0 +1,181 @@
+//! The nemesis: a seeded random fault-schedule generator.
+//!
+//! Episodes are drawn one after another from a `SmallRng`; each pairs an
+//! injection with its recovery, so the cluster keeps making progress over
+//! a long run while every fault family still gets exercised. The schedule
+//! is a pure function of `(seed, shape, config)` — replaying a seed
+//! replays the exact schedule.
+
+use crate::fault::Fault;
+use crate::plan::FaultPlan;
+use globaldb::{Cluster, SimDuration, SimTime};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// What the generator needs to know about the cluster it will torment.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterShape {
+    pub shards: usize,
+    pub replicas_per_shard: usize,
+    pub cns: usize,
+    pub regions: usize,
+}
+
+impl ClusterShape {
+    pub fn of(cluster: &Cluster) -> Self {
+        ClusterShape {
+            shards: cluster.db.shards.len(),
+            replicas_per_shard: cluster
+                .db
+                .shards
+                .first()
+                .map(|s| s.replicas.len())
+                .unwrap_or(0),
+            cns: cluster.db.cns.len(),
+            regions: cluster.db.regions.len(),
+        }
+    }
+}
+
+/// Generator knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct NemesisConfig {
+    pub seed: u64,
+    /// First injection fires here.
+    pub start: SimTime,
+    /// No injection fires at or after `start + duration`; recoveries may
+    /// land slightly later (every episode recovers).
+    pub duration: SimDuration,
+}
+
+impl NemesisConfig {
+    pub fn new(seed: u64, start: SimTime, duration: SimDuration) -> Self {
+        NemesisConfig {
+            seed,
+            start,
+            duration,
+        }
+    }
+}
+
+/// Generate a random, fully paired fault schedule.
+pub fn generate(cfg: &NemesisConfig, shape: &ClusterShape) -> FaultPlan {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut plan = FaultPlan::new(format!("nemesis-{}", cfg.seed));
+    let end = cfg.start + cfg.duration;
+    let mut t = cfg.start;
+
+    while t < end {
+        let hold = SimDuration::from_millis(rng.gen_range(80u64..400));
+        let kind = rng.gen_range(0u32..7);
+        match kind {
+            0 => {
+                // Primary crash, recovered either in place (WAL catch-up)
+                // or by failover + rejoin of the old primary.
+                let shard = rng.gen_range(0..shape.shards);
+                plan = plan.at(t, Fault::CrashPrimary { shard });
+                if shape.replicas_per_shard > 0 && rng.gen_bool(0.5) {
+                    let replica = rng.gen_range(0..shape.replicas_per_shard);
+                    plan = plan
+                        .at(t + hold, Fault::PromoteReplica { shard, replica })
+                        .at(t + hold + hold, Fault::RejoinOldPrimary { shard });
+                } else {
+                    plan = plan.at(t + hold, Fault::RestartPrimary { shard });
+                }
+            }
+            1 => {
+                let shard = rng.gen_range(0..shape.shards);
+                let replica = rng.gen_range(0..shape.replicas_per_shard.max(1));
+                plan = plan
+                    .at(t, Fault::CrashReplica { shard, replica })
+                    .at(t + hold, Fault::RestartReplica { shard, replica });
+            }
+            2 => {
+                plan = plan.at(t, Fault::CrashGtm).at(t + hold, Fault::RestartGtm);
+            }
+            3 => {
+                let cn = rng.gen_range(0..shape.cns);
+                plan = plan
+                    .at(t, Fault::CrashCn { cn })
+                    .at(t + hold, Fault::RestartCn { cn });
+            }
+            4 if shape.regions > 1 => {
+                let a = rng.gen_range(0..shape.regions);
+                let mut b = rng.gen_range(0..shape.regions);
+                if b == a {
+                    b = (a + 1) % shape.regions;
+                }
+                plan = plan
+                    .at(t, Fault::PartitionRegions { a, b })
+                    .at(t + hold, Fault::HealRegions { a, b });
+            }
+            5 => {
+                let extra = SimDuration::from_micros(rng.gen_range(500u64..8_000));
+                plan = plan
+                    .at(t, Fault::DelaySpike { extra })
+                    .at(t + hold, Fault::ClearDelay);
+            }
+            _ => {
+                let cn = rng.gen_range(0..shape.cns);
+                plan = plan
+                    .at(t, Fault::ClockSyncOutage { cn })
+                    .at(t + hold, Fault::ClockSyncResume { cn });
+            }
+        }
+        // Quiet gap before the next episode.
+        t = t + hold + SimDuration::from_millis(rng.gen_range(100u64..400));
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape() -> ClusterShape {
+        ClusterShape {
+            shards: 6,
+            replicas_per_shard: 2,
+            cns: 6,
+            regions: 3,
+        }
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let cfg = NemesisConfig::new(7, SimTime::from_millis(500), SimDuration::from_secs(5));
+        let a = generate(&cfg, &shape());
+        let b = generate(&cfg, &shape());
+        assert_eq!(a.events, b.events);
+        assert!(!a.events.is_empty());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let s = shape();
+        let a = generate(
+            &NemesisConfig::new(1, SimTime::from_millis(500), SimDuration::from_secs(5)),
+            &s,
+        );
+        let b = generate(
+            &NemesisConfig::new(2, SimTime::from_millis(500), SimDuration::from_secs(5)),
+            &s,
+        );
+        assert_ne!(a.events, b.events);
+    }
+
+    #[test]
+    fn every_injection_is_paired_with_recovery() {
+        let cfg = NemesisConfig::new(11, SimTime::from_millis(500), SimDuration::from_secs(10));
+        let plan = generate(&cfg, &shape());
+        let injections = plan
+            .events
+            .iter()
+            .filter(|e| e.fault.is_injection())
+            .count();
+        let recoveries = plan.events.len() - injections;
+        // Failover episodes emit two recovery events (promote + rejoin),
+        // so recoveries >= injections.
+        assert!(recoveries >= injections, "{recoveries} < {injections}");
+    }
+}

@@ -1,0 +1,371 @@
+//! The invariant oracle: probe transactions and consistency checkers.
+//!
+//! While a fault plan executes, the oracle drives small probe
+//! transactions against a dedicated `chaos_probe` table and checks, on
+//! every observation:
+//!
+//! * **External consistency** — if write `p` was acknowledged before
+//!   write `w` started (in virtual real time), then `p.commit_ts <
+//!   w.commit_ts`.
+//! * **RCP monotonicity** — no CN's adopted RCP ever moves backwards.
+//! * **RCP bound** — a region's computed RCP never exceeds the largest
+//!   max-applied-commit-ts among that region's replicas.
+//! * **Replica-read containment** — a read served by replicas runs at
+//!   exactly the CN's RCP snapshot, never newer.
+//! * **Read correctness** — every read returns the probe value written
+//!   by the latest write with `commit_ts <= snapshot` (reads are checked
+//!   against the full write history, so a lost or resurrected version is
+//!   caught the moment any probe observes it).
+//! * **Durability** (strict mode, i.e. synchronous replication) — the
+//!   per-key value sequence in commit-timestamp order is exactly
+//!   `1, 2, 3, ...`: no acknowledged write is ever lost, not even across
+//!   a primary failover.
+
+use crate::trace::TraceHandle;
+use globaldb::{Cluster, Datum, GlobalDb, Prepared, SimDuration, SimTime, Timestamp};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// One acknowledged probe write.
+#[derive(Debug, Clone)]
+pub struct WriteRecord {
+    pub key: i64,
+    pub value: i64,
+    pub started_at: SimTime,
+    pub acked_at: SimTime,
+    pub commit_ts: Timestamp,
+}
+
+/// Everything the oracle accumulates over a run.
+#[derive(Debug, Default)]
+pub struct OracleState {
+    pub history: Vec<WriteRecord>,
+    pub violations: Vec<String>,
+    /// Per-CN last observed RCP (monotonicity witness).
+    last_rcp: Vec<Timestamp>,
+    pub writes_committed: u64,
+    /// Probe writes rejected with a retryable error (expected under
+    /// faults: CN down, shard unreachable, lock conflict).
+    pub writes_rejected: u64,
+    pub reads_checked: u64,
+    pub reads_rejected: u64,
+    pub rcp_checks: u64,
+}
+
+impl OracleState {
+    fn violation(&mut self, trace: &TraceHandle, at: SimTime, msg: String) {
+        trace.borrow_mut().record(at, format!("VIOLATION {msg}"));
+        self.violations.push(msg);
+    }
+}
+
+pub type OracleHandle = Rc<RefCell<OracleState>>;
+
+/// The oracle: probe statements plus shared observation state.
+pub struct Oracle {
+    pub state: OracleHandle,
+    keys: i64,
+    select_v: Rc<Prepared>,
+    /// Locking variant for the write probe: without `FOR UPDATE` the
+    /// read-modify-write would be two steps under snapshot isolation and
+    /// two overlapping probes could both increment the same base value (a
+    /// plain lost update, not a system fault).
+    select_v_locked: Rc<Prepared>,
+    update_v: Rc<Prepared>,
+}
+
+impl Oracle {
+    /// Create the probe table, seed `keys` rows (value 0), and record
+    /// their insertion in the write history.
+    pub fn install(cluster: &mut Cluster, keys: i64) -> globaldb::GdbResult<Oracle> {
+        cluster.ddl(
+            "CREATE TABLE chaos_probe (id INT NOT NULL, v INT, \
+             PRIMARY KEY (id)) DISTRIBUTE BY HASH(id)",
+        )?;
+        let insert = cluster.prepare("INSERT INTO chaos_probe VALUES (?, ?)")?;
+        let select_v = cluster.prepare("SELECT v FROM chaos_probe WHERE id = ?")?;
+        let select_v_locked =
+            cluster.prepare("SELECT v FROM chaos_probe WHERE id = ? FOR UPDATE")?;
+        let update_v = cluster.prepare("UPDATE chaos_probe SET v = ? WHERE id = ?")?;
+
+        let mut history = Vec::new();
+        for k in 0..keys {
+            let at = cluster.now();
+            let (_, outcome) = cluster.run_transaction(0, at, false, true, |t| {
+                t.execute(&insert, &[Datum::Int(k), Datum::Int(0)])
+            })?;
+            history.push(WriteRecord {
+                key: k,
+                value: 0,
+                started_at: at,
+                acked_at: outcome.completed_at,
+                commit_ts: outcome.commit_ts.expect("probe insert commits"),
+            });
+        }
+        let state = Rc::new(RefCell::new(OracleState {
+            history,
+            last_rcp: vec![Timestamp::ZERO; cluster.db.cns.len()],
+            ..OracleState::default()
+        }));
+        Ok(Oracle {
+            state,
+            keys,
+            select_v: Rc::new(select_v),
+            select_v_locked: Rc::new(select_v_locked),
+            update_v: Rc::new(update_v),
+        })
+    }
+
+    /// Schedule write and read probes every `interval` over
+    /// `[start, end)`. Probes run as ordinary simulation events, so they
+    /// interleave with the fault plan and the foreground workload.
+    pub fn schedule(
+        &self,
+        cluster: &mut Cluster,
+        start: SimTime,
+        end: SimTime,
+        interval: SimDuration,
+        trace: &TraceHandle,
+    ) {
+        let half = SimDuration::from_nanos(interval.as_nanos() / 2);
+        let mut t = start;
+        let mut tick: u64 = 0;
+        while t < end {
+            let key = (tick as i64) % self.keys;
+            let (state, sel, upd, tr) = (
+                Rc::clone(&self.state),
+                Rc::clone(&self.select_v_locked),
+                Rc::clone(&self.update_v),
+                Rc::clone(trace),
+            );
+            cluster.sim.schedule_at(t, move |w, sim| {
+                write_probe(w, sim.now(), key, tick, &state, &sel, &upd, &tr);
+            });
+            let (state, sel, tr) = (
+                Rc::clone(&self.state),
+                Rc::clone(&self.select_v),
+                Rc::clone(trace),
+            );
+            cluster.sim.schedule_at(t + half, move |w, sim| {
+                rcp_probe(w, sim.now(), &state, &tr);
+                read_probe(w, sim.now(), key, tick, &state, &sel, &tr);
+            });
+            t += interval;
+            tick += 1;
+        }
+    }
+
+    /// Post-run checks, after every fault healed and the cluster idled:
+    /// read back every key from the primary and (in strict mode) verify
+    /// both the final values and the full per-key value sequences.
+    pub fn final_check(&self, cluster: &mut Cluster, strict: bool) {
+        for k in 0..self.keys {
+            let at = cluster.now();
+            let sel = Rc::clone(&self.select_v);
+            // A read-write transaction reads the freshest primary state.
+            let observed = cluster
+                .run_transaction(0, at, false, true, |t| {
+                    t.execute(&sel, &[Datum::Int(k)]).map(|o| o.scalar_int())
+                })
+                .map(|(v, _)| v);
+            let state = &mut *self.state.borrow_mut();
+            let last = state
+                .history
+                .iter()
+                .filter(|r| r.key == k)
+                .max_by_key(|r| r.commit_ts)
+                .map(|r| r.value);
+            match observed {
+                Ok(v) if strict && v != last => {
+                    state.violations.push(format!(
+                        "durability: key {k} final value {v:?}, last acked write {last:?}"
+                    ));
+                }
+                Ok(_) => {}
+                Err(e) => state
+                    .violations
+                    .push(format!("final read of key {k} failed: {e}")),
+            }
+        }
+        if strict {
+            let state = &mut *self.state.borrow_mut();
+            for k in 0..self.keys {
+                let mut vals: Vec<(Timestamp, i64)> = state
+                    .history
+                    .iter()
+                    .filter(|r| r.key == k)
+                    .map(|r| (r.commit_ts, r.value))
+                    .collect();
+                vals.sort();
+                for (i, w) in vals.iter().enumerate() {
+                    if w.1 != i as i64 {
+                        state.violations.push(format!(
+                            "durability: key {k} write #{i} has value {} (an acked \
+                             write was lost or duplicated); sequence: {vals:?}",
+                            w.1
+                        ));
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn alive_cns(db: &GlobalDb) -> Vec<usize> {
+    (0..db.cns.len())
+        .filter(|&i| !db.topo.is_node_down(db.cns[i].node))
+        .collect()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_probe(
+    db: &mut GlobalDb,
+    now: SimTime,
+    key: i64,
+    tick: u64,
+    state: &OracleHandle,
+    sel: &Prepared,
+    upd: &Prepared,
+    trace: &TraceHandle,
+) {
+    let alive = alive_cns(db);
+    let Some(&cn) = alive.get(tick as usize % alive.len().max(1)) else {
+        return;
+    };
+    let res = db.run_transaction_at(cn, now, false, true, |t| {
+        let cur = t
+            .execute(sel, &[Datum::Int(key)])?
+            .scalar_int()
+            .unwrap_or(0);
+        let next = cur + 1;
+        t.execute(upd, &[Datum::Int(next), Datum::Int(key)])?;
+        Ok(next)
+    });
+    let state = &mut *state.borrow_mut();
+    match res {
+        Ok((value, outcome)) => {
+            let commit_ts = outcome.commit_ts.expect("probe write commits");
+            // External consistency: every write acknowledged before this
+            // one *started* must have a strictly smaller commit ts.
+            for p in &state.history {
+                if p.acked_at <= now && p.commit_ts >= commit_ts {
+                    let msg = format!(
+                        "external consistency: write(key={key}, ts={commit_ts:?}) started at \
+                         {now} after write(key={}, ts={:?}) was acked at {}",
+                        p.key, p.commit_ts, p.acked_at
+                    );
+                    state.violation(trace, now, msg);
+                    break;
+                }
+            }
+            state.history.push(WriteRecord {
+                key,
+                value,
+                started_at: now,
+                acked_at: outcome.completed_at,
+                commit_ts,
+            });
+            state.writes_committed += 1;
+        }
+        Err(e) if e.is_retryable() => state.writes_rejected += 1,
+        Err(e) => {
+            let msg = format!("probe write(key={key}) failed non-retryably: {e}");
+            state.violation(trace, now, msg);
+        }
+    }
+}
+
+fn read_probe(
+    db: &mut GlobalDb,
+    now: SimTime,
+    key: i64,
+    tick: u64,
+    state: &OracleHandle,
+    sel: &Prepared,
+    trace: &TraceHandle,
+) {
+    let alive = alive_cns(db);
+    // Read from the opposite end of the CN list so reads and writes keep
+    // crossing CN (and usually region) boundaries.
+    let Some(&cn) = alive.get(
+        alive
+            .len()
+            .wrapping_sub(1 + tick as usize % alive.len().max(1)),
+    ) else {
+        return;
+    };
+    let rcp_before = db.cns[cn].rcp;
+    let res = db.run_transaction_at(cn, now, true, true, |t| {
+        Ok(t.execute(sel, &[Datum::Int(key)])?.scalar_int())
+    });
+    let state = &mut *state.borrow_mut();
+    match res {
+        Ok((observed, outcome)) => {
+            state.reads_checked += 1;
+            if outcome.used_replica && outcome.snapshot != rcp_before {
+                let msg = format!(
+                    "replica read at snapshot {:?} != CN {cn} RCP {rcp_before:?}",
+                    outcome.snapshot
+                );
+                state.violation(trace, now, msg);
+            }
+            let expected = state
+                .history
+                .iter()
+                .filter(|r| r.key == key && r.commit_ts <= outcome.snapshot)
+                .max_by_key(|r| r.commit_ts)
+                .map(|r| r.value);
+            if observed != expected {
+                let msg = format!(
+                    "read(key={key}) at snapshot {:?} returned {observed:?}, history says \
+                     {expected:?} (replica={})",
+                    outcome.snapshot, outcome.used_replica
+                );
+                state.violation(trace, now, msg);
+            }
+        }
+        Err(e) if e.is_retryable() => state.reads_rejected += 1,
+        Err(e) => {
+            let msg = format!("probe read(key={key}) failed non-retryably: {e}");
+            state.violation(trace, now, msg);
+        }
+    }
+}
+
+fn rcp_probe(db: &mut GlobalDb, now: SimTime, state: &OracleHandle, trace: &TraceHandle) {
+    let state = &mut *state.borrow_mut();
+    state.rcp_checks += 1;
+    for (i, cn) in db.cns.iter().enumerate() {
+        if cn.rcp < state.last_rcp[i] {
+            let msg = format!(
+                "RCP moved backwards on CN {i}: {:?} -> {:?}",
+                state.last_rcp[i], cn.rcp
+            );
+            state.violation(trace, now, msg);
+        }
+        state.last_rcp[i] = cn.rcp;
+    }
+    for (r, &region) in db.regions.iter().enumerate() {
+        let computed = db.rcp[r].current();
+        if computed == Timestamp::ZERO {
+            continue; // group freshly rebuilt; nothing reported yet
+        }
+        let applied_max = db
+            .shards
+            .iter()
+            .flat_map(|s| s.replicas.iter())
+            .filter(|rep| rep.region == region)
+            .map(|rep| rep.applier.max_commit_ts())
+            .max();
+        if let Some(m) = applied_max {
+            if computed > m {
+                let msg = format!(
+                    "region {r} RCP {computed:?} exceeds its replicas' max applied \
+                     commit ts {m:?}"
+                );
+                state.violation(trace, now, msg);
+            }
+        }
+    }
+}

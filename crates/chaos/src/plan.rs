@@ -1,0 +1,176 @@
+//! Declarative fault plans and their scheduling onto the event engine.
+
+use crate::fault::{ChaosState, Fault};
+use crate::trace::TraceHandle;
+use globaldb::{Cluster, SimDuration, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// One fault at one instant of virtual time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultEvent {
+    pub at: SimTime,
+    pub fault: Fault,
+}
+
+/// A named, ordered fault schedule.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    pub name: String,
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    pub fn new(name: impl Into<String>) -> Self {
+        FaultPlan {
+            name: name.into(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Append a fault at `at`.
+    pub fn at(mut self, at: SimTime, fault: Fault) -> Self {
+        self.events.push(FaultEvent { at, fault });
+        self
+    }
+
+    /// True if the plan contains a promotion (possible data loss under
+    /// asynchronous replication — the oracle relaxes durability checks).
+    pub fn has_promotion(&self) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e.fault, Fault::PromoteReplica { .. }))
+    }
+
+    /// Schedule every fault of the plan as a first-class simulation event
+    /// on `cluster`, recording each application into `trace`.
+    pub fn schedule(&self, cluster: &mut Cluster, trace: TraceHandle) {
+        let state = Rc::new(RefCell::new(ChaosState::default()));
+        for ev in &self.events {
+            let fault = ev.fault.clone();
+            let trace = Rc::clone(&trace);
+            let state = Rc::clone(&state);
+            cluster.sim.schedule_at(ev.at, move |w, sim| {
+                let now = sim.now();
+                let line = fault.apply(w, &mut state.borrow_mut(), now);
+                trace.borrow_mut().record(now, line);
+            });
+        }
+    }
+}
+
+/// Canned plans used by the integration suite and the `nemesis` binary.
+/// All times are offsets the runner shifts past warmup.
+pub mod canned {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    /// Primary failover drill: crash a primary mid-traffic, promote a
+    /// replica, re-admit the old primary as a replica, and separately
+    /// crash + restart another primary in place (WAL catch-up).
+    pub fn primary_failover() -> FaultPlan {
+        FaultPlan::new("primary-failover")
+            .at(t(300), Fault::CrashPrimary { shard: 0 })
+            .at(
+                t(600),
+                Fault::PromoteReplica {
+                    shard: 0,
+                    replica: 0,
+                },
+            )
+            .at(t(1000), Fault::RejoinOldPrimary { shard: 0 })
+            .at(t(1400), Fault::CrashPrimary { shard: 1 })
+            .at(t(1800), Fault::RestartPrimary { shard: 1 })
+    }
+
+    /// Network chaos: a region partition that heals, a `tc`-style delay
+    /// spike, and a clock-sync outage riding on top.
+    pub fn partition_and_delay() -> FaultPlan {
+        FaultPlan::new("partition-and-delay")
+            .at(t(300), Fault::PartitionRegions { a: 0, b: 1 })
+            .at(t(800), Fault::HealRegions { a: 0, b: 1 })
+            .at(
+                t(1000),
+                Fault::DelaySpike {
+                    extra: SimDuration::from_millis(5),
+                },
+            )
+            .at(t(1500), Fault::ClearDelay)
+            .at(t(1700), Fault::ClockSyncOutage { cn: 1 })
+            .at(t(2300), Fault::ClockSyncResume { cn: 1 })
+    }
+
+    /// Control-plane chaos: GTM crash/failover, a collector-CN crash and
+    /// restart, and a replica crash with WAL catch-up restart.
+    pub fn gtm_and_collector() -> FaultPlan {
+        FaultPlan::new("gtm-and-collector")
+            .at(t(300), Fault::CrashGtm)
+            .at(t(700), Fault::RestartGtm)
+            .at(t(900), Fault::CrashCn { cn: 0 })
+            .at(t(1400), Fault::RestartCn { cn: 0 })
+            .at(
+                t(1600),
+                Fault::CrashReplica {
+                    shard: 2,
+                    replica: 0,
+                },
+            )
+            .at(
+                t(2100),
+                Fault::RestartReplica {
+                    shard: 2,
+                    replica: 0,
+                },
+            )
+    }
+
+    /// All canned plans, by name.
+    pub fn all() -> Vec<FaultPlan> {
+        vec![
+            primary_failover(),
+            partition_and_delay(),
+            gtm_and_collector(),
+        ]
+    }
+
+    pub fn by_name(name: &str) -> Option<FaultPlan> {
+        all().into_iter().find(|p| p.name == name)
+    }
+}
+
+impl FaultPlan {
+    /// Shift every event later by `offset` (runners place plans after
+    /// workload warmup).
+    pub fn shifted(mut self, offset: SimDuration) -> Self {
+        for ev in &mut self.events {
+            ev.at += offset;
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canned_plans_are_named_and_nonempty() {
+        let plans = canned::all();
+        assert_eq!(plans.len(), 3);
+        for p in &plans {
+            assert!(!p.events.is_empty(), "{} is empty", p.name);
+            assert!(canned::by_name(&p.name).is_some());
+        }
+        assert!(canned::primary_failover().has_promotion());
+        assert!(!canned::partition_and_delay().has_promotion());
+    }
+
+    #[test]
+    fn shifted_moves_every_event() {
+        let p = canned::primary_failover().shifted(SimDuration::from_secs(1));
+        assert_eq!(p.events[0].at, SimTime::from_millis(1300));
+    }
+}

@@ -1,0 +1,235 @@
+//! The chaos runner: a TPC-C workload in the foreground, a fault plan
+//! and the invariant oracle interleaved as simulation events, a heal-all
+//! recovery phase, and final whole-database checks.
+
+use crate::nemesis::{ClusterShape, NemesisConfig};
+use crate::oracle::Oracle;
+use crate::plan::FaultPlan;
+use crate::trace::new_trace;
+use gdb_workloads::tpcc::{consistency, TpccMix, TpccScale, TpccWorkload};
+use gdb_workloads::{run_workload, RunConfig, Workload};
+use globaldb::{Cluster, ClusterConfig, GlobalDb, ReplicationMode, SimDuration, SimTime};
+use std::rc::Rc;
+
+/// Knobs for one chaos run.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosConfig {
+    pub cluster_seed: u64,
+    pub workload_seed: u64,
+    pub terminals: usize,
+    /// Fault-free lead-in before the plan starts.
+    pub warmup: SimDuration,
+    /// The fault window (plan offsets land inside it).
+    pub duration: SimDuration,
+    /// Idle recovery time between heal-all and the final checks.
+    pub grace: SimDuration,
+    pub probe_interval: SimDuration,
+    pub probe_keys: i64,
+}
+
+impl ChaosConfig {
+    /// A short run sized for the integration suite.
+    pub fn quick(seed: u64) -> Self {
+        ChaosConfig {
+            cluster_seed: seed,
+            workload_seed: seed ^ 0xc4a0_5bad,
+            terminals: 8,
+            warmup: SimDuration::from_millis(500),
+            duration: SimDuration::from_secs(3),
+            grace: SimDuration::from_secs(2),
+            probe_interval: SimDuration::from_millis(25),
+            probe_keys: 4,
+        }
+    }
+
+    /// The cluster every chaos run torments: the Three-City GlobalDB
+    /// deployment with two CNs per region (so collector leadership can
+    /// fail over), quorum-synchronous replication (so every fault leaves
+    /// acknowledged writes recoverable and errors retryable), and
+    /// two-phase RCP rounds (so a collector crash can land mid-round).
+    pub fn cluster_config(&self) -> ClusterConfig {
+        let mut c = ClusterConfig::globaldb_three_city().with_seed(self.cluster_seed);
+        c.cn_count = 6;
+        c.replication = ReplicationMode::SyncRemoteQuorum { quorum: 1 };
+        c.rcp_two_phase = true;
+        c
+    }
+}
+
+/// What a chaos run produced.
+#[derive(Debug)]
+pub struct ChaosReport {
+    pub plan_name: String,
+    /// Fault applications + violations, in virtual-time order. Two runs
+    /// of the same seed produce identical traces.
+    pub trace: Vec<String>,
+    pub violations: Vec<String>,
+    pub txns_committed: u64,
+    pub txns_aborted: u64,
+    pub probe_writes: u64,
+    pub probe_reads: u64,
+    pub rcp_rounds: u64,
+    pub rcp_rounds_abandoned: u64,
+    pub collector_failovers: u64,
+    pub tpcc_rows_verified: usize,
+}
+
+impl ChaosReport {
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "plan: {}\ncommitted: {}  aborted: {}  probe writes: {}  probe reads: {}\n\
+             rcp rounds: {} ({} abandoned)  collector failovers: {}\n\
+             tpcc rows verified: {}\n--- trace ---\n",
+            self.plan_name,
+            self.txns_committed,
+            self.txns_aborted,
+            self.probe_writes,
+            self.probe_reads,
+            self.rcp_rounds,
+            self.rcp_rounds_abandoned,
+            self.collector_failovers,
+            self.tpcc_rows_verified,
+        );
+        for line in &self.trace {
+            out.push_str(line);
+            out.push('\n');
+        }
+        if self.violations.is_empty() {
+            out.push_str("--- all invariants held ---\n");
+        } else {
+            out.push_str("--- VIOLATIONS ---\n");
+            for v in &self.violations {
+                out.push_str(v);
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+/// Restore every outstanding fault: heal partitions, clear injected
+/// delay, reconnect clock-sync daemons, and restart every downed node
+/// through its typed recovery path.
+pub fn heal_all(db: &mut GlobalDb, now: SimTime) {
+    db.topo.heal_all();
+    db.set_injected_delay(SimDuration::ZERO);
+    for cn in 0..db.cns.len() {
+        db.resume_clock_sync(cn, now);
+    }
+    for shard in 0..db.shards.len() {
+        if db.topo.is_node_down(db.shards[shard].primary) {
+            db.restart_primary(shard);
+        }
+        for replica in 0..db.shards[shard].replicas.len() {
+            if db
+                .topo
+                .is_node_down(db.shards[shard].replicas[replica].node)
+            {
+                db.restart_replica(shard, replica, now);
+            }
+        }
+    }
+    if db.topo.is_node_down(db.gtm_node) {
+        db.restart_gtm();
+    }
+    for cn in 0..db.cns.len() {
+        if db.topo.is_node_down(db.cns[cn].node) {
+            db.restart_cn(cn, now);
+        }
+    }
+    // Anything still down is an orphan (e.g. a crashed-and-replaced old
+    // primary that never rejoined); bring it back so the topology is clean.
+    for node in db.topo.down_nodes() {
+        db.restore_node(node);
+    }
+}
+
+/// Run TPC-C under `plan` and return the full report.
+pub fn run_plan(plan: FaultPlan, cfg: &ChaosConfig) -> ChaosReport {
+    let mut cluster = Cluster::new(cfg.cluster_config());
+    let strict = cluster.db.config.replication.is_sync();
+    let scale = TpccScale::tiny();
+    let mut workload = TpccWorkload::new(scale, TpccMix::standard(), cfg.workload_seed);
+    workload.setup(&mut cluster).expect("TPC-C setup");
+    let oracle = Oracle::install(&mut cluster, cfg.probe_keys).expect("oracle install");
+
+    let t0 = cluster.now();
+    let start = t0 + cfg.warmup;
+    let end = start + cfg.duration;
+    let trace = new_trace();
+
+    let plan = plan.shifted(SimDuration::from_nanos(start.as_nanos()));
+    let plan_name = plan.name.clone();
+    plan.schedule(&mut cluster, Rc::clone(&trace));
+    oracle.schedule(&mut cluster, start, end, cfg.probe_interval, &trace);
+
+    run_workload(
+        &mut cluster,
+        &mut workload,
+        RunConfig {
+            terminals: cfg.terminals,
+            duration: cfg.duration,
+            warmup: cfg.warmup,
+            think_time: SimDuration::from_millis(10),
+        },
+    );
+
+    // Recovery: heal everything, let replication / RCP catch up.
+    let now = cluster.now();
+    heal_all(&mut cluster.db, now);
+    cluster.run_until(now + cfg.grace);
+
+    oracle.final_check(&mut cluster, strict);
+    let tpcc_rows_verified = match consistency::verify(&mut cluster, &scale) {
+        Ok(rows) => rows,
+        Err(e) => {
+            oracle
+                .state
+                .borrow_mut()
+                .violations
+                .push(format!("TPC-C consistency after {plan_name}: {e}"));
+            0
+        }
+    };
+
+    let trace_lines = trace.borrow().lines();
+    let state = oracle.state.borrow();
+    ChaosReport {
+        plan_name,
+        trace: trace_lines,
+        violations: state.violations.clone(),
+        txns_committed: cluster.db.stats.committed,
+        txns_aborted: cluster.db.stats.aborted,
+        probe_writes: state.writes_committed,
+        probe_reads: state.reads_checked,
+        rcp_rounds: cluster.db.stats.rcp_rounds,
+        rcp_rounds_abandoned: cluster.db.stats.rcp_rounds_abandoned,
+        collector_failovers: cluster.db.stats.collector_failovers,
+        tpcc_rows_verified,
+    }
+}
+
+/// Generate a nemesis schedule from `seed` and run it. The schedule is a
+/// pure function of the seed and the cluster shape, so the whole run —
+/// trace included — replays bit-for-bit.
+pub fn run_nemesis(seed: u64, cfg: &ChaosConfig) -> ChaosReport {
+    // Shape is determined by the config, not a live cluster; build the
+    // shape from the same parameters `run_plan` will use.
+    let cc = cfg.cluster_config();
+    let shape = ClusterShape {
+        shards: cc.shard_count,
+        replicas_per_shard: cc.replicas_per_shard,
+        cns: cc.cn_count,
+        regions: match cc.geometry {
+            globaldb::Geometry::OneRegion { .. } => 1,
+            globaldb::Geometry::ThreeCity { .. } => 3,
+        },
+    };
+    let nemesis = NemesisConfig::new(seed, SimTime::ZERO, cfg.duration);
+    let plan = crate::nemesis::generate(&nemesis, &shape);
+    run_plan(plan, cfg)
+}

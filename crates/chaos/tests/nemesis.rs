@@ -1,0 +1,143 @@
+//! The chaos integration suite: TPC-C under every canned fault plan and
+//! a batch of random nemesis schedules, all checked by the invariant
+//! oracle; plus determinism (same seed → identical trace) and the
+//! collector-crash-mid-RCP-round recovery path.
+
+use gdb_chaos::plan::canned;
+use gdb_chaos::{run_nemesis, run_plan, ChaosConfig};
+use globaldb::{Cluster, SimDuration};
+
+fn assert_clean(report: &gdb_chaos::ChaosReport) {
+    assert!(
+        report.ok(),
+        "plan {} violated invariants:\n{}",
+        report.plan_name,
+        report.render()
+    );
+    assert!(
+        report.txns_committed > 0,
+        "plan {} made no progress",
+        report.plan_name
+    );
+    assert!(
+        report.probe_writes > 0 && report.probe_reads > 0,
+        "plan {} ran no probes",
+        report.plan_name
+    );
+}
+
+#[test]
+fn tpcc_survives_primary_failover_plan() {
+    let report = run_plan(canned::primary_failover(), &ChaosConfig::quick(101));
+    assert_clean(&report);
+    // The plan both promotes a replica and rejoins the old primary.
+    assert!(report.trace.iter().any(|l| l.contains("promote")));
+    assert!(report.trace.iter().any(|l| l.contains("rejoin")));
+}
+
+#[test]
+fn tpcc_survives_partition_and_delay_plan() {
+    let report = run_plan(canned::partition_and_delay(), &ChaosConfig::quick(102));
+    assert_clean(&report);
+    assert!(report.trace.iter().any(|l| l.contains("partition")));
+}
+
+#[test]
+fn tpcc_survives_gtm_and_collector_plan() {
+    let report = run_plan(canned::gtm_and_collector(), &ChaosConfig::quick(103));
+    assert_clean(&report);
+    assert!(report.trace.iter().any(|l| l.contains("crash-gtm")));
+    // Killing a collector CN forces a collector failover at a later round.
+    assert!(report.collector_failovers >= 1, "{}", report.render());
+}
+
+#[test]
+fn tpcc_survives_ten_random_nemesis_seeds() {
+    for seed in 1..=10u64 {
+        let mut cfg = ChaosConfig::quick(seed);
+        cfg.duration = SimDuration::from_secs(2);
+        let report = run_nemesis(seed, &cfg);
+        assert_clean(&report);
+        assert!(
+            report.trace.iter().any(|l| l.contains("fault")),
+            "seed {seed} injected nothing:\n{}",
+            report.render()
+        );
+    }
+}
+
+#[test]
+fn same_seed_replays_identical_trace() {
+    let mut cfg = ChaosConfig::quick(42);
+    cfg.duration = SimDuration::from_secs(2);
+    let a = run_nemesis(42, &cfg);
+    let b = run_nemesis(42, &cfg);
+    assert_eq!(a.trace, b.trace, "seed 42 did not replay bit-for-bit");
+    assert_eq!(a.txns_committed, b.txns_committed);
+    assert_eq!(a.probe_writes, b.probe_writes);
+    assert_eq!(a.violations, b.violations);
+
+    let mut cfg3 = ChaosConfig::quick(43);
+    cfg3.duration = SimDuration::from_secs(2);
+    let c = run_nemesis(43, &cfg3);
+    assert_ne!(a.trace, c.trace, "different seeds produced the same trace");
+}
+
+/// A collector CN dying between the gather and distribute phases of an
+/// RCP round: the round is abandoned (counted, RCP untouched) and the
+/// next round elects a new collector and completes.
+#[test]
+fn collector_crash_mid_rcp_round_abandons_then_fails_over() {
+    let cfg = ChaosConfig::quick(7);
+    let mut cluster = Cluster::new(cfg.cluster_config());
+    // Give replicas some applied state so rounds report real timestamps.
+    cluster
+        .ddl("CREATE TABLE t (id INT NOT NULL, v INT, PRIMARY KEY (id)) DISTRIBUTE BY HASH(id)")
+        .unwrap();
+    let ins = cluster.prepare("INSERT INTO t VALUES (?, ?)").unwrap();
+    for k in 0..8 {
+        let at = cluster.now();
+        cluster
+            .run_transaction(0, at, false, true, |t| {
+                t.execute(&ins, &[globaldb::Datum::Int(k), globaldb::Datum::Int(k)])
+            })
+            .unwrap();
+    }
+    // Let replication and a few background RCP rounds land.
+    let now = cluster.now();
+    cluster.run_until(now + SimDuration::from_millis(500));
+
+    let db = &mut cluster.db;
+    let rounds_before = db.stats.rcp_rounds;
+    let abandoned_before = db.stats.rcp_rounds_abandoned;
+    let rcps_before: Vec<_> = db.cns.iter().map(|c| c.rcp).collect();
+
+    // Phase 1 gathers on the collector, which then dies mid-round.
+    let now = cluster.sim.now();
+    let collector = db.rcp_collect(0, now).expect("region 0 has a collector");
+    db.crash_cn(collector);
+    db.rcp_finish(0, collector, now);
+
+    assert_eq!(db.stats.rcp_rounds_abandoned, abandoned_before + 1);
+    assert_eq!(
+        db.stats.rcp_rounds, rounds_before,
+        "abandoned round counted as complete"
+    );
+    for (i, cn) in db.cns.iter().enumerate() {
+        assert!(
+            cn.rcp >= rcps_before[i],
+            "RCP moved backwards on CN {i} across an abandoned round"
+        );
+    }
+
+    // The next round elects a fresh collector and completes.
+    let failovers_before = db.stats.collector_failovers;
+    let new_collector = db.rcp_collect(0, now).expect("a standby CN takes over");
+    assert_ne!(new_collector, collector, "dead collector re-elected");
+    db.rcp_finish(0, new_collector, now);
+    assert!(db.stats.collector_failovers > failovers_before);
+    assert_eq!(db.stats.rcp_rounds, rounds_before + 1);
+    for (i, cn) in db.cns.iter().enumerate() {
+        assert!(cn.rcp >= rcps_before[i]);
+    }
+}

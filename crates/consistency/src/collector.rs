@@ -61,6 +61,25 @@ impl CollectorElection {
     pub fn is_alive(&self, cn: usize) -> bool {
         self.alive.get(cn).copied().unwrap_or(false)
     }
+
+    /// Refresh the whole liveness view from an external health check (the
+    /// fault-injection entry point). Returns the new collector if the
+    /// leadership changed — i.e. a collector failover happened.
+    pub fn refresh(&mut self, alive: &[bool]) -> Option<usize> {
+        let before = self.current;
+        for (cn, &up) in alive.iter().enumerate() {
+            if up {
+                self.on_cn_up(cn);
+            } else {
+                self.on_cn_down(cn);
+            }
+        }
+        if self.current != before {
+            self.current
+        } else {
+            None
+        }
+    }
 }
 
 #[cfg(test)]
@@ -81,6 +100,20 @@ mod tests {
         assert_eq!(e.collector(), Some(1));
         // Non-collector death changes nothing.
         assert_eq!(e.on_cn_down(2), None);
+        assert_eq!(e.collector(), Some(1));
+    }
+
+    #[test]
+    fn refresh_reports_failover_only_on_change() {
+        let mut e = CollectorElection::new(3);
+        // No change: everyone alive.
+        assert_eq!(e.refresh(&[true, true, true]), None);
+        // Collector dies: failover reported.
+        assert_eq!(e.refresh(&[false, true, true]), Some(1));
+        // Same view again: no new failover.
+        assert_eq!(e.refresh(&[false, true, true]), None);
+        // Old collector returns but does not preempt.
+        assert_eq!(e.refresh(&[true, true, true]), None);
         assert_eq!(e.collector(), Some(1));
     }
 

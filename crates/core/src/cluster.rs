@@ -99,6 +99,10 @@ pub struct GlobalDb {
     /// trading update latency for maximal freshness on selected tables).
     pub table_replication: std::collections::HashMap<TableId, gdb_replication::ReplicationMode>,
     pub stats: ClusterStats,
+    /// Per-CN flag: `true` while the CN's clock-sync daemon is cut off
+    /// from its regional time device (fault injection). While blocked the
+    /// clock keeps drifting and its error bound grows until sync resumes.
+    pub clock_sync_blocked: Vec<bool>,
     pub(crate) txn_seq: u64,
     /// Set when an online transition completes (observed by tests/benches).
     pub last_transition_completed: Option<gdb_txnmgr::TransitionDirection>,
@@ -116,7 +120,7 @@ impl GlobalDb {
     /// boundary instead of simulating every round).
     pub(crate) fn sync_cn_clock(&mut self, cn: usize, now: SimTime) {
         let interval = self.config.gclock.sync_interval;
-        if interval.is_zero() {
+        if interval.is_zero() || self.clock_sync_blocked.get(cn).copied().unwrap_or(false) {
             return;
         }
         let aligned =
@@ -242,27 +246,36 @@ impl GlobalDb {
         }
     }
 
-    /// One RCP collection round for a region (paper §IV-A): the collector
-    /// CN gathers max commit timestamps from the replicas at its site,
-    /// computes `min`, and distributes it to the region's CNs.
-    fn rcp_round(&mut self, region_idx: usize, _now: SimTime) {
+    /// One synchronous RCP round for a region: collect then finish with no
+    /// gathering window in between (used at load finish; the background
+    /// event splits the two phases so a collector crash can land mid-round).
+    pub(crate) fn rcp_round(&mut self, region_idx: usize, now: SimTime) {
+        if let Some(collector_cn) = self.rcp_collect(region_idx, now) {
+            self.rcp_finish(region_idx, collector_cn, now);
+        }
+    }
+
+    /// Phase 1 of an RCP collection round for a region (paper §IV-A): the
+    /// collector CN gathers max commit timestamps from the replicas at its
+    /// site. Returns the global index of the collecting CN, or `None` when
+    /// every CN in the region is down (round skipped).
+    ///
+    /// The collector election refreshes from node health first: if the
+    /// current collector CN died, the next alive CN in the region takes
+    /// over (a collector failover).
+    pub fn rcp_collect(&mut self, region_idx: usize, _now: SimTime) -> Option<usize> {
         let region = self.regions[region_idx];
-        // Refresh the collector election from node health: if the current
-        // collector CN died, the next alive CN in the region takes over
-        // (paper §IV-A); with every CN down, the round is skipped.
         let region_cns: Vec<usize> = (0..self.cns.len())
             .filter(|&i| self.cns[i].region == region)
             .collect();
-        for (slot, &cn) in region_cns.iter().enumerate() {
-            if self.topo.is_node_down(self.cns[cn].node) {
-                self.collectors[region_idx].on_cn_down(slot);
-            } else {
-                self.collectors[region_idx].on_cn_up(slot);
-            }
+        let alive: Vec<bool> = region_cns
+            .iter()
+            .map(|&cn| !self.topo.is_node_down(self.cns[cn].node))
+            .collect();
+        if self.collectors[region_idx].refresh(&alive).is_some() {
+            self.stats.collector_failovers += 1;
         }
-        let Some(_collector) = self.collectors[region_idx].collector() else {
-            return;
-        };
+        let collector_slot = self.collectors[region_idx].collector()?;
         // Report every replica located in this region.
         let mut slot = 0u32;
         for shard in &self.shards {
@@ -272,6 +285,19 @@ impl GlobalDb {
                 }
                 slot += 1;
             }
+        }
+        Some(region_cns[collector_slot])
+    }
+
+    /// Phase 2: the collector computes `min` over the gathered reports and
+    /// distributes it to the region's CNs. If the collector crashed since
+    /// phase 1, the round is abandoned — CNs keep their previous RCP, so
+    /// the value every client observes stays monotone.
+    pub fn rcp_finish(&mut self, region_idx: usize, collector_cn: usize, now: SimTime) {
+        let region = self.regions[region_idx];
+        if self.topo.is_node_down(self.cns[collector_cn].node) {
+            self.stats.rcp_rounds_abandoned += 1;
+            return;
         }
         let rcp = self.rcp[region_idx].compute();
         // Distribute to the region's alive CNs (monotone adoption).
@@ -283,10 +309,27 @@ impl GlobalDb {
         self.stats.rcp_rounds += 1;
         // Track the GTM issue rate for GTM-mode staleness estimation.
         let counter = self.gtm.current().0;
-        let now = _now;
         if region_idx == 0 {
             self.gtm_rate.observe(counter, now);
         }
+    }
+
+    /// How long the collector spends gathering replica reports: the
+    /// slowest nominal round trip to a replica at its site. The background
+    /// RCP event schedules the finish phase this far after the collect
+    /// phase, which is exactly the window a collector crash can hit.
+    pub fn rcp_gather_delay(&self, region_idx: usize, collector_cn: usize) -> SimDuration {
+        let region = self.regions[region_idx];
+        let cn_node = self.cns[collector_cn].node;
+        let mut delay = SimDuration::from_micros(50);
+        for shard in &self.shards {
+            for replica in &shard.replicas {
+                if replica.region == region {
+                    delay = delay.max(self.topo.nominal_rtt(cn_node, replica.node));
+                }
+            }
+        }
+        delay
     }
 
     /// Clock-health watchdog (paper §III-A / Fig. 3): if any CN reports an
@@ -310,17 +353,28 @@ impl GlobalDb {
             return;
         };
         self.sync_cn_clock(cn_idx, now);
+        // Modes that stamp through the GTM can't heartbeat while it is
+        // down (fault injection); GClock heartbeats are unaffected.
+        let gtm_down = self.topo.is_node_down(self.gtm_node);
         let ts = match self.cns[cn_idx].tm.mode {
             TmMode::GClock => {
                 let ts = self.cns[cn_idx].tm.gclock.assign_timestamp(now);
                 self.gtm.observe_commit(ts);
                 ts
             }
-            TmMode::Gtm => match self.gtm.commit_gtm() {
-                Ok((ts, _)) => ts,
-                Err(_) => return,
-            },
+            TmMode::Gtm => {
+                if gtm_down {
+                    return;
+                }
+                match self.gtm.commit_gtm() {
+                    Ok((ts, _)) => ts,
+                    Err(_) => return,
+                }
+            }
             TmMode::Dual => {
+                if gtm_down {
+                    return;
+                }
                 let g = self.cns[cn_idx].tm.gclock.assign_timestamp(now);
                 self.gtm.commit_dual(g)
             }
@@ -378,6 +432,276 @@ impl GlobalDb {
                 removed
             })
             .sum()
+    }
+
+    // ---- Fault-injection API (the chaos subsystem's entry points) ------
+    //
+    // Every method below takes `&mut GlobalDb` (not `Cluster`) so fault
+    // plans can fire from *inside* scheduled simulation events, exactly
+    // like the background activities they disturb.
+
+    /// Crash an arbitrary node: messages to/from it are dropped.
+    pub fn crash_node(&mut self, node: NetNodeId) {
+        self.topo.set_node_down(node, true);
+    }
+
+    /// Bring a crashed node back (topology level only — see the typed
+    /// restart methods for state resynchronization).
+    pub fn restore_node(&mut self, node: NetNodeId) {
+        self.topo.set_node_down(node, false);
+    }
+
+    /// Crash a shard's primary data node. Replicas keep serving reads at
+    /// the RCP; writes to the shard fail (retryably) until the primary
+    /// restarts or a replica is promoted. Returns the crashed node.
+    pub fn crash_primary(&mut self, shard_idx: usize) -> NetNodeId {
+        let node = self.shards[shard_idx].primary;
+        self.crash_node(node);
+        node
+    }
+
+    /// Restart a crashed primary in place: its WAL survived, so replicas
+    /// simply resume draining the redo stream where they left off (the
+    /// shipping loop retries automatically once the node is reachable).
+    pub fn restart_primary(&mut self, shard_idx: usize) {
+        let node = self.shards[shard_idx].primary;
+        self.restore_node(node);
+    }
+
+    /// Crash one replica of a shard. In-flight redo batches die with the
+    /// connection (the incarnation bump drops them); the applier's durable
+    /// state — applied rows, pending-transaction buffers rebuilt from its
+    /// WAL — survives for [`GlobalDb::restart_replica`].
+    pub fn crash_replica(&mut self, shard_idx: usize, replica_idx: usize) -> Option<NetNodeId> {
+        let replica = self.shards[shard_idx].replicas.get_mut(replica_idx)?;
+        replica.epoch += 1; // orphan in-flight deliver events
+        let node = replica.node;
+        self.crash_node(node);
+        Some(node)
+    }
+
+    /// Restart a crashed replica with WAL catch-up: the shipping channel
+    /// rewinds to the applier's durable resume point and the lost tail is
+    /// re-shipped (duplicates replay idempotently).
+    pub fn restart_replica(&mut self, shard_idx: usize, replica_idx: usize, now: SimTime) {
+        let Some(replica) = self.shards[shard_idx].replicas.get_mut(replica_idx) else {
+            return;
+        };
+        let resume = replica.applier.resume_from();
+        replica.channel.rewind(resume);
+        replica.busy_until = now;
+        replica.stream_free = now;
+        replica.last_arrival = now;
+        let node = replica.node;
+        self.restore_node(node);
+    }
+
+    /// Crash the GTM server node. GClock-mode commits are unaffected; GTM
+    /// and DUAL mode commits (and GTM-routed begins) fail retryably until
+    /// [`GlobalDb::restart_gtm`].
+    pub fn crash_gtm(&mut self) {
+        self.crash_node(self.gtm_node);
+    }
+
+    /// GTM failover: a standby takes over at the same address. The
+    /// timestamp counter never regresses — it was replicated via
+    /// `observe_commit` and commit persistence, so the new incumbent
+    /// resumes from the durable maximum.
+    pub fn restart_gtm(&mut self) {
+        self.restore_node(self.gtm_node);
+    }
+
+    /// Crash a computing node. Transactions routed to it fail retryably;
+    /// if it was its region's RCP collector, the next alive CN in the
+    /// region takes over at the next collection round.
+    pub fn crash_cn(&mut self, cn: usize) {
+        let node = self.cns[cn].node;
+        self.crash_node(node);
+    }
+
+    /// Restart a crashed CN: it rejoins with a freshly synced clock and
+    /// its old (monotone) RCP value, adopting newer values at the next
+    /// distribution round.
+    pub fn restart_cn(&mut self, cn: usize, now: SimTime) {
+        let node = self.cns[cn].node;
+        self.restore_node(node);
+        self.sync_cn_clock(cn, now);
+    }
+
+    /// Cut a CN's clock-sync daemon off from its regional time device.
+    /// The clock keeps running on its crystal: drift accumulates and the
+    /// error bound grows without bound, stretching GClock commit waits,
+    /// until [`GlobalDb::resume_clock_sync`].
+    pub fn block_clock_sync(&mut self, cn: usize) {
+        if cn < self.clock_sync_blocked.len() {
+            self.clock_sync_blocked[cn] = true;
+        }
+    }
+
+    /// Reconnect a CN's clock-sync daemon and sync immediately.
+    pub fn resume_clock_sync(&mut self, cn: usize, now: SimTime) {
+        if cn < self.clock_sync_blocked.len() {
+            self.clock_sync_blocked[cn] = false;
+        }
+        self.sync_cn_clock(cn, now);
+    }
+
+    /// Partition two regions (by index into [`GlobalDb::regions`]):
+    /// messages between them are dropped until healed.
+    pub fn partition_regions(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.regions[a], self.regions[b]);
+        self.topo.partition(ra, rb);
+    }
+
+    /// Heal a region partition.
+    pub fn heal_regions(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.regions[a], self.regions[b]);
+        self.topo.heal(ra, rb);
+    }
+
+    /// Inject a `tc`-style extra one-way delay on every inter-host
+    /// message (transient jitter spike); `ZERO` clears it.
+    pub fn set_injected_delay(&mut self, delay: SimDuration) {
+        self.topo.set_injected_delay(delay);
+    }
+
+    /// Promote one of a shard's replicas to primary at virtual time `now`
+    /// (see [`Cluster::promote_replica`] for the durability semantics).
+    pub fn promote_replica_at(
+        &mut self,
+        shard_idx: usize,
+        replica_idx: usize,
+        now: SimTime,
+    ) -> GdbResult<()> {
+        if replica_idx >= self.shards[shard_idx].replicas.len() {
+            return Err(GdbError::Internal(format!(
+                "shard {shard_idx} has no replica {replica_idx}"
+            )));
+        }
+
+        if self.config.replication.is_sync() {
+            // Acknowledged commits are durable on the quorum: deliver the
+            // whole outstanding stream to the chosen replica first. Seal
+            // everything, including records staged with a later apply
+            // instant — appending happens when the commit's WAL write is
+            // issued, so staged records are already on the durable log the
+            // quorum acknowledged.
+            self.shards[shard_idx].log.seal_all(now);
+            loop {
+                let (node, epoch, batch) = {
+                    let shard = &mut self.shards[shard_idx];
+                    let replica = &mut shard.replicas[replica_idx];
+                    match replica.channel.drain(shard.log.sealed()) {
+                        Some(wire) => (replica.node, replica.epoch, wire.batch.records),
+                        None => break,
+                    }
+                };
+                self.apply_batch(shard_idx, node, epoch, &batch, now);
+            }
+        }
+
+        let codec = self.config.codec;
+        let shard = &mut self.shards[shard_idx];
+        let promoted = shard.replicas.remove(replica_idx);
+        let old_primary = shard.primary;
+        shard.primary = promoted.node;
+        shard.region = promoted.region;
+        // Pending (uncommitted) transactions die with their coordinators.
+        shard.storage = promoted.applier.into_storage();
+        shard.log = ShardLog::new();
+        // Remaining replicas full-resync from the new primary: fresh
+        // applier over a snapshot of the promoted state, fresh channel on
+        // the new (empty) redo stream, new incarnation.
+        for replica in &mut shard.replicas {
+            replica.applier = ReplicaApplier::new(shard.storage.clone());
+            replica.channel = ShippingChannel::new(codec);
+            replica.busy_until = now;
+            replica.stream_free = now;
+            replica.last_arrival = now;
+            replica.epoch += 1;
+        }
+        let _ = old_primary;
+
+        // Replica membership changed: rebuild the per-region RCP groups.
+        self.rebuild_rcp_groups();
+        Ok(())
+    }
+
+    /// Re-admit a recovered node as a replica of `shard` at `now` (see
+    /// [`Cluster::rejoin_as_replica`]).
+    pub fn rejoin_as_replica_at(
+        &mut self,
+        shard_idx: usize,
+        node: NetNodeId,
+        now: SimTime,
+    ) -> GdbResult<()> {
+        self.topo.set_node_down(node, false);
+        let region = self.topo.node_region(node);
+        let codec = self.config.codec;
+        // Seal the *entire* staged log so the stream cut aligns with the
+        // snapshot: `storage` already holds versions whose records are
+        // staged with future apply instants (commit processing installs
+        // both synchronously), and re-shipping those after the rejoin
+        // would replay writes the snapshot contains — out of timestamp
+        // order. The channel resumes at the post-cut head.
+        self.shards[shard_idx].log.seal_all(now);
+        let head = self.shards[shard_idx].log.sealed_head();
+        let shard = &mut self.shards[shard_idx];
+        // The snapshot's high-water mark: nothing above the primary's
+        // installed state is claimed.
+        let max_ts = shard
+            .replicas
+            .iter()
+            .map(|r| r.applier.max_commit_ts())
+            .max()
+            .unwrap_or(Timestamp::ZERO);
+        let mut channel = ShippingChannel::new(codec);
+        channel.rewind(head);
+        shard.replicas.push(Replica {
+            node,
+            region,
+            applier: ReplicaApplier::resumed(shard.storage.clone(), head, max_ts),
+            channel,
+            busy_until: now,
+            stream_free: now,
+            last_arrival: now,
+            epoch: 0,
+        });
+        self.rebuild_rcp_groups();
+        Ok(())
+    }
+
+    /// Run a closed transaction at virtual time `at` directly against the
+    /// world state — the entry point for logic running *inside* a
+    /// scheduled event (fault-plan probes), where the [`Cluster`] wrapper
+    /// (which would re-enter the scheduler) is not available.
+    pub fn run_transaction_at<R>(
+        &mut self,
+        cn: usize,
+        at: SimTime,
+        read_only: bool,
+        single_shard: bool,
+        f: impl FnOnce(&mut TxnHandle) -> GdbResult<R>,
+    ) -> GdbResult<(R, TxnOutcome)> {
+        let mut handle = TxnHandle::begin(self, cn, at, read_only, single_shard)?;
+        match f(&mut handle) {
+            Ok(value) => match handle.commit() {
+                Ok(outcome) => {
+                    self.stats.record_txn(&outcome);
+                    Ok((value, outcome))
+                }
+                Err(e) => {
+                    // Commit-time failure: the handle already rolled back.
+                    self.stats.aborted += 1;
+                    Err(e)
+                }
+            },
+            Err(e) => {
+                let outcome = handle.abort();
+                self.stats.record_txn(&outcome);
+                Err(e)
+            }
+        }
     }
 }
 
@@ -476,6 +800,7 @@ impl Cluster {
             gtm_rate: GtmRate::default(),
             table_replication: std::collections::HashMap::new(),
             stats: ClusterStats::default(),
+            clock_sync_blocked: vec![false; cn_count],
             txn_seq: 0,
             last_transition_completed: None,
         };
@@ -710,19 +1035,8 @@ impl Cluster {
     ) -> GdbResult<(R, TxnOutcome)> {
         let at = at.max(self.sim.now());
         self.sim.run_until(&mut self.db, at);
-        let mut handle = TxnHandle::begin(&mut self.db, cn, at, read_only, single_shard)?;
-        match f(&mut handle) {
-            Ok(value) => {
-                let outcome = handle.commit()?;
-                self.db.stats.record_txn(&outcome);
-                Ok((value, outcome))
-            }
-            Err(e) => {
-                handle.abort();
-                self.db.stats.aborted += 1;
-                Err(e)
-            }
-        }
+        self.db
+            .run_transaction_at(cn, at, read_only, single_shard, f)
     }
 
     /// Convenience: run one SQL statement as its own transaction.
@@ -757,6 +1071,7 @@ impl Cluster {
                     latency: SimDuration::ZERO,
                     shards_written: vec![],
                     used_replica: false,
+                    aborted: false,
                 },
             ));
         }
@@ -795,9 +1110,10 @@ impl Cluster {
     /// Crash a shard's primary data node (paper §IV: replicas keep serving
     /// read-only queries until the primary recovers or a replica is
     /// promoted). Writes to the shard fail until promotion.
+    ///
+    /// Thin shim over the fault-injection API ([`GlobalDb::crash_primary`]).
     pub fn fail_primary(&mut self, shard_idx: usize) {
-        let node = self.db.shards[shard_idx].primary;
-        self.db.topo.set_node_down(node, true);
+        self.db.crash_primary(shard_idx);
     }
 
     /// Promote one of a shard's replicas to primary (paper §IV).
@@ -815,54 +1131,7 @@ impl Cluster {
     /// shard starts a fresh redo stream.
     pub fn promote_replica(&mut self, shard_idx: usize, replica_idx: usize) -> GdbResult<()> {
         let now = self.sim.now();
-        if replica_idx >= self.db.shards[shard_idx].replicas.len() {
-            return Err(GdbError::Internal(format!(
-                "shard {shard_idx} has no replica {replica_idx}"
-            )));
-        }
-
-        if self.db.config.replication.is_sync() {
-            // Acknowledged commits are durable on the quorum: deliver the
-            // whole outstanding stream to the chosen replica first.
-            self.db.shards[shard_idx].log.seal_upto(now);
-            loop {
-                let (node, epoch, batch) = {
-                    let shard = &mut self.db.shards[shard_idx];
-                    let replica = &mut shard.replicas[replica_idx];
-                    match replica.channel.drain(shard.log.sealed()) {
-                        Some(wire) => (replica.node, replica.epoch, wire.batch.records),
-                        None => break,
-                    }
-                };
-                self.db.apply_batch(shard_idx, node, epoch, &batch, now);
-            }
-        }
-
-        let codec = self.db.config.codec;
-        let shard = &mut self.db.shards[shard_idx];
-        let promoted = shard.replicas.remove(replica_idx);
-        let old_primary = shard.primary;
-        shard.primary = promoted.node;
-        shard.region = promoted.region;
-        // Pending (uncommitted) transactions die with their coordinators.
-        shard.storage = promoted.applier.into_storage();
-        shard.log = ShardLog::new();
-        // Remaining replicas full-resync from the new primary: fresh
-        // applier over a snapshot of the promoted state, fresh channel on
-        // the new (empty) redo stream, new incarnation.
-        for replica in &mut shard.replicas {
-            replica.applier = ReplicaApplier::new(shard.storage.clone());
-            replica.channel = ShippingChannel::new(codec);
-            replica.busy_until = now;
-            replica.stream_free = now;
-            replica.last_arrival = now;
-            replica.epoch += 1;
-        }
-        let _ = old_primary;
-
-        // Replica membership changed: rebuild the per-region RCP groups.
-        self.db.rebuild_rcp_groups();
-        Ok(())
+        self.db.promote_replica_at(shard_idx, replica_idx, now)
     }
 
     /// Re-admit a recovered node as a replica of `shard` (paper §IV: a
@@ -871,36 +1140,7 @@ impl Cluster {
     /// follows the redo stream from the current sealed head.
     pub fn rejoin_as_replica(&mut self, shard_idx: usize, node: NetNodeId) -> GdbResult<()> {
         let now = self.sim.now();
-        self.db.topo.set_node_down(node, false);
-        let region = self.db.topo.node_region(node);
-        let codec = self.db.config.codec;
-        // Seal so the snapshot covers everything durable right now; the
-        // channel resumes at the sealed head.
-        self.db.shards[shard_idx].log.seal_upto(now);
-        let head = self.db.shards[shard_idx].log.sealed_head();
-        let shard = &mut self.db.shards[shard_idx];
-        // The snapshot's high-water mark: nothing above the primary's
-        // installed state is claimed.
-        let max_ts = shard
-            .replicas
-            .iter()
-            .map(|r| r.applier.max_commit_ts())
-            .max()
-            .unwrap_or(Timestamp::ZERO);
-        let mut channel = ShippingChannel::new(codec);
-        channel.rewind(head);
-        shard.replicas.push(Replica {
-            node,
-            region,
-            applier: ReplicaApplier::resumed(shard.storage.clone(), head, max_ts),
-            channel,
-            busy_until: now,
-            stream_free: now,
-            last_arrival: now,
-            epoch: 0,
-        });
-        self.db.rebuild_rcp_groups();
-        Ok(())
+        self.db.rejoin_as_replica_at(shard_idx, node, now)
     }
 
     /// Access the ROR service view (for diagnostics / tests).
@@ -931,7 +1171,20 @@ fn flush_event(w: &mut GlobalDb, sim: &mut Sim<GlobalDb>, shard: usize) {
 }
 
 fn rcp_event(w: &mut GlobalDb, sim: &mut Sim<GlobalDb>, region: usize) {
-    w.rcp_round(region, sim.now());
+    if w.config.rcp_two_phase {
+        // Two-phase round: gather replica reports now, compute +
+        // distribute after the gathering round trips. The gap is a real
+        // vulnerability window — a collector crash in between abandons
+        // the round.
+        if let Some(collector_cn) = w.rcp_collect(region, sim.now()) {
+            let gather = w.rcp_gather_delay(region, collector_cn);
+            sim.schedule_after(gather, move |w: &mut GlobalDb, sim| {
+                w.rcp_finish(region, collector_cn, sim.now());
+            });
+        }
+    } else {
+        w.rcp_round(region, sim.now());
+    }
     let interval = w.config.rcp_interval;
     sim.schedule_after(interval, move |w: &mut GlobalDb, sim| {
         rcp_event(w, sim, region);

@@ -60,6 +60,26 @@ impl ShardLog {
         sealed
     }
 
+    /// Seal every staged record regardless of apply instant, advancing the
+    /// boundary only to `now`. Failover paths use this to cut the stream
+    /// exactly at the primary's installed state: commit processing appends
+    /// records (and installs versions) synchronously, so records staged
+    /// with a *later* apply instant are already on the durable WAL — only
+    /// their shipping cadence lay in the future. Later events may still
+    /// append at virtual instants before the drained records' apply times;
+    /// per-key ordering stays intact because row locks serialize same-key
+    /// commits in event order.
+    pub fn seal_all(&mut self, now: SimTime) -> usize {
+        let mut sealed = 0;
+        while let Some(entry) = self.staging.first_entry() {
+            let ((_, _), (txn, payload)) = entry.remove_entry();
+            self.sealed.append(txn, payload);
+            sealed += 1;
+        }
+        self.sealed_upto = self.sealed_upto.max(now);
+        sealed
+    }
+
     /// The sealed shipping buffer (shipping channels drain from here).
     pub fn sealed(&self) -> &RedoBuffer {
         &self.sealed

@@ -20,6 +20,8 @@ pub struct TxnOutcome {
     pub shards_written: Vec<usize>,
     /// True if any read was served by a replica.
     pub used_replica: bool,
+    /// True if the transaction rolled back instead of committing.
+    pub aborted: bool,
 }
 
 /// Aggregate counters for a cluster run.
@@ -36,14 +38,27 @@ pub struct ClusterStats {
     pub commit_wait_total: SimDuration,
     pub heartbeats_sent: u64,
     pub rcp_rounds: u64,
+    /// RCP rounds whose collector CN died between gathering the replica
+    /// reports and distributing the result (the round is abandoned; CNs
+    /// keep their previous — still monotone — RCP).
+    pub rcp_rounds_abandoned: u64,
+    /// Times a region's collector-CN leadership moved to another CN.
+    pub collector_failovers: u64,
     pub versions_vacuumed: u64,
     pub latency: LatencyHistogram,
 }
 
 impl ClusterStats {
+    /// Record a finished transaction. Aborts land in `aborted`; only
+    /// commits count as commits (and only their latency is meaningful for
+    /// the client-visible histogram).
     pub fn record_txn(&mut self, outcome: &TxnOutcome) {
-        self.committed += 1;
-        self.latency.record(outcome.latency);
+        if outcome.aborted {
+            self.aborted += 1;
+        } else {
+            self.committed += 1;
+            self.latency.record(outcome.latency);
+        }
     }
 }
 
@@ -61,8 +76,27 @@ mod tests {
             latency: SimDuration::from_millis(10),
             shards_written: vec![0],
             used_replica: false,
+            aborted: false,
         });
         assert_eq!(s.committed, 1);
         assert_eq!(s.latency.len(), 1);
+    }
+
+    #[test]
+    fn aborts_count_as_aborts_not_commits() {
+        let mut s = ClusterStats::default();
+        s.record_txn(&TxnOutcome {
+            commit_ts: None,
+            snapshot: Timestamp(4),
+            completed_at: SimTime::from_millis(10),
+            latency: SimDuration::from_millis(10),
+            shards_written: vec![],
+            used_replica: false,
+            aborted: true,
+        });
+        assert_eq!(s.committed, 0);
+        assert_eq!(s.aborted, 1);
+        // Abort latency is not client-visible commit latency.
+        assert_eq!(s.latency.len(), 0);
     }
 }

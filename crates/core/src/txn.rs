@@ -55,6 +55,10 @@ pub struct TxnHandle<'a> {
     shards_written: BTreeSet<usize>,
     used_replica: bool,
     finished: bool,
+    /// Set once a COMMIT / COMMIT_PREPARED record has been appended to any
+    /// shard's redo log: past this point a failure must not emit ABORT
+    /// records (the replicas may already have replayed the commit).
+    commit_appended: bool,
 }
 
 impl<'a> TxnHandle<'a> {
@@ -125,6 +129,7 @@ impl<'a> TxnHandle<'a> {
             shards_written: BTreeSet::new(),
             used_replica: false,
             finished: false,
+            commit_appended: false,
         })
     }
 
@@ -959,8 +964,26 @@ impl<'a> TxnHandle<'a> {
     }
 
     /// Commit the transaction; consumes the handle's buffered writes.
+    ///
+    /// On a commit-time failure before the commit record ships (quorum
+    /// unreachable, GTM unreachable, straggler GTM abort), the transaction
+    /// rolls back cleanly: locks release and ABORT records resolve any
+    /// PREPARE / PENDING_COMMIT state already replicated — otherwise a
+    /// fault hitting mid-commit would leave replica tuples locked forever.
     pub fn commit(mut self) -> GdbResult<TxnOutcome> {
         self.finished = true;
+        match self.try_commit() {
+            Ok(outcome) => Ok(outcome),
+            Err(e) => {
+                if !self.commit_appended {
+                    self.abort_inner();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn try_commit(&mut self) -> GdbResult<TxnOutcome> {
         let cn_node = self.db.cns[self.cn].node;
 
         if self.shards_written.is_empty() {
@@ -972,6 +995,7 @@ impl<'a> TxnHandle<'a> {
                 latency: self.now.since(self.started_at),
                 shards_written: vec![],
                 used_replica: self.used_replica,
+                aborted: false,
             });
         }
 
@@ -1016,15 +1040,9 @@ impl<'a> TxnHandle<'a> {
                     .rtt(cn_node, self.db.gtm_node)
                     .ok_or_else(|| GdbError::NodeUnavailable("GTM unreachable".into()))?;
                 self.now += rtt;
-                match self.db.gtm.commit_gtm() {
-                    Ok((ts, dual_wait)) => (ts, dual_wait),
-                    Err(e) => {
-                        // Straggler GTM transaction after the cluster moved
-                        // to GClock: abort (paper §III-A).
-                        self.abort_inner();
-                        return Err(e);
-                    }
-                }
+                // A straggler GTM transaction after the cluster moved to
+                // GClock aborts here (paper §III-A); `commit` rolls back.
+                self.db.gtm.commit_gtm()?
             }
             CommitPlan::ViaGtmDual { gclock_ts } => {
                 let rtt = self
@@ -1058,6 +1076,16 @@ impl<'a> TxnHandle<'a> {
                 .topo
                 .one_way(cn_node, self.db.shards[s].primary, bytes)
                 .ok_or_else(|| GdbError::NodeUnavailable("shard unreachable".into()))?;
+            // Single-shard sync replication waits at commit time. The
+            // quorum check runs *before* the commit record is appended: if
+            // the quorum is unreachable the whole transaction must roll
+            // back, and a commit record already in the log would replicate
+            // a commit the primary never installed.
+            let q = if multi_shard {
+                SimDuration::ZERO
+            } else {
+                self.sync_quorum_wait(s, bytes)?
+            };
             let apply_at = self.now + ow;
             let visible_at = apply_at.max(wait_end);
             let payload = if multi_shard {
@@ -1065,14 +1093,9 @@ impl<'a> TxnHandle<'a> {
             } else {
                 RedoPayload::Commit { commit_ts }
             };
+            self.commit_appended = true;
             self.db.shards[s].log.append(apply_at, self.txn, payload);
-
-            // Single-shard sync replication waits at commit time.
-            let mut shard_ack = apply_at;
-            if !multi_shard {
-                let q = self.sync_quorum_wait(s, bytes)?;
-                shard_ack = apply_at + q;
-            }
+            let shard_ack = apply_at + q;
             let back = self
                 .db
                 .topo
@@ -1127,6 +1150,7 @@ impl<'a> TxnHandle<'a> {
             latency: self.now.since(self.started_at),
             shards_written: write_shards,
             used_replica: self.used_replica,
+            aborted: false,
         })
     }
 
@@ -1148,8 +1172,18 @@ impl<'a> TxnHandle<'a> {
     }
 
     /// Abort the transaction: release locks, discard buffered writes, and
-    /// emit ABORT records so replicas unlock the tuples.
-    pub fn abort(mut self) {
+    /// emit ABORT records so replicas unlock the tuples. Returns the
+    /// outcome so callers can record the abort in cluster statistics.
+    pub fn abort(mut self) -> TxnOutcome {
         self.abort_inner();
+        TxnOutcome {
+            commit_ts: None,
+            snapshot: self.snapshot,
+            completed_at: self.now,
+            latency: self.now.since(self.started_at),
+            shards_written: vec![],
+            used_replica: self.used_replica,
+            aborted: true,
+        }
     }
 }

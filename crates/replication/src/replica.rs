@@ -92,6 +92,18 @@ impl ReplicaApplier {
         self.pending.len()
     }
 
+    /// Where a restarted replica resumes the redo stream after a crash.
+    ///
+    /// Everything below this LSN was replayed from the replica's durable
+    /// WAL before the crash (applied rows, pending-transaction buffers and
+    /// their tuple locks are all reconstructed from it on restart), while
+    /// batches that were in flight on the network died with the connection
+    /// and must be re-shipped. The shipping channel should be rewound here;
+    /// re-delivered duplicates below the LSN are skipped idempotently.
+    pub fn resume_from(&self) -> Lsn {
+        self.next_lsn
+    }
+
     /// Apply one record at virtual time `vtime`.
     pub fn apply(&mut self, rec: &RedoRecord, vtime: SimTime) -> GdbResult<()> {
         if rec.lsn < self.next_lsn {

@@ -272,6 +272,19 @@ impl Topology {
         self.down_nodes.contains(&n)
     }
 
+    /// Nodes currently marked down, in id order (deterministic iteration
+    /// for fault-injection oracles and traces).
+    pub fn down_nodes(&self) -> Vec<NetNodeId> {
+        let mut nodes: Vec<NetNodeId> = self.down_nodes.iter().copied().collect();
+        nodes.sort_by_key(|n| n.0);
+        nodes
+    }
+
+    /// Remove every region partition at once (chaos-recovery sweep).
+    pub fn heal_all(&mut self) {
+        self.partitions.clear();
+    }
+
     /// Partition two regions from each other (messages dropped).
     pub fn partition(&mut self, a: RegionId, b: RegionId) {
         self.partitions.insert(Self::norm(a, b));

@@ -145,7 +145,7 @@ impl TxnKind {
 /// The constant `A` follows the spec's table, adapted to scaled ranges.
 pub fn nurand(rng: &mut SmallRng, x: i64, y: i64) -> i64 {
     let range = y - x + 1;
-    let a = if range <= 1_000 {
+    let a: i64 = if range <= 1_000 {
         255
     } else if range <= 3_000 {
         1_023

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Full CI gate: formatting, lints, release build, tests, and a 5-seed
+# smoke run of the chaos nemesis binary. Everything runs offline against
+# the vendored dependency set.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> nemesis smoke (5 seeds)"
+for seed in 1 2 3 4 5; do
+    cargo run --release -q -p gdb-chaos --bin nemesis -- --seed "$seed" --duration 2s \
+        | tail -n 1
+done
+
+echo "CI OK"

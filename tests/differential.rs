@@ -204,8 +204,8 @@ fn long_deterministic_sequence() {
                 k: rng.gen_range(0..30),
             },
             5 => {
-                let a = rng.gen_range(0..30);
-                let b = rng.gen_range(0..30);
+                let a = rng.gen_range(0i64..30);
+                let b = rng.gen_range(0i64..30);
                 Op::RangeSelect {
                     lo: a.min(b),
                     hi: a.max(b),

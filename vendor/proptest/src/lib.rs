@@ -1,0 +1,170 @@
+//! Offline in-tree property-testing harness exposing the subset of the
+//! `proptest` 1.x surface this workspace uses: the `proptest!` macro,
+//! `Strategy` with `prop_map`, `prop_oneof!`, `Just`, `any`, integer/float
+//! range strategies, tuple strategies, `collection::vec`, `option::of`,
+//! simple regex string strategies, and the `prop_assert*` family.
+//!
+//! Cases are generated from a deterministic per-test seed (FNV-1a of the
+//! test name), so failures reproduce exactly on re-run. There is no
+//! shrinking: a failing case reports its inputs via the assertion message.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[doc(hidden)]
+pub mod __rt {
+    pub use rand::rngs::SmallRng;
+    pub use rand::SeedableRng;
+
+    /// Deterministic per-test seed: FNV-1a over the test name.
+    pub fn seed_for(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x1_0000_0000_01b3);
+        }
+        h
+    }
+}
+
+/// Declare property tests. Supports an optional leading
+/// `#![proptest_config(...)]` and any number of `#[test]` functions whose
+/// parameters are drawn from strategies with `pattern in strategy` syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            let mut __rng = <$crate::__rt::SmallRng as $crate::__rt::SeedableRng>::seed_from_u64(
+                $crate::__rt::seed_for(stringify!($name)),
+            );
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = __outcome {
+                    panic!(
+                        "proptest {} failed at case {}/{}: {}",
+                        stringify!($name),
+                        __case,
+                        __config.cases,
+                        e
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `left == right`\n  left: {:?}\n right: {:?}", __l, __r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "{}\nassertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+                    format!($($fmt)+),
+                    __l,
+                    __r
+                ),
+            ));
+        }
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `left != right`\n  both: {:?}", __l),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{}\nassertion failed: `left != right`\n  both: {:?}", format!($($fmt)+), __l),
+            ));
+        }
+    }};
+}
+
+/// Pick uniformly among several strategies producing the same value type.
+/// Weighted arms (`weight => strategy`) are accepted; weights are treated
+/// as uniform, which only changes the sampling distribution, not coverage.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {{
+        let __variants: ::std::vec::Vec<
+            ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>,
+        > = vec![$(::std::boxed::Box::new($strat)),+];
+        $crate::strategy::Union::new(__variants)
+    }};
+    ($($strat:expr),+ $(,)?) => {{
+        let __variants: ::std::vec::Vec<
+            ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>,
+        > = vec![$(::std::boxed::Box::new($strat)),+];
+        $crate::strategy::Union::new(__variants)
+    }};
+}

@@ -1,0 +1,26 @@
+//! `proptest::option::of` — optional values.
+
+use crate::strategy::Strategy;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Strategy producing `Option<T>` (≈75% `Some`, like upstream's default).
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut SmallRng) -> Option<S::Value> {
+        if rng.gen_ratio(3, 4) {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! String strategies from simple regex patterns.
+//!
+//! A `&str` used as a strategy (e.g. `"[a-z]{0,8}"`) generates matching
+//! strings. The supported grammar is the subset the workspace uses:
+//! sequences of atoms, where an atom is a literal character or a `[...]`
+//! character class (with `a-z` ranges), optionally followed by a repetition
+//! `{n}`, `{m,n}`, `?`, `*`, or `+` (unbounded repetitions cap at 16).
+
+use crate::strategy::Strategy;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+const UNBOUNDED_CAP: usize = 16;
+
+struct Atom {
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_class(chars: &[char], mut i: usize) -> (Vec<char>, usize) {
+    let mut choices = Vec::new();
+    // `i` points just past '['.
+    while i < chars.len() && chars[i] != ']' {
+        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+            let (lo, hi) = (chars[i] as u32, chars[i + 2] as u32);
+            for c in lo..=hi {
+                if let Some(c) = char::from_u32(c) {
+                    choices.push(c);
+                }
+            }
+            i += 3;
+        } else {
+            choices.push(chars[i]);
+            i += 1;
+        }
+    }
+    (choices, i + 1) // skip ']'
+}
+
+fn parse_repetition(chars: &[char], i: usize) -> (usize, usize, usize) {
+    match chars.get(i) {
+        Some('?') => (0, 1, i + 1),
+        Some('*') => (0, UNBOUNDED_CAP, i + 1),
+        Some('+') => (1, UNBOUNDED_CAP, i + 1),
+        Some('{') => {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .expect("unclosed {} repetition in pattern");
+            let body: String = chars[i + 1..close].iter().collect();
+            let (min, max) = match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad repetition bound"),
+                    hi.trim().parse().expect("bad repetition bound"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("bad repetition count");
+                    (n, n)
+                }
+            };
+            (min, max, close + 1)
+        }
+        _ => (1, 1, i),
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let choices = match chars[i] {
+            '[' => {
+                let (choices, next) = parse_class(&chars, i + 1);
+                i = next;
+                choices
+            }
+            '\\' if i + 1 < chars.len() => {
+                i += 2;
+                vec![chars[i - 1]]
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        let (min, max, next) = parse_repetition(&chars, i);
+        i = next;
+        assert!(!choices.is_empty(), "empty character class in pattern");
+        atoms.push(Atom { choices, min, max });
+    }
+    atoms
+}
+
+fn generate_matching(pattern: &str, rng: &mut SmallRng) -> String {
+    let mut out = String::new();
+    for atom in parse(pattern) {
+        let reps = rng.gen_range(atom.min..=atom.max);
+        for _ in 0..reps {
+            out.push(atom.choices[rng.gen_range(0..atom.choices.len())]);
+        }
+    }
+    out
+}
+
+impl Strategy for str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut SmallRng) -> String {
+        generate_matching(self, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn class_with_repetition() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = generate_matching("[a-z]{0,8}", &mut rng);
+            assert!(s.len() <= 8);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn mixed_class() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let s = generate_matching("[a-zA-Z0-9 ]{0,32}", &mut rng);
+            assert!(s.len() <= 32);
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == ' '));
+        }
+    }
+
+    #[test]
+    fn literals_and_quantifiers() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let s = generate_matching("ab{2}c?", &mut rng);
+        assert!(s.starts_with("abb"));
+    }
+}

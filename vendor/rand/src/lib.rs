@@ -1,0 +1,197 @@
+//! In-tree, dependency-free stand-in for the subset of the `rand` 0.8 API
+//! this workspace uses. The build environment has no network access, so the
+//! real crate cannot be fetched; everything here is deterministic and
+//! seed-reproducible, which is exactly what the simulation needs.
+//!
+//! Provided surface:
+//! * [`rngs::SmallRng`] — a splitmix64 generator, [`SeedableRng::seed_from_u64`]
+//! * [`Rng::gen_range`] over `Range`/`RangeInclusive` for all primitive
+//!   integer widths (including `i128`/`u128`) and `f32`/`f64`
+//! * [`Rng::gen_bool`], [`Rng::gen_ratio`]
+//!
+//! Statistical quality is secondary to determinism here: modulo reduction
+//! (with its negligible bias for the narrow ranges the simulator draws) is
+//! used instead of rejection sampling so every draw costs exactly one or two
+//! generator steps regardless of the range.
+
+use core::ops::{Range, RangeInclusive};
+
+/// Low-level generator interface: everything derives from `next_u64`.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+/// Seedable construction (only the `u64` entry point is supported; that is
+/// the only one the workspace uses).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // 53 random mantissa bits -> uniform in [0, 1).
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+fn next_u128<R: RngCore + ?Sized>(rng: &mut R) -> u128 {
+    ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+}
+
+/// A range that a uniform value can be drawn from.
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_range_impls {
+    ($($t:ty => $u:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as $u).wrapping_sub(self.start as $u) as u128;
+                let v = (next_u128(rng) % span) as $u;
+                (self.start as $u).wrapping_add(v) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as $u).wrapping_sub(start as $u) as u128;
+                if span == <$u>::MAX as u128 {
+                    // Full domain: every bit pattern is valid.
+                    return next_u128(rng) as $u as $t;
+                }
+                let v = (next_u128(rng) % (span + 1)) as $u;
+                (start as $u).wrapping_add(v) as $t
+            }
+        }
+    )*};
+}
+
+int_range_impls!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, u128 => u128, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, i128 => u128, isize => usize,
+);
+
+macro_rules! float_range_impls {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                self.start + (unit_f64(rng) as $t) * (self.end - self.start)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                start + (unit_f64(rng) as $t) * (end - start)
+            }
+        }
+    )*};
+}
+
+float_range_impls!(f32, f64);
+
+/// High-level convenience methods, blanket-implemented for every generator.
+pub trait Rng: RngCore {
+    fn gen_range<T, B: SampleRange<T>>(&mut self, range: B) -> T {
+        range.sample_single(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        unit_f64(self) < p
+    }
+
+    fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool {
+        assert!(denominator > 0 && numerator <= denominator);
+        self.gen_range(0..denominator) < numerator
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic splitmix64 generator (Steele et al., "Fast Splittable
+    /// Pseudorandom Number Generators").
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // One scramble round so nearby seeds diverge immediately.
+            let mut rng = SmallRng {
+                state: seed ^ 0x6A09_E667_F3BC_C909,
+            };
+            rng.next_u64();
+            rng
+        }
+    }
+
+    /// The workspace only needs `SmallRng`; alias the standard generator to
+    /// it so either name works.
+    pub type StdRng = SmallRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&v));
+            let w = rng.gen_range(0u64..=10);
+            assert!(w <= 10);
+            let x: i128 = rng.gen_range(-1_000_000i128..=1_000_000);
+            assert!((-1_000_000..=1_000_000).contains(&x));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_extremes() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        assert!(rng.gen_ratio(5, 5));
+        assert!(!rng.gen_ratio(0, 5));
+    }
+}

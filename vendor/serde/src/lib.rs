@@ -1,0 +1,12 @@
+//! Offline stand-in for `serde`. The workspace derives `Serialize` /
+//! `Deserialize` on its model types as forward-looking markers but performs
+//! no actual serialization, so marker traits plus no-op derives are enough.
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,15 @@
+//! No-op `Serialize`/`Deserialize` derives. The workspace annotates model
+//! types with these derives but never serializes anything, so expanding to
+//! nothing is sufficient (and keeps the offline build dependency-free).
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
