@@ -1,0 +1,109 @@
+//! Bench-artifact tooling for the CI perf gate:
+//!
+//! ```text
+//! benchcmp merge OUT.json IN1.json [IN2.json ...]
+//! benchcmp check BASELINE.json CURRENT.json [--tolerance 0.20]
+//! ```
+//!
+//! `merge` bundles several `gdb-bench/v1` artifacts into one
+//! `gdb-bench/bundle/v1` document. `check` compares current throughput
+//! against a committed baseline and exits non-zero if any series
+//! regressed beyond the tolerance (default 20%) or disappeared.
+
+use gdb_obs::{bundle, compare_artifacts, load_artifacts, BenchArtifact, Json};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: benchcmp merge OUT.json IN.json [IN.json ...]\n\
+         \x20      benchcmp check BASELINE.json CURRENT.json [--tolerance 0.20]"
+    );
+    std::process::exit(2);
+}
+
+fn read_artifacts(path: &str) -> Vec<BenchArtifact> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("benchcmp: read {path}: {e}");
+        std::process::exit(2);
+    });
+    let doc = Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("benchcmp: parse {path}: {e}");
+        std::process::exit(2);
+    });
+    load_artifacts(&doc).unwrap_or_else(|e| {
+        eprintln!("benchcmp: {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn merge(out: &str, inputs: &[String]) -> ExitCode {
+    let mut all = Vec::new();
+    for path in inputs {
+        all.extend(read_artifacts(path));
+    }
+    let doc = bundle(&all).to_pretty();
+    if let Err(e) = std::fs::write(out, doc) {
+        eprintln!("benchcmp: write {out}: {e}");
+        return ExitCode::from(2);
+    }
+    println!("merged {} artifacts into {out}", all.len());
+    ExitCode::SUCCESS
+}
+
+fn check(baseline: &str, current: &str, tolerance: f64) -> ExitCode {
+    let base = read_artifacts(baseline);
+    let cur = read_artifacts(current);
+    let comparisons = compare_artifacts(&base, &cur, tolerance);
+    if comparisons.is_empty() {
+        eprintln!("benchcmp: baseline {baseline} has no series to compare");
+        return ExitCode::from(2);
+    }
+    let mut failed = 0;
+    for c in &comparisons {
+        println!("{}", c.render());
+        if !c.ok {
+            failed += 1;
+        }
+    }
+    if failed > 0 {
+        eprintln!(
+            "benchcmp: {failed}/{} series regressed more than {:.0}% vs {baseline}",
+            comparisons.len(),
+            tolerance * 100.0
+        );
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "all {} series within {:.0}% of {baseline}",
+            comparisons.len(),
+            tolerance * 100.0
+        );
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("merge") if args.len() >= 3 => merge(&args[1], &args[2..]),
+        Some("check") if args.len() >= 3 => {
+            let mut tolerance = 0.20;
+            let mut i = 3;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--tolerance" => {
+                        i += 1;
+                        tolerance = args
+                            .get(i)
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| usage());
+                    }
+                    _ => usage(),
+                }
+                i += 1;
+            }
+            check(&args[1], &args[2], tolerance)
+        }
+        _ => usage(),
+    }
+}

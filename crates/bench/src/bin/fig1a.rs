@@ -4,12 +4,15 @@
 //!
 //! Regenerate with: `cargo run -p gdb-bench --release --bin fig1a`
 
-use gdb_bench::{print_table, ratio, tpcc_run, BenchParams};
+use gdb_bench::{
+    artifact, emit_artifact, print_table, ratio, series_from_run, tpcc_run, BenchParams,
+};
 use gdb_workloads::tpcc::TpccMix;
 use globaldb::{ClusterConfig, Geometry, SimDuration};
 
 fn main() {
     let params = BenchParams::from_env();
+    let mut art = artifact("fig1a", &params);
 
     let configs = [
         (
@@ -36,7 +39,9 @@ fn main() {
     let mut rows = Vec::new();
     let mut base = 0.0;
     for (label, config) in configs {
-        let (_, report) = tpcc_run(config, &params, TpccMix::standard(), |_| {});
+        let (mut cluster, report) = tpcc_run(config, &params, TpccMix::standard(), |_| {});
+        art.series
+            .push(series_from_run(label, &mut cluster, &report));
         let tpmc = report.tpmc();
         if base == 0.0 {
             base = tpmc;
@@ -57,4 +62,5 @@ fn main() {
         "Paper shape: throughput falls sharply as the cluster spans more \
          distant regions (Fig. 1a)."
     );
+    emit_artifact(&art);
 }

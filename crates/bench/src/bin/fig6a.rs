@@ -7,13 +7,18 @@
 //! * GlobalDB shows no regression when deployed on One-Region.
 //!
 //! Regenerate with: `cargo run -p gdb-bench --release --bin fig6a`
+//! (add `--json BENCH_fig6a.json` to also write the machine-readable
+//! artifact).
 
-use gdb_bench::{print_table, ratio, tpcc_run, BenchParams};
+use gdb_bench::{
+    artifact, emit_artifact, print_table, ratio, series_from_run, tpcc_run, BenchParams,
+};
 use gdb_workloads::tpcc::TpccMix;
 use globaldb::ClusterConfig;
 
 fn main() {
     let params = BenchParams::from_env();
+    let mut art = artifact("fig6a", &params);
 
     let configs = [
         (
@@ -37,9 +42,11 @@ fn main() {
     let mut results = Vec::new();
     for (label, config) in configs {
         // 100% local transactions (§V-A).
-        let (_, report) = tpcc_run(config, &params, TpccMix::standard(), |wl| {
+        let (mut cluster, report) = tpcc_run(config, &params, TpccMix::standard(), |wl| {
             wl.set_all_local();
         });
+        art.series
+            .push(series_from_run(label, &mut cluster, &report));
         results.push((label, report.tpmc(), report.mean_latency("new_order")));
     }
 
@@ -79,4 +86,5 @@ fn main() {
         "GlobalDB one-region vs baseline one-region: {} (paper: no regression)",
         gdb_bench::ratio(globaldb_one, baseline_one)
     );
+    emit_artifact(&art);
 }

@@ -5,12 +5,13 @@
 //!
 //! Regenerate with: `cargo run -p gdb-bench --release --bin fig6b`
 
-use gdb_bench::{print_table, tpcc_run, BenchParams};
+use gdb_bench::{artifact, emit_artifact, print_table, series_from_run, tpcc_run, BenchParams};
 use gdb_workloads::tpcc::TpccMix;
 use globaldb::{ClusterConfig, Geometry, ReplicationMode, SimDuration, TmMode};
 
 fn main() {
     let params = BenchParams::from_env();
+    let mut art = artifact("fig6b", &params);
     let delays_ms = [0u64, 10, 25, 50, 100];
 
     let mk = |mode: TmMode, delay_ms: u64| ClusterConfig {
@@ -34,18 +35,28 @@ fn main() {
             wl.pin_cn = Some(1);
             wl.local_warehouses_only = true;
         };
-        let (_, r_gtm) = tpcc_run(
+        let (mut c_gtm, r_gtm) = tpcc_run(
             mk(TmMode::Gtm, delay),
             &params,
             TpccMix::standard(),
             localize,
         );
-        let (_, r_gclock) = tpcc_run(
+        let (mut c_gclock, r_gclock) = tpcc_run(
             mk(TmMode::GClock, delay),
             &params,
             TpccMix::standard(),
             localize,
         );
+        art.series.push(series_from_run(
+            format!("gtm @ {delay}ms"),
+            &mut c_gtm,
+            &r_gtm,
+        ));
+        art.series.push(series_from_run(
+            format!("gclock @ {delay}ms"),
+            &mut c_gclock,
+            &r_gclock,
+        ));
         if delay == 0 {
             base_gtm = r_gtm.tpmc();
             base_gclock = r_gclock.tpmc();
@@ -73,4 +84,5 @@ fn main() {
         "Paper shape: baseline loses up to ~90% at 100 ms; GlobalDB holds \
          its throughput regardless of delay."
     );
+    emit_artifact(&art);
 }

@@ -6,7 +6,9 @@
 //!
 //! Regenerate with: `cargo run -p gdb-bench --release --bin fig6c`
 
-use gdb_bench::{print_table, ratio, tpcc_run, BenchParams};
+use gdb_bench::{
+    artifact, emit_artifact, print_table, ratio, series_from_run, tpcc_run, BenchParams,
+};
 use gdb_workloads::tpcc::TpccMix;
 use globaldb::ClusterConfig;
 
@@ -15,6 +17,7 @@ fn main() {
     // The paper drives 600 terminals with negligible think time; the
     // throughput gap is the per-query latency gap.
     params.run.think_time = gdb_simnet::SimDuration::from_millis(1);
+    let mut art = artifact("fig6c", &params);
 
     // "Up to 14x": sweep the offered load (terminal count).
     let mut rows = Vec::new();
@@ -22,7 +25,7 @@ fn main() {
     for terminals in [8usize, 24, 64] {
         let mut p = params;
         p.run.terminals = terminals;
-        let (_, baseline) = tpcc_run(
+        let (mut c_base, baseline) = tpcc_run(
             ClusterConfig::baseline_three_city(),
             &p,
             TpccMix::read_only(),
@@ -31,7 +34,7 @@ fn main() {
                 wl.remote_cn_fraction = 0.0;
             },
         );
-        let (cluster, globaldb) = tpcc_run(
+        let (mut cluster, globaldb) = tpcc_run(
             ClusterConfig::globaldb_three_city(),
             &p,
             TpccMix::read_only(),
@@ -41,6 +44,16 @@ fn main() {
             },
         );
         last_rcp_lag = gdb_bench::rcp_lag_ms(&cluster);
+        art.series.push(series_from_run(
+            format!("baseline @ {terminals}t"),
+            &mut c_base,
+            &baseline,
+        ));
+        art.series.push(series_from_run(
+            format!("globaldb @ {terminals}t"),
+            &mut cluster,
+            &globaldb,
+        ));
         let b = baseline.throughput_per_sec();
         let g = globaldb.throughput_per_sec();
         rows.push(vec![
@@ -68,4 +81,5 @@ fn main() {
         "Paper shape: up to 14x read throughput from replica reads plus \
          decentralized timestamps. RCP lag at end: {last_rcp_lag:.1} ms."
     );
+    emit_artifact(&art);
 }

@@ -5,13 +5,14 @@
 //!
 //! Regenerate with: `cargo run -p gdb-bench --release --bin fig6d`
 
-use gdb_bench::{print_table, ratio, BenchParams};
+use gdb_bench::{artifact, emit_artifact, print_table, ratio, series_from_run, BenchParams};
 use gdb_workloads::driver::{run_workload, Workload};
 use gdb_workloads::sysbench::{SysbenchMode, SysbenchScale, SysbenchWorkload};
 use globaldb::{Cluster, ClusterConfig};
 
 fn main() {
     let params = BenchParams::from_env();
+    let mut art = artifact("fig6d", &params);
     let scale = SysbenchScale::small();
 
     let run = |config: ClusterConfig| {
@@ -22,8 +23,12 @@ fn main() {
         (cluster, report)
     };
 
-    let (_, baseline) = run(ClusterConfig::baseline_three_city());
-    let (cluster, globaldb) = run(ClusterConfig::globaldb_three_city());
+    let (mut c_base, baseline) = run(ClusterConfig::baseline_three_city());
+    let (mut cluster, globaldb) = run(ClusterConfig::globaldb_three_city());
+    art.series
+        .push(series_from_run("baseline", &mut c_base, &baseline));
+    art.series
+        .push(series_from_run("globaldb", &mut cluster, &globaldb));
 
     let b = baseline.throughput_per_sec();
     let g = globaldb.throughput_per_sec();
@@ -67,4 +72,5 @@ fn main() {
          tuples are remote for the baseline). RCP lag: {:.1} ms.",
         gdb_bench::rcp_lag_ms(&cluster)
     );
+    emit_artifact(&art);
 }

@@ -11,16 +11,22 @@
 //! * `GDB_BENCH_SECS`  = measured virtual seconds (default 10)
 //! * `GDB_BENCH_TERMINALS` = closed-loop terminals (default 24)
 
+use gdb_obs::{BenchArtifact, BenchSeries, HistSummary, NetStats};
+use gdb_simnet::stats::LatencyHistogram;
 use gdb_simnet::SimDuration;
 use gdb_workloads::driver::{run_workload, RunConfig, Workload};
 use gdb_workloads::tpcc::{TpccMix, TpccScale, TpccWorkload};
 use gdb_workloads::WorkloadReport;
-use globaldb::{Cluster, ClusterConfig};
+use globaldb::{Cluster, ClusterConfig, Metric};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
 
 /// Scale/duration parameters shared by the binaries.
 #[derive(Debug, Clone, Copy)]
 pub struct BenchParams {
     pub scale: TpccScale,
+    /// The resolved `GDB_BENCH_SCALE` name (recorded in artifacts).
+    pub scale_name: &'static str,
     pub run: RunConfig,
     pub seed: u64,
 }
@@ -28,10 +34,10 @@ pub struct BenchParams {
 impl BenchParams {
     /// Read from the environment (defaults: small scale, 10 virtual s).
     pub fn from_env() -> Self {
-        let scale = match std::env::var("GDB_BENCH_SCALE").as_deref() {
-            Ok("tiny") => TpccScale::tiny(),
-            Ok("medium") => TpccScale::medium(),
-            _ => TpccScale::small(),
+        let (scale, scale_name) = match std::env::var("GDB_BENCH_SCALE").as_deref() {
+            Ok("tiny") => (TpccScale::tiny(), "tiny"),
+            Ok("medium") => (TpccScale::medium(), "medium"),
+            _ => (TpccScale::small(), "small"),
         };
         let secs: u64 = std::env::var("GDB_BENCH_SECS")
             .ok()
@@ -43,6 +49,7 @@ impl BenchParams {
             .unwrap_or(24);
         BenchParams {
             scale,
+            scale_name,
             run: RunConfig {
                 terminals,
                 duration: SimDuration::from_secs(secs),
@@ -101,6 +108,79 @@ pub fn ratio(value: f64, base: f64) -> String {
         "n/a".into()
     } else {
         format!("{:.2}x", value / base)
+    }
+}
+
+/// The path given by `--json <path>` on the binary's command line.
+pub fn json_out_path() -> Option<PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+}
+
+/// Start a `gdb-bench/v1` artifact for one figure, recording the run
+/// configuration (scale, virtual seconds, terminals, seed).
+pub fn artifact(figure: &str, params: &BenchParams) -> BenchArtifact {
+    let mut a = BenchArtifact::new(figure);
+    a.config_kv("scale", params.scale_name);
+    a.config_kv("secs", params.run.duration.as_secs_f64());
+    a.config_kv("terminals", params.run.terminals);
+    a.config_kv("seed", params.seed);
+    a
+}
+
+/// Build one artifact series from a finished run: workload-window
+/// throughput/latency plus the cluster's full metrics snapshot, with the
+/// per-phase breakdown (`txnmgr.phase.*`) and network totals lifted into
+/// their schema fields.
+pub fn series_from_run(
+    label: impl Into<String>,
+    cluster: &mut Cluster,
+    report: &WorkloadReport,
+) -> BenchSeries {
+    let snap = cluster.db.metrics_snapshot();
+    // Measured-window latency across all transaction types.
+    let mut lat = LatencyHistogram::bounded();
+    for h in report.latency.values() {
+        lat.merge(h);
+    }
+    let mut phases = BTreeMap::new();
+    for (name, m) in &snap.metrics {
+        if let (Some(rest), Metric::Histogram(h)) =
+            (name.strip_prefix(gdb_txnmgr::metrics::PHASE_PREFIX), m)
+        {
+            phases.insert(rest.trim_end_matches("_us").to_string(), h.clone());
+        }
+    }
+    let c = |n: &str| snap.counter(n).unwrap_or(0);
+    let net = NetStats {
+        wire_bytes: c(gdb_replication::metrics::SHIP_WIRE_BYTES),
+        raw_bytes: c(gdb_replication::metrics::SHIP_RAW_BYTES),
+        batches: c(gdb_replication::metrics::SHIP_BATCHES),
+        cross_region_msgs: c(gdb_simnet::metrics::CROSS_REGION_MSGS),
+        cross_region_bytes: c(gdb_simnet::metrics::CROSS_REGION_BYTES),
+    };
+    BenchSeries {
+        label: label.into(),
+        throughput_txn_s: report.throughput_per_sec(),
+        tpmc: report.tpmc(),
+        commits: report.total_commits(),
+        aborts: report.total_aborts(),
+        latency: HistSummary::of(&lat),
+        phases,
+        net,
+        metrics: snap,
+    }
+}
+
+/// Write the artifact to the `--json` path, if one was given.
+pub fn emit_artifact(a: &BenchArtifact) {
+    if let Some(path) = json_out_path() {
+        std::fs::write(&path, a.to_pretty())
+            .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        eprintln!("wrote {}", path.display());
     }
 }
 

@@ -1,0 +1,58 @@
+//! Bench artifact regression: a real TPC-C run serialises to the
+//! gdb-bench/v1 schema and parses back to an identical artifact, with the
+//! per-phase latency breakdown the fig6a baseline relies on.
+
+use gdb_bench::{artifact, series_from_run, tpcc_run, BenchParams};
+use gdb_workloads::driver::RunConfig;
+use gdb_workloads::tpcc::{TpccMix, TpccScale};
+use globaldb::{BenchArtifact, ClusterConfig, Json, SimDuration};
+
+fn tiny_params() -> BenchParams {
+    BenchParams {
+        scale: TpccScale::tiny(),
+        scale_name: "tiny",
+        run: RunConfig {
+            terminals: 4,
+            duration: SimDuration::from_secs(1),
+            warmup: SimDuration::from_millis(200),
+            think_time: SimDuration::from_millis(10),
+        },
+        seed: 42,
+    }
+}
+
+#[test]
+fn artifact_round_trips_through_json() {
+    let params = tiny_params();
+    let (mut cluster, report) = tpcc_run(
+        ClusterConfig::globaldb_three_city(),
+        &params,
+        TpccMix::standard(),
+        |_| {},
+    );
+    let mut art = artifact("figtest", &params);
+    art.series
+        .push(series_from_run("globaldb", &mut cluster, &report));
+
+    let text = art.to_pretty();
+    let parsed = BenchArtifact::from_json(&Json::parse(&text).expect("artifact is valid JSON"))
+        .expect("artifact matches gdb-bench/v1");
+    assert_eq!(parsed, art, "artifact did not round-trip through JSON");
+
+    let s = &art.series[0];
+    assert!(s.throughput_txn_s > 0.0);
+    assert!(s.commits > 0);
+    assert!(s.latency.count > 0 && s.latency.p99_us >= s.latency.p50_us);
+    // The per-phase breakdown fig6a plots must be present and populated.
+    for phase in ["snapshot_acquire", "execute", "prepare", "commit_wait"] {
+        let h = s
+            .phases
+            .get(phase)
+            .unwrap_or_else(|| panic!("missing phase {phase}"));
+        assert!(h.count > 0, "empty phase {phase}");
+    }
+    // GClock clusters replicate asynchronously: the ack phase exists but
+    // costs nothing, and real log-ship traffic shows up in net stats.
+    assert!(s.phases.contains_key("replication_ack"));
+    assert!(s.net.batches > 0 && s.net.wire_bytes > 0);
+}

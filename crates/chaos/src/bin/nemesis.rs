@@ -9,7 +9,8 @@
 //! interleaving, and trace. Exits non-zero if any invariant was violated.
 
 use gdb_chaos::plan::canned;
-use gdb_chaos::{run_nemesis, run_plan, ChaosConfig};
+use gdb_chaos::{run_nemesis, run_plan, ChaosConfig, ChaosReport};
+use gdb_obs::{BenchArtifact, BenchSeries, NetStats};
 use gdb_simnet::SimDuration;
 use std::process::ExitCode;
 
@@ -23,9 +24,51 @@ fn parse_duration(s: &str) -> Option<SimDuration> {
     s.parse::<u64>().ok().map(SimDuration::from_secs)
 }
 
+/// Encode one run as a `gdb-bench/v1` artifact (figure `nemesis`).
+fn to_artifact(report: &ChaosReport, seed: u64) -> BenchArtifact {
+    let mut art = BenchArtifact::new("nemesis");
+    art.config_kv("seed", seed);
+    art.config_kv("plan", &report.plan_name);
+    art.config_kv("duration_s", report.duration.as_secs_f64());
+    art.config_kv("violations", report.violations.len());
+    let c = |n: &str| report.metrics.counter(n).unwrap_or(0);
+    let secs = report.duration.as_secs_f64().max(1e-9);
+    art.series.push(BenchSeries {
+        label: report.plan_name.clone(),
+        throughput_txn_s: report.txns_committed as f64 / secs,
+        tpmc: 0.0,
+        commits: report.txns_committed,
+        aborts: report.txns_aborted,
+        latency: report.latency.clone(),
+        phases: report
+            .metrics
+            .metrics
+            .iter()
+            .filter_map(|(name, m)| {
+                let rest = name.strip_prefix(gdb_txnmgr::metrics::PHASE_PREFIX)?;
+                match m {
+                    globaldb::Metric::Histogram(h) => {
+                        Some((rest.trim_end_matches("_us").to_string(), h.clone()))
+                    }
+                    _ => None,
+                }
+            })
+            .collect(),
+        net: NetStats {
+            wire_bytes: c(gdb_replication::metrics::SHIP_WIRE_BYTES),
+            raw_bytes: c(gdb_replication::metrics::SHIP_RAW_BYTES),
+            batches: c(gdb_replication::metrics::SHIP_BATCHES),
+            cross_region_msgs: c(gdb_simnet::metrics::CROSS_REGION_MSGS),
+            cross_region_bytes: c(gdb_simnet::metrics::CROSS_REGION_BYTES),
+        },
+        metrics: report.metrics.clone(),
+    });
+    art
+}
+
 fn usage() -> ! {
     eprintln!(
-        "usage: nemesis [--seed N] [--duration 60s|500ms] [--plan NAME]\n\
+        "usage: nemesis [--seed N] [--duration 60s|500ms] [--plan NAME] [--json PATH] [--overlap]\n\
          plans: {}",
         canned::all()
             .iter()
@@ -40,6 +83,8 @@ fn main() -> ExitCode {
     let mut seed: u64 = 1;
     let mut duration = SimDuration::from_secs(3);
     let mut plan_name: Option<String> = None;
+    let mut json_path: Option<String> = None;
+    let mut overlap = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -63,6 +108,11 @@ fn main() -> ExitCode {
                 i += 1;
                 plan_name = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
+            "--json" => {
+                i += 1;
+                json_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--overlap" => overlap = true,
             _ => usage(),
         }
         i += 1;
@@ -70,6 +120,7 @@ fn main() -> ExitCode {
 
     let mut cfg = ChaosConfig::quick(seed);
     cfg.duration = duration;
+    cfg.overlap = overlap;
 
     let report = match plan_name {
         Some(name) => match canned::by_name(&name) {
@@ -80,6 +131,11 @@ fn main() -> ExitCode {
     };
 
     print!("{}", report.render());
+    if let Some(path) = json_path {
+        let art = to_artifact(&report, seed);
+        std::fs::write(&path, art.to_pretty()).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
     if report.ok() {
         ExitCode::SUCCESS
     } else {

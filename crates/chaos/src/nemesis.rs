@@ -46,6 +46,10 @@ pub struct NemesisConfig {
     /// No injection fires at or after `start + duration`; recoveries may
     /// land slightly later (every episode recovers).
     pub duration: SimDuration,
+    /// Overlay a second concurrent fault on some episodes (~40% of them,
+    /// from families that cannot conflict with the main episode's
+    /// recovery). Off by default: one fault at a time.
+    pub overlap: bool,
 }
 
 impl NemesisConfig {
@@ -54,7 +58,13 @@ impl NemesisConfig {
             seed,
             start,
             duration,
+            overlap: false,
         }
+    }
+
+    pub fn with_overlap(mut self) -> Self {
+        self.overlap = true;
+        self
     }
 }
 
@@ -122,10 +132,52 @@ pub fn generate(cfg: &NemesisConfig, shape: &ClusterShape) -> FaultPlan {
                     .at(t + hold, Fault::ClockSyncResume { cn });
             }
         }
+        if cfg.overlap && rng.gen_bool(0.4) {
+            plan = overlay_episode(&mut rng, plan, shape, kind, t, hold);
+        }
         // Quiet gap before the next episode.
         t = t + hold + SimDuration::from_millis(rng.gen_range(100u64..400));
     }
     plan
+}
+
+/// Overlay a second fault inside the main episode's hold window, so two
+/// faults are outstanding at once. Only families whose injection and
+/// recovery cannot collide with the main episode's recovery path are
+/// eligible (CN crash, delay spike, clock-sync outage), and the family
+/// matching the main episode is excluded so an overlay never recovers the
+/// main fault early.
+fn overlay_episode(
+    rng: &mut SmallRng,
+    plan: FaultPlan,
+    shape: &ClusterShape,
+    main_kind: u32,
+    t: SimTime,
+    hold: SimDuration,
+) -> FaultPlan {
+    let quarter = SimDuration::from_nanos(hold.as_nanos() / 4);
+    let from = t + quarter;
+    let until = t + quarter + quarter + quarter;
+    let mut families: Vec<u32> = vec![3, 5, 6];
+    families.retain(|&f| f != main_kind);
+    let family = families[rng.gen_range(0..families.len())];
+    match family {
+        3 => {
+            let cn = rng.gen_range(0..shape.cns);
+            plan.at(from, Fault::CrashCn { cn })
+                .at(until, Fault::RestartCn { cn })
+        }
+        5 => {
+            let extra = SimDuration::from_micros(rng.gen_range(500u64..8_000));
+            plan.at(from, Fault::DelaySpike { extra })
+                .at(until, Fault::ClearDelay)
+        }
+        _ => {
+            let cn = rng.gen_range(0..shape.cns);
+            plan.at(from, Fault::ClockSyncOutage { cn })
+                .at(until, Fault::ClockSyncResume { cn })
+        }
+    }
 }
 
 #[cfg(test)]
@@ -162,6 +214,46 @@ mod tests {
             &s,
         );
         assert_ne!(a.events, b.events);
+    }
+
+    /// Two injections back-to-back in time order with no recovery between
+    /// them means two faults were outstanding at once.
+    fn has_concurrent_injections(plan: &FaultPlan) -> bool {
+        let mut evs = plan.events.clone();
+        evs.sort_by_key(|e| e.at);
+        let mut prev_was_injection = false;
+        for e in &evs {
+            if e.fault.is_injection() {
+                if prev_was_injection {
+                    return true;
+                }
+                prev_was_injection = true;
+            } else {
+                prev_was_injection = false;
+            }
+        }
+        false
+    }
+
+    #[test]
+    fn overlap_flag_overlays_concurrent_episodes() {
+        let base = NemesisConfig::new(9, SimTime::from_millis(500), SimDuration::from_secs(5));
+        let plain = generate(&base, &shape());
+        assert!(
+            !has_concurrent_injections(&plain),
+            "without the flag every episode recovers before the next injects"
+        );
+        let overlapped = generate(&base.with_overlap(), &shape());
+        assert!(
+            has_concurrent_injections(&overlapped),
+            "overlap flag produced no concurrent episodes"
+        );
+        assert!(overlapped.events.len() > plain.events.len());
+        // Still deterministic.
+        assert_eq!(
+            overlapped.events,
+            generate(&base.with_overlap(), &shape()).events
+        );
     }
 
     #[test]

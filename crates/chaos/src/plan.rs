@@ -127,12 +127,48 @@ pub mod canned {
             )
     }
 
+    /// Overlapping faults: a region partition, a delay spike, and a CN
+    /// crash all outstanding at once, then a clock-sync outage spanning a
+    /// replica crash — the concurrent-failure windows the nemesis
+    /// generator's `overlap` flag produces, in canned form.
+    pub fn overlapping_faults() -> FaultPlan {
+        FaultPlan::new("overlapping-faults")
+            .at(t(300), Fault::PartitionRegions { a: 0, b: 1 })
+            .at(
+                t(450),
+                Fault::DelaySpike {
+                    extra: SimDuration::from_millis(2),
+                },
+            )
+            .at(t(600), Fault::CrashCn { cn: 1 })
+            .at(t(900), Fault::HealRegions { a: 0, b: 1 })
+            .at(t(1000), Fault::ClearDelay)
+            .at(t(1100), Fault::RestartCn { cn: 1 })
+            .at(t(1300), Fault::ClockSyncOutage { cn: 2 })
+            .at(
+                t(1500),
+                Fault::CrashReplica {
+                    shard: 0,
+                    replica: 0,
+                },
+            )
+            .at(t(1900), Fault::ClockSyncResume { cn: 2 })
+            .at(
+                t(2100),
+                Fault::RestartReplica {
+                    shard: 0,
+                    replica: 0,
+                },
+            )
+    }
+
     /// All canned plans, by name.
     pub fn all() -> Vec<FaultPlan> {
         vec![
             primary_failover(),
             partition_and_delay(),
             gtm_and_collector(),
+            overlapping_faults(),
         ]
     }
 
@@ -159,7 +195,7 @@ mod tests {
     #[test]
     fn canned_plans_are_named_and_nonempty() {
         let plans = canned::all();
-        assert_eq!(plans.len(), 3);
+        assert_eq!(plans.len(), 4);
         for p in &plans {
             assert!(!p.events.is_empty(), "{} is empty", p.name);
             assert!(canned::by_name(&p.name).is_some());

@@ -25,6 +25,9 @@ pub struct ChaosConfig {
     pub grace: SimDuration,
     pub probe_interval: SimDuration,
     pub probe_keys: i64,
+    /// Let the nemesis generator overlay concurrent fault episodes
+    /// ([`NemesisConfig::with_overlap`]).
+    pub overlap: bool,
 }
 
 impl ChaosConfig {
@@ -39,6 +42,7 @@ impl ChaosConfig {
             grace: SimDuration::from_secs(2),
             probe_interval: SimDuration::from_millis(25),
             probe_keys: 4,
+            overlap: false,
         }
     }
 
@@ -72,6 +76,12 @@ pub struct ChaosReport {
     pub rcp_rounds_abandoned: u64,
     pub collector_failovers: u64,
     pub tpcc_rows_verified: usize,
+    /// The fault window (committed/aborted counts cover the whole run).
+    pub duration: SimDuration,
+    /// End-to-end commit latency over the whole run.
+    pub latency: gdb_obs::HistSummary,
+    /// Full metrics snapshot of the tormented cluster at the end.
+    pub metrics: gdb_obs::MetricsReport,
 }
 
 impl ChaosReport {
@@ -198,6 +208,11 @@ pub fn run_plan(plan: FaultPlan, cfg: &ChaosConfig) -> ChaosReport {
 
     let trace_lines = trace.borrow().lines();
     let state = oracle.state.borrow();
+    let metrics = cluster.db.metrics_snapshot();
+    let latency = metrics
+        .histogram(gdb_txnmgr::metrics::LATENCY_US)
+        .cloned()
+        .unwrap_or_default();
     ChaosReport {
         plan_name,
         trace: trace_lines,
@@ -210,6 +225,9 @@ pub fn run_plan(plan: FaultPlan, cfg: &ChaosConfig) -> ChaosReport {
         rcp_rounds_abandoned: cluster.db.stats.rcp_rounds_abandoned,
         collector_failovers: cluster.db.stats.collector_failovers,
         tpcc_rows_verified,
+        duration: cfg.duration,
+        latency,
+        metrics,
     }
 }
 
@@ -229,7 +247,10 @@ pub fn run_nemesis(seed: u64, cfg: &ChaosConfig) -> ChaosReport {
             globaldb::Geometry::ThreeCity { .. } => 3,
         },
     };
-    let nemesis = NemesisConfig::new(seed, SimTime::ZERO, cfg.duration);
+    let mut nemesis = NemesisConfig::new(seed, SimTime::ZERO, cfg.duration);
+    if cfg.overlap {
+        nemesis = nemesis.with_overlap();
+    }
     let plan = crate::nemesis::generate(&nemesis, &shape);
     run_plan(plan, cfg)
 }

@@ -52,6 +52,25 @@ fn tpcc_survives_gtm_and_collector_plan() {
 }
 
 #[test]
+fn tpcc_survives_overlapping_faults_plan() {
+    let report = run_plan(canned::overlapping_faults(), &ChaosConfig::quick(104));
+    assert_clean(&report);
+    // The partition, the delay spike, and the CN crash overlap in time.
+    assert!(report.trace.iter().any(|l| l.contains("partition")));
+    assert!(report.trace.iter().any(|l| l.contains("delay")));
+    assert!(report.trace.iter().any(|l| l.contains("crash-cn")));
+}
+
+#[test]
+fn tpcc_survives_overlapping_nemesis_schedule() {
+    let mut cfg = ChaosConfig::quick(23);
+    cfg.duration = SimDuration::from_secs(2);
+    cfg.overlap = true;
+    let report = run_nemesis(23, &cfg);
+    assert_clean(&report);
+}
+
+#[test]
 fn tpcc_survives_ten_random_nemesis_seeds() {
     for seed in 1..=10u64 {
         let mut cfg = ChaosConfig::quick(seed);

@@ -18,6 +18,7 @@
 
 pub mod collector;
 pub mod ddl;
+pub mod metrics;
 pub mod rcp;
 
 pub use collector::CollectorElection;

@@ -1,0 +1,14 @@
+//! Metric names owned by the replica-consistency subsystem (RCP).
+
+/// RCP rounds completed (collect + finish).
+pub const RCP_ROUNDS: &str = "consistency.rcp.rounds";
+/// Two-phase rounds abandoned (collector died mid-round).
+pub const RCP_ROUNDS_ABANDONED: &str = "consistency.rcp.rounds_abandoned";
+/// Collector-CN leadership failovers.
+pub const COLLECTOR_FAILOVERS: &str = "consistency.collector_failovers";
+/// Collect-to-finish latency of one RCP round.
+pub const RCP_ROUND_US: &str = "consistency.rcp.round_us";
+/// Liveness heartbeats sent.
+pub const HEARTBEATS_SENT: &str = "consistency.heartbeats_sent";
+/// Old tuple versions reclaimed by vacuum.
+pub const VERSIONS_VACUUMED: &str = "consistency.versions_vacuumed";

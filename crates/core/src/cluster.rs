@@ -7,6 +7,7 @@ use crate::stats::{ClusterStats, TxnOutcome};
 use crate::txn::TxnHandle;
 use gdb_consistency::{CollectorElection, DdlTracker, RcpCalculator};
 use gdb_model::{GdbError, GdbResult, TableId, TableSchema, Timestamp, TxnId};
+use gdb_obs::{MetricsReport, Obs, SpanKind};
 use gdb_replication::{ReplicaApplier, ShippingChannel};
 use gdb_simclock::GClock;
 use gdb_simnet::{NetNodeId, RegionId, Sim, SimDuration, SimTime, Topology};
@@ -99,6 +100,11 @@ pub struct GlobalDb {
     /// trading update latency for maximal freshness on selected tables).
     pub table_replication: std::collections::HashMap<TableId, gdb_replication::ReplicationMode>,
     pub stats: ClusterStats,
+    /// Observability: trace spans (off by default) + metrics registry.
+    pub obs: Obs,
+    /// Last skyline pick per (CN, shard) — a change is a re-selection
+    /// (counted, and spanned when tracing is on).
+    pub(crate) last_skyline_pick: std::collections::HashMap<(usize, usize), crate::ror::ReadTarget>,
     /// Per-CN flag: `true` while the CN's clock-sync daemon is cut off
     /// from its regional time device (fault injection). While blocked the
     /// clock keeps drifting and its error bound grows until sync resumes.
@@ -169,6 +175,7 @@ impl GlobalDb {
         let shard = &mut self.shards[shard_idx];
         shard.log.seal_upto(now);
         let mut deliveries = Vec::new();
+        let mut shipped: Vec<(NetNodeId, u64, u64, u64, SimTime)> = Vec::new();
         for replica in shard.replicas.iter_mut() {
             loop {
                 // Refresh the channel's codec if the config changed.
@@ -194,8 +201,34 @@ impl GlobalDb {
                 replica.stream_free = start + tx;
                 let arrive = (replica.stream_free + propagation).max(replica.last_arrival);
                 replica.last_arrival = arrive;
+                shipped.push((
+                    replica.node,
+                    wire.batch.records.len() as u64,
+                    wire.raw_bytes as u64,
+                    wire.wire_bytes as u64,
+                    arrive,
+                ));
                 deliveries.push((replica.node, replica.epoch, arrive, wire.batch.records));
             }
+        }
+        // Shipping totals are recorded here, not derived from channel
+        // stats: channels are replaced on promote/rejoin and would lose
+        // their counters.
+        let primary = self.shards[shard_idx].primary;
+        for (node, records, raw, wire, arrive) in shipped {
+            let m = &mut self.obs.metrics;
+            m.incr(gdb_replication::metrics::SHIP_BATCHES);
+            m.count(gdb_replication::metrics::SHIP_RECORDS, records);
+            m.count(gdb_replication::metrics::SHIP_RAW_BYTES, raw);
+            m.count(gdb_replication::metrics::SHIP_WIRE_BYTES, wire);
+            m.observe(gdb_replication::metrics::SHIP_BATCH_US, arrive.since(now));
+            // The propagation probe above carried 1 byte; account the rest
+            // of the batch on the link so traffic totals reflect shipping.
+            self.topo
+                .charge_bytes(primary, node, wire.saturating_sub(1));
+            self.obs
+                .tracer
+                .record(SpanKind::LogShip, shard_idx as u64, now, arrive);
         }
         deliveries
     }
@@ -251,7 +284,15 @@ impl GlobalDb {
     /// event splits the two phases so a collector crash can land mid-round).
     pub(crate) fn rcp_round(&mut self, region_idx: usize, now: SimTime) {
         if let Some(collector_cn) = self.rcp_collect(region_idx, now) {
+            let span = self
+                .obs
+                .tracer
+                .begin(SpanKind::RcpRound, region_idx as u64, now);
             self.rcp_finish(region_idx, collector_cn, now);
+            self.obs.tracer.end(span, now);
+            self.obs
+                .metrics
+                .observe(gdb_consistency::metrics::RCP_ROUND_US, SimDuration::ZERO);
         }
     }
 
@@ -688,6 +729,9 @@ impl GlobalDb {
             Ok(value) => match handle.commit() {
                 Ok(outcome) => {
                     self.stats.record_txn(&outcome);
+                    self.obs
+                        .metrics
+                        .observe(gdb_txnmgr::metrics::LATENCY_US, outcome.latency);
                     Ok((value, outcome))
                 }
                 Err(e) => {
@@ -702,6 +746,60 @@ impl GlobalDb {
                 Err(e)
             }
         }
+    }
+
+    /// Mirror externally maintained totals (cluster stats, topology
+    /// traffic) into the registry, then freeze it. The report is a pure
+    /// function of the run: identical seeds produce identical reports.
+    pub fn metrics_snapshot(&mut self) -> MetricsReport {
+        self.sync_derived_metrics();
+        self.obs.metrics.snapshot()
+    }
+
+    fn sync_derived_metrics(&mut self) {
+        let m = &mut self.obs.metrics;
+        m.set_counter(gdb_txnmgr::metrics::COMMITTED, self.stats.committed);
+        m.set_counter(gdb_txnmgr::metrics::ABORTED, self.stats.aborted);
+        m.set_counter(gdb_txnmgr::metrics::LOCK_WAITS, self.stats.lock_waits);
+        m.set_counter(
+            gdb_txnmgr::metrics::COMMIT_WAIT_TOTAL_US,
+            self.stats.commit_wait_total.as_micros(),
+        );
+        m.set_counter(
+            gdb_router::metrics::READS_ON_REPLICA,
+            self.stats.reads_on_replica,
+        );
+        m.set_counter(
+            gdb_router::metrics::READS_ON_PRIMARY,
+            self.stats.reads_on_primary,
+        );
+        m.set_counter(
+            gdb_router::metrics::REPLICA_BLOCKED_FALLBACKS,
+            self.stats.replica_blocked_fallbacks,
+        );
+        m.set_counter(gdb_consistency::metrics::RCP_ROUNDS, self.stats.rcp_rounds);
+        m.set_counter(
+            gdb_consistency::metrics::RCP_ROUNDS_ABANDONED,
+            self.stats.rcp_rounds_abandoned,
+        );
+        m.set_counter(
+            gdb_consistency::metrics::COLLECTOR_FAILOVERS,
+            self.stats.collector_failovers,
+        );
+        m.set_counter(
+            gdb_consistency::metrics::HEARTBEATS_SENT,
+            self.stats.heartbeats_sent,
+        );
+        m.set_counter(
+            gdb_consistency::metrics::VERSIONS_VACUUMED,
+            self.stats.versions_vacuumed,
+        );
+        let total = self.topo.total_stats();
+        m.set_counter(gdb_simnet::metrics::MSGS, total.messages);
+        m.set_counter(gdb_simnet::metrics::BYTES, total.bytes);
+        let cross = self.topo.cross_region_totals();
+        m.set_counter(gdb_simnet::metrics::CROSS_REGION_MSGS, cross.messages);
+        m.set_counter(gdb_simnet::metrics::CROSS_REGION_BYTES, cross.bytes);
     }
 }
 
@@ -800,6 +898,8 @@ impl Cluster {
             gtm_rate: GtmRate::default(),
             table_replication: std::collections::HashMap::new(),
             stats: ClusterStats::default(),
+            obs: Obs::new(),
+            last_skyline_pick: std::collections::HashMap::new(),
             clock_sync_blocked: vec![false; cn_count],
             txn_seq: 0,
             last_transition_completed: None,
@@ -1175,11 +1275,19 @@ fn rcp_event(w: &mut GlobalDb, sim: &mut Sim<GlobalDb>, region: usize) {
         // Two-phase round: gather replica reports now, compute +
         // distribute after the gathering round trips. The gap is a real
         // vulnerability window — a collector crash in between abandons
-        // the round.
+        // the round. The round's span (and latency) covers collect
+        // through finish; the span id rides in the finish closure.
         if let Some(collector_cn) = w.rcp_collect(region, sim.now()) {
+            let start = sim.now();
+            let span = w.obs.tracer.begin(SpanKind::RcpRound, region as u64, start);
             let gather = w.rcp_gather_delay(region, collector_cn);
             sim.schedule_after(gather, move |w: &mut GlobalDb, sim| {
-                w.rcp_finish(region, collector_cn, sim.now());
+                let now = sim.now();
+                w.rcp_finish(region, collector_cn, now);
+                w.obs.tracer.end(span, now);
+                w.obs
+                    .metrics
+                    .observe(gdb_consistency::metrics::RCP_ROUND_US, now.since(start));
             });
         }
     } else {

@@ -45,6 +45,10 @@ pub use stats::{ClusterStats, TxnOutcome};
 // Re-export the pieces callers commonly need.
 pub use gdb_compress::Codec;
 pub use gdb_model::{Datum, GdbError, GdbResult, Row, Timestamp};
+pub use gdb_obs::{
+    BenchArtifact, BenchSeries, HistSummary, Json, Metric, MetricsReport, Obs, Span, SpanKind,
+    Tracer,
+};
 pub use gdb_replication::ReplicationMode;
 pub use gdb_simnet::{SimDuration, SimTime};
 pub use gdb_sqlengine::{ExecOutput, Prepared};

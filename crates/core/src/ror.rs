@@ -108,24 +108,49 @@ impl GlobalDb {
         freshness_bound: Option<SimDuration>,
     ) -> ReadTarget {
         let (sky, targets) = self.shard_candidates(cn, shard, snapshot, now);
-        let Some(pick) = sky.select(freshness_bound) else {
-            // Nothing on the skyline satisfies the bound (the primary is
-            // normally a zero-staleness candidate, so this means it is
-            // down too): fall back to the primary path and count it.
-            self.stats.ror_rejected_freshness += 1;
-            return ReadTarget::Primary;
-        };
-        // Map the picked node id back to its target.
-        let shard_ref = &self.shards[shard];
-        if pick.node == shard_ref.primary {
-            return ReadTarget::Primary;
-        }
-        for (ri, replica) in shard_ref.replicas.iter().enumerate() {
-            if replica.node == pick.node {
-                let _ = &targets;
-                return ReadTarget::Replica(ri);
+        let target = 'pick: {
+            let Some(pick) = sky.select(freshness_bound) else {
+                // Nothing on the skyline satisfies the bound (the primary
+                // is normally a zero-staleness candidate, so this means it
+                // is down too): fall back to the primary path and count it.
+                self.stats.ror_rejected_freshness += 1;
+                break 'pick ReadTarget::Primary;
+            };
+            // Map the picked node id back to its target.
+            let shard_ref = &self.shards[shard];
+            if pick.node == shard_ref.primary {
+                break 'pick ReadTarget::Primary;
             }
+            for (ri, replica) in shard_ref.replicas.iter().enumerate() {
+                if replica.node == pick.node {
+                    let _ = &targets;
+                    break 'pick ReadTarget::Replica(ri);
+                }
+            }
+            ReadTarget::Primary
+        };
+        self.note_skyline_pick(cn, shard, target, now);
+        target
+    }
+
+    /// Count every skyline evaluation; a pick that differs from the last
+    /// one for the same (CN, shard) is a re-selection (the router moved
+    /// the read traffic) and is recorded as a `skyline_reselect` span.
+    fn note_skyline_pick(&mut self, cn: usize, shard: usize, target: ReadTarget, now: SimTime) {
+        self.obs
+            .metrics
+            .incr(gdb_router::metrics::SKYLINE_SELECTIONS);
+        let prev = self.last_skyline_pick.insert((cn, shard), target);
+        if prev.is_some_and(|p| p != target) {
+            self.obs
+                .metrics
+                .incr(gdb_router::metrics::SKYLINE_RESELECTIONS);
+            self.obs.tracer.record(
+                gdb_obs::SpanKind::SkylineReselect,
+                ((cn as u64) << 32) | shard as u64,
+                now,
+                now,
+            );
         }
-        ReadTarget::Primary
     }
 }

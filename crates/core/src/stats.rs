@@ -25,7 +25,7 @@ pub struct TxnOutcome {
 }
 
 /// Aggregate counters for a cluster run.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ClusterStats {
     pub committed: u64,
     pub aborted: u64,
@@ -46,6 +46,30 @@ pub struct ClusterStats {
     pub collector_failovers: u64,
     pub versions_vacuumed: u64,
     pub latency: LatencyHistogram,
+}
+
+impl Default for ClusterStats {
+    fn default() -> Self {
+        ClusterStats {
+            committed: 0,
+            aborted: 0,
+            reads_on_replica: 0,
+            reads_on_primary: 0,
+            replica_blocked_fallbacks: 0,
+            ror_rejected_freshness: 0,
+            ror_rejected_ddl: 0,
+            lock_waits: 0,
+            commit_wait_total: SimDuration::ZERO,
+            heartbeats_sent: 0,
+            rcp_rounds: 0,
+            rcp_rounds_abandoned: 0,
+            collector_failovers: 0,
+            versions_vacuumed: 0,
+            // This histogram lives for the whole cluster and is fed on the
+            // per-transaction hot path: bounded mode, not store-every-sample.
+            latency: LatencyHistogram::bounded(),
+        }
+    }
 }
 
 impl ClusterStats {

@@ -1,0 +1,289 @@
+//! The metrics registry: named counters, gauges, and bounded-quantile
+//! histograms.
+//!
+//! Names are `&'static str` constants owned by the subsystem crates
+//! (`gdb_txnmgr::metrics`, `gdb_replication::metrics`, …) in a
+//! `subsystem.noun[_unit]` scheme — e.g. `txnmgr.phase.commit_wait_us`,
+//! `replication.ship.wire_bytes`, `rcp.rounds`. Registration is implicit:
+//! the first record of a name creates the instrument. Storage is
+//! `BTreeMap`-backed so snapshots iterate in deterministic name order.
+//!
+//! Histograms use [`LatencyHistogram::bounded`] — O(1) memory streaming
+//! summaries — so per-transaction hot paths never accumulate per-sample
+//! storage.
+
+use gdb_simnet::stats::LatencyHistogram;
+use gdb_simnet::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Live instrument storage.
+#[derive(Debug, Default, Serialize, Deserialize)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    histograms: BTreeMap<&'static str, LatencyHistogram>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` to counter `name` (created at zero on first use).
+    pub fn count(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    pub fn incr(&mut self, name: &'static str) {
+        self.count(name, 1);
+    }
+
+    /// Set counter `name` to an absolute value (for mirroring externally
+    /// maintained totals into the registry at snapshot time).
+    pub fn set_counter(&mut self, name: &'static str, value: u64) {
+        self.counters.insert(name, value);
+    }
+
+    pub fn gauge(&mut self, name: &'static str, value: f64) {
+        self.gauges.insert(name, value);
+    }
+
+    /// Record one latency observation into bounded histogram `name`.
+    pub fn observe(&mut self, name: &'static str, d: SimDuration) {
+        self.histograms
+            .entry(name)
+            .or_insert_with(LatencyHistogram::bounded)
+            .record(d);
+    }
+
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<&LatencyHistogram> {
+        self.histograms.get(name)
+    }
+
+    /// Freeze the registry into a comparable, serializable report.
+    pub fn snapshot(&self) -> MetricsReport {
+        let mut metrics = BTreeMap::new();
+        for (&name, &v) in &self.counters {
+            metrics.insert(name.to_string(), Metric::Counter(v));
+        }
+        for (&name, &v) in &self.gauges {
+            metrics.insert(name.to_string(), Metric::Gauge(v));
+        }
+        for (&name, h) in &self.histograms {
+            metrics.insert(name.to_string(), Metric::Histogram(HistSummary::of(h)));
+        }
+        MetricsReport { metrics }
+    }
+}
+
+/// One snapshotted instrument.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Metric {
+    Counter(u64),
+    Gauge(f64),
+    Histogram(HistSummary),
+}
+
+/// Quantile summary of a histogram at snapshot time.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct HistSummary {
+    pub count: u64,
+    pub sum_us: u64,
+    pub min_us: u64,
+    pub max_us: u64,
+    pub mean_us: u64,
+    pub p50_us: u64,
+    pub p95_us: u64,
+    pub p99_us: u64,
+    pub p999_us: u64,
+}
+
+impl HistSummary {
+    /// Encode as a JSON object (member order is the schema order).
+    pub fn to_json(&self) -> crate::Json {
+        use crate::Json;
+        Json::obj(vec![
+            ("count", Json::u64(self.count)),
+            ("sum_us", Json::u64(self.sum_us)),
+            ("min_us", Json::u64(self.min_us)),
+            ("max_us", Json::u64(self.max_us)),
+            ("mean_us", Json::u64(self.mean_us)),
+            ("p50_us", Json::u64(self.p50_us)),
+            ("p95_us", Json::u64(self.p95_us)),
+            ("p99_us", Json::u64(self.p99_us)),
+            ("p999_us", Json::u64(self.p999_us)),
+        ])
+    }
+
+    /// Decode a summary encoded by [`HistSummary::to_json`]. `ctx` names
+    /// the field in error messages.
+    pub fn from_json(v: &crate::Json, ctx: &str) -> Result<Self, String> {
+        use crate::Json;
+        let f = |k: &str| -> Result<u64, String> {
+            v.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{ctx}: missing {k}"))
+        };
+        Ok(HistSummary {
+            count: f("count")?,
+            sum_us: f("sum_us")?,
+            min_us: f("min_us")?,
+            max_us: f("max_us")?,
+            mean_us: f("mean_us")?,
+            p50_us: f("p50_us")?,
+            p95_us: f("p95_us")?,
+            p99_us: f("p99_us")?,
+            p999_us: f("p999_us")?,
+        })
+    }
+
+    pub fn of(h: &LatencyHistogram) -> Self {
+        let b = h.to_summary();
+        HistSummary {
+            count: b.count(),
+            sum_us: b.sum_us(),
+            min_us: b.min_us(),
+            max_us: b.max_us(),
+            mean_us: if b.count() == 0 {
+                0
+            } else {
+                b.sum_us() / b.count()
+            },
+            p50_us: b.percentile_us(50.0),
+            p95_us: b.percentile_us(95.0),
+            p99_us: b.percentile_us(99.0),
+            p999_us: b.percentile_us(99.9),
+        }
+    }
+}
+
+/// A frozen, ordered view of every instrument. `PartialEq` lets tests
+/// assert determinism across identical seeds directly.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsReport {
+    pub metrics: BTreeMap<String, Metric>,
+}
+
+impl MetricsReport {
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.metrics.get(name) {
+            Some(Metric::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.metrics.get(name) {
+            Some(Metric::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<&HistSummary> {
+        match self.metrics.get(name) {
+            Some(Metric::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Encode as a JSON object, one member per metric, in name order.
+    pub fn to_json(&self) -> crate::Json {
+        use crate::Json;
+        let mut pairs = Vec::with_capacity(self.metrics.len());
+        for (name, m) in &self.metrics {
+            let v = match m {
+                Metric::Counter(c) => Json::u64(*c),
+                Metric::Gauge(g) => Json::Num(*g),
+                Metric::Histogram(h) => h.to_json(),
+            };
+            pairs.push((name.clone(), v));
+        }
+        Json::Obj(pairs)
+    }
+
+    /// Decode a report encoded by [`MetricsReport::to_json`]. A JSON
+    /// number is a counter if integral, a gauge otherwise; an object is a
+    /// histogram summary.
+    pub fn from_json(v: &crate::Json) -> Result<Self, String> {
+        use crate::Json;
+        let pairs = v.as_obj().ok_or("metrics: expected object")?;
+        let mut metrics = BTreeMap::new();
+        for (name, val) in pairs {
+            let m = match val {
+                Json::Num(n) if *n == n.trunc() && *n >= 0.0 => Metric::Counter(*n as u64),
+                Json::Num(n) => Metric::Gauge(*n),
+                Json::Obj(_) => {
+                    Metric::Histogram(HistSummary::from_json(val, &format!("metrics.{name}"))?)
+                }
+                other => return Err(format!("metrics.{name}: unexpected {other:?}")),
+            };
+            metrics.insert(name.clone(), m);
+        }
+        Ok(MetricsReport { metrics })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges() {
+        let mut r = MetricsRegistry::new();
+        r.incr("a.events");
+        r.count("a.events", 4);
+        r.gauge("a.load", 0.5);
+        assert_eq!(r.counter("a.events"), 5);
+        assert_eq!(r.counter("missing"), 0);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("a.events"), Some(5));
+        assert_eq!(snap.gauge("a.load"), Some(0.5));
+        assert_eq!(snap.counter("a.load"), None);
+    }
+
+    #[test]
+    fn histograms_are_bounded() {
+        let mut r = MetricsRegistry::new();
+        for i in 0..10_000u64 {
+            r.observe("x.lat_us", SimDuration::from_micros(100 + i % 50));
+        }
+        assert!(r.histogram("x.lat_us").unwrap().is_bounded());
+        let snap = r.snapshot();
+        let h = snap.histogram("x.lat_us").unwrap();
+        assert_eq!(h.count, 10_000);
+        assert!(h.p50_us >= 100 && h.p99_us <= 150);
+        assert!(h.min_us == 100 && h.max_us == 149);
+    }
+
+    #[test]
+    fn snapshot_equality_and_order() {
+        let build = |n: u64| {
+            let mut r = MetricsRegistry::new();
+            r.count("z.last", n);
+            r.count("a.first", 1);
+            r.observe("m.lat_us", SimDuration::from_micros(n));
+            r.snapshot()
+        };
+        assert_eq!(build(9), build(9));
+        assert_ne!(build(9), build(10));
+        let names: Vec<_> = build(1).metrics.keys().cloned().collect();
+        assert_eq!(names, vec!["a.first", "m.lat_us", "z.last"]);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut r = MetricsRegistry::new();
+        r.count("c.n", 3);
+        r.gauge("g.v", 1.25);
+        r.observe("h.lat_us", SimDuration::from_micros(42));
+        let snap = r.snapshot();
+        let text = snap.to_json().to_pretty();
+        let back = MetricsReport::from_json(&crate::Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, snap);
+    }
+}

@@ -1,0 +1,440 @@
+//! The `gdb-bench/v1` artifact schema and the baseline comparison the CI
+//! perf gate runs.
+//!
+//! Every figure binary emits one [`BenchArtifact`] per run via `--json`:
+//! the figure name, the configuration key/values, and one [`BenchSeries`]
+//! per plotted line/bar (throughput, latency quantiles, per-phase
+//! breakdown, network bytes, full metrics snapshot). Multiple artifacts
+//! bundle into a single file (`{"schema": "gdb-bench/bundle/v1",
+//! "artifacts": [...]}`) — `BENCH_smoke.json` is such a bundle covering
+//! all five figures at tiny scale.
+//!
+//! [`compare_artifacts`] implements the regression gate: for every
+//! `(figure, series)` pair present in the baseline, current throughput
+//! must be at least `(1 - tolerance) ×` the baseline's.
+
+use crate::json::Json;
+use crate::metrics::{HistSummary, MetricsReport};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+pub const SCHEMA: &str = "gdb-bench/v1";
+pub const BUNDLE_SCHEMA: &str = "gdb-bench/bundle/v1";
+
+/// Network-traffic totals for one series' cluster.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetStats {
+    /// Redo bytes shipped on the wire (post-compression).
+    pub wire_bytes: u64,
+    /// Redo bytes before compression.
+    pub raw_bytes: u64,
+    /// Log-shipping batches sealed.
+    pub batches: u64,
+    /// Messages that crossed a region boundary.
+    pub cross_region_msgs: u64,
+    /// Bytes that crossed a region boundary.
+    pub cross_region_bytes: u64,
+}
+
+impl NetStats {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("wire_bytes", Json::u64(self.wire_bytes)),
+            ("raw_bytes", Json::u64(self.raw_bytes)),
+            ("batches", Json::u64(self.batches)),
+            ("cross_region_msgs", Json::u64(self.cross_region_msgs)),
+            ("cross_region_bytes", Json::u64(self.cross_region_bytes)),
+        ])
+    }
+
+    fn from_json(v: &Json, ctx: &str) -> Result<Self, String> {
+        let f = |k: &str| -> Result<u64, String> {
+            v.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{ctx}: missing {k}"))
+        };
+        Ok(NetStats {
+            wire_bytes: f("wire_bytes")?,
+            raw_bytes: f("raw_bytes")?,
+            batches: f("batches")?,
+            cross_region_msgs: f("cross_region_msgs")?,
+            cross_region_bytes: f("cross_region_bytes")?,
+        })
+    }
+}
+
+/// One plotted line/bar of a figure: a single cluster + workload run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchSeries {
+    pub label: String,
+    pub throughput_txn_s: f64,
+    /// TPC-C transactions-per-minute-C (0 for non-TPC-C workloads).
+    pub tpmc: f64,
+    pub commits: u64,
+    pub aborts: u64,
+    /// End-to-end transaction latency.
+    pub latency: HistSummary,
+    /// Per-phase latency breakdown (`snapshot_acquire`, `execute`,
+    /// `prepare`, `commit_wait`, `replication_ack`).
+    pub phases: BTreeMap<String, HistSummary>,
+    pub net: NetStats,
+    /// Full metrics snapshot of the series' cluster.
+    pub metrics: MetricsReport,
+}
+
+impl BenchSeries {
+    fn to_json(&self) -> Json {
+        let phases = self
+            .phases
+            .iter()
+            .map(|(k, h)| (k.clone(), h.to_json()))
+            .collect();
+        Json::obj(vec![
+            ("label", Json::str(&self.label)),
+            ("throughput_txn_s", Json::Num(self.throughput_txn_s)),
+            ("tpmc", Json::Num(self.tpmc)),
+            ("commits", Json::u64(self.commits)),
+            ("aborts", Json::u64(self.aborts)),
+            ("latency_us", self.latency.to_json()),
+            ("phases_us", Json::Obj(phases)),
+            ("net", self.net.to_json()),
+            ("metrics", self.metrics.to_json()),
+        ])
+    }
+
+    fn from_json(v: &Json, ctx: &str) -> Result<Self, String> {
+        let label = v
+            .get("label")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{ctx}: missing label"))?
+            .to_string();
+        let num = |k: &str| -> Result<f64, String> {
+            v.get(k)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("{ctx}[{label}]: missing {k}"))
+        };
+        let latency = HistSummary::from_json(
+            v.get("latency_us")
+                .ok_or_else(|| format!("{ctx}[{label}]: missing latency_us"))?,
+            &format!("{ctx}[{label}].latency_us"),
+        )?;
+        let mut phases = BTreeMap::new();
+        if let Some(pairs) = v.get("phases_us").and_then(Json::as_obj) {
+            for (k, ph) in pairs {
+                phases.insert(
+                    k.clone(),
+                    HistSummary::from_json(ph, &format!("{ctx}[{label}].phases_us.{k}"))?,
+                );
+            }
+        }
+        let net = match v.get("net") {
+            Some(n) => NetStats::from_json(n, &format!("{ctx}[{label}].net"))?,
+            None => NetStats::default(),
+        };
+        let metrics = match v.get("metrics") {
+            Some(m) => MetricsReport::from_json(m)?,
+            None => MetricsReport::default(),
+        };
+        let throughput_txn_s = num("throughput_txn_s")?;
+        let tpmc = num("tpmc")?;
+        let commits = num("commits")? as u64;
+        let aborts = num("aborts")? as u64;
+        Ok(BenchSeries {
+            label,
+            throughput_txn_s,
+            tpmc,
+            commits,
+            aborts,
+            latency,
+            phases,
+            net,
+            metrics,
+        })
+    }
+}
+
+/// One figure run: configuration + all its series.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct BenchArtifact {
+    /// Figure name (`fig1a`, `fig6a`, …, `nemesis`).
+    pub figure: String,
+    /// Run configuration as ordered key/value strings (scale, seconds,
+    /// terminals, seed, …).
+    pub config: Vec<(String, String)>,
+    pub series: Vec<BenchSeries>,
+}
+
+impl BenchArtifact {
+    pub fn new(figure: impl Into<String>) -> Self {
+        BenchArtifact {
+            figure: figure.into(),
+            config: Vec::new(),
+            series: Vec::new(),
+        }
+    }
+
+    pub fn config_kv(&mut self, key: impl Into<String>, value: impl ToString) {
+        self.config.push((key.into(), value.to_string()));
+    }
+
+    pub fn to_json(&self) -> Json {
+        let config = self
+            .config
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::str(v.clone())))
+            .collect();
+        Json::obj(vec![
+            ("schema", Json::str(SCHEMA)),
+            ("figure", Json::str(&self.figure)),
+            ("config", Json::Obj(config)),
+            (
+                "series",
+                Json::Arr(self.series.iter().map(BenchSeries::to_json).collect()),
+            ),
+        ])
+    }
+
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        match v.get("schema").and_then(Json::as_str) {
+            Some(SCHEMA) => {}
+            other => return Err(format!("artifact: bad schema {other:?}")),
+        }
+        let figure = v
+            .get("figure")
+            .and_then(Json::as_str)
+            .ok_or("artifact: missing figure")?
+            .to_string();
+        let mut config = Vec::new();
+        if let Some(pairs) = v.get("config").and_then(Json::as_obj) {
+            for (k, val) in pairs {
+                config.push((
+                    k.clone(),
+                    val.as_str().map(str::to_string).unwrap_or_default(),
+                ));
+            }
+        }
+        let ctx = format!("artifact[{figure}].series");
+        let series = v
+            .get("series")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("artifact[{figure}]: missing series"))?
+            .iter()
+            .map(|s| BenchSeries::from_json(s, &ctx))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(BenchArtifact {
+            figure,
+            config,
+            series,
+        })
+    }
+
+    /// The pretty document written to a `--json` path.
+    pub fn to_pretty(&self) -> String {
+        self.to_json().to_pretty()
+    }
+}
+
+/// Bundle several artifacts into one document (`BENCH_smoke.json`).
+pub fn bundle(artifacts: &[BenchArtifact]) -> Json {
+    Json::obj(vec![
+        ("schema", Json::str(BUNDLE_SCHEMA)),
+        (
+            "artifacts",
+            Json::Arr(artifacts.iter().map(BenchArtifact::to_json).collect()),
+        ),
+    ])
+}
+
+/// Load artifacts from a parsed document: accepts a single artifact, a
+/// bundle, or a bare array of artifacts.
+pub fn load_artifacts(v: &Json) -> Result<Vec<BenchArtifact>, String> {
+    if let Some(items) = v.as_arr() {
+        return items.iter().map(BenchArtifact::from_json).collect();
+    }
+    match v.get("schema").and_then(Json::as_str) {
+        Some(BUNDLE_SCHEMA) => v
+            .get("artifacts")
+            .and_then(Json::as_arr)
+            .ok_or("bundle: missing artifacts")?
+            .iter()
+            .map(BenchArtifact::from_json)
+            .collect(),
+        Some(SCHEMA) => Ok(vec![BenchArtifact::from_json(v)?]),
+        other => Err(format!("unknown schema {other:?}")),
+    }
+}
+
+/// One `(figure, series)` throughput comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Comparison {
+    pub figure: String,
+    pub label: String,
+    pub baseline_txn_s: f64,
+    pub current_txn_s: f64,
+    /// current / baseline (1.0 when the baseline is zero).
+    pub ratio: f64,
+    /// False when the series regressed beyond tolerance or is missing
+    /// from the current run.
+    pub ok: bool,
+}
+
+impl Comparison {
+    pub fn render(&self) -> String {
+        format!(
+            "{:4} {}/{}: baseline {:.1} txn/s, current {:.1} txn/s ({:+.1}%)",
+            if self.ok { "ok" } else { "FAIL" },
+            self.figure,
+            self.label,
+            self.baseline_txn_s,
+            self.current_txn_s,
+            (self.ratio - 1.0) * 100.0
+        )
+    }
+}
+
+/// Compare `current` against `baseline`: every baseline series must be
+/// present and within `tolerance` relative throughput loss. Series only
+/// in `current` are ignored (adding figures never fails the gate).
+pub fn compare_artifacts(
+    baseline: &[BenchArtifact],
+    current: &[BenchArtifact],
+    tolerance: f64,
+) -> Vec<Comparison> {
+    let mut out = Vec::new();
+    for base in baseline {
+        let cur_art = current.iter().find(|a| a.figure == base.figure);
+        for bs in &base.series {
+            let cur = cur_art.and_then(|a| a.series.iter().find(|s| s.label == bs.label));
+            let comparison = match cur {
+                None => Comparison {
+                    figure: base.figure.clone(),
+                    label: bs.label.clone(),
+                    baseline_txn_s: bs.throughput_txn_s,
+                    current_txn_s: 0.0,
+                    ratio: 0.0,
+                    ok: false,
+                },
+                Some(cs) => {
+                    let ratio = if bs.throughput_txn_s > 0.0 {
+                        cs.throughput_txn_s / bs.throughput_txn_s
+                    } else {
+                        1.0
+                    };
+                    Comparison {
+                        figure: base.figure.clone(),
+                        label: bs.label.clone(),
+                        baseline_txn_s: bs.throughput_txn_s,
+                        current_txn_s: cs.throughput_txn_s,
+                        ratio,
+                        ok: ratio >= 1.0 - tolerance,
+                    }
+                }
+            };
+            out.push(comparison);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdb_simnet::stats::LatencyHistogram;
+    use gdb_simnet::SimDuration;
+
+    fn summary(vals_us: &[u64]) -> HistSummary {
+        let mut h = LatencyHistogram::bounded();
+        for &v in vals_us {
+            h.record(SimDuration::from_micros(v));
+        }
+        HistSummary::of(&h)
+    }
+
+    fn artifact(figure: &str, label: &str, txn_s: f64) -> BenchArtifact {
+        let mut a = BenchArtifact::new(figure);
+        a.config_kv("scale", "tiny");
+        a.config_kv("seed", 42);
+        a.series.push(BenchSeries {
+            label: label.to_string(),
+            throughput_txn_s: txn_s,
+            tpmc: txn_s * 60.0 * 0.45,
+            commits: 1000,
+            aborts: 3,
+            latency: summary(&[900, 1100, 5000]),
+            phases: [
+                ("execute".to_string(), summary(&[400, 500])),
+                ("commit_wait".to_string(), summary(&[300, 4000])),
+            ]
+            .into_iter()
+            .collect(),
+            net: NetStats {
+                wire_bytes: 1 << 20,
+                raw_bytes: 1 << 21,
+                batches: 64,
+                cross_region_msgs: 100,
+                cross_region_bytes: 1 << 18,
+            },
+            metrics: MetricsReport::default(),
+        });
+        a
+    }
+
+    #[test]
+    fn artifact_round_trip() {
+        let a = artifact("fig6a", "gclock", 123.5);
+        let text = a.to_pretty();
+        let parsed = Json::parse(&text).unwrap();
+        assert_eq!(BenchArtifact::from_json(&parsed).unwrap(), a);
+        // Required top-level fields of the stable schema.
+        for key in ["schema", "figure", "config", "series"] {
+            assert!(parsed.get(key).is_some(), "missing {key}");
+        }
+        let s0 = &parsed.get("series").unwrap().as_arr().unwrap()[0];
+        for key in ["throughput_txn_s", "latency_us", "phases_us", "net"] {
+            assert!(s0.get(key).is_some(), "missing series.{key}");
+        }
+        assert!(s0.get("latency_us").unwrap().get("p99_us").is_some());
+    }
+
+    #[test]
+    fn bundle_round_trip_and_single_load() {
+        let arts = vec![
+            artifact("fig1a", "tpcc", 50.0),
+            artifact("fig6a", "gtm", 40.0),
+        ];
+        let doc = bundle(&arts).to_pretty();
+        let loaded = load_artifacts(&Json::parse(&doc).unwrap()).unwrap();
+        assert_eq!(loaded, arts);
+        // A single artifact document loads as a one-element list.
+        let single = artifact("fig6b", "x", 1.0);
+        let loaded = load_artifacts(&Json::parse(&single.to_pretty()).unwrap()).unwrap();
+        assert_eq!(loaded, vec![single]);
+        assert!(load_artifacts(&Json::obj(vec![("schema", Json::str("nope"))])).is_err());
+    }
+
+    #[test]
+    fn comparison_gate() {
+        let base = vec![artifact("fig6a", "gclock", 100.0)];
+        // Within tolerance: 15% down.
+        let ok = compare_artifacts(&base, &[artifact("fig6a", "gclock", 85.0)], 0.20);
+        assert!(ok.iter().all(|c| c.ok), "{ok:?}");
+        // Beyond tolerance: 25% down.
+        let bad = compare_artifacts(&base, &[artifact("fig6a", "gclock", 75.0)], 0.20);
+        assert!(!bad[0].ok);
+        assert!(bad[0].render().contains("FAIL"));
+        // Missing series fails.
+        let missing = compare_artifacts(&base, &[artifact("fig6a", "gtm", 100.0)], 0.20);
+        assert!(!missing[0].ok);
+        // Faster never fails; extra current series ignored.
+        let faster = compare_artifacts(
+            &base,
+            &[
+                artifact("fig6a", "gclock", 140.0),
+                artifact("fig9", "z", 1.0),
+            ],
+            0.20,
+        );
+        assert_eq!(faster.len(), 1);
+        assert!(faster[0].ok);
+    }
+}

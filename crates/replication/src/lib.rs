@@ -21,6 +21,7 @@
 //!   in parallel to keep replicas fresh).
 
 pub mod channel;
+pub mod metrics;
 pub mod mode;
 pub mod replay;
 pub mod replica;

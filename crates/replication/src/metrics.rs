@@ -1,0 +1,16 @@
+//! Metric names owned by the redo-replication subsystem.
+//!
+//! Shipping totals are recorded live at flush time (channels are replaced
+//! on promote/rejoin, so their internal stats cannot be summed after the
+//! fact).
+
+/// Log-shipping batches sealed and sent.
+pub const SHIP_BATCHES: &str = "replication.ship.batches";
+/// Redo records shipped.
+pub const SHIP_RECORDS: &str = "replication.ship.records";
+/// Redo bytes before compression.
+pub const SHIP_RAW_BYTES: &str = "replication.ship.raw_bytes";
+/// Redo bytes on the wire (post-compression).
+pub const SHIP_WIRE_BYTES: &str = "replication.ship.wire_bytes";
+/// Seal-to-arrival latency of one shipped batch.
+pub const SHIP_BATCH_US: &str = "replication.ship.batch_us";

@@ -8,6 +8,7 @@
 //! bound; crashed or overloaded nodes fall off the skyline automatically,
 //! which is how GlobalDB load-balances and fails over reads.
 
+pub mod metrics;
 pub mod skyline;
 pub mod staleness;
 

@@ -1,0 +1,15 @@
+//! Metric names owned by the read-on-replica router.
+
+/// Reads served by a replica.
+pub const READS_ON_REPLICA: &str = "router.reads_on_replica";
+/// Reads served by the primary.
+pub const READS_ON_PRIMARY: &str = "router.reads_on_primary";
+/// ROR reads that fell back to the primary because the chosen replica
+/// was blocked on a PENDING_COMMIT lock.
+pub const REPLICA_BLOCKED_FALLBACKS: &str = "router.replica_blocked_fallbacks";
+/// Skyline evaluations (one per routed read).
+pub const SKYLINE_SELECTIONS: &str = "router.skyline.selections";
+/// Skyline evaluations whose pick differed from the previous pick for
+/// the same (CN, shard) — each of these is also recorded as a
+/// `skyline_reselect` trace span.
+pub const SKYLINE_RESELECTIONS: &str = "router.skyline.reselections";

@@ -18,6 +18,7 @@
 //!   the workload drivers and benches.
 
 pub mod event;
+pub mod metrics;
 pub mod stats;
 pub mod time;
 pub mod topology;

@@ -1,0 +1,10 @@
+//! Metric names owned by the network simulator.
+
+/// Messages delivered (all links).
+pub const MSGS: &str = "simnet.msgs";
+/// Payload bytes delivered (all links).
+pub const BYTES: &str = "simnet.bytes";
+/// Messages that crossed a region boundary.
+pub const CROSS_REGION_MSGS: &str = "simnet.cross_region.msgs";
+/// Payload bytes that crossed a region boundary.
+pub const CROSS_REGION_BYTES: &str = "simnet.cross_region.bytes";

@@ -1,75 +1,317 @@
 //! Small statistics helpers shared by the workload drivers and benches:
 //! latency histograms with percentile queries, and throughput counters.
+//!
+//! [`LatencyHistogram`] has two representations:
+//!
+//! * **exact** (the default) stores every sample and answers nearest-rank
+//!   percentiles precisely — right for offline figure runs where the
+//!   sample count is bounded by the run length;
+//! * **bounded** ([`LatencyHistogram::bounded`]) keeps log-linear bucket
+//!   counts (64 sub-buckets per power of two, ≤ ~1.6% relative error)
+//!   in O(1) memory regardless of sample count — right for per-transaction
+//!   hot paths that live for the whole process (cluster-wide counters,
+//!   the metrics registry).
 
 use crate::time::SimDuration;
 use serde::{Deserialize, Serialize};
 
-/// A latency recorder with exact percentiles (stores all samples; workloads
-/// here are ≤ a few million samples, so this is fine and precise).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+/// Number of linear buckets below the first log octave (also the
+/// sub-bucket count per octave). Must be a power of two.
+const LINEAR: u64 = 64;
+const LINEAR_BITS: u32 = 6; // log2(LINEAR)
+
+/// Index of the log-linear bucket holding `v`.
+fn bucket_index(v: u64) -> usize {
+    if v < LINEAR {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros(); // >= LINEAR_BITS
+    let group = (msb - LINEAR_BITS) as usize;
+    let sub = ((v >> (msb - LINEAR_BITS)) - LINEAR) as usize;
+    LINEAR as usize + group * LINEAR as usize + sub
+}
+
+/// Lower bound of the value range covered by bucket `index` (the bucket's
+/// deterministic representative value).
+fn bucket_value(index: usize) -> u64 {
+    let linear = LINEAR as usize;
+    if index < linear {
+        return index as u64;
+    }
+    let group = (index - linear) / linear;
+    let sub = ((index - linear) % linear) as u64;
+    (LINEAR + sub) << group
+}
+
+/// Streaming bounded quantile summary: log-linear bucket counts plus exact
+/// count/sum/min/max. Memory is O(buckets touched), independent of the
+/// number of samples.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BoundedSummary {
+    counts: Vec<u64>,
+    count: u64,
+    sum_us: u64,
+    min_us: u64,
+    max_us: u64,
+}
+
+impl BoundedSummary {
+    pub fn record(&mut self, us: u64) {
+        let idx = bucket_index(us);
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+        if self.count == 0 {
+            self.min_us = us;
+            self.max_us = us;
+        } else {
+            self.min_us = self.min_us.min(us);
+            self.max_us = self.max_us.max(us);
+        }
+        self.count += 1;
+        self.sum_us = self.sum_us.saturating_add(us);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us
+    }
+
+    pub fn min_us(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min_us
+        }
+    }
+
+    pub fn max_us(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max_us
+        }
+    }
+
+    /// Nearest-rank percentile over the bucket counts; exact for values
+    /// below 64 µs, ≤ ~1.6% low-biased above (bucket lower bound), and
+    /// clamped to the exact [min, max] envelope.
+    pub fn percentile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_value(idx).clamp(self.min_us, self.max_us);
+            }
+        }
+        self.max_us
+    }
+
+    pub fn merge(&mut self, other: &BoundedSummary) {
+        if other.count == 0 {
+            return;
+        }
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (i, &c) in other.counts.iter().enumerate() {
+            self.counts[i] += c;
+        }
+        if self.count == 0 {
+            self.min_us = other.min_us;
+            self.max_us = other.max_us;
+        } else {
+            self.min_us = self.min_us.min(other.min_us);
+            self.max_us = self.max_us.max(other.max_us);
+        }
+        self.count += other.count;
+        self.sum_us = self.sum_us.saturating_add(other.sum_us);
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Repr {
+    Exact { samples_us: Vec<u64>, sorted: bool },
+    Bounded(BoundedSummary),
+}
+
+/// A latency recorder with percentile queries. Exact by default (stores
+/// all samples); [`LatencyHistogram::bounded`] switches to the streaming
+/// summary for hot paths.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LatencyHistogram {
-    samples_us: Vec<u64>,
-    sorted: bool,
+    repr: Repr,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            repr: Repr::Exact {
+                samples_us: Vec::new(),
+                sorted: false,
+            },
+        }
+    }
 }
 
 impl LatencyHistogram {
+    /// Exact mode: every sample stored, percentiles precise.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Bounded mode: O(1) memory, streaming p50/p95/p99/p999 with ≤ ~1.6%
+    /// relative error.
+    pub fn bounded() -> Self {
+        LatencyHistogram {
+            repr: Repr::Bounded(BoundedSummary::default()),
+        }
+    }
+
+    pub fn is_bounded(&self) -> bool {
+        matches!(self.repr, Repr::Bounded(_))
+    }
+
     pub fn record(&mut self, d: SimDuration) {
-        self.samples_us.push(d.as_micros());
-        self.sorted = false;
+        match &mut self.repr {
+            Repr::Exact { samples_us, sorted } => {
+                samples_us.push(d.as_micros());
+                *sorted = false;
+            }
+            Repr::Bounded(b) => b.record(d.as_micros()),
+        }
     }
 
     pub fn len(&self) -> usize {
-        self.samples_us.len()
+        match &self.repr {
+            Repr::Exact { samples_us, .. } => samples_us.len(),
+            Repr::Bounded(b) => b.count() as usize,
+        }
     }
 
     pub fn is_empty(&self) -> bool {
-        self.samples_us.is_empty()
+        self.len() == 0
+    }
+
+    /// Sum of all recorded samples in microseconds.
+    pub fn sum_us(&self) -> u64 {
+        match &self.repr {
+            Repr::Exact { samples_us, .. } => {
+                samples_us.iter().fold(0u64, |a, &v| a.saturating_add(v))
+            }
+            Repr::Bounded(b) => b.sum_us(),
+        }
     }
 
     fn ensure_sorted(&mut self) {
-        if !self.sorted {
-            self.samples_us.sort_unstable();
-            self.sorted = true;
+        if let Repr::Exact { samples_us, sorted } = &mut self.repr {
+            if !*sorted {
+                samples_us.sort_unstable();
+                *sorted = true;
+            }
         }
     }
 
     /// The q-th percentile (q in 0..=100), using nearest-rank.
     pub fn percentile(&mut self, q: f64) -> SimDuration {
-        if self.samples_us.is_empty() {
+        if self.is_empty() {
             return SimDuration::ZERO;
         }
         self.ensure_sorted();
-        let n = self.samples_us.len();
-        let rank = ((q / 100.0) * n as f64).ceil().max(1.0) as usize;
-        SimDuration::from_micros(self.samples_us[rank.min(n) - 1])
+        match &self.repr {
+            Repr::Exact { samples_us, .. } => {
+                let n = samples_us.len();
+                let rank = ((q / 100.0) * n as f64).ceil().max(1.0) as usize;
+                SimDuration::from_micros(samples_us[rank.min(n) - 1])
+            }
+            Repr::Bounded(b) => SimDuration::from_micros(b.percentile_us(q)),
+        }
     }
 
     pub fn mean(&self) -> SimDuration {
-        if self.samples_us.is_empty() {
+        if self.is_empty() {
             return SimDuration::ZERO;
         }
-        let sum: u64 = self.samples_us.iter().sum();
-        SimDuration::from_micros(sum / self.samples_us.len() as u64)
+        SimDuration::from_micros(self.sum_us() / self.len() as u64)
     }
 
     pub fn max(&mut self) -> SimDuration {
         self.ensure_sorted();
-        SimDuration::from_micros(self.samples_us.last().copied().unwrap_or(0))
+        match &self.repr {
+            Repr::Exact { samples_us, .. } => {
+                SimDuration::from_micros(samples_us.last().copied().unwrap_or(0))
+            }
+            Repr::Bounded(b) => SimDuration::from_micros(b.max_us()),
+        }
     }
 
     pub fn min(&mut self) -> SimDuration {
         self.ensure_sorted();
-        SimDuration::from_micros(self.samples_us.first().copied().unwrap_or(0))
+        match &self.repr {
+            Repr::Exact { samples_us, .. } => {
+                SimDuration::from_micros(samples_us.first().copied().unwrap_or(0))
+            }
+            Repr::Bounded(b) => SimDuration::from_micros(b.min_us()),
+        }
     }
 
-    /// Merge another histogram into this one.
+    /// Merge another histogram into this one. Merging a bounded histogram
+    /// into an exact one promotes the receiver to bounded (the samples
+    /// behind a summary are gone).
     pub fn merge(&mut self, other: &LatencyHistogram) {
-        self.samples_us.extend_from_slice(&other.samples_us);
-        self.sorted = false;
+        match (&mut self.repr, &other.repr) {
+            (
+                Repr::Exact { samples_us, sorted },
+                Repr::Exact {
+                    samples_us: theirs, ..
+                },
+            ) => {
+                samples_us.extend_from_slice(theirs);
+                *sorted = false;
+            }
+            (
+                Repr::Bounded(b),
+                Repr::Exact {
+                    samples_us: theirs, ..
+                },
+            ) => {
+                for &v in theirs {
+                    b.record(v);
+                }
+            }
+            (Repr::Bounded(b), Repr::Bounded(theirs)) => b.merge(theirs),
+            (Repr::Exact { samples_us, .. }, Repr::Bounded(theirs)) => {
+                let mut b = BoundedSummary::default();
+                for &v in samples_us.iter() {
+                    b.record(v);
+                }
+                b.merge(theirs);
+                self.repr = Repr::Bounded(b);
+            }
+        }
+    }
+
+    /// The bounded summary view: the live summary in bounded mode, or one
+    /// computed from the stored samples in exact mode.
+    pub fn to_summary(&self) -> BoundedSummary {
+        match &self.repr {
+            Repr::Bounded(b) => b.clone(),
+            Repr::Exact { samples_us, .. } => {
+                let mut b = BoundedSummary::default();
+                for &v in samples_us.iter() {
+                    b.record(v);
+                }
+                b
+            }
+        }
     }
 }
 
@@ -131,6 +373,73 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.len(), 2);
         assert_eq!(a.max().as_millis(), 3);
+    }
+
+    #[test]
+    fn bounded_tracks_exact_within_bucket_error() {
+        let mut exact = LatencyHistogram::new();
+        let mut bounded = LatencyHistogram::bounded();
+        // A spread of magnitudes: 10 µs .. ~1 s.
+        let mut v = 10u64;
+        for i in 0..50_000u64 {
+            let us = v + (i * 7919) % (v / 2 + 1);
+            exact.record(SimDuration::from_micros(us));
+            bounded.record(SimDuration::from_micros(us));
+            if i % 1000 == 0 {
+                v = (v * 3 / 2).min(1_000_000);
+            }
+        }
+        assert!(bounded.is_bounded());
+        assert_eq!(exact.len(), bounded.len());
+        for q in [50.0, 95.0, 99.0, 99.9] {
+            let e = exact.percentile(q).as_micros() as f64;
+            let b = bounded.percentile(q).as_micros() as f64;
+            let err = (e - b).abs() / e.max(1.0);
+            assert!(err < 0.02, "p{q}: exact {e} vs bounded {b} (err {err})");
+        }
+        assert_eq!(exact.min(), bounded.min());
+        assert_eq!(exact.max(), bounded.max());
+        assert_eq!(exact.mean(), bounded.mean());
+    }
+
+    #[test]
+    fn bounded_memory_does_not_grow_with_samples() {
+        let mut b = BoundedSummary::default();
+        for i in 0..1_000_000u64 {
+            b.record(i % 4096);
+        }
+        assert!(b.counts.len() <= bucket_index(4096) + 1);
+        assert_eq!(b.count(), 1_000_000);
+    }
+
+    #[test]
+    fn bucket_index_value_are_consistent() {
+        for v in [0u64, 1, 63, 64, 65, 127, 128, 1000, 65_535, 1 << 40] {
+            let idx = bucket_index(v);
+            let lo = bucket_value(idx);
+            assert!(lo <= v, "lower bound {lo} > {v}");
+            // Relative error of the representative is bounded by 1/64.
+            assert!((v - lo) as f64 <= (v as f64) / 64.0 + 1.0, "{v} -> {lo}");
+        }
+    }
+
+    #[test]
+    fn mixed_merges_promote_to_bounded() {
+        let mut exact = LatencyHistogram::new();
+        exact.record(SimDuration::from_micros(10));
+        let mut b = LatencyHistogram::bounded();
+        b.record(SimDuration::from_micros(20));
+        exact.merge(&b);
+        assert!(exact.is_bounded());
+        assert_eq!(exact.len(), 2);
+        assert_eq!(exact.max().as_micros(), 20);
+
+        let mut b2 = LatencyHistogram::bounded();
+        let mut e2 = LatencyHistogram::new();
+        e2.record(SimDuration::from_micros(5));
+        b2.merge(&e2);
+        assert_eq!(b2.len(), 1);
+        assert_eq!(b2.min().as_micros(), 5);
     }
 
     #[test]

@@ -162,6 +162,7 @@ pub struct Topology {
     down_nodes: HashSet<NetNodeId>,
     partitions: HashSet<(RegionId, RegionId)>,
     cross_region_stats: BTreeMap<(RegionId, RegionId), LinkStats>,
+    total_stats: LinkStats,
     rng: SmallRng,
 }
 
@@ -178,6 +179,7 @@ impl Topology {
             down_nodes: HashSet::new(),
             partitions: HashSet::new(),
             cross_region_stats: BTreeMap::new(),
+            total_stats: LinkStats::default(),
             rng: SmallRng::seed_from_u64(seed),
         }
     }
@@ -313,6 +315,8 @@ impl Topology {
         }
         if fi.region == ti.region && fi.host == ti.host {
             // Loopback between co-located processes; tc does not delay it.
+            self.total_stats.messages += 1;
+            self.total_stats.bytes += bytes;
             return Some(self.same_host);
         }
         let link = self.link(fi.region, ti.region);
@@ -336,7 +340,25 @@ impl Topology {
             s.messages += 1;
             s.bytes += bytes;
         }
+        self.total_stats.messages += 1;
+        self.total_stats.bytes += bytes;
         Some(d)
+    }
+
+    /// Account traffic whose delivery cost was modelled elsewhere (the
+    /// log-shipping path computes transmission explicitly and sends its
+    /// propagation probe with a minimal payload): adds the bytes to the
+    /// link counters without charging any delay or message.
+    pub fn charge_bytes(&mut self, from: NetNodeId, to: NetNodeId, bytes: u64) {
+        let (fi, ti) = (&self.nodes[from.0 as usize], &self.nodes[to.0 as usize]);
+        if fi.region != ti.region {
+            let s = self
+                .cross_region_stats
+                .entry(Self::norm(fi.region, ti.region))
+                .or_default();
+            s.bytes += bytes;
+        }
+        self.total_stats.bytes += bytes;
     }
 
     /// Round-trip cost of a small request/response pair.
@@ -370,8 +392,24 @@ impl Topology {
         &self.cross_region_stats
     }
 
+    /// All delivered traffic, every link (loopback included).
+    pub fn total_stats(&self) -> LinkStats {
+        self.total_stats
+    }
+
+    /// Cross-region traffic summed over all region pairs.
+    pub fn cross_region_totals(&self) -> LinkStats {
+        let mut t = LinkStats::default();
+        for s in self.cross_region_stats.values() {
+            t.messages += s.messages;
+            t.bytes += s.bytes;
+        }
+        t
+    }
+
     pub fn reset_stats(&mut self) {
         self.cross_region_stats.clear();
+        self.total_stats = LinkStats::default();
     }
 
     /// All nodes of a given kind in a region.

@@ -21,6 +21,7 @@
 
 pub mod cn;
 pub mod gtm;
+pub mod metrics;
 pub mod mode;
 pub mod transition;
 

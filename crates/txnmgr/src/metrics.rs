@@ -1,0 +1,31 @@
+//! Metric names owned by the transaction-management subsystem.
+//!
+//! Naming scheme: `subsystem.noun[_unit]` (see DESIGN.md "Observability").
+//! The constants live here so recorders in `globaldb` and readers in
+//! benches agree on spelling; the registry itself is in `gdb-obs`.
+
+/// Transactions committed.
+pub const COMMITTED: &str = "txnmgr.committed";
+/// Transactions aborted.
+pub const ABORTED: &str = "txnmgr.aborted";
+/// Lock-wait events observed during execution.
+pub const LOCK_WAITS: &str = "txnmgr.lock_waits";
+/// Total virtual time spent in commit wait, microseconds.
+pub const COMMIT_WAIT_TOTAL_US: &str = "txnmgr.commit_wait_total_us";
+
+/// End-to-end committed-transaction latency histogram.
+pub const LATENCY_US: &str = "txnmgr.latency_us";
+
+/// Per-phase latency histograms. The five phases tile a transaction:
+/// begin → snapshot acquire → execute → prepare → commit wait →
+/// replication ack. Prepare / commit-wait / replication-ack are recorded
+/// for write transactions only.
+pub const PHASE_SNAPSHOT_US: &str = "txnmgr.phase.snapshot_acquire_us";
+pub const PHASE_EXECUTE_US: &str = "txnmgr.phase.execute_us";
+pub const PHASE_PREPARE_US: &str = "txnmgr.phase.prepare_us";
+pub const PHASE_COMMIT_WAIT_US: &str = "txnmgr.phase.commit_wait_us";
+pub const PHASE_REPLICATION_ACK_US: &str = "txnmgr.phase.replication_ack_us";
+
+/// The prefix shared by all phase histograms; benches strip it to build
+/// the `phases_us` artifact section.
+pub const PHASE_PREFIX: &str = "txnmgr.phase.";

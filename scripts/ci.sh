@@ -1,26 +1,93 @@
 #!/usr/bin/env bash
-# Full CI gate: formatting, lints, release build, tests, and a 5-seed
-# smoke run of the chaos nemesis binary. Everything runs offline against
-# the vendored dependency set.
+# Full CI gate: formatting, lints, release build, tests, a 5-seed smoke
+# run of the chaos nemesis binary, and the bench perf-regression gate.
+# Everything runs offline against the vendored dependency set.
+#
+# Usage: scripts/ci.sh [STAGE]
+#   all            every stage below (default; what local runs use)
+#   main           lint + build + test + bench-smoke (the CI "ci" job)
+#   lint           cargo fmt --check && cargo clippy -D warnings
+#   build          cargo build --release
+#   test           cargo test -q
+#   nemesis-smoke  nemesis seeds 1..5 (the CI "nemesis" job)
+#   bench-smoke    tiny-scale figure runs gated against BENCH_smoke.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo fmt --check"
-cargo fmt --all -- --check
+stage_lint() {
+    echo "==> cargo fmt --check"
+    cargo fmt --all -- --check
 
-echo "==> cargo clippy --workspace -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+    echo "==> cargo clippy --workspace -- -D warnings"
+    cargo clippy --workspace --all-targets -- -D warnings
+}
 
-echo "==> cargo build --release"
-cargo build --release
+stage_build() {
+    echo "==> cargo build --release"
+    cargo build --release
+}
 
-echo "==> cargo test -q"
-cargo test -q
+stage_test() {
+    echo "==> cargo test -q"
+    cargo test -q
+}
 
-echo "==> nemesis smoke (5 seeds)"
-for seed in 1 2 3 4 5; do
-    cargo run --release -q -p gdb-chaos --bin nemesis -- --seed "$seed" --duration 2s \
-        | tail -n 1
-done
+stage_nemesis_smoke() {
+    echo "==> nemesis smoke (5 seeds)"
+    for seed in 1 2 3 4 5; do
+        cargo run --release -q -p gdb-chaos --bin nemesis -- --seed "$seed" --duration 2s \
+            | tail -n 1
+    done
+}
 
-echo "CI OK"
+# Regenerate every figure artifact at tiny scale and compare throughput
+# against the committed baseline. The simulation is deterministic, so on
+# unchanged code this reproduces the baseline exactly; the 20% tolerance
+# only absorbs intended performance shifts (bless bigger ones with
+# scripts/regen_bench.sh).
+stage_bench_smoke() {
+    echo "==> bench smoke (tiny scale) + perf gate"
+    local out=target/bench-smoke
+    rm -rf "$out"
+    mkdir -p "$out"
+    for fig in fig1a fig6a fig6b fig6c fig6d; do
+        GDB_BENCH_SCALE=tiny GDB_BENCH_SECS=2 GDB_BENCH_TERMINALS=8 \
+            cargo run --release -q -p gdb-bench --bin "$fig" -- \
+            --json "$out/$fig.json" >/dev/null
+    done
+    cargo run --release -q -p gdb-chaos --bin nemesis -- \
+        --seed 1 --duration 2s --json "$out/nemesis.json" >/dev/null
+    cargo run --release -q -p gdb-bench --bin benchcmp -- merge \
+        "$out/BENCH_smoke.json" \
+        "$out"/fig1a.json "$out"/fig6a.json "$out"/fig6b.json \
+        "$out"/fig6c.json "$out"/fig6d.json "$out"/nemesis.json
+    cargo run --release -q -p gdb-bench --bin benchcmp -- check \
+        BENCH_smoke.json "$out/BENCH_smoke.json" --tolerance 0.20
+}
+
+case "${1:-all}" in
+lint) stage_lint ;;
+build) stage_build ;;
+test) stage_test ;;
+nemesis-smoke) stage_nemesis_smoke ;;
+bench-smoke) stage_bench_smoke ;;
+main)
+    stage_lint
+    stage_build
+    stage_test
+    stage_bench_smoke
+    echo "CI OK"
+    ;;
+all)
+    stage_lint
+    stage_build
+    stage_test
+    stage_nemesis_smoke
+    stage_bench_smoke
+    echo "CI OK"
+    ;;
+*)
+    echo "unknown stage: $1 (see scripts/ci.sh header)" >&2
+    exit 2
+    ;;
+esac

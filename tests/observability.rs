@@ -1,0 +1,132 @@
+//! Observability integration: identical seeds produce bit-identical
+//! traces and metrics snapshots; transaction spans nest their phase
+//! children; the per-phase histograms make the paper's commit-wait story
+//! (GTM round trip vs bounded GClock wait) visible in numbers.
+
+use gdb_workloads::driver::{run_workload, RunConfig, Workload};
+use gdb_workloads::tpcc::{TpccMix, TpccScale, TpccWorkload};
+use globaldb::{Cluster, ClusterConfig, MetricsReport, SimDuration, SpanKind};
+
+/// Run a short TPC-C burst and return the trace render + metrics
+/// snapshot (the cluster too, for span-level assertions).
+fn run_tpcc(config: ClusterConfig, workload_seed: u64) -> (Cluster, String, MetricsReport) {
+    let mut cluster = Cluster::new(config);
+    cluster.db.obs.tracer.enable(500_000);
+    let mut wl = TpccWorkload::new(TpccScale::tiny(), TpccMix::standard(), workload_seed);
+    wl.setup(&mut cluster).expect("tpcc setup");
+    run_workload(
+        &mut cluster,
+        &mut wl,
+        RunConfig {
+            terminals: 4,
+            duration: SimDuration::from_secs(1),
+            warmup: SimDuration::from_millis(200),
+            think_time: SimDuration::from_millis(10),
+        },
+    );
+    let render = cluster.db.obs.tracer.render();
+    let snap = cluster.db.metrics_snapshot();
+    (cluster, render, snap)
+}
+
+#[test]
+fn identical_seeds_identical_trace_and_metrics() {
+    let (_, render_a, snap_a) = run_tpcc(ClusterConfig::globaldb_three_city(), 42);
+    let (_, render_b, snap_b) = run_tpcc(ClusterConfig::globaldb_three_city(), 42);
+    assert!(!render_a.is_empty(), "tracer recorded nothing");
+    assert_eq!(render_a, render_b, "same seed produced different traces");
+    assert_eq!(snap_a, snap_b, "same seed produced different metrics");
+
+    let (_, render_c, _) = run_tpcc(ClusterConfig::globaldb_three_city(), 43);
+    assert_ne!(
+        render_a, render_c,
+        "different seeds replayed the same trace"
+    );
+}
+
+#[test]
+fn txn_spans_nest_their_phases() {
+    let (cluster, _, _) = run_tpcc(ClusterConfig::globaldb_three_city(), 42);
+    let tracer = &cluster.db.obs.tracer;
+    assert_eq!(tracer.dropped(), 0, "span capacity too small for this run");
+
+    // Find a write transaction: a Txn root with all five phase children.
+    let write_txn = tracer
+        .spans()
+        .iter()
+        .filter(|s| s.is_root() && s.kind == SpanKind::Txn)
+        .find(|s| tracer.children(s.id).len() == 5)
+        .expect("no write transaction recorded");
+    let kids = tracer.children(write_txn.id);
+    let kinds: Vec<SpanKind> = kids.iter().map(|s| s.kind).collect();
+    assert_eq!(
+        kinds,
+        vec![
+            SpanKind::SnapshotAcquire,
+            SpanKind::Execute,
+            SpanKind::Prepare,
+            SpanKind::CommitWait,
+            SpanKind::ReplicationAck,
+        ]
+    );
+    // Phases tile the transaction: each child starts where the previous
+    // ended, the first at txn begin, the last ending at the final ack.
+    assert_eq!(kids[0].start, write_txn.start);
+    for pair in kids.windows(2) {
+        assert_eq!(pair[0].end, pair[1].start);
+    }
+    assert_eq!(kids.last().unwrap().end, write_txn.end);
+
+    // Read-only transactions record just snapshot + execute.
+    let read_txn = tracer
+        .spans()
+        .iter()
+        .filter(|s| s.is_root() && s.kind == SpanKind::Txn)
+        .find(|s| tracer.children(s.id).len() == 2);
+    if let Some(r) = read_txn {
+        let kinds: Vec<SpanKind> = tracer.children(r.id).iter().map(|s| s.kind).collect();
+        assert_eq!(kinds, vec![SpanKind::SnapshotAcquire, SpanKind::Execute]);
+    }
+
+    // Background activities are spanned too.
+    assert!(
+        tracer.spans().iter().any(|s| s.kind == SpanKind::LogShip),
+        "no log-shipping spans"
+    );
+}
+
+#[test]
+fn phase_histograms_expose_commit_wait_contrast() {
+    // GTM + sync replication across three cities vs GClock + async: the
+    // paper's Fig. 6a gap must be visible in the phase histograms.
+    let (_, _, baseline) = run_tpcc(ClusterConfig::baseline_three_city(), 42);
+    let (_, _, globaldb) = run_tpcc(ClusterConfig::globaldb_three_city(), 42);
+
+    for snap in [&baseline, &globaldb] {
+        for phase in ["execute", "commit_wait"] {
+            let h = snap
+                .histogram(&format!("txnmgr.phase.{phase}_us"))
+                .unwrap_or_else(|| panic!("missing phase histogram {phase}"));
+            assert!(h.count > 0, "empty phase histogram {phase}");
+        }
+        assert!(snap.histogram("txnmgr.latency_us").is_some());
+    }
+    let base_wait = baseline.histogram("txnmgr.phase.commit_wait_us").unwrap();
+    let gdb_wait = globaldb.histogram("txnmgr.phase.commit_wait_us").unwrap();
+    assert!(
+        base_wait.mean_us > 10 * gdb_wait.mean_us,
+        "GTM commit wait ({} us) should dwarf GClock's ({} us)",
+        base_wait.mean_us,
+        gdb_wait.mean_us
+    );
+
+    // Counters mirrored from cluster stats and the network are present.
+    assert!(globaldb.counter("txnmgr.committed").unwrap() > 0);
+    assert!(globaldb.counter("simnet.msgs").unwrap() > 0);
+    assert!(globaldb.counter("router.skyline.selections").unwrap() > 0);
+    assert!(globaldb.counter("replication.ship.batches").unwrap() > 0);
+    // Cross-region traffic counts real shipped bytes, not just probes.
+    let msgs = globaldb.counter("simnet.cross_region.msgs").unwrap();
+    let bytes = globaldb.counter("simnet.cross_region.bytes").unwrap();
+    assert!(msgs > 0 && bytes > msgs, "cross-region bytes undercounted");
+}
