@@ -30,7 +30,7 @@ fn main() {
             wl.set_all_local();
         });
         let commits = report.total_commits().max(1);
-        let mean_wait_us = cluster.db.stats.commit_wait_total.as_micros() as f64 / commits as f64;
+        let mean_wait_us = cluster.db.stats().commit_wait_total.as_micros() as f64 / commits as f64;
         rows.push(vec![
             format!("{rtt_us} us"),
             format!("{:.0}", report.tpmc()),

@@ -28,7 +28,7 @@ fn main() {
         });
         let shipped: u64 = cluster
             .db
-            .shards
+            .shards()
             .iter()
             .flat_map(|s| s.replicas.iter())
             .map(|r| r.channel.stats.wire_bytes)
@@ -36,7 +36,7 @@ fn main() {
         let ratio: f64 = {
             let (raw, wire) = cluster
                 .db
-                .shards
+                .shards()
                 .iter()
                 .flat_map(|s| s.replicas.iter())
                 .fold((0u64, 0u64), |(r, w), rep| {

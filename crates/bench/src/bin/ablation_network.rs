@@ -33,11 +33,11 @@ fn main() {
         };
         let mut cluster = Cluster::new(config);
         // Apply the combo to every inter-region link before loading.
-        let regions = cluster.db.regions.clone();
+        let regions = cluster.db.regions().to_vec();
         for i in 0..regions.len() {
             for j in (i + 1)..regions.len() {
-                let base = cluster.db.topo.link(regions[i], regions[j]);
-                cluster.db.topo.set_link(
+                let base = cluster.db.topo().link(regions[i], regions[j]);
+                cluster.db.topo_mut().set_link(
                     regions[i],
                     regions[j],
                     LinkParams {

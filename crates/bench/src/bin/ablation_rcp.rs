@@ -29,7 +29,7 @@ fn main() {
             format!("{hb_ms} ms"),
             format!("{:.0}", report.throughput_per_sec()),
             format!("{:.1} ms", rcp_lag_ms(&cluster)),
-            format!("{}", cluster.db.stats.rcp_rounds),
+            format!("{}", cluster.db.stats().rcp_rounds),
             format!("{}", report.reads_on_replica),
         ]);
     }

@@ -30,7 +30,7 @@ fn main() {
         let (cluster, report) = tpcc_run(config, &params, TpccMix::standard(), |wl| {
             wl.set_all_local();
         });
-        let fallbacks = cluster.db.stats.replica_blocked_fallbacks;
+        let fallbacks = cluster.db.stats().replica_blocked_fallbacks;
         rows.push(vec![
             format!("{workers}"),
             format!("{:.0}", report.tpmc()),

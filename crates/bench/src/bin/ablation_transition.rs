@@ -55,7 +55,7 @@ fn main() {
         }
         let w = (term as i64 % scale.warehouses) + 1;
         let dist = ((term as i64 / scale.warehouses) % scale.districts_per_warehouse) + 1;
-        let cn = term % cluster.db.cns.len();
+        let cn = term % cluster.db.cns().len();
         let res = txns::new_order(&mut cluster, &st, &mut rng, &scale, cn, at, w, dist, 0.0);
         let done = match res {
             Ok(outcome) => {
@@ -99,7 +99,7 @@ fn main() {
     println!(
         "Minimum window: {min} commits — zero-downtime requires every window > 0. \
          Last transition completed: {:?}",
-        cluster.db.last_transition_completed
+        cluster.db.last_transition_completed()
     );
     assert!(*min > 0, "a window starved during the transition!");
 }

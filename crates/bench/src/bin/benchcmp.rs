@@ -67,14 +67,14 @@ fn check(baseline: &str, current: &str, tolerance: f64) -> ExitCode {
     }
     if failed > 0 {
         eprintln!(
-            "benchcmp: {failed}/{} series regressed more than {:.0}% vs {baseline}",
+            "benchcmp: {failed}/{} comparisons regressed more than {:.0}% vs {baseline}",
             comparisons.len(),
             tolerance * 100.0
         );
         ExitCode::FAILURE
     } else {
         println!(
-            "all {} series within {:.0}% of {baseline}",
+            "all {} comparisons within {:.0}% of {baseline}",
             comparisons.len(),
             tolerance * 100.0
         );

@@ -8,16 +8,19 @@
 //!
 //! Regenerate with: `cargo run -p gdb-bench --release --bin fig6a`
 //! (add `--json BENCH_fig6a.json` to also write the machine-readable
-//! artifact).
+//! artifact, and `--trace trace.json` to export a Chrome trace-event
+//! span timeline of the GlobalDB three-city run).
 
 use gdb_bench::{
-    artifact, emit_artifact, print_table, ratio, series_from_run, tpcc_run, BenchParams,
+    artifact, emit_artifact, print_table, ratio, series_from_run, tpcc_run_with, trace_out_path,
+    BenchParams,
 };
 use gdb_workloads::tpcc::TpccMix;
 use globaldb::ClusterConfig;
 
 fn main() {
     let params = BenchParams::from_env();
+    let trace_path = trace_out_path();
     let mut art = artifact("fig6a", &params);
 
     let configs = [
@@ -41,10 +44,33 @@ fn main() {
 
     let mut results = Vec::new();
     for (label, config) in configs {
+        // The trace export follows the paper's headline configuration.
+        let traced = trace_path.is_some() && label == "GlobalDB @ three-city";
         // 100% local transactions (§V-A).
-        let (mut cluster, report) = tpcc_run(config, &params, TpccMix::standard(), |wl| {
-            wl.set_all_local();
-        });
+        let (mut cluster, report) = tpcc_run_with(
+            config,
+            &params,
+            TpccMix::standard(),
+            |wl| {
+                wl.set_all_local();
+            },
+            |c| {
+                if traced {
+                    c.db.obs_mut().tracer.enable(1_000_000);
+                }
+            },
+        );
+        if traced {
+            let path = trace_path.as_ref().unwrap();
+            let doc = gdb_obs::to_chrome_trace(&cluster.db.obs().tracer);
+            std::fs::write(path, doc).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+            eprintln!(
+                "wrote {} ({} spans, {} dropped)",
+                path.display(),
+                cluster.db.obs().tracer.spans().len(),
+                cluster.db.obs().tracer.dropped()
+            );
+        }
         art.series
             .push(series_from_run(label, &mut cluster, &report));
         results.push((label, report.tpmc(), report.mean_latency("new_order")));

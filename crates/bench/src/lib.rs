@@ -68,7 +68,21 @@ pub fn tpcc_run(
     mix: TpccMix,
     tweak: impl FnOnce(&mut TpccWorkload),
 ) -> (Cluster, WorkloadReport) {
+    tpcc_run_with(config, params, mix, tweak, |_| {})
+}
+
+/// [`tpcc_run`] with a pre-load cluster hook (e.g. enabling the span
+/// tracer for a `--trace` export). The hook must not perturb virtual
+/// time or the topology RNG, or the run diverges from its untraced twin.
+pub fn tpcc_run_with(
+    config: ClusterConfig,
+    params: &BenchParams,
+    mix: TpccMix,
+    tweak: impl FnOnce(&mut TpccWorkload),
+    prep: impl FnOnce(&mut Cluster),
+) -> (Cluster, WorkloadReport) {
     let mut cluster = Cluster::new(config);
+    prep(&mut cluster);
     let mut wl = TpccWorkload::new(params.scale, mix, params.seed);
     tweak(&mut wl);
     wl.setup(&mut cluster).expect("tpcc setup");
@@ -113,9 +127,19 @@ pub fn ratio(value: f64, base: f64) -> String {
 
 /// The path given by `--json <path>` on the binary's command line.
 pub fn json_out_path() -> Option<PathBuf> {
+    arg_path("--json")
+}
+
+/// The path given by `--trace <path>`: where to write a Chrome
+/// trace-event JSON of the instrumented run's span tree.
+pub fn trace_out_path() -> Option<PathBuf> {
+    arg_path("--trace")
+}
+
+fn arg_path(flag: &str) -> Option<PathBuf> {
     let args: Vec<String> = std::env::args().collect();
     args.iter()
-        .position(|a| a == "--json")
+        .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .map(PathBuf::from)
 }
@@ -187,10 +211,10 @@ pub fn emit_artifact(a: &BenchArtifact) {
 /// Mean RCP lag across regions in milliseconds (freshness metric).
 pub fn rcp_lag_ms(cluster: &Cluster) -> f64 {
     let now_us = cluster.now().as_micros() as f64;
-    let regions = cluster.db.rcp.len().max(1) as f64;
+    let regions = cluster.db.rcp_calculators().len().max(1) as f64;
     let total: f64 = cluster
         .db
-        .rcp
+        .rcp_calculators()
         .iter()
         .map(|r| (now_us - r.current().as_micros() as f64).max(0.0))
         .sum();

@@ -81,7 +81,7 @@ impl Fault {
                 format!("recover restart-primary shard={shard}")
             }
             Fault::PromoteReplica { shard, replica } => {
-                if replica >= db.shards[shard].replicas.len() {
+                if replica >= db.shards()[shard].replicas.len() {
                     return format!("skip promote shard={shard}: no replica {replica}");
                 }
                 match db.promote_replica_at(shard, replica, now) {

@@ -29,7 +29,7 @@ pub mod trace;
 
 pub use fault::Fault;
 pub use nemesis::NemesisConfig;
-pub use oracle::Oracle;
+pub use oracle::{FailoverWindow, Oracle, PROBE_LATENCY_US};
 pub use plan::{FaultEvent, FaultPlan};
 pub use runner::{run_nemesis, run_plan, ChaosConfig, ChaosReport};
 pub use trace::{Trace, TraceHandle};

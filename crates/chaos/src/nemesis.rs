@@ -24,15 +24,15 @@ pub struct ClusterShape {
 impl ClusterShape {
     pub fn of(cluster: &Cluster) -> Self {
         ClusterShape {
-            shards: cluster.db.shards.len(),
+            shards: cluster.db.shards().len(),
             replicas_per_shard: cluster
                 .db
-                .shards
+                .shards()
                 .first()
                 .map(|s| s.replicas.len())
                 .unwrap_or(0),
-            cns: cluster.db.cns.len(),
-            regions: cluster.db.regions.len(),
+            cns: cluster.db.cns().len(),
+            regions: cluster.db.regions().len(),
         }
     }
 }
@@ -46,9 +46,11 @@ pub struct NemesisConfig {
     /// No injection fires at or after `start + duration`; recoveries may
     /// land slightly later (every episode recovers).
     pub duration: SimDuration,
-    /// Overlay a second concurrent fault on some episodes (~40% of them,
-    /// from families that cannot conflict with the main episode's
-    /// recovery). Off by default: one fault at a time.
+    /// Overlay a second concurrent fault on some episodes (~40% of
+    /// them), drawn from any family other than the main episode's —
+    /// including the heavy ones (GTM crash, region partition) — with
+    /// the overlay's whole lifetime nested inside the main fault's
+    /// outage. Off by default: one fault at a time.
     pub overlap: bool,
 }
 
@@ -142,11 +144,14 @@ pub fn generate(cfg: &NemesisConfig, shape: &ClusterShape) -> FaultPlan {
 }
 
 /// Overlay a second fault inside the main episode's hold window, so two
-/// faults are outstanding at once. Only families whose injection and
-/// recovery cannot collide with the main episode's recovery path are
-/// eligible (CN crash, delay spike, clock-sync outage), and the family
-/// matching the main episode is excluded so an overlay never recovers the
-/// main fault early.
+/// faults are outstanding at once. The overlay injects at a quarter of
+/// the hold and recovers at three quarters, so its whole lifetime nests
+/// strictly inside the main fault's outage — the heal ordering the
+/// lifecycle layer has to get right. Eligible families are the light
+/// ones (CN crash, delay spike, clock-sync outage) plus the heavy ones
+/// (GTM crash, region partition) whose interleaved heals
+/// `lifecycle.rs` now sequences; the family matching the main episode
+/// is excluded so an overlay never recovers the main fault early.
 fn overlay_episode(
     rng: &mut SmallRng,
     plan: FaultPlan,
@@ -158,14 +163,27 @@ fn overlay_episode(
     let quarter = SimDuration::from_nanos(hold.as_nanos() / 4);
     let from = t + quarter;
     let until = t + quarter + quarter + quarter;
-    let mut families: Vec<u32> = vec![3, 5, 6];
+    let mut families: Vec<u32> = vec![2, 3, 5, 6];
+    if shape.regions > 1 {
+        families.push(4);
+    }
     families.retain(|&f| f != main_kind);
     let family = families[rng.gen_range(0..families.len())];
     match family {
+        2 => plan.at(from, Fault::CrashGtm).at(until, Fault::RestartGtm),
         3 => {
             let cn = rng.gen_range(0..shape.cns);
             plan.at(from, Fault::CrashCn { cn })
                 .at(until, Fault::RestartCn { cn })
+        }
+        4 => {
+            let a = rng.gen_range(0..shape.regions);
+            let mut b = rng.gen_range(0..shape.regions);
+            if b == a {
+                b = (a + 1) % shape.regions;
+            }
+            plan.at(from, Fault::PartitionRegions { a, b })
+                .at(until, Fault::HealRegions { a, b })
         }
         5 => {
             let extra = SimDuration::from_micros(rng.gen_range(500u64..8_000));
@@ -254,6 +272,46 @@ mod tests {
             overlapped.events,
             generate(&base.with_overlap(), &shape()).events
         );
+    }
+
+    /// The faults injected while another injection is still outstanding
+    /// (i.e. the overlays), in time order.
+    fn concurrent_faults(plan: &FaultPlan) -> Vec<Fault> {
+        let mut evs = plan.events.clone();
+        evs.sort_by_key(|e| e.at);
+        let mut out = Vec::new();
+        let mut prev_was_injection = false;
+        for e in &evs {
+            if e.fault.is_injection() {
+                if prev_was_injection {
+                    out.push(e.fault.clone());
+                }
+                prev_was_injection = true;
+            } else {
+                prev_was_injection = false;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn overlap_mode_overlays_heavy_fault_families() {
+        let mut gtm = 0usize;
+        let mut partition = 0usize;
+        for seed in 1..=20 {
+            let cfg =
+                NemesisConfig::new(seed, SimTime::from_millis(500), SimDuration::from_secs(5))
+                    .with_overlap();
+            for f in concurrent_faults(&generate(&cfg, &shape())) {
+                match f {
+                    Fault::CrashGtm => gtm += 1,
+                    Fault::PartitionRegions { .. } => partition += 1,
+                    _ => {}
+                }
+            }
+        }
+        assert!(gtm > 0, "no overlay ever crashed the GTM");
+        assert!(partition > 0, "no overlay ever partitioned regions");
     }
 
     #[test]

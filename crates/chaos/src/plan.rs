@@ -162,6 +162,33 @@ pub mod canned {
             )
     }
 
+    /// Heavy overlap: the fault families that used to be kept apart —
+    /// a primary crash, a GTM crash, and a region partition — all
+    /// outstanding at once, with the heals interleaved (partition heals
+    /// between GTM restart and failover in the first wave; GTM restarts
+    /// *after* the partition heals in the second). Exercises the
+    /// lifecycle layer's interleaved-heal ordering.
+    pub fn heavy_overlap() -> FaultPlan {
+        FaultPlan::new("heavy-overlap")
+            .at(t(300), Fault::CrashPrimary { shard: 0 })
+            .at(t(400), Fault::PartitionRegions { a: 1, b: 2 })
+            .at(t(500), Fault::CrashGtm)
+            .at(t(800), Fault::RestartGtm)
+            .at(t(1000), Fault::HealRegions { a: 1, b: 2 })
+            .at(
+                t(1100),
+                Fault::PromoteReplica {
+                    shard: 0,
+                    replica: 0,
+                },
+            )
+            .at(t(1400), Fault::RejoinOldPrimary { shard: 0 })
+            .at(t(1700), Fault::PartitionRegions { a: 0, b: 2 })
+            .at(t(1800), Fault::CrashGtm)
+            .at(t(2100), Fault::HealRegions { a: 0, b: 2 })
+            .at(t(2300), Fault::RestartGtm)
+    }
+
     /// All canned plans, by name.
     pub fn all() -> Vec<FaultPlan> {
         vec![
@@ -169,6 +196,7 @@ pub mod canned {
             partition_and_delay(),
             gtm_and_collector(),
             overlapping_faults(),
+            heavy_overlap(),
         ]
     }
 
@@ -195,7 +223,7 @@ mod tests {
     #[test]
     fn canned_plans_are_named_and_nonempty() {
         let plans = canned::all();
-        assert_eq!(plans.len(), 4);
+        assert_eq!(plans.len(), 5);
         for p in &plans {
             assert!(!p.events.is_empty(), "{} is empty", p.name);
             assert!(canned::by_name(&p.name).is_some());

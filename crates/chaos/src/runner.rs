@@ -2,8 +2,9 @@
 //! and the invariant oracle interleaved as simulation events, a heal-all
 //! recovery phase, and final whole-database checks.
 
+use crate::fault::Fault;
 use crate::nemesis::{ClusterShape, NemesisConfig};
-use crate::oracle::Oracle;
+use crate::oracle::{FailoverWindow, Oracle};
 use crate::plan::FaultPlan;
 use crate::trace::new_trace;
 use gdb_workloads::tpcc::{consistency, TpccMix, TpccScale, TpccWorkload};
@@ -28,6 +29,10 @@ pub struct ChaosConfig {
     /// Let the nemesis generator overlay concurrent fault episodes
     /// ([`NemesisConfig::with_overlap`]).
     pub overlap: bool,
+    /// Replication mode under torment. Synchronous modes get the strict
+    /// durability oracle; `Async` gets the bounded-loss check (a failover
+    /// may lose at most the shipping-window tail).
+    pub replication: ReplicationMode,
 }
 
 impl ChaosConfig {
@@ -43,6 +48,7 @@ impl ChaosConfig {
             probe_interval: SimDuration::from_millis(25),
             probe_keys: 4,
             overlap: false,
+            replication: ReplicationMode::SyncRemoteQuorum { quorum: 1 },
         }
     }
 
@@ -54,7 +60,7 @@ impl ChaosConfig {
     pub fn cluster_config(&self) -> ClusterConfig {
         let mut c = ClusterConfig::globaldb_three_city().with_seed(self.cluster_seed);
         c.cn_count = 6;
-        c.replication = ReplicationMode::SyncRemoteQuorum { quorum: 1 };
+        c.replication = self.replication;
         c.rcp_two_phase = true;
         c
     }
@@ -125,43 +131,70 @@ impl ChaosReport {
 /// delay, reconnect clock-sync daemons, and restart every downed node
 /// through its typed recovery path.
 pub fn heal_all(db: &mut GlobalDb, now: SimTime) {
-    db.topo.heal_all();
+    db.topo_mut().heal_all();
     db.set_injected_delay(SimDuration::ZERO);
-    for cn in 0..db.cns.len() {
+    for cn in 0..db.cns().len() {
         db.resume_clock_sync(cn, now);
     }
-    for shard in 0..db.shards.len() {
-        if db.topo.is_node_down(db.shards[shard].primary) {
+    for shard in 0..db.shards().len() {
+        if db.topo().is_node_down(db.shards()[shard].primary) {
             db.restart_primary(shard);
         }
-        for replica in 0..db.shards[shard].replicas.len() {
+        for replica in 0..db.shards()[shard].replicas.len() {
             if db
-                .topo
-                .is_node_down(db.shards[shard].replicas[replica].node)
+                .topo()
+                .is_node_down(db.shards()[shard].replicas[replica].node)
             {
                 db.restart_replica(shard, replica, now);
             }
         }
     }
-    if db.topo.is_node_down(db.gtm_node) {
+    if db.topo().is_node_down(db.gtm_node()) {
         db.restart_gtm();
     }
-    for cn in 0..db.cns.len() {
-        if db.topo.is_node_down(db.cns[cn].node) {
+    for cn in 0..db.cns().len() {
+        if db.topo().is_node_down(db.cns()[cn].node) {
             db.restart_cn(cn, now);
         }
     }
     // Anything still down is an orphan (e.g. a crashed-and-replaced old
     // primary that never rejoined); bring it back so the topology is clean.
-    for node in db.topo.down_nodes() {
+    for node in db.topo().down_nodes() {
         db.restore_node(node);
     }
+}
+
+/// Extract every primary-failover episode (crash followed by promotion
+/// of the same shard) from an already-shifted plan, for the oracle's
+/// bounded-loss durability check.
+fn failover_windows(plan: &FaultPlan) -> Vec<FailoverWindow> {
+    let mut out = Vec::new();
+    for ev in &plan.events {
+        if let Fault::PromoteReplica { shard, .. } = ev.fault {
+            let crash_at = plan
+                .events
+                .iter()
+                .filter(|e| {
+                    e.at <= ev.at
+                        && matches!(e.fault, Fault::CrashPrimary { shard: s } if s == shard)
+                })
+                .map(|e| e.at)
+                .max();
+            if let Some(crash_at) = crash_at {
+                out.push(FailoverWindow {
+                    crash_at,
+                    promote_at: ev.at,
+                });
+            }
+        }
+    }
+    out
 }
 
 /// Run TPC-C under `plan` and return the full report.
 pub fn run_plan(plan: FaultPlan, cfg: &ChaosConfig) -> ChaosReport {
     let mut cluster = Cluster::new(cfg.cluster_config());
-    let strict = cluster.db.config.replication.is_sync();
+    let strict = cluster.db.config().replication.is_sync();
     let scale = TpccScale::tiny();
     let mut workload = TpccWorkload::new(scale, TpccMix::standard(), cfg.workload_seed);
     workload.setup(&mut cluster).expect("TPC-C setup");
@@ -174,6 +207,13 @@ pub fn run_plan(plan: FaultPlan, cfg: &ChaosConfig) -> ChaosReport {
 
     let plan = plan.shifted(SimDuration::from_nanos(start.as_nanos()));
     let plan_name = plan.name.clone();
+    let failovers = failover_windows(&plan);
+    oracle.state.borrow_mut().lossy = !strict && !failovers.is_empty();
+    // Async replication may lose the tail of acked writes still in the
+    // shipping pipeline when a primary dies: an unsealed batch (one flush
+    // interval), a sealed batch in flight, plus scheduling slack — but
+    // never more. That bound is what the oracle enforces.
+    let loss_window = cluster.db.config().flush_interval * 2 + SimDuration::from_millis(250);
     plan.schedule(&mut cluster, Rc::clone(&trace));
     oracle.schedule(&mut cluster, start, end, cfg.probe_interval, &trace);
 
@@ -193,7 +233,7 @@ pub fn run_plan(plan: FaultPlan, cfg: &ChaosConfig) -> ChaosReport {
     heal_all(&mut cluster.db, now);
     cluster.run_until(now + cfg.grace);
 
-    oracle.final_check(&mut cluster, strict);
+    oracle.final_check(&mut cluster, strict, &failovers, loss_window);
     let tpcc_rows_verified = match consistency::verify(&mut cluster, &scale) {
         Ok(rows) => rows,
         Err(e) => {
@@ -217,13 +257,13 @@ pub fn run_plan(plan: FaultPlan, cfg: &ChaosConfig) -> ChaosReport {
         plan_name,
         trace: trace_lines,
         violations: state.violations.clone(),
-        txns_committed: cluster.db.stats.committed,
-        txns_aborted: cluster.db.stats.aborted,
+        txns_committed: cluster.db.stats().committed,
+        txns_aborted: cluster.db.stats().aborted,
         probe_writes: state.writes_committed,
         probe_reads: state.reads_checked,
-        rcp_rounds: cluster.db.stats.rcp_rounds,
-        rcp_rounds_abandoned: cluster.db.stats.rcp_rounds_abandoned,
-        collector_failovers: cluster.db.stats.collector_failovers,
+        rcp_rounds: cluster.db.stats().rcp_rounds,
+        rcp_rounds_abandoned: cluster.db.stats().rcp_rounds_abandoned,
+        collector_failovers: cluster.db.stats().collector_failovers,
         tpcc_rows_verified,
         duration: cfg.duration,
         latency,

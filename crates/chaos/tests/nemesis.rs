@@ -4,8 +4,8 @@
 //! collector-crash-mid-RCP-round recovery path.
 
 use gdb_chaos::plan::canned;
-use gdb_chaos::{run_nemesis, run_plan, ChaosConfig};
-use globaldb::{Cluster, SimDuration};
+use gdb_chaos::{run_nemesis, run_plan, ChaosConfig, PROBE_LATENCY_US};
+use globaldb::{Cluster, ReplicationMode, SimDuration};
 
 fn assert_clean(report: &gdb_chaos::ChaosReport) {
     assert!(
@@ -59,6 +59,49 @@ fn tpcc_survives_overlapping_faults_plan() {
     assert!(report.trace.iter().any(|l| l.contains("partition")));
     assert!(report.trace.iter().any(|l| l.contains("delay")));
     assert!(report.trace.iter().any(|l| l.contains("crash-cn")));
+}
+
+#[test]
+fn tpcc_survives_heavy_overlap_plan() {
+    let report = run_plan(canned::heavy_overlap(), &ChaosConfig::quick(105));
+    assert_clean(&report);
+    // A primary crash, a GTM crash, and a region partition are all
+    // outstanding at once, and the heals are interleaved.
+    assert!(report.trace.iter().any(|l| l.contains("crash-primary")));
+    assert!(report.trace.iter().any(|l| l.contains("crash-gtm")));
+    assert!(report.trace.iter().any(|l| l.contains("partition")));
+    assert!(report.trace.iter().any(|l| l.contains("promote")));
+    // The oracle's probe latencies flow into the metrics snapshot.
+    let probes = report
+        .metrics
+        .histogram(PROBE_LATENCY_US)
+        .expect("probe latency histogram missing from report metrics");
+    assert!(probes.count > 0, "probe latency histogram is empty");
+}
+
+/// The heavy-overlap seed sweep: random schedules where GTM crashes and
+/// region partitions may land inside another fault's outage window.
+#[test]
+fn tpcc_survives_heavy_overlap_nemesis_seeds() {
+    for seed in 31..=35u64 {
+        let mut cfg = ChaosConfig::quick(seed);
+        cfg.duration = SimDuration::from_secs(2);
+        cfg.overlap = true;
+        let report = run_nemesis(seed, &cfg);
+        assert_clean(&report);
+    }
+}
+
+/// Async replication with a primary failover: acknowledged writes may
+/// lose at most the shipping-window tail, and the oracle's bounded-loss
+/// durability check (rather than the strict one) enforces exactly that.
+#[test]
+fn async_failover_durability_is_bounded_loss() {
+    let mut cfg = ChaosConfig::quick(106);
+    cfg.replication = ReplicationMode::Async;
+    let report = run_plan(canned::primary_failover(), &cfg);
+    assert_clean(&report);
+    assert!(report.trace.iter().any(|l| l.contains("promote")));
 }
 
 #[test]
@@ -127,9 +170,9 @@ fn collector_crash_mid_rcp_round_abandons_then_fails_over() {
     cluster.run_until(now + SimDuration::from_millis(500));
 
     let db = &mut cluster.db;
-    let rounds_before = db.stats.rcp_rounds;
-    let abandoned_before = db.stats.rcp_rounds_abandoned;
-    let rcps_before: Vec<_> = db.cns.iter().map(|c| c.rcp).collect();
+    let rounds_before = db.stats().rcp_rounds;
+    let abandoned_before = db.stats().rcp_rounds_abandoned;
+    let rcps_before: Vec<_> = db.cns().iter().map(|c| c.rcp).collect();
 
     // Phase 1 gathers on the collector, which then dies mid-round.
     let now = cluster.sim.now();
@@ -137,12 +180,13 @@ fn collector_crash_mid_rcp_round_abandons_then_fails_over() {
     db.crash_cn(collector);
     db.rcp_finish(0, collector, now);
 
-    assert_eq!(db.stats.rcp_rounds_abandoned, abandoned_before + 1);
+    assert_eq!(db.stats().rcp_rounds_abandoned, abandoned_before + 1);
     assert_eq!(
-        db.stats.rcp_rounds, rounds_before,
+        db.stats().rcp_rounds,
+        rounds_before,
         "abandoned round counted as complete"
     );
-    for (i, cn) in db.cns.iter().enumerate() {
+    for (i, cn) in db.cns().iter().enumerate() {
         assert!(
             cn.rcp >= rcps_before[i],
             "RCP moved backwards on CN {i} across an abandoned round"
@@ -150,13 +194,13 @@ fn collector_crash_mid_rcp_round_abandons_then_fails_over() {
     }
 
     // The next round elects a fresh collector and completes.
-    let failovers_before = db.stats.collector_failovers;
+    let failovers_before = db.stats().collector_failovers;
     let new_collector = db.rcp_collect(0, now).expect("a standby CN takes over");
     assert_ne!(new_collector, collector, "dead collector re-elected");
     db.rcp_finish(0, new_collector, now);
-    assert!(db.stats.collector_failovers > failovers_before);
-    assert_eq!(db.stats.rcp_rounds, rounds_before + 1);
-    for (i, cn) in db.cns.iter().enumerate() {
+    assert!(db.stats().collector_failovers > failovers_before);
+    assert_eq!(db.stats().rcp_rounds, rounds_before + 1);
+    for (i, cn) in db.cns().iter().enumerate() {
         assert!(cn.rcp >= rcps_before[i]);
     }
 }

@@ -1,21 +1,39 @@
-//! The GlobalDB cluster: state, background activities, and the public API.
+//! The GlobalDB cluster coordinator: state ownership and the public API.
+//!
+//! [`GlobalDb`] owns the subsystems — topology + message plane, GTM,
+//! per-CN transaction managers, shards with their replication state,
+//! catalog, RCP calculators, stats, observability — and the sibling
+//! modules drive them through narrow `pub(crate)` seams:
+//!
+//! * [`crate::txn`] — the transaction pipeline (begin → execute →
+//!   prepare → commit-point → commit-wait → replicate-ack);
+//! * [`crate::repl_driver`] — redo log shipping and replica replay;
+//! * [`crate::rcp_driver`] — RCP rounds, heartbeats, vacuum;
+//! * [`crate::lifecycle`] — crash/restore/promote/rejoin fault surface;
+//! * [`crate::frontend`] — SQL/DDL/bulk-load entry points;
+//! * [`crate::transition`] — the online GTM↔GClock transition.
+//!
+//! Fields are `pub(crate)`: external crates go through the accessor
+//! methods (or the typed APIs above), so cross-layer mutation stays
+//! inside this crate.
 
 use crate::config::{ClusterConfig, Placement, RoutingPolicy};
+use crate::net::MessagePlane;
+use crate::rcp_driver::GtmRate;
+use crate::repl_driver::{Replica, Shard};
 use crate::ror::RorService;
 use crate::shardlog::ShardLog;
 use crate::stats::{ClusterStats, TxnOutcome};
+use crate::transition::TransitionTrace;
 use crate::txn::TxnHandle;
 use gdb_consistency::{CollectorElection, DdlTracker, RcpCalculator};
-use gdb_model::{GdbError, GdbResult, TableId, TableSchema, Timestamp, TxnId};
-use gdb_obs::{MetricsReport, Obs, SpanKind};
+use gdb_model::{GdbResult, TableId, TableSchema, Timestamp, TxnId};
+use gdb_obs::{MetricsReport, Obs};
 use gdb_replication::{ReplicaApplier, ShippingChannel};
 use gdb_simclock::GClock;
-use gdb_simnet::{NetNodeId, RegionId, Sim, SimDuration, SimTime, Topology};
-use gdb_sqlengine::plan::BoundDdl;
-use gdb_sqlengine::{prepare, ExecOutput, Prepared};
+use gdb_simnet::{NetNodeId, RegionId, Sim, SimTime, Topology};
 use gdb_storage::{Catalog, DataNodeStorage};
 use gdb_txnmgr::{CnTm, GtmServer, TmMode, TransitionOrchestrator};
-use gdb_wal::{RedoPayload, RedoRecord};
 
 /// One computing node.
 pub struct Cn {
@@ -26,95 +44,126 @@ pub struct Cn {
     pub rcp: Timestamp,
 }
 
-/// One replica data node of a shard.
-pub struct Replica {
-    pub node: NetNodeId,
-    pub region: RegionId,
-    pub applier: ReplicaApplier,
-    pub channel: ShippingChannel,
-    /// Virtual time at which the replica finishes its current replay
-    /// backlog (load / freshness modelling).
-    pub busy_until: SimTime,
-    /// When the shipping stream finishes transmitting its current backlog
-    /// — TCP serializes batches, so a saturated link queues them (FIFO)
-    /// and replica freshness degrades accordingly.
-    pub stream_free: SimTime,
-    /// Arrival time of the previous batch (jitter on the propagation leg
-    /// must not reorder a FIFO stream).
-    pub last_arrival: SimTime,
-    /// Incarnation counter: bumped when the replica is rebuilt (failover
-    /// resync), so in-flight delivery events from the old stream are
-    /// dropped instead of corrupting the new one.
-    pub epoch: u64,
-}
-
-/// One shard: primary data node plus replicas.
-pub struct Shard {
-    pub primary: NetNodeId,
-    pub region: RegionId,
-    pub storage: DataNodeStorage,
-    pub log: ShardLog,
-    pub replicas: Vec<Replica>,
-}
-
-/// Tracks the GTM timestamp issue rate (used for GTM-mode staleness
-/// estimation, paper §IV-B).
-#[derive(Debug, Default, Clone, Copy)]
-pub struct GtmRate {
-    last_counter: u64,
-    last_at: SimTime,
-    pub per_sec: f64,
-}
-
-impl GtmRate {
-    fn observe(&mut self, counter: u64, now: SimTime) {
-        let dt = now.since(self.last_at).as_secs_f64();
-        if dt > 0.0 {
-            self.per_sec = (counter.saturating_sub(self.last_counter)) as f64 / dt;
-        }
-        self.last_counter = counter;
-        self.last_at = now;
-    }
-}
-
 /// The full cluster state (the "world" of the event simulation).
 pub struct GlobalDb {
-    pub config: ClusterConfig,
-    pub topo: Topology,
-    pub regions: Vec<RegionId>,
-    pub gtm: GtmServer,
-    pub gtm_node: NetNodeId,
-    pub orchestrator: TransitionOrchestrator,
-    pub cns: Vec<Cn>,
-    pub shards: Vec<Shard>,
+    pub(crate) config: ClusterConfig,
+    pub(crate) topo: Topology,
+    /// The typed RPC chokepoint: all per-message latency/byte charges.
+    pub(crate) plane: MessagePlane,
+    pub(crate) regions: Vec<RegionId>,
+    pub(crate) gtm: GtmServer,
+    pub(crate) gtm_node: NetNodeId,
+    pub(crate) orchestrator: TransitionOrchestrator,
+    pub(crate) cns: Vec<Cn>,
+    pub(crate) shards: Vec<Shard>,
     /// Authoritative catalog (CNs are stateless and share it).
-    pub catalog: Catalog,
-    pub ddl: DdlTracker,
+    pub(crate) catalog: Catalog,
+    pub(crate) ddl: DdlTracker,
     /// Per-region RCP calculators (collector-CN state).
-    pub rcp: Vec<RcpCalculator>,
+    pub(crate) rcp: Vec<RcpCalculator>,
     /// Per-region collector elections.
-    pub collectors: Vec<CollectorElection>,
-    pub gtm_rate: GtmRate,
+    pub(crate) collectors: Vec<CollectorElection>,
+    pub(crate) gtm_rate: GtmRate,
     /// Per-table replication-mode overrides (the paper's future-work item:
     /// synchronous replicated tables co-existing with asynchronous ones,
     /// trading update latency for maximal freshness on selected tables).
-    pub table_replication: std::collections::HashMap<TableId, gdb_replication::ReplicationMode>,
-    pub stats: ClusterStats,
+    pub(crate) table_replication:
+        std::collections::HashMap<TableId, gdb_replication::ReplicationMode>,
+    pub(crate) stats: ClusterStats,
     /// Observability: trace spans (off by default) + metrics registry.
-    pub obs: Obs,
+    pub(crate) obs: Obs,
     /// Last skyline pick per (CN, shard) — a change is a re-selection
     /// (counted, and spanned when tracing is on).
     pub(crate) last_skyline_pick: std::collections::HashMap<(usize, usize), crate::ror::ReadTarget>,
     /// Per-CN flag: `true` while the CN's clock-sync daemon is cut off
     /// from its regional time device (fault injection). While blocked the
     /// clock keeps drifting and its error bound grows until sync resumes.
-    pub clock_sync_blocked: Vec<bool>,
+    pub(crate) clock_sync_blocked: Vec<bool>,
     pub(crate) txn_seq: u64,
     /// Set when an online transition completes (observed by tests/benches).
-    pub last_transition_completed: Option<gdb_txnmgr::TransitionDirection>,
+    pub(crate) last_transition_completed: Option<gdb_txnmgr::TransitionDirection>,
+    /// Phase boundaries of the in-flight DUAL transition (span source).
+    pub(crate) transition_trace: Option<TransitionTrace>,
 }
 
 impl GlobalDb {
+    // ---- Read accessors (the public view of the coordinator state) ----
+
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    pub fn topo(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Mutable topology access (chaos heal-all and topology-level tests).
+    pub fn topo_mut(&mut self) -> &mut Topology {
+        &mut self.topo
+    }
+
+    /// The message plane's per-RpcKind traffic accounting.
+    pub fn plane(&self) -> &MessagePlane {
+        &self.plane
+    }
+
+    pub fn regions(&self) -> &[RegionId] {
+        &self.regions
+    }
+
+    pub fn gtm(&self) -> &GtmServer {
+        &self.gtm
+    }
+
+    pub fn gtm_node(&self) -> NetNodeId {
+        self.gtm_node
+    }
+
+    pub fn cns(&self) -> &[Cn] {
+        &self.cns
+    }
+
+    /// Mutable CN access (tests flip clock health / TM state directly).
+    pub fn cns_mut(&mut self) -> &mut [Cn] {
+        &mut self.cns
+    }
+
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// Mutable shard access (tests adjust replica state directly).
+    pub fn shards_mut(&mut self) -> &mut [Shard] {
+        &mut self.shards
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    pub fn stats(&self) -> &ClusterStats {
+        &self.stats
+    }
+
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    pub fn obs_mut(&mut self) -> &mut Obs {
+        &mut self.obs
+    }
+
+    /// Per-region RCP calculators, indexed like [`GlobalDb::regions`].
+    pub fn rcp_calculators(&self) -> &[RcpCalculator] {
+        &self.rcp
+    }
+
+    pub fn last_transition_completed(&self) -> Option<gdb_txnmgr::TransitionDirection> {
+        self.last_transition_completed
+    }
+
+    // ---- Small shared helpers -----------------------------------------
+
     /// Next cluster-unique transaction id originating at `cn`.
     pub(crate) fn next_txn_id(&mut self, cn: usize) -> TxnId {
         self.txn_seq += 1;
@@ -159,557 +208,10 @@ impl GlobalDb {
         self.cns[cn].tm.mode
     }
 
-    // ---- Background activities (scheduled as events by Cluster) --------
-
-    /// Seal and ship one shard's redo to its replicas. Returns the
-    /// deliveries to schedule: `(replica node, epoch, deliver_at, records)`
-    /// — replicas are addressed by node id + incarnation so failover never
-    /// misroutes in-flight batches.
-    fn flush_shard(
-        &mut self,
-        shard_idx: usize,
-        now: SimTime,
-    ) -> Vec<(NetNodeId, u64, SimTime, Vec<RedoRecord>)> {
-        let codec = self.config.codec;
-        let shard_region = self.shards[shard_idx].region;
-        let shard = &mut self.shards[shard_idx];
-        shard.log.seal_upto(now);
-        let mut deliveries = Vec::new();
-        let mut shipped: Vec<(NetNodeId, u64, u64, u64, SimTime)> = Vec::new();
-        for replica in shard.replicas.iter_mut() {
-            loop {
-                // Refresh the channel's codec if the config changed.
-                let _ = codec;
-                let Some(wire) = replica.channel.drain(shard.log.sealed()) else {
-                    break;
-                };
-                // Propagation (latency + jitter + injected delay) with a
-                // minimal payload; transmission is modelled separately so
-                // a saturated stream queues batches behind each other.
-                let Some(propagation) = self.topo.one_way(shard.primary, replica.node, 1) else {
-                    // Replica unreachable: rewind so we retry later.
-                    replica.channel.rewind(wire.batch.first_lsn);
-                    break;
-                };
-                let link = self
-                    .topo
-                    .link(shard_region, self.topo.node_region(replica.node));
-                let tx = SimDuration::from_secs_f64(
-                    wire.wire_bytes as f64 / link.effective_bandwidth().max(1) as f64,
-                );
-                let start = now.max(replica.stream_free);
-                replica.stream_free = start + tx;
-                let arrive = (replica.stream_free + propagation).max(replica.last_arrival);
-                replica.last_arrival = arrive;
-                shipped.push((
-                    replica.node,
-                    wire.batch.records.len() as u64,
-                    wire.raw_bytes as u64,
-                    wire.wire_bytes as u64,
-                    arrive,
-                ));
-                deliveries.push((replica.node, replica.epoch, arrive, wire.batch.records));
-            }
-        }
-        // Shipping totals are recorded here, not derived from channel
-        // stats: channels are replaced on promote/rejoin and would lose
-        // their counters.
-        let primary = self.shards[shard_idx].primary;
-        for (node, records, raw, wire, arrive) in shipped {
-            let m = &mut self.obs.metrics;
-            m.incr(gdb_replication::metrics::SHIP_BATCHES);
-            m.count(gdb_replication::metrics::SHIP_RECORDS, records);
-            m.count(gdb_replication::metrics::SHIP_RAW_BYTES, raw);
-            m.count(gdb_replication::metrics::SHIP_WIRE_BYTES, wire);
-            m.observe(gdb_replication::metrics::SHIP_BATCH_US, arrive.since(now));
-            // The propagation probe above carried 1 byte; account the rest
-            // of the batch on the link so traffic totals reflect shipping.
-            self.topo
-                .charge_bytes(primary, node, wire.saturating_sub(1));
-            self.obs
-                .tracer
-                .record(SpanKind::LogShip, shard_idx as u64, now, arrive);
-        }
-        deliveries
-    }
-
-    fn replica_mut(
-        &mut self,
-        shard_idx: usize,
-        node: NetNodeId,
-        epoch: u64,
-    ) -> Option<&mut Replica> {
-        self.shards[shard_idx]
-            .replicas
-            .iter_mut()
-            .find(|r| r.node == node && r.epoch == epoch)
-    }
-
-    /// Deliver a shipped batch at a replica: model replay time, then
-    /// apply. Returns `None` if the replica incarnation is gone (failover).
-    fn deliver_batch(
-        &mut self,
-        shard_idx: usize,
-        node: NetNodeId,
-        epoch: u64,
-        record_count: usize,
-        arrived: SimTime,
-    ) -> Option<SimTime> {
-        let replay = self.config.replay;
-        let replica = self.replica_mut(shard_idx, node, epoch)?;
-        let start = replica.busy_until.max(arrived);
-        let done = start + replay.batch_delay(record_count);
-        replica.busy_until = done;
-        Some(done)
-    }
-
-    fn apply_batch(
-        &mut self,
-        shard_idx: usize,
-        node: NetNodeId,
-        epoch: u64,
-        records: &[RedoRecord],
-        at: SimTime,
-    ) {
-        let Some(replica) = self.replica_mut(shard_idx, node, epoch) else {
-            return; // stale incarnation: the replica was rebuilt/promoted
-        };
-        if let Err(e) = replica.applier.apply_batch(records, at) {
-            panic!("replica replay failed (shard {shard_idx}, node {node:?}): {e}");
-        }
-    }
-
-    /// One synchronous RCP round for a region: collect then finish with no
-    /// gathering window in between (used at load finish; the background
-    /// event splits the two phases so a collector crash can land mid-round).
-    pub(crate) fn rcp_round(&mut self, region_idx: usize, now: SimTime) {
-        if let Some(collector_cn) = self.rcp_collect(region_idx, now) {
-            let span = self
-                .obs
-                .tracer
-                .begin(SpanKind::RcpRound, region_idx as u64, now);
-            self.rcp_finish(region_idx, collector_cn, now);
-            self.obs.tracer.end(span, now);
-            self.obs
-                .metrics
-                .observe(gdb_consistency::metrics::RCP_ROUND_US, SimDuration::ZERO);
-        }
-    }
-
-    /// Phase 1 of an RCP collection round for a region (paper §IV-A): the
-    /// collector CN gathers max commit timestamps from the replicas at its
-    /// site. Returns the global index of the collecting CN, or `None` when
-    /// every CN in the region is down (round skipped).
-    ///
-    /// The collector election refreshes from node health first: if the
-    /// current collector CN died, the next alive CN in the region takes
-    /// over (a collector failover).
-    pub fn rcp_collect(&mut self, region_idx: usize, _now: SimTime) -> Option<usize> {
-        let region = self.regions[region_idx];
-        let region_cns: Vec<usize> = (0..self.cns.len())
-            .filter(|&i| self.cns[i].region == region)
-            .collect();
-        let alive: Vec<bool> = region_cns
-            .iter()
-            .map(|&cn| !self.topo.is_node_down(self.cns[cn].node))
-            .collect();
-        if self.collectors[region_idx].refresh(&alive).is_some() {
-            self.stats.collector_failovers += 1;
-        }
-        let collector_slot = self.collectors[region_idx].collector()?;
-        // Report every replica located in this region.
-        let mut slot = 0u32;
-        for shard in &self.shards {
-            for replica in &shard.replicas {
-                if replica.region == region {
-                    self.rcp[region_idx].report(slot, replica.applier.max_commit_ts());
-                }
-                slot += 1;
-            }
-        }
-        Some(region_cns[collector_slot])
-    }
-
-    /// Phase 2: the collector computes `min` over the gathered reports and
-    /// distributes it to the region's CNs. If the collector crashed since
-    /// phase 1, the round is abandoned — CNs keep their previous RCP, so
-    /// the value every client observes stays monotone.
-    pub fn rcp_finish(&mut self, region_idx: usize, collector_cn: usize, now: SimTime) {
-        let region = self.regions[region_idx];
-        if self.topo.is_node_down(self.cns[collector_cn].node) {
-            self.stats.rcp_rounds_abandoned += 1;
-            return;
-        }
-        let rcp = self.rcp[region_idx].compute();
-        // Distribute to the region's alive CNs (monotone adoption).
-        for i in 0..self.cns.len() {
-            if self.cns[i].region == region && !self.topo.is_node_down(self.cns[i].node) {
-                self.cns[i].rcp = self.cns[i].rcp.max(rcp);
-            }
-        }
-        self.stats.rcp_rounds += 1;
-        // Track the GTM issue rate for GTM-mode staleness estimation.
-        let counter = self.gtm.current().0;
-        if region_idx == 0 {
-            self.gtm_rate.observe(counter, now);
-        }
-    }
-
-    /// How long the collector spends gathering replica reports: the
-    /// slowest nominal round trip to a replica at its site. The background
-    /// RCP event schedules the finish phase this far after the collect
-    /// phase, which is exactly the window a collector crash can hit.
-    pub fn rcp_gather_delay(&self, region_idx: usize, collector_cn: usize) -> SimDuration {
-        let region = self.regions[region_idx];
-        let cn_node = self.cns[collector_cn].node;
-        let mut delay = SimDuration::from_micros(50);
-        for shard in &self.shards {
-            for replica in &shard.replicas {
-                if replica.region == region {
-                    delay = delay.max(self.topo.nominal_rtt(cn_node, replica.node));
-                }
-            }
-        }
-        delay
-    }
-
-    /// Clock-health watchdog (paper §III-A / Fig. 3): if any CN reports an
-    /// unhealthy clock while the cluster runs in GClock mode, fall back to
-    /// centralized GTM mode online. Returns true if a transition started.
-    fn clock_health_check(&mut self) -> bool {
-        if self.orchestrator.in_progress() {
-            return false;
-        }
-        let in_gclock = self.cns.iter().any(|c| c.tm.mode == TmMode::GClock);
-        let unhealthy = self.cns.iter().any(|c| !c.tm.gclock.is_healthy());
-        in_gclock && unhealthy
-    }
-
-    /// Send a heartbeat transaction to every shard so replica max-commit
-    /// timestamps advance even when idle (paper §IV-A).
-    fn heartbeat(&mut self, now: SimTime) {
-        // CN 0 (or the first alive CN) drives heartbeats.
-        let Some(cn_idx) = (0..self.cns.len()).find(|&i| !self.topo.is_node_down(self.cns[i].node))
-        else {
-            return;
-        };
-        self.sync_cn_clock(cn_idx, now);
-        // Modes that stamp through the GTM can't heartbeat while it is
-        // down (fault injection); GClock heartbeats are unaffected.
-        let gtm_down = self.topo.is_node_down(self.gtm_node);
-        let ts = match self.cns[cn_idx].tm.mode {
-            TmMode::GClock => {
-                let ts = self.cns[cn_idx].tm.gclock.assign_timestamp(now);
-                self.gtm.observe_commit(ts);
-                ts
-            }
-            TmMode::Gtm => {
-                if gtm_down {
-                    return;
-                }
-                match self.gtm.commit_gtm() {
-                    Ok((ts, _)) => ts,
-                    Err(_) => return,
-                }
-            }
-            TmMode::Dual => {
-                if gtm_down {
-                    return;
-                }
-                let g = self.cns[cn_idx].tm.gclock.assign_timestamp(now);
-                self.gtm.commit_dual(g)
-            }
-        };
-        let txn = self.next_txn_id(cn_idx);
-        for shard in &mut self.shards {
-            shard
-                .log
-                .append(now, txn, RedoPayload::Heartbeat { commit_ts: ts });
-        }
-        self.stats.heartbeats_sent += 1;
-    }
-
-    /// Rebuild the per-region RCP calculators after replica membership
-    /// changes (promotion / permanent removal). CN-visible RCP values stay
-    /// monotone because CNs only ever adopt larger values.
-    pub(crate) fn rebuild_rcp_groups(&mut self) {
-        for (region_idx, &region) in self.regions.iter().enumerate() {
-            let mut expected = Vec::new();
-            let mut slot = 0u32;
-            for shard in &self.shards {
-                for replica in &shard.replicas {
-                    if replica.region == region {
-                        expected.push(slot);
-                    }
-                    slot += 1;
-                }
-            }
-            self.rcp[region_idx] = gdb_consistency::RcpCalculator::new(expected);
-        }
-    }
-
-    /// Vacuum primaries up to the cluster-wide minimum RCP (safe horizon:
-    /// every replica and every client snapshot is at or above it).
-    fn vacuum(&mut self) -> usize {
-        let horizon = self
-            .rcp
-            .iter()
-            .map(|r| r.current())
-            .min()
-            .unwrap_or(Timestamp::ZERO);
-        if horizon == Timestamp::ZERO {
-            return 0;
-        }
-        let h = horizon.prev();
-        self.shards
-            .iter_mut()
-            .map(|s| {
-                let mut removed = s.storage.vacuum(h);
-                // Replicas vacuum at the same horizon: every client
-                // snapshot (RCP-gated) is at or above it.
-                for replica in &mut s.replicas {
-                    removed += replica.applier.storage.vacuum(h);
-                }
-                removed
-            })
-            .sum()
-    }
-
-    // ---- Fault-injection API (the chaos subsystem's entry points) ------
-    //
-    // Every method below takes `&mut GlobalDb` (not `Cluster`) so fault
-    // plans can fire from *inside* scheduled simulation events, exactly
-    // like the background activities they disturb.
-
-    /// Crash an arbitrary node: messages to/from it are dropped.
-    pub fn crash_node(&mut self, node: NetNodeId) {
-        self.topo.set_node_down(node, true);
-    }
-
-    /// Bring a crashed node back (topology level only — see the typed
-    /// restart methods for state resynchronization).
-    pub fn restore_node(&mut self, node: NetNodeId) {
-        self.topo.set_node_down(node, false);
-    }
-
-    /// Crash a shard's primary data node. Replicas keep serving reads at
-    /// the RCP; writes to the shard fail (retryably) until the primary
-    /// restarts or a replica is promoted. Returns the crashed node.
-    pub fn crash_primary(&mut self, shard_idx: usize) -> NetNodeId {
-        let node = self.shards[shard_idx].primary;
-        self.crash_node(node);
-        node
-    }
-
-    /// Restart a crashed primary in place: its WAL survived, so replicas
-    /// simply resume draining the redo stream where they left off (the
-    /// shipping loop retries automatically once the node is reachable).
-    pub fn restart_primary(&mut self, shard_idx: usize) {
-        let node = self.shards[shard_idx].primary;
-        self.restore_node(node);
-    }
-
-    /// Crash one replica of a shard. In-flight redo batches die with the
-    /// connection (the incarnation bump drops them); the applier's durable
-    /// state — applied rows, pending-transaction buffers rebuilt from its
-    /// WAL — survives for [`GlobalDb::restart_replica`].
-    pub fn crash_replica(&mut self, shard_idx: usize, replica_idx: usize) -> Option<NetNodeId> {
-        let replica = self.shards[shard_idx].replicas.get_mut(replica_idx)?;
-        replica.epoch += 1; // orphan in-flight deliver events
-        let node = replica.node;
-        self.crash_node(node);
-        Some(node)
-    }
-
-    /// Restart a crashed replica with WAL catch-up: the shipping channel
-    /// rewinds to the applier's durable resume point and the lost tail is
-    /// re-shipped (duplicates replay idempotently).
-    pub fn restart_replica(&mut self, shard_idx: usize, replica_idx: usize, now: SimTime) {
-        let Some(replica) = self.shards[shard_idx].replicas.get_mut(replica_idx) else {
-            return;
-        };
-        let resume = replica.applier.resume_from();
-        replica.channel.rewind(resume);
-        replica.busy_until = now;
-        replica.stream_free = now;
-        replica.last_arrival = now;
-        let node = replica.node;
-        self.restore_node(node);
-    }
-
-    /// Crash the GTM server node. GClock-mode commits are unaffected; GTM
-    /// and DUAL mode commits (and GTM-routed begins) fail retryably until
-    /// [`GlobalDb::restart_gtm`].
-    pub fn crash_gtm(&mut self) {
-        self.crash_node(self.gtm_node);
-    }
-
-    /// GTM failover: a standby takes over at the same address. The
-    /// timestamp counter never regresses — it was replicated via
-    /// `observe_commit` and commit persistence, so the new incumbent
-    /// resumes from the durable maximum.
-    pub fn restart_gtm(&mut self) {
-        self.restore_node(self.gtm_node);
-    }
-
-    /// Crash a computing node. Transactions routed to it fail retryably;
-    /// if it was its region's RCP collector, the next alive CN in the
-    /// region takes over at the next collection round.
-    pub fn crash_cn(&mut self, cn: usize) {
-        let node = self.cns[cn].node;
-        self.crash_node(node);
-    }
-
-    /// Restart a crashed CN: it rejoins with a freshly synced clock and
-    /// its old (monotone) RCP value, adopting newer values at the next
-    /// distribution round.
-    pub fn restart_cn(&mut self, cn: usize, now: SimTime) {
-        let node = self.cns[cn].node;
-        self.restore_node(node);
-        self.sync_cn_clock(cn, now);
-    }
-
-    /// Cut a CN's clock-sync daemon off from its regional time device.
-    /// The clock keeps running on its crystal: drift accumulates and the
-    /// error bound grows without bound, stretching GClock commit waits,
-    /// until [`GlobalDb::resume_clock_sync`].
-    pub fn block_clock_sync(&mut self, cn: usize) {
-        if cn < self.clock_sync_blocked.len() {
-            self.clock_sync_blocked[cn] = true;
-        }
-    }
-
-    /// Reconnect a CN's clock-sync daemon and sync immediately.
-    pub fn resume_clock_sync(&mut self, cn: usize, now: SimTime) {
-        if cn < self.clock_sync_blocked.len() {
-            self.clock_sync_blocked[cn] = false;
-        }
-        self.sync_cn_clock(cn, now);
-    }
-
-    /// Partition two regions (by index into [`GlobalDb::regions`]):
-    /// messages between them are dropped until healed.
-    pub fn partition_regions(&mut self, a: usize, b: usize) {
-        let (ra, rb) = (self.regions[a], self.regions[b]);
-        self.topo.partition(ra, rb);
-    }
-
-    /// Heal a region partition.
-    pub fn heal_regions(&mut self, a: usize, b: usize) {
-        let (ra, rb) = (self.regions[a], self.regions[b]);
-        self.topo.heal(ra, rb);
-    }
-
-    /// Inject a `tc`-style extra one-way delay on every inter-host
-    /// message (transient jitter spike); `ZERO` clears it.
-    pub fn set_injected_delay(&mut self, delay: SimDuration) {
-        self.topo.set_injected_delay(delay);
-    }
-
-    /// Promote one of a shard's replicas to primary at virtual time `now`
-    /// (see [`Cluster::promote_replica`] for the durability semantics).
-    pub fn promote_replica_at(
-        &mut self,
-        shard_idx: usize,
-        replica_idx: usize,
-        now: SimTime,
-    ) -> GdbResult<()> {
-        if replica_idx >= self.shards[shard_idx].replicas.len() {
-            return Err(GdbError::Internal(format!(
-                "shard {shard_idx} has no replica {replica_idx}"
-            )));
-        }
-
-        if self.config.replication.is_sync() {
-            // Acknowledged commits are durable on the quorum: deliver the
-            // whole outstanding stream to the chosen replica first. Seal
-            // everything, including records staged with a later apply
-            // instant — appending happens when the commit's WAL write is
-            // issued, so staged records are already on the durable log the
-            // quorum acknowledged.
-            self.shards[shard_idx].log.seal_all(now);
-            loop {
-                let (node, epoch, batch) = {
-                    let shard = &mut self.shards[shard_idx];
-                    let replica = &mut shard.replicas[replica_idx];
-                    match replica.channel.drain(shard.log.sealed()) {
-                        Some(wire) => (replica.node, replica.epoch, wire.batch.records),
-                        None => break,
-                    }
-                };
-                self.apply_batch(shard_idx, node, epoch, &batch, now);
-            }
-        }
-
-        let codec = self.config.codec;
-        let shard = &mut self.shards[shard_idx];
-        let promoted = shard.replicas.remove(replica_idx);
-        let old_primary = shard.primary;
-        shard.primary = promoted.node;
-        shard.region = promoted.region;
-        // Pending (uncommitted) transactions die with their coordinators.
-        shard.storage = promoted.applier.into_storage();
-        shard.log = ShardLog::new();
-        // Remaining replicas full-resync from the new primary: fresh
-        // applier over a snapshot of the promoted state, fresh channel on
-        // the new (empty) redo stream, new incarnation.
-        for replica in &mut shard.replicas {
-            replica.applier = ReplicaApplier::new(shard.storage.clone());
-            replica.channel = ShippingChannel::new(codec);
-            replica.busy_until = now;
-            replica.stream_free = now;
-            replica.last_arrival = now;
-            replica.epoch += 1;
-        }
-        let _ = old_primary;
-
-        // Replica membership changed: rebuild the per-region RCP groups.
-        self.rebuild_rcp_groups();
-        Ok(())
-    }
-
-    /// Re-admit a recovered node as a replica of `shard` at `now` (see
-    /// [`Cluster::rejoin_as_replica`]).
-    pub fn rejoin_as_replica_at(
-        &mut self,
-        shard_idx: usize,
-        node: NetNodeId,
-        now: SimTime,
-    ) -> GdbResult<()> {
-        self.topo.set_node_down(node, false);
-        let region = self.topo.node_region(node);
-        let codec = self.config.codec;
-        // Seal the *entire* staged log so the stream cut aligns with the
-        // snapshot: `storage` already holds versions whose records are
-        // staged with future apply instants (commit processing installs
-        // both synchronously), and re-shipping those after the rejoin
-        // would replay writes the snapshot contains — out of timestamp
-        // order. The channel resumes at the post-cut head.
-        self.shards[shard_idx].log.seal_all(now);
-        let head = self.shards[shard_idx].log.sealed_head();
-        let shard = &mut self.shards[shard_idx];
-        // The snapshot's high-water mark: nothing above the primary's
-        // installed state is claimed.
-        let max_ts = shard
-            .replicas
-            .iter()
-            .map(|r| r.applier.max_commit_ts())
-            .max()
-            .unwrap_or(Timestamp::ZERO);
-        let mut channel = ShippingChannel::new(codec);
-        channel.rewind(head);
-        shard.replicas.push(Replica {
-            node,
-            region,
-            applier: ReplicaApplier::resumed(shard.storage.clone(), head, max_ts),
-            channel,
-            busy_until: now,
-            stream_free: now,
-            last_arrival: now,
-            epoch: 0,
-        });
-        self.rebuild_rcp_groups();
-        Ok(())
+    // The RoutingPolicy is re-checked per query; nothing cluster-global
+    // changes when it flips, so tests can toggle it live.
+    pub fn set_routing(&mut self, routing: RoutingPolicy) {
+        self.config.routing = routing;
     }
 
     /// Run a closed transaction at virtual time `at` directly against the
@@ -749,8 +251,9 @@ impl GlobalDb {
     }
 
     /// Mirror externally maintained totals (cluster stats, topology
-    /// traffic) into the registry, then freeze it. The report is a pure
-    /// function of the run: identical seeds produce identical reports.
+    /// traffic, message-plane RPC accounting) into the registry, then
+    /// freeze it. The report is a pure function of the run: identical
+    /// seeds produce identical reports.
     pub fn metrics_snapshot(&mut self) -> MetricsReport {
         self.sync_derived_metrics();
         self.obs.metrics.snapshot()
@@ -800,6 +303,7 @@ impl GlobalDb {
         let cross = self.topo.cross_region_totals();
         m.set_counter(gdb_simnet::metrics::CROSS_REGION_MSGS, cross.messages);
         m.set_counter(gdb_simnet::metrics::CROSS_REGION_BYTES, cross.bytes);
+        self.plane.mirror_metrics(&self.topo, &mut self.obs.metrics);
     }
 }
 
@@ -882,9 +386,11 @@ impl Cluster {
         }
 
         let cn_count = cns.len();
+        let plane = MessagePlane::new(regions[0]);
         let mut db = GlobalDb {
             config,
             topo,
+            plane,
             regions,
             gtm: GtmServer::new(),
             gtm_node,
@@ -903,6 +409,7 @@ impl Cluster {
             clock_sync_blocked: vec![false; cn_count],
             txn_seq: 0,
             last_transition_completed: None,
+            transition_trace: None,
         };
         db.gtm.set_mode(db.config.tm_mode);
 
@@ -911,22 +418,22 @@ impl Cluster {
         for s in 0..db.shards.len() {
             let interval = db.config.flush_interval;
             sim.schedule_at(SimTime::ZERO + interval, move |w: &mut GlobalDb, sim| {
-                flush_event(w, sim, s);
+                crate::repl_driver::flush_event(w, sim, s);
             });
         }
         for r in 0..db.regions.len() {
             let interval = db.config.rcp_interval;
             sim.schedule_at(SimTime::ZERO + interval, move |w: &mut GlobalDb, sim| {
-                rcp_event(w, sim, r);
+                crate::rcp_driver::rcp_event(w, sim, r);
             });
         }
         let hb = db.config.heartbeat_interval;
         sim.schedule_at(SimTime::ZERO + hb, |w: &mut GlobalDb, sim| {
-            heartbeat_event(w, sim);
+            crate::rcp_driver::heartbeat_event(w, sim);
         });
         if let Some(interval) = db.config.vacuum_interval {
             sim.schedule_at(SimTime::ZERO + interval, |w: &mut GlobalDb, sim| {
-                vacuum_event(w, sim);
+                crate::rcp_driver::vacuum_event(w, sim);
             });
         }
 
@@ -941,171 +448,6 @@ impl Cluster {
     /// Advance virtual time, processing background activity.
     pub fn run_until(&mut self, t: SimTime) {
         self.sim.run_until(&mut self.db, t);
-    }
-
-    /// Prepare a SQL statement against the cluster catalog.
-    pub fn prepare(&self, sql: &str) -> GdbResult<Prepared> {
-        prepare(sql, &self.db.catalog)
-    }
-
-    /// Execute a DDL statement cluster-wide at the current virtual time.
-    /// DDL replicates to every shard's redo stream and is tracked for the
-    /// ROR visibility conditions (§IV-A).
-    pub fn ddl(&mut self, sql: &str) -> GdbResult<()> {
-        let now = self.sim.now();
-        let prepared = prepare(sql, &self.db.catalog)?;
-        let bound = match prepared.bound {
-            gdb_sqlengine::BoundStatement::Ddl(d) => d,
-            _ => return Err(GdbError::Plan("not a DDL statement".into())),
-        };
-        // DDL commits through the transaction manager like any write.
-        let cn_idx = 0;
-        self.db.sync_cn_clock(cn_idx, now);
-        let ts = match self.db.cns[cn_idx].tm.mode {
-            TmMode::GClock => {
-                let ts = self.db.cns[cn_idx].tm.gclock.assign_timestamp(now);
-                self.db.gtm.observe_commit(ts);
-                ts
-            }
-            TmMode::Gtm => self.db.gtm.commit_gtm()?.0,
-            TmMode::Dual => {
-                let g = self.db.cns[cn_idx].tm.gclock.assign_timestamp(now);
-                self.db.gtm.commit_dual(g)
-            }
-        };
-        let txn = self.db.next_txn_id(cn_idx);
-
-        let (kind, table_for_ddl) = match &bound {
-            BoundDdl::CreateTable {
-                name,
-                columns,
-                primary_key,
-                distribution_key,
-                distribution,
-            } => {
-                let id = self.db.catalog.allocate_table_id();
-                let schema = TableSchema {
-                    id,
-                    name: name.clone(),
-                    columns: columns.clone(),
-                    primary_key: primary_key.clone(),
-                    distribution_key: distribution_key.clone(),
-                    distribution: distribution.clone(),
-                };
-                self.db.catalog.create_table(schema.clone())?;
-                for shard in &mut self.db.shards {
-                    shard.storage.create_table(schema.clone())?;
-                }
-                (gdb_wal::DdlKind::CreateTable(schema), id)
-            }
-            BoundDdl::DropTable(id) => {
-                self.db.catalog.drop_table(*id)?;
-                for shard in &mut self.db.shards {
-                    shard.storage.drop_table(*id)?;
-                }
-                (gdb_wal::DdlKind::DropTable(*id), *id)
-            }
-            BoundDdl::CreateIndex {
-                table,
-                name,
-                columns,
-            } => {
-                self.db
-                    .catalog
-                    .create_index(*table, name.clone(), columns.clone())?;
-                for shard in &mut self.db.shards {
-                    shard
-                        .storage
-                        .create_index(*table, name.clone(), columns.clone())?;
-                }
-                (
-                    gdb_wal::DdlKind::CreateIndex {
-                        table: *table,
-                        index_name: name.clone(),
-                        columns: columns.clone(),
-                    },
-                    *table,
-                )
-            }
-            BoundDdl::DropIndex { name, table } => {
-                self.db.catalog.drop_index(name)?;
-                for shard in &mut self.db.shards {
-                    shard.storage.drop_index(name)?;
-                }
-                (
-                    gdb_wal::DdlKind::DropIndex {
-                        table: *table,
-                        index_name: name.clone(),
-                    },
-                    *table,
-                )
-            }
-        };
-        for shard in &mut self.db.shards {
-            shard.log.append(
-                now,
-                txn,
-                RedoPayload::Ddl {
-                    commit_ts: ts,
-                    kind: kind.clone(),
-                },
-            );
-        }
-        self.db.ddl.record(table_for_ddl, ts);
-        self.db.cns[cn_idx].tm.finish_commit(ts);
-        Ok(())
-    }
-
-    /// Bulk-load rows directly into primaries *and* replicas at timestamp
-    /// 1 (benchmark setup: start from a fully synchronized state without
-    /// paying per-row transaction costs).
-    pub fn bulk_load(&mut self, table: TableId, rows: Vec<gdb_model::Row>) -> GdbResult<usize> {
-        // Replicas learn about tables through DDL replay; make sure any
-        // pending DDL has reached them before installing rows directly.
-        self.sync_replicas_now();
-        let schema = self.db.catalog.table(table)?.clone();
-        let shard_count = self.db.shards.len() as u16;
-        let ts = Timestamp(1);
-        let mut n = 0;
-        for mut row in rows {
-            schema.coerce_row(&mut row);
-            schema.check_row(&row)?;
-            let key = schema.primary_key_of(&row);
-            let targets: Vec<usize> = match schema.distribution {
-                gdb_model::DistributionKind::Replicated => (0..self.db.shards.len()).collect(),
-                _ => vec![schema.shard_of_pk(&key, shard_count).0 as usize],
-            };
-            for s in targets {
-                let shard = &mut self.db.shards[s];
-                shard
-                    .storage
-                    .apply_put(table, key.clone(), row.clone(), ts, SimTime::ZERO)?;
-                for replica in &mut shard.replicas {
-                    replica.applier.storage.apply_put(
-                        table,
-                        key.clone(),
-                        row.clone(),
-                        ts,
-                        SimTime::ZERO,
-                    )?;
-                }
-            }
-            n += 1;
-        }
-        Ok(n)
-    }
-
-    /// Ship and apply everything sealed so far without network delay
-    /// (setup helper).
-    fn sync_replicas_now(&mut self) {
-        let now = self.sim.now();
-        for s in 0..self.db.shards.len() {
-            self.db.shards[s].log.seal_upto(now);
-            let deliveries = self.db.flush_shard(s, now);
-            for (node, epoch, _at, records) in deliveries {
-                self.db.apply_batch(s, node, epoch, &records, now);
-            }
-        }
     }
 
     /// After bulk loading, fast-forward the replication cursors and RCP so
@@ -1139,48 +481,6 @@ impl Cluster {
             .run_transaction_at(cn, at, read_only, single_shard, f)
     }
 
-    /// Convenience: run one SQL statement as its own transaction.
-    pub fn execute_sql(
-        &mut self,
-        cn: usize,
-        at: SimTime,
-        sql: &str,
-        params: &[gdb_model::Datum],
-    ) -> GdbResult<(ExecOutput, TxnOutcome)> {
-        let prepared = self.prepare(sql)?;
-        self.execute_prepared(cn, at, &prepared, params)
-    }
-
-    /// Convenience: run one prepared statement as its own transaction.
-    pub fn execute_prepared(
-        &mut self,
-        cn: usize,
-        at: SimTime,
-        prepared: &Prepared,
-        params: &[gdb_model::Datum],
-    ) -> GdbResult<(ExecOutput, TxnOutcome)> {
-        if matches!(prepared.bound, gdb_sqlengine::BoundStatement::Ddl(_)) {
-            self.run_until(at);
-            self.ddl(&prepared.sql)?;
-            return Ok((
-                ExecOutput::Count(0),
-                TxnOutcome {
-                    commit_ts: None,
-                    snapshot: Timestamp::ZERO,
-                    completed_at: self.sim.now(),
-                    latency: SimDuration::ZERO,
-                    shards_written: vec![],
-                    used_replica: false,
-                    aborted: false,
-                },
-            ));
-        }
-        let read_only = prepared.bound.is_read_only();
-        self.run_transaction(cn, at, read_only, false, |txn| {
-            txn.execute(prepared, params)
-        })
-    }
-
     /// Kick off an online TM-mode transition (Figs. 2–3). The cluster
     /// stays fully available; watch
     /// [`GlobalDb::last_transition_completed`] for completion.
@@ -1191,20 +491,6 @@ impl Cluster {
     /// Run a vacuum pass at the current virtual time.
     pub fn vacuum(&mut self) -> usize {
         self.db.vacuum()
-    }
-
-    /// Override the replication mode of one table (paper future work:
-    /// "synchronous replicated tables that co-exist with asynchronous
-    /// tables"). Commits touching the table pay the synchronous quorum
-    /// wait; other tables keep the cluster-wide default.
-    pub fn set_table_replication(
-        &mut self,
-        table_name: &str,
-        mode: gdb_replication::ReplicationMode,
-    ) -> GdbResult<()> {
-        let id = self.db.catalog.table_by_name(table_name)?.id;
-        self.db.table_replication.insert(id, mode);
-        Ok(())
     }
 
     /// Crash a shard's primary data node (paper §IV: replicas keep serving
@@ -1246,87 +532,5 @@ impl Cluster {
     /// Access the ROR service view (for diagnostics / tests).
     pub fn ror_service(&mut self) -> RorService<'_> {
         RorService { db: &mut self.db }
-    }
-}
-
-// ---- Recurring event functions ------------------------------------------
-
-fn flush_event(w: &mut GlobalDb, sim: &mut Sim<GlobalDb>, shard: usize) {
-    let now = sim.now();
-    let deliveries = w.flush_shard(shard, now);
-    for (node, epoch, deliver_at, records) in deliveries {
-        sim.schedule_at(deliver_at, move |w: &mut GlobalDb, sim| {
-            let Some(done) = w.deliver_batch(shard, node, epoch, records.len(), sim.now()) else {
-                return;
-            };
-            sim.schedule_at(done, move |w: &mut GlobalDb, sim| {
-                w.apply_batch(shard, node, epoch, &records, sim.now());
-            });
-        });
-    }
-    let interval = w.config.flush_interval;
-    sim.schedule_after(interval, move |w: &mut GlobalDb, sim| {
-        flush_event(w, sim, shard);
-    });
-}
-
-fn rcp_event(w: &mut GlobalDb, sim: &mut Sim<GlobalDb>, region: usize) {
-    if w.config.rcp_two_phase {
-        // Two-phase round: gather replica reports now, compute +
-        // distribute after the gathering round trips. The gap is a real
-        // vulnerability window — a collector crash in between abandons
-        // the round. The round's span (and latency) covers collect
-        // through finish; the span id rides in the finish closure.
-        if let Some(collector_cn) = w.rcp_collect(region, sim.now()) {
-            let start = sim.now();
-            let span = w.obs.tracer.begin(SpanKind::RcpRound, region as u64, start);
-            let gather = w.rcp_gather_delay(region, collector_cn);
-            sim.schedule_after(gather, move |w: &mut GlobalDb, sim| {
-                let now = sim.now();
-                w.rcp_finish(region, collector_cn, now);
-                w.obs.tracer.end(span, now);
-                w.obs
-                    .metrics
-                    .observe(gdb_consistency::metrics::RCP_ROUND_US, now.since(start));
-            });
-        }
-    } else {
-        w.rcp_round(region, sim.now());
-    }
-    let interval = w.config.rcp_interval;
-    sim.schedule_after(interval, move |w: &mut GlobalDb, sim| {
-        rcp_event(w, sim, region);
-    });
-}
-
-fn heartbeat_event(w: &mut GlobalDb, sim: &mut Sim<GlobalDb>) {
-    w.heartbeat(sim.now());
-    // The heartbeat doubles as the clock-health watchdog: a failed clock
-    // triggers the online fallback to GTM mode (Fig. 3).
-    if w.clock_health_check() {
-        crate::transition::start_transition(w, sim, gdb_txnmgr::TransitionDirection::ToGtm);
-    }
-    let interval = w.config.heartbeat_interval;
-    sim.schedule_after(interval, move |w: &mut GlobalDb, sim| {
-        heartbeat_event(w, sim);
-    });
-}
-
-fn vacuum_event(w: &mut GlobalDb, sim: &mut Sim<GlobalDb>) {
-    let removed = w.vacuum();
-    w.stats.versions_vacuumed += removed as u64;
-    let Some(interval) = w.config.vacuum_interval else {
-        return;
-    };
-    sim.schedule_after(interval, move |w: &mut GlobalDb, sim| {
-        vacuum_event(w, sim);
-    });
-}
-
-// The RoutingPolicy is re-checked per query; nothing cluster-global
-// changes when it flips, so tests can toggle it live.
-impl GlobalDb {
-    pub fn set_routing(&mut self, routing: RoutingPolicy) {
-        self.config.routing = routing;
     }
 }

@@ -32,14 +32,21 @@
 
 pub mod cluster;
 pub mod config;
+pub mod frontend;
+pub mod lifecycle;
+pub mod net;
+pub mod rcp_driver;
+pub mod repl_driver;
 pub mod ror;
 pub mod shardlog;
 pub mod stats;
 pub mod transition;
 pub mod txn;
 
-pub use cluster::{Cluster, GlobalDb};
+pub use cluster::{Cluster, Cn, GlobalDb};
 pub use config::{ClusterConfig, Geometry, RoutingPolicy};
+pub use net::{Envelope, MessagePlane, RpcKind, ALL_RPC_KINDS};
+pub use repl_driver::{Replica, Shard};
 pub use stats::{ClusterStats, TxnOutcome};
 
 // Re-export the pieces callers commonly need.

@@ -1,0 +1,259 @@
+//! Node lifecycle and fault injection: the chaos subsystem's entry points.
+//!
+//! Every method here takes `&mut GlobalDb` (not `Cluster`) so fault plans
+//! can fire from *inside* scheduled simulation events, exactly like the
+//! background activities they disturb. This module centralizes the
+//! interleaved crash/heal ordering rules — what survives a crash (durable
+//! WAL, applier state), what an incarnation bump orphans (in-flight
+//! deliveries), and which failovers force a resync — so overlapping fault
+//! plans compose without bespoke per-test recovery code.
+
+use crate::cluster::GlobalDb;
+use crate::repl_driver::Replica;
+use crate::shardlog::ShardLog;
+use gdb_model::{GdbError, GdbResult, Timestamp};
+use gdb_replication::{ReplicaApplier, ShippingChannel};
+use gdb_simnet::{NetNodeId, SimDuration, SimTime};
+
+impl GlobalDb {
+    /// Crash an arbitrary node: messages to/from it are dropped.
+    pub fn crash_node(&mut self, node: NetNodeId) {
+        self.topo.set_node_down(node, true);
+    }
+
+    /// Bring a crashed node back (topology level only — see the typed
+    /// restart methods for state resynchronization).
+    pub fn restore_node(&mut self, node: NetNodeId) {
+        self.topo.set_node_down(node, false);
+    }
+
+    /// Crash a shard's primary data node. Replicas keep serving reads at
+    /// the RCP; writes to the shard fail (retryably) until the primary
+    /// restarts or a replica is promoted. Returns the crashed node.
+    pub fn crash_primary(&mut self, shard_idx: usize) -> NetNodeId {
+        let node = self.shards[shard_idx].primary;
+        self.crash_node(node);
+        node
+    }
+
+    /// Restart a crashed primary in place: its WAL survived, so replicas
+    /// simply resume draining the redo stream where they left off (the
+    /// shipping loop retries automatically once the node is reachable).
+    pub fn restart_primary(&mut self, shard_idx: usize) {
+        let node = self.shards[shard_idx].primary;
+        self.restore_node(node);
+    }
+
+    /// Crash one replica of a shard. In-flight redo batches die with the
+    /// connection (the incarnation bump drops them); the applier's durable
+    /// state — applied rows, pending-transaction buffers rebuilt from its
+    /// WAL — survives for [`GlobalDb::restart_replica`].
+    pub fn crash_replica(&mut self, shard_idx: usize, replica_idx: usize) -> Option<NetNodeId> {
+        let replica = self.shards[shard_idx].replicas.get_mut(replica_idx)?;
+        replica.epoch += 1; // orphan in-flight deliver events
+        let node = replica.node;
+        self.crash_node(node);
+        Some(node)
+    }
+
+    /// Restart a crashed replica with WAL catch-up: the shipping channel
+    /// rewinds to the applier's durable resume point and the lost tail is
+    /// re-shipped (duplicates replay idempotently).
+    pub fn restart_replica(&mut self, shard_idx: usize, replica_idx: usize, now: SimTime) {
+        let Some(replica) = self.shards[shard_idx].replicas.get_mut(replica_idx) else {
+            return;
+        };
+        let resume = replica.applier.resume_from();
+        replica.channel.rewind(resume);
+        replica.busy_until = now;
+        replica.stream_free = now;
+        replica.last_arrival = now;
+        let node = replica.node;
+        self.restore_node(node);
+    }
+
+    /// Crash the GTM server node. GClock-mode commits are unaffected; GTM
+    /// and DUAL mode commits (and GTM-routed begins) fail retryably until
+    /// [`GlobalDb::restart_gtm`].
+    pub fn crash_gtm(&mut self) {
+        self.crash_node(self.gtm_node);
+    }
+
+    /// GTM failover: a standby takes over at the same address. The
+    /// timestamp counter never regresses — it was replicated via
+    /// `observe_commit` and commit persistence, so the new incumbent
+    /// resumes from the durable maximum.
+    pub fn restart_gtm(&mut self) {
+        self.restore_node(self.gtm_node);
+    }
+
+    /// Crash a computing node. Transactions routed to it fail retryably;
+    /// if it was its region's RCP collector, the next alive CN in the
+    /// region takes over at the next collection round.
+    pub fn crash_cn(&mut self, cn: usize) {
+        let node = self.cns[cn].node;
+        self.crash_node(node);
+    }
+
+    /// Restart a crashed CN: it rejoins with a freshly synced clock and
+    /// its old (monotone) RCP value, adopting newer values at the next
+    /// distribution round.
+    pub fn restart_cn(&mut self, cn: usize, now: SimTime) {
+        let node = self.cns[cn].node;
+        self.restore_node(node);
+        self.sync_cn_clock(cn, now);
+    }
+
+    /// Cut a CN's clock-sync daemon off from its regional time device.
+    /// The clock keeps running on its crystal: drift accumulates and the
+    /// error bound grows without bound, stretching GClock commit waits,
+    /// until [`GlobalDb::resume_clock_sync`].
+    pub fn block_clock_sync(&mut self, cn: usize) {
+        if cn < self.clock_sync_blocked.len() {
+            self.clock_sync_blocked[cn] = true;
+        }
+    }
+
+    /// Reconnect a CN's clock-sync daemon and sync immediately.
+    pub fn resume_clock_sync(&mut self, cn: usize, now: SimTime) {
+        if cn < self.clock_sync_blocked.len() {
+            self.clock_sync_blocked[cn] = false;
+        }
+        self.sync_cn_clock(cn, now);
+    }
+
+    /// Partition two regions (by index into [`GlobalDb::regions`]):
+    /// messages between them are dropped until healed.
+    pub fn partition_regions(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.regions[a], self.regions[b]);
+        self.topo.partition(ra, rb);
+    }
+
+    /// Heal a region partition.
+    pub fn heal_regions(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.regions[a], self.regions[b]);
+        self.topo.heal(ra, rb);
+    }
+
+    /// Inject a `tc`-style extra one-way delay on every inter-host
+    /// message (transient jitter spike); `ZERO` clears it.
+    pub fn set_injected_delay(&mut self, delay: SimDuration) {
+        self.topo.set_injected_delay(delay);
+    }
+
+    /// Promote one of a shard's replicas to primary at virtual time `now`
+    /// (see [`crate::Cluster::promote_replica`] for the durability
+    /// semantics).
+    pub fn promote_replica_at(
+        &mut self,
+        shard_idx: usize,
+        replica_idx: usize,
+        now: SimTime,
+    ) -> GdbResult<()> {
+        if replica_idx >= self.shards[shard_idx].replicas.len() {
+            return Err(GdbError::Internal(format!(
+                "shard {shard_idx} has no replica {replica_idx}"
+            )));
+        }
+
+        if self.config.replication.is_sync() {
+            // Acknowledged commits are durable on the quorum: deliver the
+            // whole outstanding stream to the chosen replica first. Seal
+            // everything, including records staged with a later apply
+            // instant — appending happens when the commit's WAL write is
+            // issued, so staged records are already on the durable log the
+            // quorum acknowledged.
+            self.shards[shard_idx].log.seal_all(now);
+            loop {
+                let (node, epoch, batch) = {
+                    let shard = &mut self.shards[shard_idx];
+                    let replica = &mut shard.replicas[replica_idx];
+                    match replica.channel.drain(shard.log.sealed()) {
+                        Some(wire) => (replica.node, replica.epoch, wire.batch.records),
+                        None => break,
+                    }
+                };
+                self.apply_batch(shard_idx, node, epoch, &batch, now);
+            }
+        }
+
+        let codec = self.config.codec;
+        let shard = &mut self.shards[shard_idx];
+        let promoted = shard.replicas.remove(replica_idx);
+        let old_primary = shard.primary;
+        shard.primary = promoted.node;
+        shard.region = promoted.region;
+        // The old primary's row locks outlive it: commits already on the
+        // durable log can carry apply instants — and commit timestamps —
+        // *later* than the promotion instant (the cursor execution stages
+        // them in the virtual future), and only the lock release times
+        // make the next writer of such a key wait them out. Dropping the
+        // lock table here would let a post-failover writer commit the same
+        // key with a smaller timestamp than a drained record's.
+        let old_locks = std::mem::take(&mut shard.storage.locks);
+        // Pending (uncommitted) transactions die with their coordinators.
+        shard.storage = promoted.applier.into_storage();
+        shard.storage.locks = old_locks;
+        shard.log = ShardLog::new();
+        // Remaining replicas full-resync from the new primary: fresh
+        // applier over a snapshot of the promoted state, fresh channel on
+        // the new (empty) redo stream, new incarnation.
+        for replica in &mut shard.replicas {
+            replica.applier = ReplicaApplier::new(shard.storage.clone());
+            replica.channel = ShippingChannel::new(codec);
+            replica.busy_until = now;
+            replica.stream_free = now;
+            replica.last_arrival = now;
+            replica.epoch += 1;
+        }
+        let _ = old_primary;
+
+        // Replica membership changed: rebuild the per-region RCP groups.
+        self.rebuild_rcp_groups();
+        Ok(())
+    }
+
+    /// Re-admit a recovered node as a replica of `shard` at `now` (see
+    /// [`crate::Cluster::rejoin_as_replica`]).
+    pub fn rejoin_as_replica_at(
+        &mut self,
+        shard_idx: usize,
+        node: NetNodeId,
+        now: SimTime,
+    ) -> GdbResult<()> {
+        self.topo.set_node_down(node, false);
+        let region = self.topo.node_region(node);
+        let codec = self.config.codec;
+        // Seal the *entire* staged log so the stream cut aligns with the
+        // snapshot: `storage` already holds versions whose records are
+        // staged with future apply instants (commit processing installs
+        // both synchronously), and re-shipping those after the rejoin
+        // would replay writes the snapshot contains — out of timestamp
+        // order. The channel resumes at the post-cut head.
+        self.shards[shard_idx].log.seal_all(now);
+        let head = self.shards[shard_idx].log.sealed_head();
+        let shard = &mut self.shards[shard_idx];
+        // The snapshot's high-water mark: nothing above the primary's
+        // installed state is claimed.
+        let max_ts = shard
+            .replicas
+            .iter()
+            .map(|r| r.applier.max_commit_ts())
+            .max()
+            .unwrap_or(Timestamp::ZERO);
+        let mut channel = ShippingChannel::new(codec);
+        channel.rewind(head);
+        shard.replicas.push(Replica {
+            node,
+            region,
+            applier: ReplicaApplier::resumed(shard.storage.clone(), head, max_ts),
+            channel,
+            busy_until: now,
+            stream_free: now,
+            last_arrival: now,
+            epoch: 0,
+        });
+        self.rebuild_rcp_groups();
+        Ok(())
+    }
+}

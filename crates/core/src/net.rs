@@ -1,0 +1,351 @@
+//! The typed RPC message plane.
+//!
+//! Every wire interaction in the system is one of a small closed set of
+//! [`RpcKind`]s, and every latency/byte charge for those interactions
+//! funnels through a single chokepoint — [`MessagePlane::charge`] — so
+//! that (a) the cost model is applied uniformly, (b) per-kind message and
+//! byte counters plus delay histograms come for free, and (c) each
+//! counter also exists with a per-region-pair label
+//! (`rpc.<kind>.msgs.<from>-<to>`). The paper's results are all
+//! message-count × geometry stories (commit wait vs. GTM round trips,
+//! RCP gather fan-in, async log shipping), and this is the layer that
+//! makes those counts first-class.
+//!
+//! Determinism: the plane is a thin wrapper over [`Topology::one_way`]
+//! and must preserve the *exact* sequence of calls into it — each
+//! `one_way` draws link jitter from the topology's seeded RNG, so a
+//! skipped or reordered call changes every timestamp downstream. The
+//! convenience methods ([`MessagePlane::rtt`], [`MessagePlane::ship_rtt`])
+//! therefore mirror the short-circuit structure of the `Topology`
+//! methods they replace: the return leg is only attempted when the
+//! outbound leg was deliverable. Accounting-only paths
+//! ([`MessagePlane::account`], [`MessagePlane::charge_bytes`]) never
+//! touch the RNG.
+
+use gdb_obs::MetricsRegistry;
+use gdb_simnet::stats::LatencyHistogram;
+use gdb_simnet::{NetNodeId, RegionId, SimDuration, Topology};
+use std::collections::BTreeMap;
+
+/// Every RPC the system puts on the wire. One enumerator per logical
+/// interaction, not per implementation call site (see DESIGN.md for the
+/// full table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RpcKind {
+    /// CN → GTM snapshot-timestamp request (begin of a GTM-mode txn).
+    GtmBeginTs,
+    /// CN → GTM commit-timestamp request (GTM-counter commit plan).
+    GtmCommitTs,
+    /// CN → GTM commit round trip during a DUAL transition window.
+    GtmDualCommit,
+    /// CN → DN read operation (point/range/index/scan fetch).
+    DnRead,
+    /// CN → DN write operation (lock + stage redo on the primary).
+    DnWrite,
+    /// 2PC prepare branch: redo payload out to a written shard, ack back.
+    TwoPcPrepare,
+    /// 2PC commit decision out to a prepared shard, ack back.
+    TwoPcCommit,
+    /// Synchronous-replication quorum ship: primary → replica redo with
+    /// durability ack (the commit-blocking leg of sync modes).
+    SyncQuorumShip,
+    /// Asynchronous redo log-shipping batch: primary → replica stream.
+    LogShipBatch,
+    /// RCP collect: replica applied-progress report to its region's
+    /// collector CN.
+    RcpGather,
+    /// RCP finish: collector distributing the agreed consistency point to
+    /// the region's CNs.
+    RcpDistribute,
+    /// Skyline staleness probe of one read-target candidate.
+    SkylineProbe,
+    /// GTM ⇄ CN barrier message of the DUAL transition protocol.
+    TransitionBarrier,
+}
+
+/// All kinds, in declaration order (the mirror/pre-registration order).
+pub const ALL_RPC_KINDS: [RpcKind; 13] = [
+    RpcKind::GtmBeginTs,
+    RpcKind::GtmCommitTs,
+    RpcKind::GtmDualCommit,
+    RpcKind::DnRead,
+    RpcKind::DnWrite,
+    RpcKind::TwoPcPrepare,
+    RpcKind::TwoPcCommit,
+    RpcKind::SyncQuorumShip,
+    RpcKind::LogShipBatch,
+    RpcKind::RcpGather,
+    RpcKind::RcpDistribute,
+    RpcKind::SkylineProbe,
+    RpcKind::TransitionBarrier,
+];
+
+impl RpcKind {
+    /// Stable snake_case name used in metric names and docs.
+    pub fn name(self) -> &'static str {
+        match self {
+            RpcKind::GtmBeginTs => "gtm_begin_ts",
+            RpcKind::GtmCommitTs => "gtm_commit_ts",
+            RpcKind::GtmDualCommit => "gtm_dual_commit",
+            RpcKind::DnRead => "dn_read",
+            RpcKind::DnWrite => "dn_write",
+            RpcKind::TwoPcPrepare => "two_pc_prepare",
+            RpcKind::TwoPcCommit => "two_pc_commit",
+            RpcKind::SyncQuorumShip => "sync_quorum_ship",
+            RpcKind::LogShipBatch => "log_ship_batch",
+            RpcKind::RcpGather => "rcp_gather",
+            RpcKind::RcpDistribute => "rcp_distribute",
+            RpcKind::SkylineProbe => "skyline_probe",
+            RpcKind::TransitionBarrier => "transition_barrier",
+        }
+    }
+
+    fn idx(self) -> usize {
+        self as usize
+    }
+}
+
+/// One typed wire message: what kind of RPC, between which nodes, how
+/// many payload bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Envelope {
+    pub kind: RpcKind,
+    pub from: NetNodeId,
+    pub to: NetNodeId,
+    pub bytes: u64,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct Traffic {
+    msgs: u64,
+    bytes: u64,
+}
+
+/// Per-kind, per-region-pair RPC accounting plus the latency chokepoint.
+#[derive(Debug, Default)]
+pub struct MessagePlane {
+    totals: [Traffic; ALL_RPC_KINDS.len()],
+    by_region: BTreeMap<(u8, RegionId, RegionId), Traffic>,
+    delays: Vec<LatencyHistogram>,
+}
+
+impl MessagePlane {
+    /// A plane with every kind pre-registered against `home` (region 0),
+    /// so each `RpcKind` has a live, region-labelled counter from the
+    /// first snapshot even before traffic of that kind occurs.
+    pub fn new(home: RegionId) -> Self {
+        let mut plane = MessagePlane {
+            totals: Default::default(),
+            by_region: BTreeMap::new(),
+            delays: vec![LatencyHistogram::bounded(); ALL_RPC_KINDS.len()],
+        };
+        for kind in ALL_RPC_KINDS {
+            plane
+                .by_region
+                .insert((kind.idx() as u8, home, home), Traffic::default());
+        }
+        plane
+    }
+
+    fn note(&mut self, kind: RpcKind, from: RegionId, to: RegionId, bytes: u64, msgs: u64) {
+        let t = &mut self.totals[kind.idx()];
+        t.msgs += msgs;
+        t.bytes += bytes;
+        let r = self
+            .by_region
+            .entry((kind.idx() as u8, from, to))
+            .or_default();
+        r.msgs += msgs;
+        r.bytes += bytes;
+    }
+
+    /// The chokepoint: simulate one one-way message, returning its delay
+    /// (`None` when the destination is down or partitioned away). All
+    /// plane bookkeeping happens here.
+    pub fn charge(&mut self, topo: &mut Topology, env: Envelope) -> Option<SimDuration> {
+        let delay = topo.one_way(env.from, env.to, env.bytes);
+        if let Some(d) = delay {
+            let (from, to) = (topo.node_region(env.from), topo.node_region(env.to));
+            self.note(env.kind, from, to, env.bytes, 1);
+            self.delays[env.kind.idx()].record(d);
+        }
+        delay
+    }
+
+    /// One one-way message of `kind`.
+    pub fn send(
+        &mut self,
+        topo: &mut Topology,
+        kind: RpcKind,
+        from: NetNodeId,
+        to: NetNodeId,
+        bytes: u64,
+    ) -> Option<SimDuration> {
+        self.charge(
+            topo,
+            Envelope {
+                kind,
+                from,
+                to,
+                bytes,
+            },
+        )
+    }
+
+    /// Small request/response round trip (both legs 128 control bytes).
+    /// The response leg is only attempted when the request leg delivered,
+    /// mirroring [`Topology::rtt`].
+    pub fn rtt(
+        &mut self,
+        topo: &mut Topology,
+        kind: RpcKind,
+        a: NetNodeId,
+        b: NetNodeId,
+    ) -> Option<SimDuration> {
+        let there = self.send(topo, kind, a, b, 128)?;
+        let back = self.send(topo, kind, b, a, 128)?;
+        Some(there + back)
+    }
+
+    /// Ship `bytes` to `to` with a small acknowledgment back (the
+    /// durability wait of synchronous replication), mirroring
+    /// [`Topology::ship_rtt`].
+    pub fn ship_rtt(
+        &mut self,
+        topo: &mut Topology,
+        kind: RpcKind,
+        from: NetNodeId,
+        to: NetNodeId,
+        bytes: u64,
+    ) -> Option<SimDuration> {
+        let there = self.send(topo, kind, from, to, bytes)?;
+        let back = self.send(topo, kind, to, from, 128)?;
+        Some(there + back)
+    }
+
+    /// Account payload bytes whose delivery cost was modelled elsewhere
+    /// (the log-shipping path computes transmission explicitly and sends
+    /// its propagation probe with a minimal payload). No delay, no
+    /// message count, no RNG draw.
+    pub fn charge_bytes(
+        &mut self,
+        topo: &mut Topology,
+        kind: RpcKind,
+        from: NetNodeId,
+        to: NetNodeId,
+        bytes: u64,
+    ) {
+        topo.charge_bytes(from, to, bytes);
+        let (from, to) = (topo.node_region(from), topo.node_region(to));
+        self.note(kind, from, to, bytes, 0);
+    }
+
+    /// Count a logical message whose latency is modelled outside the
+    /// per-message cost path (RCP gather/distribute rounds, skyline
+    /// staleness probes). Pure accounting: never touches the topology.
+    pub fn account(&mut self, kind: RpcKind, from: RegionId, to: RegionId, bytes: u64) {
+        self.note(kind, from, to, bytes, 1);
+    }
+
+    /// Total messages charged for `kind` so far.
+    pub fn msgs(&self, kind: RpcKind) -> u64 {
+        self.totals[kind.idx()].msgs
+    }
+
+    /// Total payload bytes charged for `kind` so far.
+    pub fn bytes(&self, kind: RpcKind) -> u64 {
+        self.totals[kind.idx()].bytes
+    }
+
+    /// Mirror every per-kind total, per-region-pair split, and delay
+    /// histogram into the registry (called at snapshot time).
+    pub fn mirror_metrics(&self, topo: &Topology, reg: &mut MetricsRegistry) {
+        for kind in ALL_RPC_KINDS {
+            let t = self.totals[kind.idx()];
+            reg.set_counter(format!("rpc.{}.msgs", kind.name()), t.msgs);
+            reg.set_counter(format!("rpc.{}.bytes", kind.name()), t.bytes);
+            let h = &self.delays[kind.idx()];
+            if !h.is_empty() {
+                reg.set_histogram(format!("rpc.{}.delay_us", kind.name()), h.clone());
+            }
+        }
+        for (&(kind, from, to), t) in &self.by_region {
+            let name = ALL_RPC_KINDS[kind as usize].name();
+            let (f, tn) = (topo.region_name(from), topo.region_name(to));
+            reg.set_counter(format!("rpc.{name}.msgs.{f}-{tn}"), t.msgs);
+            reg.set_counter(format!("rpc.{name}.bytes.{f}-{tn}"), t.bytes);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdb_simnet::{NodeKind, TopologyBuilder};
+
+    fn city_pair(seed: u64) -> (Topology, NetNodeId, NetNodeId) {
+        let (mut t, [xian, langzhong, _]) = TopologyBuilder::three_city(seed, false, 300);
+        let a = t.add_node(xian, 0, NodeKind::ComputeNode);
+        let b = t.add_node(langzhong, 1, NodeKind::DataNodePrimary);
+        (t, a, b)
+    }
+
+    #[test]
+    fn charge_matches_topology_cost_and_counts() {
+        // Same seed, same call sequence: plane-mediated costs must be
+        // bit-identical to direct topology calls.
+        let (mut t1, a, d) = city_pair(7);
+        let (mut t2, a2, d2) = city_pair(7);
+        let mut plane = MessagePlane::new(RegionId(0));
+        let via_plane = (
+            plane.send(&mut t1, RpcKind::DnRead, a, d, 256),
+            plane.rtt(&mut t1, RpcKind::GtmBeginTs, a, d),
+            plane.ship_rtt(&mut t1, RpcKind::SyncQuorumShip, a, d, 4096),
+        );
+        let direct = (
+            t2.one_way(a2, d2, 256),
+            t2.rtt(a2, d2),
+            t2.ship_rtt(a2, d2, 4096),
+        );
+        assert_eq!(via_plane, direct);
+        assert_eq!(plane.msgs(RpcKind::DnRead), 1);
+        assert_eq!(plane.msgs(RpcKind::GtmBeginTs), 2);
+        assert_eq!(plane.msgs(RpcKind::SyncQuorumShip), 2);
+        assert_eq!(plane.bytes(RpcKind::SyncQuorumShip), 4096 + 128);
+    }
+
+    #[test]
+    fn every_kind_preregistered_with_region_label() {
+        let plane = MessagePlane::new(RegionId(0));
+        let (t, _, _) = city_pair(7);
+        let mut reg = MetricsRegistry::new();
+        plane.mirror_metrics(&t, &mut reg);
+        let snap = reg.snapshot();
+        for kind in ALL_RPC_KINDS {
+            let total = format!("rpc.{}.msgs", kind.name());
+            assert_eq!(snap.counter(&total), Some(0), "missing {total}");
+            let labelled = format!("rpc.{}.msgs.xian-xian", kind.name());
+            assert_eq!(snap.counter(&labelled), Some(0), "missing {labelled}");
+        }
+    }
+
+    #[test]
+    fn account_and_charge_bytes_never_touch_the_rng() {
+        let mut plane = MessagePlane::new(RegionId(0));
+        plane.account(RpcKind::RcpGather, RegionId(1), RegionId(1), 64);
+        plane.account(RpcKind::SkylineProbe, RegionId(0), RegionId(2), 16);
+        assert_eq!(plane.msgs(RpcKind::RcpGather), 1);
+        assert_eq!(plane.msgs(RpcKind::SkylineProbe), 1);
+        // charge_bytes counts bytes but no message and draws no jitter:
+        // a subsequent charged send agrees with an untouched topology.
+        let (mut t1, x, y) = city_pair(9);
+        let (mut t2, x2, y2) = city_pair(9);
+        plane.charge_bytes(&mut t1, RpcKind::LogShipBatch, x, y, 9000);
+        assert_eq!(plane.msgs(RpcKind::LogShipBatch), 0);
+        assert_eq!(plane.bytes(RpcKind::LogShipBatch), 9000);
+        assert_eq!(
+            plane.send(&mut t1, RpcKind::DnWrite, x, y, 512),
+            t2.one_way(x2, y2, 512)
+        );
+    }
+}

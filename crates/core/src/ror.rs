@@ -7,6 +7,7 @@
 //! the primary always qualifies.
 
 use crate::cluster::GlobalDb;
+use crate::net::RpcKind;
 use gdb_model::Timestamp;
 use gdb_router::{estimate_staleness_gclock, estimate_staleness_gtm, NodeMetrics, Skyline};
 use gdb_simnet::{SimDuration, SimTime};
@@ -71,6 +72,14 @@ impl GlobalDb {
             healthy: primary_ok,
         });
         targets.push(ReadTarget::Primary);
+        // Probing a candidate's freshness/health is piggybacked state in
+        // this model (no extra latency), but the probe traffic is real.
+        self.plane.account(
+            RpcKind::SkylineProbe,
+            cn_region,
+            self.topo.node_region(shard_ref.primary),
+            16,
+        );
 
         for (ri, replica) in shard_ref.replicas.iter().enumerate() {
             let caught_up = replica.applier.max_commit_ts() >= snapshot;
@@ -92,6 +101,8 @@ impl GlobalDb {
                 healthy: up && caught_up,
             });
             targets.push(ReadTarget::Replica(ri));
+            self.plane
+                .account(RpcKind::SkylineProbe, cn_region, replica.region, 16);
         }
 
         (Skyline::compute(&metrics), targets)

@@ -2,13 +2,37 @@
 //!
 //! The protocol state machines live in `gdb-txnmgr`
 //! ([`gdb_txnmgr::TransitionOrchestrator`], [`gdb_txnmgr::handle_cn_msg`]);
-//! this module delivers their messages with real network latency and arms
-//! the DUAL hold timer on the event queue. The cluster accepts
+//! this module delivers their messages with real network latency
+//! (typed as [`RpcKind::TransitionBarrier`] on the message plane) and
+//! arms the DUAL hold timer on the event queue. The cluster accepts
 //! transactions throughout — that is the entire point of DUAL mode.
+//!
+//! While a transition is in flight the phase boundaries are captured in a
+//! [`TransitionTrace`]: when the transition completes, a `Transition` span
+//! is recorded whose children (`TransitionDualAcks`, `TransitionHold`,
+//! `TransitionFinalAcks`) tile it exactly — the observability contract
+//! tested in `tests/observability.rs`.
 
 use crate::cluster::GlobalDb;
-use gdb_simnet::Sim;
+use crate::net::RpcKind;
+use gdb_obs::SpanKind;
+use gdb_simnet::{Sim, SimTime};
 use gdb_txnmgr::{handle_cn_msg, TmMsg, TransitionDirection, TransitionEvent};
+
+/// Phase boundaries of the in-flight transition, filled in as the
+/// orchestrator's events are enacted. Pure bookkeeping — no RNG, no
+/// scheduling — so it is identical whether tracing is enabled or not.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TransitionTrace {
+    pub(crate) direction: TransitionDirection,
+    pub(crate) started: SimTime,
+    /// When the last DUAL ack arrived (the hold timer / final switch
+    /// fan-out starts here).
+    pub(crate) dual_acks_end: Option<SimTime>,
+    /// When the hold wait elapsed (GTM→GClock only; the GClock→GTM
+    /// direction has no hold phase).
+    pub(crate) hold_end: Option<SimTime>,
+}
 
 /// Start a transition at the current virtual time.
 pub fn start_transition(
@@ -17,6 +41,12 @@ pub fn start_transition(
     direction: TransitionDirection,
 ) {
     db.last_transition_completed = None;
+    db.transition_trace = Some(TransitionTrace {
+        direction,
+        started: sim.now(),
+        dual_acks_end: None,
+        hold_end: None,
+    });
     let events = {
         let GlobalDb {
             orchestrator, gtm, ..
@@ -29,12 +59,32 @@ pub fn start_transition(
 /// Apply orchestrator side effects: send messages (with latency) or arm
 /// the hold timer.
 fn enact(db: &mut GlobalDb, sim: &mut Sim<GlobalDb>, events: Vec<TransitionEvent>) {
+    let now = sim.now();
     for ev in events {
         match ev {
             TransitionEvent::SendToCn { cn, msg } => {
+                // The final-mode fan-out marks the end of the previous
+                // phase: DUAL acks (GClock→GTM, no hold) or the hold wait
+                // (GTM→GClock). N same-instant sends collapse to one mark.
+                if matches!(msg, TmMsg::SwitchToGClock | TmMsg::SwitchToGtm) {
+                    if let Some(trace) = db.transition_trace.as_mut() {
+                        if trace.dual_acks_end.is_none() {
+                            trace.dual_acks_end = Some(now);
+                        } else if trace.hold_end.is_none() && trace.dual_acks_end != Some(now) {
+                            trace.hold_end = Some(now);
+                        }
+                    }
+                }
+                let to = db.cns[cn].node;
                 let delay = db
-                    .topo
-                    .one_way(db.gtm_node, db.cns[cn].node, 128)
+                    .plane
+                    .send(
+                        &mut db.topo,
+                        RpcKind::TransitionBarrier,
+                        db.gtm_node,
+                        to,
+                        128,
+                    )
                     // An unreachable CN retries after a beat; the protocol
                     // is idle-safe because acks gate every phase.
                     .unwrap_or(gdb_simnet::SimDuration::from_millis(50));
@@ -43,6 +93,11 @@ fn enact(db: &mut GlobalDb, sim: &mut Sim<GlobalDb>, events: Vec<TransitionEvent
                 });
             }
             TransitionEvent::StartHoldTimer { duration } => {
+                if let Some(trace) = db.transition_trace.as_mut() {
+                    if trace.dual_acks_end.is_none() {
+                        trace.dual_acks_end = Some(now);
+                    }
+                }
                 sim.schedule_after(duration, |w: &mut GlobalDb, sim| {
                     let events = {
                         let GlobalDb {
@@ -55,9 +110,46 @@ fn enact(db: &mut GlobalDb, sim: &mut Sim<GlobalDb>, events: Vec<TransitionEvent
             }
             TransitionEvent::Completed { direction } => {
                 db.last_transition_completed = Some(direction);
+                if let Some(trace) = db.transition_trace.take() {
+                    record_transition_spans(db, &trace, now);
+                }
             }
         }
     }
+}
+
+/// Record the transition's span tree: a root `Transition` span whose
+/// children tile `[started, completed]` exactly.
+fn record_transition_spans(db: &mut GlobalDb, trace: &TransitionTrace, completed: SimTime) {
+    let label = match trace.direction {
+        TransitionDirection::ToGClock => 0,
+        TransitionDirection::ToGtm => 1,
+    };
+    let tracer = &mut db.obs.tracer;
+    let root = tracer.record(SpanKind::Transition, label, trace.started, completed);
+    let dual_end = trace.dual_acks_end.unwrap_or(completed).min(completed);
+    tracer.record_child(
+        root,
+        SpanKind::TransitionDualAcks,
+        label,
+        trace.started,
+        dual_end,
+    );
+    let final_start = match trace.hold_end {
+        Some(h) => {
+            let h = h.min(completed);
+            tracer.record_child(root, SpanKind::TransitionHold, label, dual_end, h);
+            h
+        }
+        None => dual_end,
+    };
+    tracer.record_child(
+        root,
+        SpanKind::TransitionFinalAcks,
+        label,
+        final_start,
+        completed,
+    );
 }
 
 fn deliver_to_cn(db: &mut GlobalDb, sim: &mut Sim<GlobalDb>, cn: usize, msg: TmMsg) {
@@ -65,9 +157,16 @@ fn deliver_to_cn(db: &mut GlobalDb, sim: &mut Sim<GlobalDb>, cn: usize, msg: TmM
     db.sync_cn_clock(cn, now);
     let reply = handle_cn_msg(cn, &mut db.cns[cn].tm, &msg, now);
     if let Some(reply) = reply {
+        let from = db.cns[cn].node;
         let delay = db
-            .topo
-            .one_way(db.cns[cn].node, db.gtm_node, 128)
+            .plane
+            .send(
+                &mut db.topo,
+                RpcKind::TransitionBarrier,
+                from,
+                db.gtm_node,
+                128,
+            )
             .unwrap_or(gdb_simnet::SimDuration::from_millis(50));
         sim.schedule_after(delay, move |w: &mut GlobalDb, sim| {
             let events = {

@@ -19,8 +19,8 @@ fn rcp_survives_collector_cn_failure() {
     assert!(rcp_before.as_micros() > 0);
 
     // Kill CN 0 — the initial collector.
-    let cn0 = c.db.cns[0].node;
-    c.db.topo.set_node_down(cn0, true);
+    let cn0 = c.db.cns()[0].node;
+    c.db.topo_mut().set_node_down(cn0, true);
     c.run_until(t(800));
     let rcp_after = c.db.cn_rcp(1);
     assert!(
@@ -29,7 +29,7 @@ fn rcp_survives_collector_cn_failure() {
     );
 
     // CN 0 comes back: it resumes receiving the RCP and stays monotone.
-    c.db.topo.set_node_down(cn0, false);
+    c.db.topo_mut().set_node_down(cn0, false);
     let rcp_cn0_at_revival = c.db.cn_rcp(0);
     c.run_until(t(1200));
     assert!(c.db.cn_rcp(0) > rcp_cn0_at_revival);
@@ -57,9 +57,9 @@ fn periodic_vacuum_prunes_dead_versions() {
     // After the vacuum interval (and RCP catching up), old versions go.
     c.run_until(t(3000));
     assert!(
-        c.db.stats.versions_vacuumed > 20,
+        c.db.stats().versions_vacuumed > 20,
         "vacuum must prune the dead chain: {}",
-        c.db.stats.versions_vacuumed
+        c.db.stats().versions_vacuumed
     );
     // The newest value is intact.
     let (out, _) = c
@@ -87,5 +87,5 @@ fn vacuum_disabled_keeps_versions() {
         .unwrap();
     }
     c.run_until(t(3000));
-    assert_eq!(c.db.stats.versions_vacuumed, 0);
+    assert_eq!(c.db.stats().versions_vacuumed, 0);
 }

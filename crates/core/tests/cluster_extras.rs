@@ -13,7 +13,7 @@ fn kv_cluster(config: ClusterConfig) -> Cluster {
     let mut c = Cluster::new(config);
     c.ddl("CREATE TABLE kv (k INT NOT NULL, v INT, PRIMARY KEY (k)) DISTRIBUTE BY HASH(k)")
         .unwrap();
-    let table = c.db.catalog.table_by_name("kv").unwrap().id;
+    let table = c.db.catalog().table_by_name("kv").unwrap().id;
     c.bulk_load(
         table,
         (0..50i64)
@@ -73,14 +73,14 @@ fn ror_in_gtm_mode() {
     c.run_until(t(800));
     // Pick a key whose shard primary is NOT co-hosted with the reading CN
     // (otherwise reading the local primary is the optimal choice).
-    let table = c.db.catalog.table_by_name("kv").unwrap().clone();
-    let cn1_host = c.db.topo.node_host(c.db.cns[1].node);
+    let table = c.db.catalog().table_by_name("kv").unwrap().clone();
+    let cn1_host = c.db.topo().node_host(c.db.cns()[1].node);
     let key = (0..50i64)
         .find(|&k| {
             let s = table
-                .shard_of_pk(&gdb_model::RowKey::single(k), c.db.shards.len() as u16)
+                .shard_of_pk(&gdb_model::RowKey::single(k), c.db.shards().len() as u16)
                 .0 as usize;
-            c.db.topo.node_host(c.db.shards[s].primary) != cn1_host
+            c.db.topo().node_host(c.db.shards()[s].primary) != cn1_host
         })
         .expect("remote-shard key");
     let sel = c.prepare("SELECT v FROM kv WHERE k = ?").unwrap();
@@ -102,11 +102,11 @@ fn clock_failure_auto_falls_back_to_gtm() {
     let mut c = kv_cluster(ClusterConfig::globaldb_one_region());
     assert_eq!(c.db.cn_mode(0), TmMode::GClock);
     // Clock fault on CN 1.
-    c.db.cns[1].tm.gclock.set_healthy(false);
+    c.db.cns_mut()[1].tm.gclock.set_healthy(false);
     // The heartbeat watchdog picks it up and drives the transition.
     c.run_until(t(2000));
     assert_eq!(
-        c.db.last_transition_completed,
+        c.db.last_transition_completed(),
         Some(TransitionDirection::ToGtm)
     );
     for cn in 0..3 {
@@ -136,5 +136,5 @@ fn freshness_bound_with_dead_primary_counts_rejections() {
         })
         .unwrap();
     assert!(!o.used_replica, "1ns bound forces primary reads");
-    assert_eq!(c.db.stats.ror_rejected_freshness, 0);
+    assert_eq!(c.db.stats().ror_rejected_freshness, 0);
 }

@@ -19,7 +19,7 @@ fn cluster_with_accounts(config: ClusterConfig, rows: i64) -> Cluster {
          PRIMARY KEY (id)) DISTRIBUTE BY HASH(id)",
     )
     .unwrap();
-    let table = c.db.catalog.table_by_name("accounts").unwrap().id;
+    let table = c.db.catalog().table_by_name("accounts").unwrap().id;
     let data: Vec<gdb_model::Row> = (0..rows)
         .map(|i| {
             gdb_model::Row(vec![
@@ -136,11 +136,11 @@ fn replication_reaches_replicas_and_rcp_advances() {
 
     // Give shipping + replay + RCP rounds time to settle.
     c.run_until(t(500));
-    let table = c.db.catalog.table_by_name("accounts").unwrap().id;
-    let schema = c.db.catalog.table(table).unwrap().clone();
+    let table = c.db.catalog().table_by_name("accounts").unwrap().id;
+    let schema = c.db.catalog().table(table).unwrap().clone();
     let key = gdb_model::RowKey::single(50i64);
-    let shard = schema.shard_of_key(&key, c.db.shards.len() as u16).0 as usize;
-    for replica in &c.db.shards[shard].replicas {
+    let shard = schema.shard_of_key(&key, c.db.shards().len() as u16).0 as usize;
+    for replica in &c.db.shards()[shard].replicas {
         assert!(
             replica.applier.max_commit_ts() >= commit_ts,
             "replica not caught up"
@@ -168,7 +168,7 @@ fn ror_reads_hit_replicas_with_rcp_snapshot() {
         })
         .unwrap();
     assert!(outcome.used_replica, "read must be served by a replica");
-    assert!(c.db.stats.reads_on_replica > 0);
+    assert!(c.db.stats().reads_on_replica > 0);
 }
 
 #[test]
@@ -210,8 +210,8 @@ fn ror_respects_freshness_of_rcp_snapshot() {
 fn multi_shard_transactions_use_2pc_and_cost_more() {
     let mut c = cluster_with_accounts(ClusterConfig::globaldb_one_region(), 100);
     // Find two ids on different shards.
-    let table = c.db.catalog.table_by_name("accounts").unwrap().id;
-    let schema = c.db.catalog.table(table).unwrap().clone();
+    let table = c.db.catalog().table_by_name("accounts").unwrap().id;
+    let schema = c.db.catalog().table(table).unwrap().clone();
     let shard_of = |i: i64| schema.shard_of_key(&gdb_model::RowKey::single(i), 6).0;
     let a = 1i64;
     let b = (2..100).find(|&i| shard_of(i) != shard_of(a)).unwrap();
@@ -266,7 +266,7 @@ fn lock_conflicts_serialize_hot_row_updates() {
         })
         .unwrap();
     assert!(
-        c.db.stats.lock_waits > 0,
+        c.db.stats().lock_waits > 0,
         "second txn must wait for the lock"
     );
     assert!(o2.completed_at > o1.completed_at);
@@ -372,13 +372,13 @@ fn online_transition_gtm_to_gclock_without_downtime() {
     }
     c.run_until(t(2000));
     assert_eq!(
-        c.db.last_transition_completed,
+        c.db.last_transition_completed(),
         Some(TransitionDirection::ToGClock)
     );
     for cn in 0..3 {
         assert_eq!(c.db.cn_mode(cn), TmMode::GClock);
     }
-    assert_eq!(c.db.gtm.mode(), TmMode::GClock);
+    assert_eq!(c.db.gtm().mode(), TmMode::GClock);
     // Zero downtime: every transaction issued during the transition
     // committed (none were rejected; at most stragglers abort, and these
     // all ran to completion within events).
@@ -411,10 +411,10 @@ fn online_transition_back_to_gtm_after_clock_failure() {
     c.start_transition(TransitionDirection::ToGtm);
     c.run_until(t(1500));
     assert_eq!(
-        c.db.last_transition_completed,
+        c.db.last_transition_completed(),
         Some(TransitionDirection::ToGtm)
     );
-    assert_eq!(c.db.gtm.mode(), TmMode::Gtm);
+    assert_eq!(c.db.gtm().mode(), TmMode::Gtm);
     // New GTM timestamps exceed all previous GClock timestamps: a new
     // write is visible to a subsequent read.
     let (_, o) = c
@@ -445,7 +445,7 @@ fn replicated_table_writes_fan_out_reads_stay_local() {
         .execute_sql(0, t(10), "INSERT INTO item VALUES (1, 'widget')", &[])
         .unwrap();
     // A replicated-table write touches every shard.
-    assert_eq!(o.shards_written.len(), c.db.shards.len());
+    assert_eq!(o.shards_written.len(), c.db.shards().len());
     // Readable from every CN.
     for cn in 0..3 {
         let (rows, _) = c
@@ -471,7 +471,7 @@ fn heartbeats_advance_rcp_without_writes() {
         rcp2 > rcp1,
         "idle cluster RCP must advance via heartbeats: {rcp1:?} vs {rcp2:?}"
     );
-    assert!(c.db.stats.heartbeats_sent > 10);
+    assert!(c.db.stats().heartbeats_sent > 10);
 }
 
 #[test]
@@ -480,12 +480,12 @@ fn replica_down_falls_back_to_primary() {
     c.run_until(t(300));
     // Kill every replica of every shard.
     let replica_nodes: Vec<_> =
-        c.db.shards
+        c.db.shards()
             .iter()
             .flat_map(|s| s.replicas.iter().map(|r| r.node))
             .collect();
     for n in replica_nodes {
-        c.db.topo.set_node_down(n, true);
+        c.db.topo_mut().set_node_down(n, true);
     }
     let sel = c
         .prepare("SELECT balance FROM accounts WHERE id = ?")
@@ -508,7 +508,7 @@ fn ddl_gates_ror_until_replicas_catch_up() {
     c.run_until(t(310));
     c.ddl("CREATE INDEX acc_by_region ON accounts (region)")
         .unwrap();
-    let before = c.db.stats.ror_rejected_ddl;
+    let before = c.db.stats().ror_rejected_ddl;
     let sel = c
         .prepare("SELECT balance FROM accounts WHERE id = ?")
         .unwrap();
@@ -519,21 +519,21 @@ fn ddl_gates_ror_until_replicas_catch_up() {
             txn.execute(&sel, &[Datum::Int(1)]).map(|_| ())
         })
         .unwrap();
-    assert!(c.db.stats.ror_rejected_ddl > before);
+    assert!(c.db.stats().ror_rejected_ddl > before);
     assert!(!o.used_replica);
     // Much later the DDL has replayed everywhere; ROR works again. Pick an
     // id whose shard primary is NOT co-hosted with CN 1 (otherwise the
     // skyline correctly prefers the local primary).
     c.run_until(t(1000));
-    let table = c.db.catalog.table_by_name("accounts").unwrap().id;
-    let schema = c.db.catalog.table(table).unwrap().clone();
-    let cn1_host = c.db.topo.node_host(c.db.cns[1].node);
+    let table = c.db.catalog().table_by_name("accounts").unwrap().id;
+    let schema = c.db.catalog().table(table).unwrap().clone();
+    let cn1_host = c.db.topo().node_host(c.db.cns()[1].node);
     let id = (0..10i64)
         .find(|&i| {
             let s = schema
-                .shard_of_key(&gdb_model::RowKey::single(i), c.db.shards.len() as u16)
+                .shard_of_key(&gdb_model::RowKey::single(i), c.db.shards().len() as u16)
                 .0 as usize;
-            c.db.topo.node_host(c.db.shards[s].primary) != cn1_host
+            c.db.topo().node_host(c.db.shards()[s].primary) != cn1_host
         })
         .expect("some id on a non-local shard");
     let ((), o2) = c

@@ -26,8 +26,8 @@ fn range_distributed_table_routes_and_prunes() {
         )
         .unwrap();
     }
-    let table = c.db.catalog.table_by_name("events").unwrap().clone();
-    let shard_count = c.db.shards.len() as u16;
+    let table = c.db.catalog().table_by_name("events").unwrap().clone();
+    let shard_count = c.db.shards().len() as u16;
     // Each row is on the expected shard: seq 50 → shard 0, 150 → 1, ...
     for (i, seq) in [50i64, 150, 250, 350, 450, 550].iter().enumerate() {
         let shard = table
@@ -35,7 +35,7 @@ fn range_distributed_table_routes_and_prunes() {
             .0 as usize;
         assert_eq!(shard, i, "seq {seq}");
         assert_eq!(
-            c.db.shards[shard]
+            c.db.shards()[shard]
                 .storage
                 .table(table.id)
                 .unwrap()
@@ -69,7 +69,7 @@ fn busy_replica_is_swapped_out_by_the_skyline() {
     let mut c = Cluster::new(ClusterConfig::globaldb_one_region());
     c.ddl("CREATE TABLE kv (k INT NOT NULL, v INT, PRIMARY KEY (k)) DISTRIBUTE BY HASH(k)")
         .unwrap();
-    let table = c.db.catalog.table_by_name("kv").unwrap().id;
+    let table = c.db.catalog().table_by_name("kv").unwrap().id;
     c.bulk_load(
         table,
         (0..60i64)
@@ -82,14 +82,14 @@ fn busy_replica_is_swapped_out_by_the_skyline() {
 
     // Find a key on a shard whose primary is not co-hosted with CN 1 so a
     // replica is the natural choice.
-    let schema = c.db.catalog.table(table).unwrap().clone();
-    let cn1_host = c.db.topo.node_host(c.db.cns[1].node);
+    let schema = c.db.catalog().table(table).unwrap().clone();
+    let cn1_host = c.db.topo().node_host(c.db.cns()[1].node);
     let (key, shard) = (0..60i64)
         .find_map(|k| {
             let s = schema
-                .shard_of_pk(&gdb_model::RowKey::single(k), c.db.shards.len() as u16)
+                .shard_of_pk(&gdb_model::RowKey::single(k), c.db.shards().len() as u16)
                 .0 as usize;
-            (c.db.topo.node_host(c.db.shards[s].primary) != cn1_host).then_some((k, s))
+            (c.db.topo().node_host(c.db.shards()[s].primary) != cn1_host).then_some((k, s))
         })
         .expect("remote-shard key");
 
@@ -108,8 +108,14 @@ fn busy_replica_is_swapped_out_by_the_skyline() {
     // Make the normally-chosen replica look overloaded: a huge replay
     // backlog inflates its load axis.
     let now = c.now();
-    for r in &mut c.db.shards[shard].replicas {
-        if c.db.topo.node_host(r.node) == cn1_host {
+    let overloaded: Vec<gdb_simnet::NetNodeId> = c.db.shards()[shard]
+        .replicas
+        .iter()
+        .map(|r| r.node)
+        .filter(|&n| c.db.topo().node_host(n) == cn1_host)
+        .collect();
+    for r in &mut c.db.shards_mut()[shard].replicas {
+        if overloaded.contains(&r.node) {
             r.busy_until = now + SimDuration::from_secs(5);
         }
     }
@@ -124,7 +130,7 @@ fn busy_replica_is_swapped_out_by_the_skyline() {
     assert!(!sky.is_empty());
     let picked = sky.select(None).unwrap();
     // The picked node is not the overloaded one.
-    let overloaded: Vec<_> = c.db.shards[shard]
+    let overloaded: Vec<_> = c.db.shards()[shard]
         .replicas
         .iter()
         .filter(|r| r.busy_until > c.now() + SimDuration::from_secs(1))

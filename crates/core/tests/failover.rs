@@ -25,7 +25,7 @@ fn setup(config: ClusterConfig) -> Setup {
              DISTRIBUTE BY HASH(k)",
         )
         .unwrap();
-    let table = cluster.db.catalog.table_by_name("kv").unwrap().id;
+    let table = cluster.db.catalog().table_by_name("kv").unwrap().id;
     cluster
         .bulk_load(
             table,
@@ -35,22 +35,22 @@ fn setup(config: ClusterConfig) -> Setup {
         )
         .unwrap();
     cluster.finish_load();
-    let schema = cluster.db.catalog.table(table).unwrap().clone();
+    let schema = cluster.db.catalog().table(table).unwrap().clone();
     let shard = 0usize;
     let id = (0..200i64)
         .find(|&i| {
             schema
                 .shard_of_pk(
                     &gdb_model::RowKey::single(i),
-                    cluster.db.shards.len() as u16,
+                    cluster.db.shards().len() as u16,
                 )
                 .0 as usize
                 == shard
         })
         .expect("some id on shard 0");
-    let region = cluster.db.shards[shard].region;
-    let cn = (0..cluster.db.cns.len())
-        .find(|&i| cluster.db.cns[i].region == region)
+    let region = cluster.db.shards()[shard].region;
+    let cn = (0..cluster.db.cns().len())
+        .find(|&i| cluster.db.cns()[i].region == region)
         .unwrap_or(0);
     Setup {
         cluster,
@@ -235,14 +235,14 @@ fn failed_primary_rejoins_as_replica_and_catches_up() {
     let mut s = setup(ClusterConfig::globaldb_one_region());
     let c = &mut s.cluster;
     c.run_until(t(100));
-    let old_primary = c.db.shards[s.shard].primary;
+    let old_primary = c.db.shards()[s.shard].primary;
     c.fail_primary(s.shard);
     c.promote_replica(s.shard, 0).unwrap();
-    let replicas_before = c.db.shards[s.shard].replicas.len();
+    let replicas_before = c.db.shards()[s.shard].replicas.len();
 
     // The recovered node rejoins in the replica role.
     c.rejoin_as_replica(s.shard, old_primary).unwrap();
-    assert_eq!(c.db.shards[s.shard].replicas.len(), replicas_before + 1);
+    assert_eq!(c.db.shards()[s.shard].replicas.len(), replicas_before + 1);
 
     // New writes flow to it through the fresh redo stream.
     for i in 0..20u64 {
@@ -255,7 +255,7 @@ fn failed_primary_rejoins_as_replica_and_catches_up() {
         .unwrap();
     }
     c.run_until(t(2000));
-    let rejoined = c.db.shards[s.shard]
+    let rejoined = c.db.shards()[s.shard]
         .replicas
         .iter()
         .find(|r| r.node == old_primary)
@@ -265,10 +265,10 @@ fn failed_primary_rejoins_as_replica_and_catches_up() {
     assert!(rejoined.applier.records_applied > 0, "stream followed");
     assert!(rejoined.applier.max_commit_ts().as_micros() > 200_000);
     // And its data matches the primary.
-    let table = c.db.catalog.table_by_name("kv").unwrap().id;
+    let table = c.db.catalog().table_by_name("kv").unwrap().id;
     let key = gdb_model::RowKey::single(s.id);
     let snap = globaldb::Timestamp::MAX;
-    let primary_val = c.db.shards[s.shard]
+    let primary_val = c.db.shards()[s.shard]
         .storage
         .table(table)
         .unwrap()
@@ -276,7 +276,7 @@ fn failed_primary_rejoins_as_replica_and_catches_up() {
         .unwrap()
         .row
         .clone();
-    let replica_val = c.db.shards[s.shard]
+    let replica_val = c.db.shards()[s.shard]
         .replicas
         .iter()
         .find(|r| r.node == old_primary)

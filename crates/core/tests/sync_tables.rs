@@ -28,13 +28,13 @@ fn sync_table_pays_quorum_wait_async_tables_do_not() {
 
     // Same-shape single-row updates against both tables from their home CN.
     let lat = |c: &mut Cluster, table: &str, at_ms: u64| {
-        let table_id = c.db.catalog.table_by_name(table).unwrap().clone();
+        let table_id = c.db.catalog().table_by_name(table).unwrap().clone();
         let k = (0..10i64)
             .find(|&k| {
                 let shard = table_id
-                    .shard_of_pk(&gdb_model::RowKey::single(k), c.db.shards.len() as u16)
+                    .shard_of_pk(&gdb_model::RowKey::single(k), c.db.shards().len() as u16)
                     .0 as usize;
-                c.db.shards[shard].region == c.db.cns[0].region
+                c.db.shards()[shard].region == c.db.cns()[0].region
             })
             .unwrap_or(0);
         let (_, o) = c

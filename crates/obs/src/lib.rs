@@ -28,9 +28,10 @@ pub mod report;
 pub mod span;
 
 pub use json::Json;
-pub use metrics::{HistSummary, Metric, MetricsRegistry, MetricsReport};
+pub use metrics::{HistSummary, Metric, MetricName, MetricsRegistry, MetricsReport};
 pub use report::{
-    bundle, compare_artifacts, load_artifacts, BenchArtifact, BenchSeries, Comparison, NetStats,
+    bundle, compare_artifacts, load_artifacts, to_chrome_trace, BenchArtifact, BenchSeries,
+    Comparison, NetStats,
 };
 pub use span::{Span, SpanId, SpanKind, Tracer};
 

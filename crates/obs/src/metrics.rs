@@ -1,12 +1,15 @@
 //! The metrics registry: named counters, gauges, and bounded-quantile
 //! histograms.
 //!
-//! Names are `&'static str` constants owned by the subsystem crates
-//! (`gdb_txnmgr::metrics`, `gdb_replication::metrics`, …) in a
+//! Names are usually `&'static str` constants owned by the subsystem
+//! crates (`gdb_txnmgr::metrics`, `gdb_replication::metrics`, …) in a
 //! `subsystem.noun[_unit]` scheme — e.g. `txnmgr.phase.commit_wait_us`,
-//! `replication.ship.wire_bytes`, `rcp.rounds`. Registration is implicit:
-//! the first record of a name creates the instrument. Storage is
-//! `BTreeMap`-backed so snapshots iterate in deterministic name order.
+//! `replication.ship.wire_bytes`, `rcp.rounds`. Labelled instruments
+//! (per-`RpcKind`, per-region-pair) pass an owned `String`; keys are
+//! `Cow<'static, str>` so the static-name hot path stays allocation-free.
+//! Registration is implicit: the first record of a name creates the
+//! instrument. Storage is `BTreeMap`-backed so snapshots iterate in
+//! deterministic name order.
 //!
 //! Histograms use [`LatencyHistogram::bounded`] — O(1) memory streaming
 //! summaries — so per-transaction hot paths never accumulate per-sample
@@ -15,14 +18,18 @@
 use gdb_simnet::stats::LatencyHistogram;
 use gdb_simnet::SimDuration;
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 use std::collections::BTreeMap;
+
+/// Instrument name: a static constant or an owned labelled name.
+pub type MetricName = Cow<'static, str>;
 
 /// Live instrument storage.
 #[derive(Debug, Default, Serialize, Deserialize)]
 pub struct MetricsRegistry {
-    counters: BTreeMap<&'static str, u64>,
-    gauges: BTreeMap<&'static str, f64>,
-    histograms: BTreeMap<&'static str, LatencyHistogram>,
+    counters: BTreeMap<MetricName, u64>,
+    gauges: BTreeMap<MetricName, f64>,
+    histograms: BTreeMap<MetricName, LatencyHistogram>,
 }
 
 impl MetricsRegistry {
@@ -31,30 +38,36 @@ impl MetricsRegistry {
     }
 
     /// Add `delta` to counter `name` (created at zero on first use).
-    pub fn count(&mut self, name: &'static str, delta: u64) {
-        *self.counters.entry(name).or_insert(0) += delta;
+    pub fn count(&mut self, name: impl Into<MetricName>, delta: u64) {
+        *self.counters.entry(name.into()).or_insert(0) += delta;
     }
 
-    pub fn incr(&mut self, name: &'static str) {
+    pub fn incr(&mut self, name: impl Into<MetricName>) {
         self.count(name, 1);
     }
 
     /// Set counter `name` to an absolute value (for mirroring externally
     /// maintained totals into the registry at snapshot time).
-    pub fn set_counter(&mut self, name: &'static str, value: u64) {
-        self.counters.insert(name, value);
+    pub fn set_counter(&mut self, name: impl Into<MetricName>, value: u64) {
+        self.counters.insert(name.into(), value);
     }
 
-    pub fn gauge(&mut self, name: &'static str, value: f64) {
-        self.gauges.insert(name, value);
+    pub fn gauge(&mut self, name: impl Into<MetricName>, value: f64) {
+        self.gauges.insert(name.into(), value);
     }
 
     /// Record one latency observation into bounded histogram `name`.
-    pub fn observe(&mut self, name: &'static str, d: SimDuration) {
+    pub fn observe(&mut self, name: impl Into<MetricName>, d: SimDuration) {
         self.histograms
-            .entry(name)
+            .entry(name.into())
             .or_insert_with(LatencyHistogram::bounded)
             .record(d);
+    }
+
+    /// Replace histogram `name` wholesale (for mirroring histograms
+    /// maintained outside the registry into a snapshot).
+    pub fn set_histogram(&mut self, name: impl Into<MetricName>, h: LatencyHistogram) {
+        self.histograms.insert(name.into(), h);
     }
 
     pub fn counter(&self, name: &str) -> u64 {
@@ -68,13 +81,13 @@ impl MetricsRegistry {
     /// Freeze the registry into a comparable, serializable report.
     pub fn snapshot(&self) -> MetricsReport {
         let mut metrics = BTreeMap::new();
-        for (&name, &v) in &self.counters {
+        for (name, &v) in &self.counters {
             metrics.insert(name.to_string(), Metric::Counter(v));
         }
-        for (&name, &v) in &self.gauges {
+        for (name, &v) in &self.gauges {
             metrics.insert(name.to_string(), Metric::Gauge(v));
         }
-        for (&name, h) in &self.histograms {
+        for (name, h) in &self.histograms {
             metrics.insert(name.to_string(), Metric::Histogram(HistSummary::of(h)));
         }
         MetricsReport { metrics }

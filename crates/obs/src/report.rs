@@ -15,6 +15,7 @@
 
 use crate::json::Json;
 use crate::metrics::{HistSummary, MetricsReport};
+use crate::span::Tracer;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -264,13 +265,77 @@ pub fn load_artifacts(v: &Json) -> Result<Vec<BenchArtifact>, String> {
     }
 }
 
-/// One `(figure, series)` throughput comparison.
+/// Export a tracer's spans as a Chrome trace-event JSON document (the
+/// `chrome://tracing` / Perfetto `traceEvents` format, loadable as-is).
+///
+/// Each span becomes one complete (`"X"`) event with microsecond `ts` /
+/// `dur` derived from its virtual-time interval. Events are grouped into
+/// tracks (`tid`) by their *root ancestor* span, so every transaction or
+/// transition renders as its own row with its phase children nested
+/// beneath it; `pid` is constant (one simulated cluster per trace).
+pub fn to_chrome_trace(tracer: &Tracer) -> String {
+    let spans = tracer.spans();
+    // Spans are recorded parent-first (a child's id is always greater
+    // than its parent's), so one forward pass resolves root ancestors.
+    let mut track = vec![0u32; spans.len()];
+    for (i, s) in spans.iter().enumerate() {
+        track[i] = if s.is_root() {
+            s.id
+        } else {
+            track[s.parent as usize]
+        };
+    }
+    let events: Vec<Json> = spans
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            Json::obj(vec![
+                ("name", Json::str(s.kind.name())),
+                ("cat", Json::str(if s.is_root() { "root" } else { "phase" })),
+                ("ph", Json::str("X")),
+                ("ts", Json::Num(s.start.as_nanos() as f64 / 1000.0)),
+                (
+                    "dur",
+                    Json::Num(s.end.since(s.start).as_nanos() as f64 / 1000.0),
+                ),
+                ("pid", Json::u64(1)),
+                ("tid", Json::u64(track[i] as u64)),
+                (
+                    "args",
+                    Json::obj(vec![
+                        ("label", Json::u64(s.label)),
+                        ("span_id", Json::u64(s.id as u64)),
+                    ]),
+                ),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", Json::str("ms")),
+    ])
+    .to_pretty()
+}
+
+/// The phase components the gate diffs in addition to throughput: the
+/// geo-distribution costs the paper's figures are about (GClock commit
+/// wait, synchronous replication acknowledgement).
+pub const GATED_PHASES: &[&str] = &["commit_wait", "replication_ack"];
+
+/// Absolute slack for phase-mean comparisons: sub-50 µs phases are
+/// dominated by quantization and scheduling noise, not regressions.
+const PHASE_SLACK_US: f64 = 50.0;
+
+/// One `(figure, series, metric)` comparison of the regression gate.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Comparison {
     pub figure: String,
     pub label: String,
-    pub baseline_txn_s: f64,
-    pub current_txn_s: f64,
+    /// What is compared: `throughput` (txn/s, higher is better) or
+    /// `phase:<name>` (mean µs, lower is better).
+    pub metric: String,
+    pub baseline: f64,
+    pub current: f64,
     /// current / baseline (1.0 when the baseline is zero).
     pub ratio: f64,
     /// False when the series regressed beyond tolerance or is missing
@@ -280,21 +345,30 @@ pub struct Comparison {
 
 impl Comparison {
     pub fn render(&self) -> String {
+        let unit = if self.metric == "throughput" {
+            "txn/s"
+        } else {
+            "us mean"
+        };
         format!(
-            "{:4} {}/{}: baseline {:.1} txn/s, current {:.1} txn/s ({:+.1}%)",
+            "{:4} {}/{} {}: baseline {:.1} {unit}, current {:.1} ({:+.1}%)",
             if self.ok { "ok" } else { "FAIL" },
             self.figure,
             self.label,
-            self.baseline_txn_s,
-            self.current_txn_s,
+            self.metric,
+            self.baseline,
+            self.current,
             (self.ratio - 1.0) * 100.0
         )
     }
 }
 
 /// Compare `current` against `baseline`: every baseline series must be
-/// present and within `tolerance` relative throughput loss. Series only
-/// in `current` are ignored (adding figures never fails the gate).
+/// present, within `tolerance` relative throughput loss, and — for the
+/// [`GATED_PHASES`] present in the baseline's phase breakdown — within
+/// `tolerance` relative phase-mean growth (plus a small absolute slack).
+/// Series only in `current` are ignored (adding figures never fails the
+/// gate).
 pub fn compare_artifacts(
     baseline: &[BenchArtifact],
     current: &[BenchArtifact],
@@ -305,32 +379,54 @@ pub fn compare_artifacts(
         let cur_art = current.iter().find(|a| a.figure == base.figure);
         for bs in &base.series {
             let cur = cur_art.and_then(|a| a.series.iter().find(|s| s.label == bs.label));
-            let comparison = match cur {
-                None => Comparison {
+            match cur {
+                None => out.push(Comparison {
                     figure: base.figure.clone(),
                     label: bs.label.clone(),
-                    baseline_txn_s: bs.throughput_txn_s,
-                    current_txn_s: 0.0,
+                    metric: "throughput".into(),
+                    baseline: bs.throughput_txn_s,
+                    current: 0.0,
                     ratio: 0.0,
                     ok: false,
-                },
+                }),
                 Some(cs) => {
                     let ratio = if bs.throughput_txn_s > 0.0 {
                         cs.throughput_txn_s / bs.throughput_txn_s
                     } else {
                         1.0
                     };
-                    Comparison {
+                    out.push(Comparison {
                         figure: base.figure.clone(),
                         label: bs.label.clone(),
-                        baseline_txn_s: bs.throughput_txn_s,
-                        current_txn_s: cs.throughput_txn_s,
+                        metric: "throughput".into(),
+                        baseline: bs.throughput_txn_s,
+                        current: cs.throughput_txn_s,
                         ratio,
                         ok: ratio >= 1.0 - tolerance,
+                    });
+                    for &phase in GATED_PHASES {
+                        let Some(bh) = bs.phases.get(phase) else {
+                            continue;
+                        };
+                        let (b, c) = (
+                            bh.mean_us as f64,
+                            // A phase the current run no longer records
+                            // counts as infinitely regressed, not absent.
+                            cs.phases.get(phase).map(|h| h.mean_us as f64),
+                        );
+                        let c = c.unwrap_or(f64::INFINITY);
+                        out.push(Comparison {
+                            figure: base.figure.clone(),
+                            label: bs.label.clone(),
+                            metric: format!("phase:{phase}"),
+                            baseline: b,
+                            current: c,
+                            ratio: if b > 0.0 { c / b } else { 1.0 },
+                            ok: c <= b * (1.0 + tolerance) + PHASE_SLACK_US,
+                        });
                     }
                 }
-            };
-            out.push(comparison);
+            }
         }
     }
     out
@@ -413,17 +509,58 @@ mod tests {
     }
 
     #[test]
+    fn chrome_trace_shape() {
+        use crate::span::SpanKind;
+        use gdb_simnet::SimTime;
+        let mut tr = Tracer::default();
+        tr.enable(16);
+        let t = SimTime::from_micros;
+        let txn = tr.record(SpanKind::Txn, 7, t(100), t(350));
+        tr.record_child(txn, SpanKind::Execute, 7, t(100), t(200));
+        tr.record_child(txn, SpanKind::CommitWait, 7, t(200), t(350));
+        let other = tr.record(SpanKind::Transition, 0, t(400), t(900));
+        tr.record_child(other, SpanKind::TransitionDualAcks, 0, t(400), t(900));
+
+        let doc = Json::parse(&to_chrome_trace(&tr)).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), 5);
+        for ev in events {
+            assert_eq!(ev.get("ph").and_then(Json::as_str), Some("X"));
+            assert_eq!(ev.get("pid").and_then(Json::as_u64), Some(1));
+            for key in ["name", "ts", "dur", "tid", "args"] {
+                assert!(ev.get(key).is_some(), "missing {key}");
+            }
+        }
+        // Microsecond timestamps, straight from virtual time.
+        assert_eq!(events[0].get("ts").and_then(Json::as_f64), Some(100.0));
+        assert_eq!(events[0].get("dur").and_then(Json::as_f64), Some(250.0));
+        assert_eq!(events[0].get("name").and_then(Json::as_str), Some("txn"));
+        // Children land on their root ancestor's track.
+        let tid = |i: usize| events[i].get("tid").and_then(Json::as_u64).unwrap();
+        assert_eq!(tid(1), tid(0));
+        assert_eq!(tid(2), tid(0));
+        assert_eq!(tid(4), tid(3));
+        assert_ne!(tid(0), tid(3), "separate roots get separate tracks");
+    }
+
+    #[test]
     fn comparison_gate() {
         let base = vec![artifact("fig6a", "gclock", 100.0)];
-        // Within tolerance: 15% down.
+        // Within tolerance: 15% down. The helper's series carries a
+        // `commit_wait` phase, so a matched series yields a throughput
+        // row plus one gated-phase row.
         let ok = compare_artifacts(&base, &[artifact("fig6a", "gclock", 85.0)], 0.20);
+        assert_eq!(ok.len(), 2, "{ok:?}");
+        assert_eq!(ok[1].metric, "phase:commit_wait");
         assert!(ok.iter().all(|c| c.ok), "{ok:?}");
         // Beyond tolerance: 25% down.
         let bad = compare_artifacts(&base, &[artifact("fig6a", "gclock", 75.0)], 0.20);
         assert!(!bad[0].ok);
         assert!(bad[0].render().contains("FAIL"));
-        // Missing series fails.
+        assert!(bad[1].ok, "identical phase means must pass: {:?}", bad[1]);
+        // Missing series fails (single row; no phase rows to compare).
         let missing = compare_artifacts(&base, &[artifact("fig6a", "gtm", 100.0)], 0.20);
+        assert_eq!(missing.len(), 1);
         assert!(!missing[0].ok);
         // Faster never fails; extra current series ignored.
         let faster = compare_artifacts(
@@ -434,7 +571,41 @@ mod tests {
             ],
             0.20,
         );
-        assert_eq!(faster.len(), 1);
-        assert!(faster[0].ok);
+        assert_eq!(faster.len(), 2);
+        assert!(faster.iter().all(|c| c.ok));
+    }
+
+    #[test]
+    fn comparison_gate_catches_phase_regressions() {
+        let phased = |commit_wait_us: &[u64]| {
+            let mut a = artifact("fig6a", "gclock", 100.0);
+            a.series[0].phases = [
+                ("commit_wait".to_string(), summary(commit_wait_us)),
+                ("replication_ack".to_string(), summary(&[800, 1200])),
+            ]
+            .into_iter()
+            .collect();
+            a
+        };
+        let base = vec![phased(&[2000, 2200])];
+        // Throughput unchanged, commit-wait mean tripled: the phase row
+        // fails even though the throughput row passes.
+        let out = compare_artifacts(&base, &[phased(&[6000, 6600])], 0.20);
+        assert_eq!(out.len(), 3, "{out:?}");
+        assert!(out[0].ok, "throughput row: {:?}", out[0]);
+        assert_eq!(out[1].metric, "phase:commit_wait");
+        assert!(!out[1].ok, "tripled commit wait must fail: {:?}", out[1]);
+        assert!(out[1].render().contains("us mean"));
+        assert_eq!(out[2].metric, "phase:replication_ack");
+        assert!(out[2].ok);
+        // A current run that dropped a gated phase entirely fails it.
+        let mut gone = phased(&[2000, 2200]);
+        gone.series[0].phases.remove("commit_wait");
+        let out = compare_artifacts(&base, &[gone], 0.20);
+        assert!(!out[1].ok, "missing phase must fail: {:?}", out[1]);
+        // Tiny phases live inside the absolute slack: a jump from 5 µs
+        // to 40 µs is noise, not a regression.
+        let out = compare_artifacts(&[phased(&[5, 5])], &[phased(&[40, 40])], 0.20);
+        assert!(out[1].ok, "sub-slack phase flagged: {:?}", out[1]);
     }
 }

@@ -46,6 +46,17 @@ pub enum SpanKind {
     LogShip,
     /// A skyline read-target re-selection (the router changed its pick).
     SkylineReselect,
+    /// One shard's branch of a 2PC round (prepare fan-out or post-commit
+    /// replication ack), child of `Prepare` / `ReplicationAck`.
+    TwoPcBranch,
+    /// Whole online TM-mode transition, start to completion. Root span.
+    Transition,
+    /// Transition phase: switch-to-DUAL fan-out through the last DUAL ack.
+    TransitionDualAcks,
+    /// Transition phase: the DUAL hold wait (GTM→GClock direction only).
+    TransitionHold,
+    /// Transition phase: final-mode fan-out through the last final ack.
+    TransitionFinalAcks,
 }
 
 impl SpanKind {
@@ -60,6 +71,11 @@ impl SpanKind {
             SpanKind::RcpRound => "rcp_round",
             SpanKind::LogShip => "log_ship",
             SpanKind::SkylineReselect => "skyline_reselect",
+            SpanKind::TwoPcBranch => "two_pc_branch",
+            SpanKind::Transition => "transition",
+            SpanKind::TransitionDualAcks => "transition_dual_acks",
+            SpanKind::TransitionHold => "transition_hold",
+            SpanKind::TransitionFinalAcks => "transition_final_acks",
         }
     }
 }

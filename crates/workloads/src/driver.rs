@@ -61,8 +61,8 @@ pub fn run_workload(
     let measure_from = t0 + config.warmup;
     let t_end = measure_from + config.duration;
 
-    let replica_reads_before = cluster.db.stats.reads_on_replica;
-    let primary_reads_before = cluster.db.stats.reads_on_primary;
+    let replica_reads_before = cluster.db.stats().reads_on_replica;
+    let primary_reads_before = cluster.db.stats().reads_on_primary;
 
     let mut report = WorkloadReport {
         duration: config.duration,
@@ -100,7 +100,7 @@ pub fn run_workload(
     // is consistent for whoever inspects the cluster next.
     cluster.run_until(t_end);
 
-    report.reads_on_replica = cluster.db.stats.reads_on_replica - replica_reads_before;
-    report.reads_on_primary = cluster.db.stats.reads_on_primary - primary_reads_before;
+    report.reads_on_replica = cluster.db.stats().reads_on_replica - replica_reads_before;
+    report.reads_on_primary = cluster.db.stats().reads_on_primary - primary_reads_before;
     report
 }

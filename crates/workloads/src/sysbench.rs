@@ -79,7 +79,11 @@ impl Workload for SysbenchWorkload {
                 "CREATE TABLE sbtest{t} (id INT NOT NULL, k INT, c TEXT, pad TEXT, \
                  PRIMARY KEY (id)) DISTRIBUTE BY HASH(id)"
             ))?;
-            let table = cluster.db.catalog.table_by_name(&format!("sbtest{t}"))?.id;
+            let table = cluster
+                .db
+                .catalog()
+                .table_by_name(&format!("sbtest{t}"))?
+                .id;
             let rows: Vec<Row> = (1..=self.scale.rows_per_table)
                 .map(|id| {
                     Row(vec![
@@ -110,7 +114,7 @@ impl Workload for SysbenchWorkload {
     ) -> (&'static str, GdbResult<TxnOutcome>) {
         let t = self.rng.gen_range(0..self.scale.tables);
         let id = self.rng.gen_range(1..=self.scale.rows_per_table);
-        let cn = self.pin_cn.unwrap_or(terminal % cluster.db.cns.len());
+        let cn = self.pin_cn.unwrap_or(terminal % cluster.db.cns().len());
         match self.mode {
             SysbenchMode::PointSelect => {
                 let stmt = self.selects[t].clone();

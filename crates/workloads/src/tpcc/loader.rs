@@ -30,7 +30,7 @@ pub fn load(cluster: &mut Cluster, scale: &TpccScale, seed: u64) -> GdbResult<us
     let mut total = 0;
 
     // item (replicated).
-    let item_id = cluster.db.catalog.table_by_name("item")?.id;
+    let item_id = cluster.db.catalog().table_by_name("item")?.id;
     let items: Vec<Row> = (1..=scale.items)
         .map(|i| {
             Row(vec![
@@ -48,13 +48,13 @@ pub fn load(cluster: &mut Cluster, scale: &TpccScale, seed: u64) -> GdbResult<us
     total += cluster.bulk_load(item_id, items)?;
 
     // warehouse / district / customer / stock / orders.
-    let wh_id = cluster.db.catalog.table_by_name("warehouse")?.id;
-    let dist_id = cluster.db.catalog.table_by_name("district")?.id;
-    let cust_id = cluster.db.catalog.table_by_name("customer")?.id;
-    let stock_id = cluster.db.catalog.table_by_name("stock")?.id;
-    let orders_id = cluster.db.catalog.table_by_name("orders")?.id;
-    let new_order_id = cluster.db.catalog.table_by_name("new_order")?.id;
-    let order_line_id = cluster.db.catalog.table_by_name("order_line")?.id;
+    let wh_id = cluster.db.catalog().table_by_name("warehouse")?.id;
+    let dist_id = cluster.db.catalog().table_by_name("district")?.id;
+    let cust_id = cluster.db.catalog().table_by_name("customer")?.id;
+    let stock_id = cluster.db.catalog().table_by_name("stock")?.id;
+    let orders_id = cluster.db.catalog().table_by_name("orders")?.id;
+    let new_order_id = cluster.db.catalog().table_by_name("new_order")?.id;
+    let order_line_id = cluster.db.catalog().table_by_name("order_line")?.id;
 
     for w in 1..=scale.warehouses {
         total += cluster.bulk_load(
@@ -216,8 +216,8 @@ mod tests {
             assert_eq!(out.scalar_int(), Some(count), "{name}");
         }
         // Item is replicated: every shard holds all items.
-        let item = c.db.catalog.table_by_name("item").unwrap().id;
-        for shard in &c.db.shards {
+        let item = c.db.catalog().table_by_name("item").unwrap().id;
+        for shard in c.db.shards() {
             assert_eq!(
                 shard.storage.table(item).unwrap().key_count() as i64,
                 scale.items

@@ -242,25 +242,25 @@ impl TpccWorkload {
     fn compute_home_cns(&mut self, cluster: &Cluster) {
         let schema = cluster
             .db
-            .catalog
+            .catalog()
             .table_by_name("warehouse")
             .expect("warehouse table")
             .clone();
-        let shard_count = cluster.db.shards.len() as u16;
+        let shard_count = cluster.db.shards().len() as u16;
         self.home_cn = (1..=self.scale.warehouses)
             .map(|w| {
                 let shard = schema
                     .shard_of_pk(&gdb_model::RowKey::single(w), shard_count)
                     .0 as usize;
-                let primary = cluster.db.shards[shard].primary;
-                let p_host = cluster.db.topo.node_host(primary);
-                let p_region = cluster.db.topo.node_region(primary);
+                let primary = cluster.db.shards()[shard].primary;
+                let p_host = cluster.db.topo().node_host(primary);
+                let p_region = cluster.db.topo().node_region(primary);
                 cluster
                     .db
-                    .cns
+                    .cns()
                     .iter()
-                    .position(|cn| cluster.db.topo.node_host(cn.node) == p_host)
-                    .or_else(|| cluster.db.cns.iter().position(|cn| cn.region == p_region))
+                    .position(|cn| cluster.db.topo().node_host(cn.node) == p_host)
+                    .or_else(|| cluster.db.cns().iter().position(|cn| cn.region == p_region))
                     .unwrap_or(0)
             })
             .collect();
@@ -326,7 +326,7 @@ impl crate::driver::Workload for TpccWorkload {
             ),
         };
         let kind = self.mix.pick(&mut self.rng);
-        let cn = self.pick_cn(w, cluster.db.cns.len());
+        let cn = self.pick_cn(w, cluster.db.cns().len());
         let result = match kind {
             TxnKind::NewOrder => txns::new_order(
                 cluster,

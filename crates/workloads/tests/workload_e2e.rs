@@ -98,8 +98,8 @@ fn sysbench_updates_replicate() {
     // Replicas converge after the run.
     let end = cluster.now() + SimDuration::from_secs(1);
     cluster.run_until(end);
-    let table = cluster.db.catalog.table_by_name("sbtest0").unwrap().id;
-    for shard in &cluster.db.shards {
+    let table = cluster.db.catalog().table_by_name("sbtest0").unwrap().id;
+    for shard in cluster.db.shards() {
         let primary_ts = shard
             .storage
             .table(table)
@@ -159,7 +159,7 @@ fn tpcc_runs_during_mode_transition_without_downtime() {
         report.summary()
     );
     assert_eq!(
-        cluster.db.last_transition_completed,
+        cluster.db.last_transition_completed(),
         Some(TransitionDirection::ToGClock)
     );
     assert_eq!(cluster.db.cn_mode(0), TmMode::GClock);

@@ -22,7 +22,7 @@ fn main() {
              PRIMARY KEY (id)) DISTRIBUTE BY HASH(id)",
         )
         .unwrap();
-    let table = cluster.db.catalog.table_by_name("bank").unwrap().id;
+    let table = cluster.db.catalog().table_by_name("bank").unwrap().id;
     cluster
         .bulk_load(
             table,

@@ -16,7 +16,7 @@ fn main() {
              PRIMARY KEY (id)) DISTRIBUTE BY HASH(id)",
         )
         .unwrap();
-    let table = cluster.db.catalog.table_by_name("sensors").unwrap().id;
+    let table = cluster.db.catalog().table_by_name("sensors").unwrap().id;
     let rows: Vec<gdb_model::Row> = (0..1000i64)
         .map(|i| {
             gdb_model::Row(vec![
@@ -93,10 +93,10 @@ fn main() {
 
     // Failover: kill every replica in the reader's region — reads keep
     // working from primaries/remote replicas; the skyline drops dead nodes.
-    let reader_region = cluster.db.cns[1].region;
+    let reader_region = cluster.db.cns()[1].region;
     let dead: Vec<_> = cluster
         .db
-        .shards
+        .shards()
         .iter()
         .flat_map(|s| s.replicas.iter())
         .filter(|r| r.region == reader_region)
@@ -104,7 +104,7 @@ fn main() {
         .collect();
     println!("killing {} replicas in the reader's region...", dead.len());
     for n in dead {
-        cluster.db.topo.set_node_down(n, true);
+        cluster.db.topo_mut().set_node_down(n, true);
     }
     let ((), o) = cluster
         .run_transaction(1, SimTime::from_millis(480), true, true, |txn| {

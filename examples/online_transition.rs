@@ -62,8 +62,8 @@ fn main() {
     cluster.run_until(SimTime::from_millis(400));
     println!(
         "transition completed: {:?}; GTM server mode: {}",
-        cluster.db.last_transition_completed,
-        cluster.db.gtm.mode()
+        cluster.db.last_transition_completed(),
+        cluster.db.gtm().mode()
     );
 
     println!("— phase 3: decentralized GClock mode (timestamps are epoch µs) —");
@@ -72,7 +72,7 @@ fn main() {
     }
 
     println!("— phase 4: clock fault! fall back to GTM (Fig. 3: no aborts, no wait) —");
-    cluster.db.cns[0].tm.gclock.set_healthy(false);
+    cluster.db.cns_mut()[0].tm.gclock.set_healthy(false);
     cluster.start_transition(TransitionDirection::ToGtm);
     for i in 0..8 {
         write(&mut cluster, 480 + i * 5, i as i64);
@@ -80,8 +80,8 @@ fn main() {
     cluster.run_until(SimTime::from_millis(900));
     println!(
         "transition completed: {:?}; GTM server mode: {}",
-        cluster.db.last_transition_completed,
-        cluster.db.gtm.mode()
+        cluster.db.last_transition_completed(),
+        cluster.db.gtm().mode()
     );
 
     // Every increment survived both transitions.

@@ -98,8 +98,8 @@ fn main() {
     );
     println!(
         "cluster stats: {} replica reads, {} primary reads, {} heartbeats",
-        cluster.db.stats.reads_on_replica,
-        cluster.db.stats.reads_on_primary,
-        cluster.db.stats.heartbeats_sent
+        cluster.db.stats().reads_on_replica,
+        cluster.db.stats().reads_on_primary,
+        cluster.db.stats().heartbeats_sent
     );
 }

@@ -21,7 +21,7 @@ fn bank(config: ClusterConfig, n: i64, initial: i64) -> Cluster {
          DISTRIBUTE BY HASH(id)",
     )
     .unwrap();
-    let table = c.db.catalog.table_by_name("bank").unwrap().id;
+    let table = c.db.catalog().table_by_name("bank").unwrap().id;
     c.bulk_load(
         table,
         (0..n)
@@ -182,7 +182,7 @@ fn transition_round_trip_under_load() {
     }
     c.run_until(t(1000));
     assert_eq!(
-        c.db.last_transition_completed,
+        c.db.last_transition_completed(),
         Some(TransitionDirection::ToGClock)
     );
     c.start_transition(TransitionDirection::ToGtm);
@@ -191,7 +191,7 @@ fn transition_round_trip_under_load() {
     }
     c.run_until(t(2500));
     assert_eq!(
-        c.db.last_transition_completed,
+        c.db.last_transition_completed(),
         Some(TransitionDirection::ToGtm)
     );
     // Every commit is durable: the sum reflects exactly `commits` increments.
@@ -215,19 +215,19 @@ fn transition_round_trip_under_load() {
 fn partition_behaviour_by_replication_mode() {
     // Async: writes keep committing during a partition.
     let mut c = bank(ClusterConfig::globaldb_three_city(), 10, 100);
-    let regions = c.db.regions.clone();
-    c.db.topo.partition(regions[0], regions[1]);
-    c.db.topo.partition(regions[0], regions[2]);
+    let regions = c.db.regions().to_vec();
+    c.db.topo_mut().partition(regions[0], regions[1]);
+    c.db.topo_mut().partition(regions[0], regions[2]);
     // A write to a shard homed in region 0, from the region-0 CN.
-    let shard0_region = c.db.shards[0].region;
+    let shard0_region = c.db.shards()[0].region;
     let cn0 = (0..3)
-        .find(|&i| c.db.cns[i].region == shard0_region)
+        .find(|&i| c.db.cns()[i].region == shard0_region)
         .unwrap();
-    let table = c.db.catalog.table_by_name("bank").unwrap().clone();
+    let table = c.db.catalog().table_by_name("bank").unwrap().clone();
     let id_on_shard0 = (0..10i64)
         .find(|&i| {
             table
-                .shard_of_pk(&gdb_model::RowKey::single(i), c.db.shards.len() as u16)
+                .shard_of_pk(&gdb_model::RowKey::single(i), c.db.shards().len() as u16)
                 .0
                 == 0
         })
@@ -247,9 +247,9 @@ fn partition_behaviour_by_replication_mode() {
     let mut config = ClusterConfig::globaldb_three_city();
     config.replication = ReplicationMode::SyncRemoteQuorum { quorum: 1 };
     let mut c2 = bank(config, 10, 100);
-    let regions = c2.db.regions.clone();
-    c2.db.topo.partition(regions[0], regions[1]);
-    c2.db.topo.partition(regions[0], regions[2]);
+    let regions = c2.db.regions().to_vec();
+    c2.db.topo_mut().partition(regions[0], regions[1]);
+    c2.db.topo_mut().partition(regions[0], regions[2]);
     let upd = c2
         .prepare("UPDATE bank SET balance = 1 WHERE id = ?")
         .unwrap();
@@ -261,8 +261,8 @@ fn partition_behaviour_by_replication_mode() {
         "sync remote quorum must fail under a full partition"
     );
     // Heal and retry.
-    c2.db.topo.heal(regions[0], regions[1]);
-    c2.db.topo.heal(regions[0], regions[2]);
+    c2.db.topo_mut().heal(regions[0], regions[1]);
+    c2.db.topo_mut().heal(regions[0], regions[2]);
     let res = c2.run_transaction(cn0, t(50), false, true, |txn| {
         txn.execute(&upd, &[Datum::Int(id_on_shard0)]).map(|_| ())
     });

@@ -5,13 +5,16 @@
 
 use gdb_workloads::driver::{run_workload, RunConfig, Workload};
 use gdb_workloads::tpcc::{TpccMix, TpccScale, TpccWorkload};
-use globaldb::{Cluster, ClusterConfig, MetricsReport, SimDuration, SpanKind};
+use globaldb::{
+    Cluster, ClusterConfig, MetricsReport, SimDuration, SimTime, SpanKind, TmMode,
+    TransitionDirection,
+};
 
 /// Run a short TPC-C burst and return the trace render + metrics
 /// snapshot (the cluster too, for span-level assertions).
 fn run_tpcc(config: ClusterConfig, workload_seed: u64) -> (Cluster, String, MetricsReport) {
     let mut cluster = Cluster::new(config);
-    cluster.db.obs.tracer.enable(500_000);
+    cluster.db.obs_mut().tracer.enable(500_000);
     let mut wl = TpccWorkload::new(TpccScale::tiny(), TpccMix::standard(), workload_seed);
     wl.setup(&mut cluster).expect("tpcc setup");
     run_workload(
@@ -24,7 +27,7 @@ fn run_tpcc(config: ClusterConfig, workload_seed: u64) -> (Cluster, String, Metr
             think_time: SimDuration::from_millis(10),
         },
     );
-    let render = cluster.db.obs.tracer.render();
+    let render = cluster.db.obs().tracer.render();
     let snap = cluster.db.metrics_snapshot();
     (cluster, render, snap)
 }
@@ -47,7 +50,7 @@ fn identical_seeds_identical_trace_and_metrics() {
 #[test]
 fn txn_spans_nest_their_phases() {
     let (cluster, _, _) = run_tpcc(ClusterConfig::globaldb_three_city(), 42);
-    let tracer = &cluster.db.obs.tracer;
+    let tracer = &cluster.db.obs().tracer;
     assert_eq!(tracer.dropped(), 0, "span capacity too small for this run");
 
     // Find a write transaction: a Txn root with all five phase children.
@@ -93,6 +96,122 @@ fn txn_spans_nest_their_phases() {
         tracer.spans().iter().any(|s| s.kind == SpanKind::LogShip),
         "no log-shipping spans"
     );
+}
+
+#[test]
+fn two_pc_branch_spans_cover_their_phase() {
+    let (cluster, _, _) = run_tpcc(ClusterConfig::globaldb_three_city(), 42);
+    let tracer = &cluster.db.obs().tracer;
+
+    // Every write transaction fans its commit record out per shard; the
+    // branches are children of the replication-ack span, all starting at
+    // the phase start (the fan-out is parallel) with the slowest branch
+    // defining the phase end. Multi-shard writes additionally carry
+    // prepare branches under the prepare span with the same covering
+    // geometry.
+    let mut repl_checked = 0;
+    let mut prepare_checked = 0;
+    for txn in tracer
+        .spans()
+        .iter()
+        .filter(|s| s.is_root() && s.kind == SpanKind::Txn)
+    {
+        let kids = tracer.children(txn.id);
+        if kids.len() != 5 {
+            continue; // read-only
+        }
+        for phase in [&kids[2], &kids[4]] {
+            // Prepare, ReplicationAck
+            let branches = tracer.children(phase.id);
+            if branches.is_empty() {
+                assert_eq!(
+                    phase.kind,
+                    SpanKind::Prepare,
+                    "replication-ack span must have branch children"
+                );
+                continue; // single-shard commit: no prepare round
+            }
+            for b in &branches {
+                assert_eq!(b.kind, SpanKind::TwoPcBranch);
+                assert_eq!(b.start, phase.start, "branch starts at phase start");
+                assert!(b.end <= phase.end, "branch outlives its phase");
+            }
+            let slowest = branches.iter().map(|b| b.end).max().unwrap();
+            assert_eq!(
+                slowest, phase.end,
+                "the slowest branch must define the phase end"
+            );
+            match phase.kind {
+                SpanKind::Prepare => prepare_checked += 1,
+                _ => repl_checked += 1,
+            }
+        }
+    }
+    assert!(repl_checked > 0, "no replication-ack branches recorded");
+    assert!(
+        prepare_checked > 0,
+        "no multi-shard prepare branches recorded (TPC-C new-order should cross shards)"
+    );
+}
+
+#[test]
+fn transition_spans_tile_the_protocol_phases() {
+    // GTM → GClock (with a DUAL hold window), then back. Each completed
+    // transition records a root span whose phase children tile it.
+    let mut cfg = ClusterConfig::globaldb_one_region();
+    cfg.tm_mode = TmMode::Gtm;
+    let mut c = Cluster::new(cfg);
+    c.db.obs_mut().tracer.enable(10_000);
+    c.run_until(SimTime::from_millis(100));
+    c.start_transition(TransitionDirection::ToGClock);
+    c.run_until(SimTime::from_secs(2));
+    assert_eq!(
+        c.db.last_transition_completed(),
+        Some(TransitionDirection::ToGClock)
+    );
+    c.start_transition(TransitionDirection::ToGtm);
+    c.run_until(SimTime::from_secs(4));
+    assert_eq!(
+        c.db.last_transition_completed(),
+        Some(TransitionDirection::ToGtm)
+    );
+
+    let tracer = &c.db.obs().tracer;
+    let transitions: Vec<_> = tracer
+        .spans()
+        .iter()
+        .filter(|s| s.kind == SpanKind::Transition)
+        .collect();
+    assert_eq!(transitions.len(), 2, "one span per completed transition");
+    // Labels: 0 = ToGClock, 1 = ToGtm, in execution order.
+    assert_eq!(transitions[0].label, 0);
+    assert_eq!(transitions[1].label, 1);
+
+    for root in &transitions {
+        assert!(root.is_root());
+        assert!(root.end > root.start, "transition span has real extent");
+        let kids = tracer.children(root.id);
+        assert!(
+            kids.len() == 2 || kids.len() == 3,
+            "dual-acks [+ hold] + final-acks, got {} children",
+            kids.len()
+        );
+        assert_eq!(kids[0].kind, SpanKind::TransitionDualAcks);
+        if kids.len() == 3 {
+            assert_eq!(kids[1].kind, SpanKind::TransitionHold);
+        }
+        assert_eq!(kids.last().unwrap().kind, SpanKind::TransitionFinalAcks);
+        // The phases tile the root exactly.
+        assert_eq!(kids[0].start, root.start);
+        for pair in kids.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start, "phase gap in {:?}", root.kind);
+        }
+        assert_eq!(kids.last().unwrap().end, root.end);
+    }
+    // GTM → GClock passes through the DUAL hold wait; the reverse
+    // direction switches as soon as the DUAL acks are in.
+    assert_eq!(tracer.children(transitions[0].id).len(), 3);
+    assert_eq!(tracer.children(transitions[1].id).len(), 2);
 }
 
 #[test]
