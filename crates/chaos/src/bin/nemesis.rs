@@ -68,7 +68,8 @@ fn to_artifact(report: &ChaosReport, seed: u64) -> BenchArtifact {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: nemesis [--seed N] [--duration 60s|500ms] [--plan NAME] [--json PATH] [--overlap]\n\
+        "usage: nemesis [--seed N] [--duration 60s|500ms] [--plan NAME] [--json PATH] \
+         [--overlap] [--migrations]\n\
          plans: {}",
         canned::all()
             .iter()
@@ -85,6 +86,7 @@ fn main() -> ExitCode {
     let mut plan_name: Option<String> = None;
     let mut json_path: Option<String> = None;
     let mut overlap = false;
+    let mut migrations = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -113,6 +115,7 @@ fn main() -> ExitCode {
                 json_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
             "--overlap" => overlap = true,
+            "--migrations" => migrations = true,
             _ => usage(),
         }
         i += 1;
@@ -121,6 +124,7 @@ fn main() -> ExitCode {
     let mut cfg = ChaosConfig::quick(seed);
     cfg.duration = duration;
     cfg.overlap = overlap;
+    cfg.migrations = migrations;
 
     let report = match plan_name {
         Some(name) => match canned::by_name(&name) {

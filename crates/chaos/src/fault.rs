@@ -4,7 +4,7 @@
 //! [`globaldb::GlobalDb`], so a fault fires from *inside* a scheduled
 //! simulation event exactly like the background activity it disturbs.
 
-use gdb_simnet::NetNodeId;
+use gdb_simnet::{NetNodeId, Sim};
 use globaldb::{GlobalDb, SimDuration, SimTime};
 use std::collections::HashMap;
 
@@ -52,6 +52,23 @@ pub enum Fault {
     ClockSyncOutage { cn: usize },
     /// Reconnect the clock-sync daemon (immediate sync).
     ClockSyncResume { cn: usize },
+    /// Start an online migration of `shard` to a freshly provisioned DN
+    /// on `(to_region, to_host)` — rebalancing as a chaos event, racing
+    /// the surrounding faults to its cutover. Skips (trace-visibly) when
+    /// a migration is already in flight or the source is down.
+    StartMigration {
+        shard: usize,
+        to_region: usize,
+        to_host: u16,
+    },
+    /// Crash the in-flight migration's target DN mid-copy. The executor
+    /// must abort and leave routing/ownership exactly at the source; a
+    /// no-op when no migration is in flight.
+    CrashMigrationTarget,
+    /// Restore the migration target downed by [`Fault::CrashMigrationTarget`]
+    /// (by then an orphan DN — the abort already dropped it from the
+    /// shard map).
+    RestoreMigrationTarget,
 }
 
 /// Runtime memory the engine keeps while a plan executes — currently the
@@ -61,14 +78,24 @@ pub enum Fault {
 pub struct ChaosState {
     /// Last crashed primary node per shard (consumed by rejoin).
     pub crashed_primaries: HashMap<usize, NetNodeId>,
+    /// Migration target downed by `CrashMigrationTarget` (consumed by
+    /// `RestoreMigrationTarget`).
+    pub crashed_migration_target: Option<NetNodeId>,
 }
 
 impl Fault {
     /// Apply the fault to the world at virtual time `now`. Returns the
     /// trace line describing what actually happened — including the cases
     /// where the fault degenerates to a no-op (e.g. restarting a replica
-    /// that a promotion removed in the meantime).
-    pub fn apply(&self, db: &mut GlobalDb, state: &mut ChaosState, now: SimTime) -> String {
+    /// that a promotion removed in the meantime). Takes the event engine
+    /// because starting a migration schedules its own follow-up ticks.
+    pub fn apply(
+        &self,
+        db: &mut GlobalDb,
+        sim: &mut Sim<GlobalDb>,
+        state: &mut ChaosState,
+        now: SimTime,
+    ) -> String {
         match *self {
             Fault::CrashPrimary { shard } => {
                 let node = db.crash_primary(shard);
@@ -151,10 +178,43 @@ impl Fault {
                 db.resume_clock_sync(cn, now);
                 format!("recover clock-sync-resume cn={cn}")
             }
+            Fault::StartMigration {
+                shard,
+                to_region,
+                to_host,
+            } => {
+                if to_region >= db.regions().len() {
+                    return format!("skip start-migration shard={shard}: no region {to_region}");
+                }
+                let region = db.regions()[to_region];
+                match globaldb::migrate::start_migration(db, sim, shard, region, to_host) {
+                    Ok(()) => {
+                        format!("fault start-migration shard={shard} to=r{to_region}h{to_host}")
+                    }
+                    Err(e) => format!("skip start-migration shard={shard}: {e}"),
+                }
+            }
+            Fault::CrashMigrationTarget => match db.migration().map(|m| m.target) {
+                Some(node) => {
+                    db.topo_mut().set_node_down(node, true);
+                    state.crashed_migration_target = Some(node);
+                    format!("fault crash-migration-target node={}", node.0)
+                }
+                None => "skip crash-migration-target: no migration in flight".into(),
+            },
+            Fault::RestoreMigrationTarget => match state.crashed_migration_target.take() {
+                Some(node) => {
+                    db.restore_node(node);
+                    format!("recover restore-migration-target node={}", node.0)
+                }
+                None => "skip restore-migration-target: nothing crashed".into(),
+            },
         }
     }
 
     /// True for faults that break something (as opposed to recoveries).
+    /// `StartMigration` is neither: an online admin action that keeps the
+    /// shard available and self-recovers (cutover or abort).
     pub fn is_injection(&self) -> bool {
         matches!(
             self,
@@ -165,6 +225,7 @@ impl Fault {
                 | Fault::PartitionRegions { .. }
                 | Fault::DelaySpike { .. }
                 | Fault::ClockSyncOutage { .. }
+                | Fault::CrashMigrationTarget
         )
     }
 }

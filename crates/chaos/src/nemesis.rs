@@ -52,6 +52,11 @@ pub struct NemesisConfig {
     /// the overlay's whole lifetime nested inside the main fault's
     /// outage. Off by default: one fault at a time.
     pub overlap: bool,
+    /// Include the online-migration family: episodes that start a shard
+    /// migration mid-traffic, half of which crash (then restore) the
+    /// migration target mid-copy. Off by default so existing seeds keep
+    /// replaying their exact historical schedules.
+    pub migrations: bool,
 }
 
 impl NemesisConfig {
@@ -61,11 +66,17 @@ impl NemesisConfig {
             start,
             duration,
             overlap: false,
+            migrations: false,
         }
     }
 
     pub fn with_overlap(mut self) -> Self {
         self.overlap = true;
+        self
+    }
+
+    pub fn with_migrations(mut self) -> Self {
+        self.migrations = true;
         self
     }
 }
@@ -77,9 +88,10 @@ pub fn generate(cfg: &NemesisConfig, shape: &ClusterShape) -> FaultPlan {
     let end = cfg.start + cfg.duration;
     let mut t = cfg.start;
 
+    let families = if cfg.migrations { 8 } else { 7 };
     while t < end {
         let hold = SimDuration::from_millis(rng.gen_range(80u64..400));
-        let kind = rng.gen_range(0u32..7);
+        let kind = rng.gen_range(0u32..families);
         match kind {
             0 => {
                 // Primary crash, recovered either in place (WAL catch-up)
@@ -126,6 +138,30 @@ pub fn generate(cfg: &NemesisConfig, shape: &ClusterShape) -> FaultPlan {
                 plan = plan
                     .at(t, Fault::DelaySpike { extra })
                     .at(t + hold, Fault::ClearDelay);
+            }
+            7 => {
+                // Online shard migration as a chaos event. Half the
+                // episodes crash the freshly provisioned target mid-copy
+                // (abort-and-rollback to the source) and restore the
+                // orphan by the end of the hold; the rest race the
+                // migration against the surrounding faults to cutover.
+                let shard = rng.gen_range(0..shape.shards);
+                let to_region = rng.gen_range(0..shape.regions);
+                let to_host = rng.gen_range(0..3u16);
+                plan = plan.at(
+                    t,
+                    Fault::StartMigration {
+                        shard,
+                        to_region,
+                        to_host,
+                    },
+                );
+                if rng.gen_bool(0.5) {
+                    let half = SimDuration::from_nanos(hold.as_nanos() / 2);
+                    plan = plan
+                        .at(t + half, Fault::CrashMigrationTarget)
+                        .at(t + hold, Fault::RestoreMigrationTarget);
+                }
             }
             _ => {
                 let cn = rng.gen_range(0..shape.cns);
@@ -312,6 +348,31 @@ mod tests {
         }
         assert!(gtm > 0, "no overlay ever crashed the GTM");
         assert!(partition > 0, "no overlay ever partitioned regions");
+    }
+
+    #[test]
+    fn migration_family_is_gated_by_the_flag() {
+        let cfg = NemesisConfig::new(13, SimTime::from_millis(500), SimDuration::from_secs(10));
+        let plain = generate(&cfg, &shape());
+        assert!(
+            !plain
+                .events
+                .iter()
+                .any(|e| matches!(e.fault, Fault::StartMigration { .. })),
+            "default schedules must not start migrations"
+        );
+        let with = generate(&cfg.with_migrations(), &shape());
+        assert!(
+            with.events
+                .iter()
+                .any(|e| matches!(e.fault, Fault::StartMigration { .. })),
+            "migration flag drew no migration episode over 10s"
+        );
+        // Still deterministic with the extra family.
+        assert_eq!(
+            with.events,
+            generate(&cfg.with_migrations(), &shape()).events
+        );
     }
 
     #[test]

@@ -52,7 +52,7 @@ impl FaultPlan {
             let state = Rc::clone(&state);
             cluster.sim.schedule_at(ev.at, move |w, sim| {
                 let now = sim.now();
-                let line = fault.apply(w, &mut state.borrow_mut(), now);
+                let line = fault.apply(w, sim, &mut state.borrow_mut(), now);
                 trace.borrow_mut().record(now, line);
             });
         }
@@ -189,6 +189,43 @@ pub mod canned {
             .at(t(2300), Fault::RestartGtm)
     }
 
+    /// Online shard migration under fire: a first migration whose
+    /// freshly provisioned target dies mid-copy (the executor must abort
+    /// and leave routing/ownership at the source, then the orphan target
+    /// is restored), and a second migration of another shard that runs to
+    /// its cutover while a delay spike and a primary crash/restart land
+    /// elsewhere in the cluster.
+    pub fn migrate_under_fire() -> FaultPlan {
+        FaultPlan::new("migrate-under-fire")
+            .at(
+                t(300),
+                Fault::StartMigration {
+                    shard: 0,
+                    to_region: 1,
+                    to_host: 1,
+                },
+            )
+            .at(t(340), Fault::CrashMigrationTarget)
+            .at(t(700), Fault::RestoreMigrationTarget)
+            .at(
+                t(900),
+                Fault::StartMigration {
+                    shard: 3,
+                    to_region: 2,
+                    to_host: 0,
+                },
+            )
+            .at(
+                t(1400),
+                Fault::DelaySpike {
+                    extra: SimDuration::from_millis(2),
+                },
+            )
+            .at(t(1800), Fault::ClearDelay)
+            .at(t(1900), Fault::CrashPrimary { shard: 1 })
+            .at(t(2200), Fault::RestartPrimary { shard: 1 })
+    }
+
     /// All canned plans, by name.
     pub fn all() -> Vec<FaultPlan> {
         vec![
@@ -197,6 +234,7 @@ pub mod canned {
             gtm_and_collector(),
             overlapping_faults(),
             heavy_overlap(),
+            migrate_under_fire(),
         ]
     }
 
@@ -223,7 +261,7 @@ mod tests {
     #[test]
     fn canned_plans_are_named_and_nonempty() {
         let plans = canned::all();
-        assert_eq!(plans.len(), 5);
+        assert_eq!(plans.len(), 6);
         for p in &plans {
             assert!(!p.events.is_empty(), "{} is empty", p.name);
             assert!(canned::by_name(&p.name).is_some());

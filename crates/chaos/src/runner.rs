@@ -29,6 +29,9 @@ pub struct ChaosConfig {
     /// Let the nemesis generator overlay concurrent fault episodes
     /// ([`NemesisConfig::with_overlap`]).
     pub overlap: bool,
+    /// Let the nemesis generator draw online-migration episodes
+    /// ([`NemesisConfig::with_migrations`]).
+    pub migrations: bool,
     /// Replication mode under torment. Synchronous modes get the strict
     /// durability oracle; `Async` gets the bounded-loss check (a failover
     /// may lose at most the shipping-window tail).
@@ -48,6 +51,7 @@ impl ChaosConfig {
             probe_interval: SimDuration::from_millis(25),
             probe_keys: 4,
             overlap: false,
+            migrations: false,
             replication: ReplicationMode::SyncRemoteQuorum { quorum: 1 },
         }
     }
@@ -290,6 +294,9 @@ pub fn run_nemesis(seed: u64, cfg: &ChaosConfig) -> ChaosReport {
     let mut nemesis = NemesisConfig::new(seed, SimTime::ZERO, cfg.duration);
     if cfg.overlap {
         nemesis = nemesis.with_overlap();
+    }
+    if cfg.migrations {
+        nemesis = nemesis.with_migrations();
     }
     let plan = crate::nemesis::generate(&nemesis, &shape);
     run_plan(plan, cfg)

@@ -79,6 +79,60 @@ fn tpcc_survives_heavy_overlap_plan() {
     assert!(probes.count > 0, "probe latency histogram is empty");
 }
 
+/// Online shard migrations under fire: the first migration's target dies
+/// mid-copy (the executor aborts back to the source), a second migration
+/// races a delay spike and a primary crash to its cutover — and every
+/// oracle invariant (external consistency, RCP monotonicity, strict
+/// durability) holds across the routing-epoch bump.
+#[test]
+fn tpcc_survives_migrate_under_fire_plan() {
+    let report = run_plan(canned::migrate_under_fire(), &ChaosConfig::quick(107));
+    assert_clean(&report);
+    assert!(report.trace.iter().any(|l| l.contains("start-migration")));
+    assert!(report
+        .trace
+        .iter()
+        .any(|l| l.contains("crash-migration-target")));
+    let c = |n: &str| report.metrics.counter(n).unwrap_or(0);
+    assert!(
+        c("rebalance.migrations_aborted") >= 1,
+        "target crash must abort the first migration:\n{}",
+        report.render()
+    );
+    assert!(
+        c("rebalance.migrations_completed") >= 1,
+        "second migration must reach its cutover:\n{}",
+        report.render()
+    );
+    assert!(
+        c("rebalance.routing_epoch") >= 1,
+        "a completed cutover must bump the routing epoch"
+    );
+}
+
+/// The nemesis's migration family: seeded random schedules where online
+/// shard migrations (and mid-copy target crashes) interleave with every
+/// other fault family.
+#[test]
+fn tpcc_survives_nemesis_seeds_with_migrations() {
+    let mut migrations_started = 0u64;
+    for seed in 1..=10u64 {
+        let mut cfg = ChaosConfig::quick(seed);
+        cfg.duration = SimDuration::from_secs(2);
+        cfg.migrations = true;
+        let report = run_nemesis(seed, &cfg);
+        assert_clean(&report);
+        migrations_started += report
+            .metrics
+            .counter("rebalance.migrations_started")
+            .unwrap_or(0);
+    }
+    assert!(
+        migrations_started > 0,
+        "ten seeds with the migration family never started a migration"
+    );
+}
+
 /// The heavy-overlap seed sweep: random schedules where GTM crashes and
 /// region partitions may land inside another fault's outage window.
 #[test]

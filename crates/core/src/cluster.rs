@@ -42,6 +42,9 @@ pub struct Cn {
     pub tm: CnTm,
     /// The RCP value distributed to this CN by its region's collector.
     pub rcp: Timestamp,
+    /// The routing-epoch this CN's cached route table was refreshed at.
+    /// Refreshed by the cutover announcement (or a stale-route reject).
+    pub route_epoch: u64,
 }
 
 /// The full cluster state (the "world" of the event simulation).
@@ -84,6 +87,19 @@ pub struct GlobalDb {
     pub(crate) last_transition_completed: Option<gdb_txnmgr::TransitionDirection>,
     /// Phase boundaries of the in-flight DUAL transition (span source).
     pub(crate) transition_trace: Option<TransitionTrace>,
+    /// Current cluster routing epoch: bumped atomically at every shard
+    /// migration cutover.
+    pub(crate) routing_epoch: u64,
+    /// The in-flight shard migration (at most one cluster-wide).
+    pub(crate) migration: Option<crate::migrate::Migration>,
+    /// Monotone migration id guarding scheduled migration events.
+    pub(crate) migration_seq: u64,
+    /// Per-shard live load counters (hot-shard detection input).
+    pub(crate) shard_load: Vec<crate::migrate::ShardLoad>,
+    /// Shard of the last completed migration (observed by tests/benches).
+    pub(crate) last_migration_completed: Option<usize>,
+    /// Shard + reason of the last aborted migration.
+    pub(crate) last_migration_aborted: Option<(usize, String)>,
 }
 
 impl GlobalDb {
@@ -162,6 +178,31 @@ impl GlobalDb {
         self.last_transition_completed
     }
 
+    /// Current cluster routing epoch (bumped at every migration cutover).
+    pub fn routing_epoch(&self) -> u64 {
+        self.routing_epoch
+    }
+
+    /// The in-flight shard migration, if any.
+    pub fn migration(&self) -> Option<&crate::migrate::Migration> {
+        self.migration.as_ref()
+    }
+
+    /// Per-shard live load counters, indexed like [`GlobalDb::shards`].
+    pub fn shard_load(&self) -> &[crate::migrate::ShardLoad] {
+        &self.shard_load
+    }
+
+    /// Shard of the last completed migration.
+    pub fn last_migration_completed(&self) -> Option<usize> {
+        self.last_migration_completed
+    }
+
+    /// Shard and reason of the last aborted migration.
+    pub fn last_migration_aborted(&self) -> Option<&(usize, String)> {
+        self.last_migration_aborted.as_ref()
+    }
+
     // ---- Small shared helpers -----------------------------------------
 
     /// Next cluster-unique transaction id originating at `cn`.
@@ -189,6 +230,12 @@ impl GlobalDb {
     /// The shard index owning `key` of `table`.
     pub(crate) fn shard_of(&self, schema: &TableSchema, key: &gdb_model::RowKey) -> usize {
         schema.shard_of_pk(key, self.shards.len() as u16).0 as usize
+    }
+
+    /// Index of a CN's region in [`GlobalDb::regions`].
+    pub(crate) fn region_idx_of_cn(&self, cn: usize) -> usize {
+        let region = self.cns[cn].region;
+        self.regions.iter().position(|&r| r == region).unwrap_or(0)
     }
 
     /// Nearest shard to a CN (for reads of replicated tables).
@@ -297,6 +344,39 @@ impl GlobalDb {
             gdb_consistency::metrics::VERSIONS_VACUUMED,
             self.stats.versions_vacuumed,
         );
+        m.set_counter(
+            gdb_router::metrics::STALE_ROUTE_REJECTS,
+            self.stats.stale_route_rejects,
+        );
+        m.set_counter(
+            crate::migrate::metrics::MIGRATIONS_STARTED,
+            self.stats.migrations_started,
+        );
+        m.set_counter(
+            crate::migrate::metrics::MIGRATIONS_COMPLETED,
+            self.stats.migrations_completed,
+        );
+        m.set_counter(
+            crate::migrate::metrics::MIGRATIONS_ABORTED,
+            self.stats.migrations_aborted,
+        );
+        m.set_counter(crate::migrate::metrics::ROUTING_EPOCH, self.routing_epoch);
+        for (s, load) in self.shard_load.iter().enumerate() {
+            m.set_counter(
+                format!("{}.{s}", crate::migrate::metrics::SHARD_OPS_PREFIX),
+                load.ops,
+            );
+            m.set_counter(
+                format!("{}.{s}", crate::migrate::metrics::SHARD_BYTES_PREFIX),
+                load.bytes,
+            );
+            for (r, &ops) in load.by_region.iter().enumerate() {
+                m.set_counter(
+                    format!("{}.{s}.r{r}", crate::migrate::metrics::SHARD_OPS_PREFIX),
+                    ops,
+                );
+            }
+        }
         let total = self.topo.total_stats();
         m.set_counter(gdb_simnet::metrics::MSGS, total.messages);
         m.set_counter(gdb_simnet::metrics::BYTES, total.bytes);
@@ -339,6 +419,7 @@ impl Cluster {
                 region: *region,
                 tm: CnTm::new(config.tm_mode, gclock),
                 rcp: Timestamp::ZERO,
+                route_epoch: 0,
             });
         }
 
@@ -363,6 +444,7 @@ impl Cluster {
                         epoch: 0,
                     })
                     .collect(),
+                owner_epoch: 0,
             })
             .collect();
 
@@ -386,6 +468,8 @@ impl Cluster {
         }
 
         let cn_count = cns.len();
+        let shard_count = shards.len();
+        let region_count = regions.len();
         let plane = MessagePlane::new(regions[0]);
         let mut db = GlobalDb {
             config,
@@ -410,6 +494,19 @@ impl Cluster {
             txn_seq: 0,
             last_transition_completed: None,
             transition_trace: None,
+            routing_epoch: 0,
+            migration: None,
+            migration_seq: 0,
+            shard_load: vec![
+                crate::migrate::ShardLoad {
+                    ops: 0,
+                    bytes: 0,
+                    by_region: vec![0; region_count],
+                };
+                shard_count
+            ],
+            last_migration_completed: None,
+            last_migration_aborted: None,
         };
         db.gtm.set_mode(db.config.tm_mode);
 
@@ -486,6 +583,25 @@ impl Cluster {
     /// [`GlobalDb::last_transition_completed`] for completion.
     pub fn start_transition(&mut self, direction: gdb_txnmgr::TransitionDirection) {
         crate::transition::start_transition(&mut self.db, &mut self.sim, direction);
+    }
+
+    /// Start migrating `shard` to a freshly provisioned data node on
+    /// `(to_region, to_host)`: snapshot copy → redo catch-up → cutover
+    /// barrier with an atomic routing-epoch bump. The shard stays fully
+    /// available throughout; watch [`GlobalDb::last_migration_completed`]
+    /// / [`GlobalDb::last_migration_aborted`] for the outcome.
+    pub fn start_migration(
+        &mut self,
+        shard: usize,
+        to_region: gdb_simnet::RegionId,
+        to_host: u16,
+    ) -> GdbResult<()> {
+        crate::migrate::start_migration(&mut self.db, &mut self.sim, shard, to_region, to_host)
+    }
+
+    /// The shard currently being migrated, if any.
+    pub fn migration_in_flight(&self) -> Option<usize> {
+        self.db.migration.as_ref().map(|m| m.shard)
     }
 
     /// Run a vacuum pass at the current virtual time.

@@ -34,6 +34,7 @@ pub mod cluster;
 pub mod config;
 pub mod frontend;
 pub mod lifecycle;
+pub mod migrate;
 pub mod net;
 pub mod rcp_driver;
 pub mod repl_driver;
@@ -45,6 +46,7 @@ pub mod txn;
 
 pub use cluster::{Cluster, Cn, GlobalDb};
 pub use config::{ClusterConfig, Geometry, RoutingPolicy};
+pub use migrate::{Migration, MigrationPhase, ShardLoad};
 pub use net::{Envelope, MessagePlane, RpcKind, ALL_RPC_KINDS};
 pub use repl_driver::{Replica, Shard};
 pub use stats::{ClusterStats, TxnOutcome};

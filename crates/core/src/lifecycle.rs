@@ -164,6 +164,16 @@ impl GlobalDb {
             // issued, so staged records are already on the durable log the
             // quorum acknowledged.
             self.shards[shard_idx].log.seal_all(now);
+            // Batches drained for this replica but still in flight die
+            // with the failover (their delivery events are orphaned once
+            // the replica leaves the list below), so restart the stream
+            // from the applier's durable resume point — otherwise the
+            // drain would skip the in-flight tail and leave a replay gap.
+            {
+                let replica = &mut self.shards[shard_idx].replicas[replica_idx];
+                let resume = replica.applier.resume_from();
+                replica.channel.rewind(resume);
+            }
             loop {
                 let (node, epoch, batch) = {
                     let shard = &mut self.shards[shard_idx];

@@ -1,0 +1,479 @@
+//! Online shard migration: snapshot copy → redo catch-up → cutover.
+//!
+//! Moves a shard's primary from its current data node (the *source*) to a
+//! freshly provisioned data node (the *target*) without losing
+//! availability: the source keeps serving reads and writes through the
+//! snapshot and catch-up phases, and the cutover is a brief DUAL-style
+//! barrier — seal the source log, drain the remaining redo into the
+//! target synchronously, swap ownership, and atomically bump the cluster
+//! **routing epoch**. Requests routed with a stale epoch are rejected
+//! with the retryable [`GdbError::StaleRoute`] and re-routed on retry.
+//!
+//! State machine (one migration in flight at a time):
+//!
+//! ```text
+//! Idle → Snapshot → Catchup → Barrier → Cutover
+//!            \          \         \
+//!             +----------+---------+--→ Abort (rollback to source)
+//! ```
+//!
+//! Every wire interaction is typed on the message plane —
+//! [`RpcKind::MigrateSnapshot`] for the storage image,
+//! [`RpcKind::MigrateCatchup`] for redo batches,
+//! [`RpcKind::MigrateCutover`] for the barrier round trip and the
+//! routing-epoch announcement fan-out to the CNs. A crash of the source
+//! or target (or a concurrent promotion replacing the source) at any
+//! point aborts the migration and leaves routing/ownership exactly at
+//! the source — the target applier is private state until cutover, so
+//! abort is a pure drop.
+//!
+//! The whole run is spanned: a `Migration` root whose
+//! `MigrationSnapshot` / `MigrationCatchup` / `MigrationCutover`
+//! children tile it exactly (aborts tile up to the abort instant).
+
+use crate::cluster::GlobalDb;
+use crate::net::RpcKind;
+use crate::shardlog::ShardLog;
+use gdb_model::{GdbError, GdbResult, Timestamp};
+use gdb_obs::SpanKind;
+use gdb_replication::{ReplicaApplier, ShippingChannel};
+use gdb_simnet::{NetNodeId, NodeKind, RegionId, Sim, SimDuration, SimTime};
+
+/// Metric names owned by the migration executor (consumed by
+/// `gdb-rebalance`'s hot-shard detector via the metrics registry).
+pub mod metrics {
+    /// Migrations started (snapshot phase entered).
+    pub const MIGRATIONS_STARTED: &str = "rebalance.migrations_started";
+    /// Migrations that reached cutover.
+    pub const MIGRATIONS_COMPLETED: &str = "rebalance.migrations_completed";
+    /// Migrations aborted mid-flight (ownership stayed at the source).
+    pub const MIGRATIONS_ABORTED: &str = "rebalance.migrations_aborted";
+    /// Current cluster routing epoch (bumped at every cutover).
+    pub const ROUTING_EPOCH: &str = "rebalance.routing_epoch";
+    /// Per-shard op counter prefix: `rebalance.shard_ops.<shard>`, plus
+    /// the per-region split `rebalance.shard_ops.<shard>.r<region>`.
+    pub const SHARD_OPS_PREFIX: &str = "rebalance.shard_ops";
+    /// Per-shard payload-byte counter prefix: `rebalance.shard_bytes.<shard>`.
+    pub const SHARD_BYTES_PREFIX: &str = "rebalance.shard_bytes";
+}
+
+/// Nominal on-wire bytes per stored key for the snapshot-copy estimate.
+const SNAPSHOT_ROW_BYTES: u64 = 128;
+
+/// Live per-shard load accounting: every data-node operation a
+/// transaction routes to a shard is counted here (and mirrored into the
+/// metrics registry at snapshot time), giving the hot-shard detector its
+/// input signal.
+#[derive(Debug, Default, Clone)]
+pub struct ShardLoad {
+    /// Data-node operations routed to this shard.
+    pub ops: u64,
+    /// Payload bytes of those operations.
+    pub bytes: u64,
+    /// Ops attributed to the submitting CN's region (indexed like
+    /// [`GlobalDb::regions`]) — the region-affinity policy's signal.
+    pub by_region: Vec<u64>,
+}
+
+/// Phase of the in-flight migration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationPhase {
+    /// The storage image is in flight to the target.
+    Snapshot,
+    /// Redo batches ship each round until the backlog drains.
+    Catchup,
+    /// The cutover barrier round trip is in flight; the next event seals,
+    /// drains, and swaps ownership.
+    Barrier,
+}
+
+/// The in-flight migration (at most one cluster-wide).
+pub struct Migration {
+    pub shard: usize,
+    pub source: NetNodeId,
+    pub target: NetNodeId,
+    pub target_region: RegionId,
+    pub phase: MigrationPhase,
+    pub started: SimTime,
+    /// Set when the snapshot arrived and catch-up began.
+    pub snapshot_end: Option<SimTime>,
+    /// Set when the backlog drained and the barrier began.
+    pub catchup_end: Option<SimTime>,
+    /// Catch-up rounds shipped so far.
+    pub rounds: u32,
+    /// Guard for scheduled events: ticks for a finished/aborted
+    /// migration carry a stale sequence number and are dropped.
+    pub(crate) seq: u64,
+    /// The target's building state: a resumed applier over the source
+    /// snapshot, following the source redo stream via its own channel.
+    pub(crate) applier: ReplicaApplier,
+    pub(crate) channel: ShippingChannel,
+    /// FIFO stream cursor for catch-up transmission (a saturated link
+    /// queues batches, exactly like replica shipping).
+    pub(crate) stream_free: SimTime,
+}
+
+/// Start migrating `shard_idx` to a freshly provisioned data node on
+/// `(to_region, to_host)` at the current virtual time. Fails (without
+/// side effects) when a migration is already in flight or the source is
+/// down; once started, watch [`GlobalDb::migration`] /
+/// `rebalance.migrations_*` for the outcome.
+pub fn start_migration(
+    db: &mut GlobalDb,
+    sim: &mut Sim<GlobalDb>,
+    shard_idx: usize,
+    to_region: RegionId,
+    to_host: u16,
+) -> GdbResult<()> {
+    let now = sim.now();
+    if shard_idx >= db.shards.len() {
+        return Err(GdbError::Internal(format!("no shard {shard_idx}")));
+    }
+    if let Some(m) = &db.migration {
+        return Err(GdbError::Execution(format!(
+            "migration of shard {} already in flight",
+            m.shard
+        )));
+    }
+    let source = db.shards[shard_idx].primary;
+    if db.topo.is_node_down(source) {
+        return Err(GdbError::NodeUnavailable(format!(
+            "shard {shard_idx} source primary is down"
+        )));
+    }
+    // Provision the target DN. `add_node` draws no RNG, so an idle run
+    // (no migration scheduled) stays trace-identical.
+    let target = db
+        .topo
+        .add_node(to_region, to_host, NodeKind::DataNodePrimary);
+
+    // Snapshot cut: seal the *entire* staged log so the stream cut
+    // aligns with the storage snapshot (same rule as promote/rejoin —
+    // the storage already holds effects of records staged with future
+    // apply instants).
+    db.shards[shard_idx].log.seal_all(now);
+    let head = db.shards[shard_idx].log.sealed_head();
+    let shard = &db.shards[shard_idx];
+    let max_ts = shard
+        .replicas
+        .iter()
+        .map(|r| r.applier.max_commit_ts())
+        .max()
+        .unwrap_or(Timestamp::ZERO);
+    let applier = ReplicaApplier::resumed(shard.storage.clone(), head, max_ts);
+    let mut channel = ShippingChannel::new(db.config.codec);
+    channel.rewind(head);
+
+    // Ship the storage image: a 1-byte propagation probe plus explicit
+    // transmission time, remaining bytes accounted without a second
+    // latency draw (the log-shipping cost model).
+    let snapshot_bytes =
+        (db.shards[shard_idx].storage.total_keys() as u64).max(1) * SNAPSHOT_ROW_BYTES;
+    let Some(propagation) =
+        db.plane
+            .send(&mut db.topo, RpcKind::MigrateSnapshot, source, target, 1)
+    else {
+        return Err(GdbError::NodeUnavailable(format!(
+            "shard {shard_idx} migration target unreachable"
+        )));
+    };
+    let link = db
+        .topo
+        .link(db.topo.node_region(source), db.topo.node_region(target));
+    let tx = SimDuration::from_secs_f64(
+        snapshot_bytes as f64 / link.effective_bandwidth().max(1) as f64,
+    );
+    db.plane.charge_bytes(
+        &mut db.topo,
+        RpcKind::MigrateSnapshot,
+        source,
+        target,
+        snapshot_bytes.saturating_sub(1),
+    );
+    let arrive = now + tx + propagation;
+
+    db.migration_seq += 1;
+    let seq = db.migration_seq;
+    db.migration = Some(Migration {
+        shard: shard_idx,
+        source,
+        target,
+        target_region: to_region,
+        phase: MigrationPhase::Snapshot,
+        started: now,
+        snapshot_end: None,
+        catchup_end: None,
+        rounds: 0,
+        seq,
+        applier,
+        channel,
+        stream_free: arrive,
+    });
+    db.stats.migrations_started += 1;
+    sim.schedule_at(arrive, move |w: &mut GlobalDb, sim| {
+        migration_tick(w, sim, seq);
+    });
+    Ok(())
+}
+
+/// One step of the migration state machine (snapshot arrival, a catch-up
+/// round, or the cutover barrier elapsing).
+pub(crate) fn migration_tick(db: &mut GlobalDb, sim: &mut Sim<GlobalDb>, seq: u64) {
+    let now = sim.now();
+    // Stale tick for a migration that already finished or aborted.
+    if db.migration.as_ref().map(|m| m.seq) != Some(seq) {
+        return;
+    }
+    let m = db.migration.as_ref().unwrap();
+    // Fault guards: a dead endpoint — or a promotion that replaced the
+    // source under us — aborts the migration. Ownership never moved, so
+    // abort is a pure drop of the target-side state.
+    let reason = if db.topo.is_node_down(m.source) {
+        Some("source down")
+    } else if db.topo.is_node_down(m.target) {
+        Some("target down")
+    } else if db.shards[m.shard].primary != m.source {
+        Some("source replaced by failover")
+    } else {
+        None
+    };
+    if let Some(reason) = reason {
+        abort_migration(db, now, reason);
+        return;
+    }
+    match db.migration.as_ref().unwrap().phase {
+        MigrationPhase::Snapshot => {
+            let m = db.migration.as_mut().unwrap();
+            m.phase = MigrationPhase::Catchup;
+            m.snapshot_end = Some(now);
+            let interval = db.config.flush_interval;
+            sim.schedule_after(interval, move |w: &mut GlobalDb, sim| {
+                migration_tick(w, sim, seq);
+            });
+        }
+        MigrationPhase::Catchup => catchup_round(db, sim, seq, now),
+        MigrationPhase::Barrier => cutover(db, sim, now),
+    }
+}
+
+/// One catch-up round: seal, drain a batch off the source log, ship it
+/// to the target, apply on arrival. Catch-up has converged — and the
+/// barrier round trip starts — when the backlog is empty *or* the round
+/// shipped nothing but idle heartbeats: every shard log receives a
+/// heartbeat record each heartbeat interval, so a cross-region stream
+/// whose round spacing exceeds that cadence would otherwise chase the
+/// heartbeat tail forever. The residue is handled by the cutover's
+/// synchronous final drain either way.
+fn catchup_round(db: &mut GlobalDb, sim: &mut Sim<GlobalDb>, seq: u64, now: SimTime) {
+    // Take the migration out so the shard log and the migration channel
+    // can be borrowed together.
+    let mut m = db.migration.take().unwrap();
+    db.shards[m.shard].log.seal_upto(now);
+    let wire = m.channel.drain(db.shards[m.shard].log.sealed());
+    match wire {
+        Some(wire) => {
+            let Some(propagation) =
+                db.plane
+                    .send(&mut db.topo, RpcKind::MigrateCatchup, m.source, m.target, 1)
+            else {
+                db.migration = Some(m);
+                abort_migration(db, now, "target unreachable during catch-up");
+                return;
+            };
+            let link = db
+                .topo
+                .link(db.topo.node_region(m.source), db.topo.node_region(m.target));
+            let tx = SimDuration::from_secs_f64(
+                wire.wire_bytes as f64 / link.effective_bandwidth().max(1) as f64,
+            );
+            db.plane.charge_bytes(
+                &mut db.topo,
+                RpcKind::MigrateCatchup,
+                m.source,
+                m.target,
+                (wire.wire_bytes as u64).saturating_sub(1),
+            );
+            let start = now.max(m.stream_free);
+            m.stream_free = start + tx;
+            let arrive = m.stream_free + propagation;
+            let caught_up = wire
+                .batch
+                .records
+                .iter()
+                .all(|r| matches!(r.payload, gdb_wal::RedoPayload::Heartbeat { .. }));
+            // The target applies the batch at its arrival instant; the
+            // records carry their own commit timestamps, so applying
+            // "in the future" is the same contract as replica replay.
+            if let Err(e) = m.applier.apply_batch(&wire.batch.records, arrive) {
+                panic!("migration catch-up replay failed (shard {}): {e}", m.shard);
+            }
+            m.rounds += 1;
+            db.migration = Some(m);
+            if caught_up {
+                // Run the barrier after this last batch lands.
+                begin_barrier(db, sim, seq, now, arrive);
+            } else {
+                let interval = db.config.flush_interval;
+                let next = arrive.max(now + interval);
+                sim.schedule_at(next, move |w: &mut GlobalDb, sim| {
+                    migration_tick(w, sim, seq);
+                });
+            }
+        }
+        None => {
+            db.migration = Some(m);
+            begin_barrier(db, sim, seq, now, now);
+        }
+    }
+}
+
+/// Start the cutover barrier: a round trip that stops admission of new
+/// source-side redo (writers keep committing on the source; the final
+/// drain at the cutover instant catches them). The barrier begins once
+/// the last catch-up batch has landed (`from`).
+fn begin_barrier(
+    db: &mut GlobalDb,
+    sim: &mut Sim<GlobalDb>,
+    seq: u64,
+    now: SimTime,
+    from: SimTime,
+) {
+    let mut m = db.migration.take().unwrap();
+    let Some(rtt) = db
+        .plane
+        .rtt(&mut db.topo, RpcKind::MigrateCutover, m.source, m.target)
+    else {
+        db.migration = Some(m);
+        abort_migration(db, now, "barrier round trip failed");
+        return;
+    };
+    m.phase = MigrationPhase::Barrier;
+    m.catchup_end = Some(now);
+    db.migration = Some(m);
+    sim.schedule_at(from.max(now) + rtt, move |w: &mut GlobalDb, sim| {
+        migration_tick(w, sim, seq);
+    });
+}
+
+/// The cutover instant: seal the source log, drain the remaining redo
+/// into the target synchronously, swap ownership, bump the routing
+/// epoch, and announce the new route table to the CNs.
+fn cutover(db: &mut GlobalDb, sim: &mut Sim<GlobalDb>, now: SimTime) {
+    let mut m = db.migration.take().unwrap();
+    // Final drain: everything the source accepted before this instant —
+    // including records staged with future apply instants (their commit
+    // processing already ran synchronously) — moves to the target.
+    db.shards[m.shard].log.seal_all(now);
+    while let Some(wire) = m.channel.drain(db.shards[m.shard].log.sealed()) {
+        db.plane.charge_bytes(
+            &mut db.topo,
+            RpcKind::MigrateCutover,
+            m.source,
+            m.target,
+            wire.wire_bytes as u64,
+        );
+        if let Err(e) = m.applier.apply_batch(&wire.batch.records, now) {
+            panic!("migration cutover replay failed (shard {}): {e}", m.shard);
+        }
+    }
+
+    db.stats.migrations_completed += 1;
+    db.last_migration_completed = Some(m.shard);
+    record_migration_spans(db, &m, now);
+
+    let codec = db.config.codec;
+    let Migration {
+        shard: shard_idx,
+        target,
+        target_region,
+        applier,
+        ..
+    } = m;
+    let shard = &mut db.shards[shard_idx];
+    // The source's row locks outlive the cutover for the same reason
+    // they outlive a promotion: drained records can carry apply instants
+    // (and commit timestamps) later than the cutover instant, and only
+    // the lock release times make the next writer of such a key wait
+    // them out.
+    let old_locks = std::mem::take(&mut shard.storage.locks);
+    shard.primary = target;
+    shard.region = target_region;
+    shard.storage = applier.into_storage();
+    shard.storage.locks = old_locks;
+    shard.log = ShardLog::new();
+    // Replicas full-resync from the new primary: fresh applier over a
+    // snapshot of its state, fresh channel on the new (empty) redo
+    // stream, new incarnation (orphans in-flight deliveries).
+    for replica in &mut shard.replicas {
+        replica.applier = ReplicaApplier::new(shard.storage.clone());
+        replica.channel = ShippingChannel::new(codec);
+        replica.busy_until = now;
+        replica.stream_free = now;
+        replica.last_arrival = now;
+        replica.epoch += 1;
+    }
+
+    // The atomic routing-epoch bump: this instant is the serialization
+    // point between old-route and new-route requests.
+    db.routing_epoch += 1;
+    let epoch = db.routing_epoch;
+    db.shards[shard_idx].owner_epoch = epoch;
+    db.rebuild_rcp_groups();
+
+    // Announce the new route table to every CN (real latency; an
+    // unreachable CN learns the epoch from its first stale-route
+    // reject instead).
+    for cn in 0..db.cns.len() {
+        let to = db.cns[cn].node;
+        if let Some(delay) = db
+            .plane
+            .send(&mut db.topo, RpcKind::MigrateCutover, target, to, 128)
+        {
+            sim.schedule_after(delay, move |w: &mut GlobalDb, _sim| {
+                let e = &mut w.cns[cn].route_epoch;
+                *e = (*e).max(epoch);
+            });
+        }
+    }
+}
+
+/// Abort the in-flight migration: drop the target-side state. The
+/// source kept ownership throughout, so no shard/routing state changes.
+pub(crate) fn abort_migration(db: &mut GlobalDb, now: SimTime, reason: &str) {
+    let Some(m) = db.migration.take() else {
+        return;
+    };
+    db.stats.migrations_aborted += 1;
+    db.last_migration_aborted = Some((m.shard, reason.to_string()));
+    record_migration_spans(db, &m, now);
+}
+
+/// Record the migration's span tree: a `Migration` root whose phase
+/// children tile `[started, completed]` exactly (aborts tile up to the
+/// abort instant).
+fn record_migration_spans(db: &mut GlobalDb, m: &Migration, completed: SimTime) {
+    let label = m.shard as u64;
+    let tracer = &mut db.obs.tracer;
+    let root = tracer.record(SpanKind::Migration, label, m.started, completed);
+    let snap_end = m.snapshot_end.unwrap_or(completed).min(completed);
+    tracer.record_child(
+        root,
+        SpanKind::MigrationSnapshot,
+        label,
+        m.started,
+        snap_end,
+    );
+    if m.snapshot_end.is_some() {
+        let catch_end = m.catchup_end.unwrap_or(completed).min(completed);
+        tracer.record_child(root, SpanKind::MigrationCatchup, label, snap_end, catch_end);
+        if m.catchup_end.is_some() {
+            tracer.record_child(
+                root,
+                SpanKind::MigrationCutover,
+                label,
+                catch_end,
+                completed,
+            );
+        }
+    }
+}

@@ -61,10 +61,18 @@ pub enum RpcKind {
     SkylineProbe,
     /// GTM ⇄ CN barrier message of the DUAL transition protocol.
     TransitionBarrier,
+    /// Shard-migration snapshot copy: source DN → target DN storage image.
+    MigrateSnapshot,
+    /// Shard-migration redo catch-up batch: source DN → target DN sealed
+    /// log records shipped while the source still owns the shard.
+    MigrateCatchup,
+    /// Shard-migration cutover: barrier/ownership handoff between the DNs
+    /// and the routing-epoch announcement fanned out to the CNs.
+    MigrateCutover,
 }
 
 /// All kinds, in declaration order (the mirror/pre-registration order).
-pub const ALL_RPC_KINDS: [RpcKind; 13] = [
+pub const ALL_RPC_KINDS: [RpcKind; 16] = [
     RpcKind::GtmBeginTs,
     RpcKind::GtmCommitTs,
     RpcKind::GtmDualCommit,
@@ -78,6 +86,9 @@ pub const ALL_RPC_KINDS: [RpcKind; 13] = [
     RpcKind::RcpDistribute,
     RpcKind::SkylineProbe,
     RpcKind::TransitionBarrier,
+    RpcKind::MigrateSnapshot,
+    RpcKind::MigrateCatchup,
+    RpcKind::MigrateCutover,
 ];
 
 impl RpcKind {
@@ -97,6 +108,9 @@ impl RpcKind {
             RpcKind::RcpDistribute => "rcp_distribute",
             RpcKind::SkylineProbe => "skyline_probe",
             RpcKind::TransitionBarrier => "transition_barrier",
+            RpcKind::MigrateSnapshot => "migrate_snapshot",
+            RpcKind::MigrateCatchup => "migrate_catchup",
+            RpcKind::MigrateCutover => "migrate_cutover",
         }
     }
 

@@ -50,6 +50,10 @@ pub struct Shard {
     pub storage: DataNodeStorage,
     pub log: ShardLog,
     pub replicas: Vec<Replica>,
+    /// Routing epoch at which the current primary took ownership (0 =
+    /// initial placement). Requests carrying an older epoch are rejected
+    /// with [`gdb_model::GdbError::StaleRoute`] and re-routed.
+    pub owner_epoch: u64,
 }
 
 impl GlobalDb {

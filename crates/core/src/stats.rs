@@ -45,6 +45,13 @@ pub struct ClusterStats {
     /// Times a region's collector-CN leadership moved to another CN.
     pub collector_failovers: u64,
     pub versions_vacuumed: u64,
+    /// Requests rejected because they carried a stale routing epoch
+    /// (shard ownership moved under the submitting CN's route table).
+    pub stale_route_rejects: u64,
+    /// Shard migrations started / completed / aborted mid-flight.
+    pub migrations_started: u64,
+    pub migrations_completed: u64,
+    pub migrations_aborted: u64,
     pub latency: LatencyHistogram,
 }
 
@@ -65,6 +72,10 @@ impl Default for ClusterStats {
             rcp_rounds_abandoned: 0,
             collector_failovers: 0,
             versions_vacuumed: 0,
+            stale_route_rejects: 0,
+            migrations_started: 0,
+            migrations_completed: 0,
+            migrations_aborted: 0,
             // This histogram lives for the whole cluster and is fed on the
             // per-transaction hot path: bounded mode, not store-every-sample.
             latency: LatencyHistogram::bounded(),

@@ -53,6 +53,11 @@ pub struct TxnHandle<'a> {
     /// The running virtual-time cursor (start + accumulated latency).
     pub now: SimTime,
     snapshot: Timestamp,
+    /// Routing epoch the CN's route table carried when this transaction
+    /// began. Every shard access validates it against the shard's
+    /// `owner_epoch`; a migration cutover between begin and the access
+    /// yields a retryable [`GdbError::StaleRoute`].
+    pub(crate) route_epoch: u64,
     /// True while this transaction reads at the RCP from replicas.
     ror: bool,
     freshness_bound: Option<SimDuration>,
@@ -82,6 +87,7 @@ impl<'a> TxnHandle<'a> {
             return Err(GdbError::NodeUnavailable(format!("cn {cn} is down")));
         }
         db.sync_cn_clock(cn, at);
+        let route_epoch = db.cns[cn].route_epoch;
         let mut now = at;
         let mut ror = false;
         let mut freshness_bound = None;
@@ -131,6 +137,7 @@ impl<'a> TxnHandle<'a> {
             begin_done: now,
             now,
             snapshot,
+            route_epoch,
             ror,
             freshness_bound,
             single_shard_hint: single_shard,

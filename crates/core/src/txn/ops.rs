@@ -23,6 +23,32 @@ impl<'a> TxnHandle<'a> {
         self.db.catalog.table(table).cloned()
     }
 
+    /// Validate this handle's cached routing epoch against `shard`'s
+    /// ownership epoch, and note the access in the per-shard load
+    /// counters the rebalance detector consumes. A stale epoch (the
+    /// shard migrated after this transaction began) refreshes the CN's
+    /// route cache immediately and returns the retryable
+    /// [`GdbError::StaleRoute`], so the client's retry re-routes at the
+    /// fresh epoch.
+    fn route_to_shard(&mut self, shard: usize, bytes: u64) -> GdbResult<()> {
+        let db = &mut *self.db;
+        let owner = db.shards[shard].owner_epoch;
+        if self.route_epoch < owner {
+            db.stats.stale_route_rejects += 1;
+            db.cns[self.cn].route_epoch = db.routing_epoch;
+            return Err(GdbError::StaleRoute(format!(
+                "shard {shard}: route epoch {} < owner epoch {owner}",
+                self.route_epoch
+            )));
+        }
+        let region = db.region_idx_of_cn(self.cn);
+        let load = &mut db.shard_load[shard];
+        load.ops += 1;
+        load.bytes += bytes;
+        load.by_region[region] += 1;
+        Ok(())
+    }
+
     /// Charge one CN↔node round trip of kind `kind`.
     fn charge_rtt_to(
         &mut self,
@@ -250,6 +276,7 @@ impl<'a> DataAccess for TxnHandle<'a> {
         } else {
             self.db.shard_of(&schema, key)
         };
+        self.route_to_shard(shard, OP_MSG_BYTES)?;
         if self.ror {
             self.ror_point_read(shard, table, key)
         } else {
@@ -276,6 +303,9 @@ impl<'a> DataAccess for TxnHandle<'a> {
             if !shards.contains(&s) {
                 shards.push(s);
             }
+        }
+        for &s in &shards {
+            self.route_to_shard(s, OP_MSG_BYTES)?;
         }
         let snapshot = self.snapshot;
         // Pick the read target per shard (skyline under ROR, else the
@@ -364,6 +394,9 @@ impl<'a> DataAccess for TxnHandle<'a> {
     ) -> GdbResult<Vec<(RowKey, Row)>> {
         let schema = self.schema(table)?;
         let shards = self.shards_for_range(&schema, lo, hi);
+        for &s in &shards {
+            self.route_to_shard(s, OP_MSG_BYTES * 4)?;
+        }
         let snapshot = self.snapshot;
         let mut out: Vec<(RowKey, Row)> = Vec::new();
         // Decide per shard: replica or primary.
@@ -423,6 +456,9 @@ impl<'a> DataAccess for TxnHandle<'a> {
         let def = self.db.catalog.index(index)?.clone();
         let schema = self.schema(def.table)?;
         let shards = self.shards_for_index_prefix(&schema, &def.columns, prefix);
+        for &s in &shards {
+            self.route_to_shard(s, OP_MSG_BYTES * 2)?;
+        }
         let snapshot = self.snapshot;
         let mut out: Vec<(RowKey, Row)> = Vec::new();
         let mut primary_shards = Vec::new();
@@ -510,6 +546,9 @@ impl<'a> DataAccess for TxnHandle<'a> {
         } else {
             vec![self.db.shard_of(&schema, key)]
         };
+        for &s in &shards {
+            self.route_to_shard(s, OP_MSG_BYTES)?;
+        }
         self.charge_scatter(RpcKind::DnWrite, &shards, OP_MSG_BYTES)?;
         for &s in &shards {
             self.lock_key(s, table, key)?;
@@ -547,6 +586,9 @@ impl<'a> DataAccess for TxnHandle<'a> {
         } else {
             vec![self.db.shard_of(&schema, &key)]
         };
+        for &s in &shards {
+            self.route_to_shard(s, OP_MSG_BYTES)?;
+        }
         // Duplicate check: overlay first, then committed state.
         match self.overlay.get(&(table, key.clone())) {
             Some(Some(_)) => return Err(GdbError::DuplicateKey(format!("{table} {key}"))),
@@ -586,6 +628,9 @@ impl<'a> DataAccess for TxnHandle<'a> {
         } else {
             vec![self.db.shard_of(&schema, key)]
         };
+        for &s in &shards {
+            self.route_to_shard(s, OP_MSG_BYTES)?;
+        }
         self.charge_scatter(RpcKind::DnWrite, &shards, OP_MSG_BYTES)?;
         for &s in &shards {
             self.lock_key(s, table, key)?;
@@ -608,6 +653,9 @@ impl<'a> DataAccess for TxnHandle<'a> {
         } else {
             vec![self.db.shard_of(&schema, key)]
         };
+        for &s in &shards {
+            self.route_to_shard(s, OP_MSG_BYTES)?;
+        }
         self.charge_scatter(RpcKind::DnWrite, &shards, OP_MSG_BYTES)?;
         for &s in &shards {
             self.lock_key(s, table, key)?;

@@ -1,8 +1,9 @@
-//! Range-distributed tables end-to-end, and load-based read balancing
+//! Range-distributed tables end-to-end, load-based read balancing
 //! (the skyline swapping out a busy replica — paper §IV-B: "we may swap
-//! out a replica node for a different one if its response time goes up").
+//! out a replica node for a different one if its response time goes up"),
+//! and routing-epoch semantics across an online shard migration.
 
-use globaldb::{Cluster, ClusterConfig, Datum, SimDuration, SimTime};
+use globaldb::{Cluster, ClusterConfig, Datum, GdbError, SimDuration, SimTime};
 
 fn t(ms: u64) -> SimTime {
     SimTime::from_millis(ms)
@@ -140,4 +141,124 @@ fn busy_replica_is_swapped_out_by_the_skyline() {
         !overloaded.contains(&picked.node),
         "skyline must avoid the overloaded replica"
     );
+}
+
+/// Hash-table fixture for the migration tests: returns the cluster and
+/// a key that lives on shard 0.
+fn migration_fixture() -> (Cluster, i64) {
+    let mut c = Cluster::new(ClusterConfig::globaldb_one_region());
+    c.ddl("CREATE TABLE kv (k INT NOT NULL, v INT, PRIMARY KEY (k)) DISTRIBUTE BY HASH(k)")
+        .unwrap();
+    let table = c.db.catalog().table_by_name("kv").unwrap().id;
+    c.bulk_load(
+        table,
+        (0..60i64)
+            .map(|i| gdb_model::Row(vec![Datum::Int(i), Datum::Int(0)]))
+            .collect(),
+    )
+    .unwrap();
+    c.finish_load();
+    c.run_until(t(300));
+    let schema = c.db.catalog().table(table).unwrap().clone();
+    let key = (0..60i64)
+        .find(|&k| {
+            schema
+                .shard_of_pk(&gdb_model::RowKey::single(k), c.db.shards().len() as u16)
+                .0
+                == 0
+        })
+        .expect("a key on shard 0");
+    (c, key)
+}
+
+/// Migrate shard 0 to another host and run the cluster until it
+/// completes.
+fn migrate_shard0(c: &mut Cluster) {
+    let source_host = c.db.topo().node_host(c.db.shards()[0].primary);
+    c.start_migration(0, c.db.regions()[0], (source_host + 1) % 3)
+        .unwrap();
+    c.run_until(c.now() + SimDuration::from_secs(2));
+    assert_eq!(c.db.last_migration_completed(), Some(0));
+    assert_eq!(c.db.routing_epoch(), 1);
+}
+
+#[test]
+fn stale_routing_epoch_is_rejected_and_rerouted() {
+    let (mut c, key) = migration_fixture();
+    migrate_shard0(&mut c);
+
+    // Pretend CN 0 never heard the cutover announcement: its cached
+    // route table is one epoch behind.
+    c.db.cns_mut()[0].route_epoch = 0;
+    let upd = c.prepare("UPDATE kv SET v = ? WHERE k = ?").unwrap();
+    let at = c.now() + SimDuration::from_millis(5);
+    let err = c
+        .run_transaction(0, at, false, true, |txn| {
+            txn.execute(&upd, &[Datum::Int(1), Datum::Int(key)])
+                .map(|_| ())
+        })
+        .expect_err("stale route must be rejected");
+    assert!(matches!(err, GdbError::StaleRoute(_)), "got {err}");
+    assert!(err.is_retryable(), "stale-route rejects are retryable");
+    assert_eq!(c.db.stats().stale_route_rejects, 1);
+    // The reject refreshed the CN's cache, so the retry re-routes and
+    // succeeds.
+    assert_eq!(c.db.cns()[0].route_epoch, 1);
+    let at = c.now() + SimDuration::from_millis(5);
+    c.run_transaction(0, at, false, true, |txn| {
+        txn.execute(&upd, &[Datum::Int(1), Datum::Int(key)])
+            .map(|_| ())
+    })
+    .expect("retry at the fresh epoch must succeed");
+    assert_eq!(c.db.stats().stale_route_rejects, 1, "no second reject");
+}
+
+#[test]
+fn migrated_shard_serves_prior_writes_from_every_cn() {
+    let (mut c, key) = migration_fixture();
+    // Commit a distinctive value before the migration...
+    let upd = c.prepare("UPDATE kv SET v = ? WHERE k = ?").unwrap();
+    let at = c.now() + SimDuration::from_millis(5);
+    c.run_transaction(0, at, false, true, |txn| {
+        txn.execute(&upd, &[Datum::Int(42), Datum::Int(key)])
+            .map(|_| ())
+    })
+    .unwrap();
+
+    migrate_shard0(&mut c);
+
+    // ...and read it back through the migrated primary from every CN.
+    let sel = c.prepare("SELECT v FROM kv WHERE k = ?").unwrap();
+    for cn in 0..c.db.cns().len() {
+        let at = c.now() + SimDuration::from_millis(5);
+        let ((), _) = c
+            .run_transaction(cn, at, true, true, |txn| {
+                let out = txn.execute(&sel, &[Datum::Int(key)])?;
+                assert_eq!(
+                    out.rows()[0].0[0],
+                    Datum::Int(42),
+                    "cn {cn} must read the pre-migration write"
+                );
+                Ok(())
+            })
+            .unwrap();
+    }
+    // Writes keep flowing after the cutover, and read back correctly.
+    let at = c.now() + SimDuration::from_millis(5);
+    c.run_transaction(1, at, false, true, |txn| {
+        txn.execute(&upd, &[Datum::Int(43), Datum::Int(key)])
+            .map(|_| ())
+    })
+    .unwrap();
+    // Let replication and the RCP catch up so an ROR read sees the new
+    // version (reads run at the RCP snapshot, not read-your-writes).
+    c.run_until(c.now() + SimDuration::from_millis(500));
+    let at = c.now() + SimDuration::from_millis(5);
+    let ((), _) = c
+        .run_transaction(2, at, true, true, |txn| {
+            let out = txn.execute(&sel, &[Datum::Int(key)])?;
+            assert_eq!(out.rows()[0].0[0], Datum::Int(43));
+            Ok(())
+        })
+        .unwrap();
 }

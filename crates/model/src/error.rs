@@ -21,6 +21,9 @@ pub enum GdbError {
     NodeUnavailable(String),
     /// No replica can satisfy the requested freshness bound.
     FreshnessUnsatisfiable(String),
+    /// The request carried a stale routing epoch (shard ownership moved
+    /// under it); the client must refresh its route table and retry.
+    StaleRoute(String),
     /// Duplicate primary key on insert.
     DuplicateKey(String),
     /// Row not found where one was required.
@@ -40,6 +43,7 @@ impl fmt::Display for GdbError {
             GdbError::WriteConflict(m) => write!(f, "write conflict: {m}"),
             GdbError::NodeUnavailable(m) => write!(f, "node unavailable: {m}"),
             GdbError::FreshnessUnsatisfiable(m) => write!(f, "freshness unsatisfiable: {m}"),
+            GdbError::StaleRoute(m) => write!(f, "stale routing epoch: {m}"),
             GdbError::DuplicateKey(m) => write!(f, "duplicate key: {m}"),
             GdbError::NotFound(m) => write!(f, "not found: {m}"),
             GdbError::Internal(m) => write!(f, "internal error: {m}"),
@@ -58,7 +62,10 @@ impl GdbError {
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
-            GdbError::TxnAborted(_) | GdbError::WriteConflict(_) | GdbError::NodeUnavailable(_)
+            GdbError::TxnAborted(_)
+                | GdbError::WriteConflict(_)
+                | GdbError::NodeUnavailable(_)
+                | GdbError::StaleRoute(_)
         )
     }
 }
@@ -76,6 +83,7 @@ mod tests {
     fn retryability() {
         assert!(GdbError::WriteConflict("k".into()).is_retryable());
         assert!(GdbError::TxnAborted("m".into()).is_retryable());
+        assert!(GdbError::StaleRoute("epoch 3 < 4".into()).is_retryable());
         assert!(!GdbError::Schema("s".into()).is_retryable());
         assert!(!GdbError::DuplicateKey("d".into()).is_retryable());
     }

@@ -57,6 +57,14 @@ pub enum SpanKind {
     TransitionHold,
     /// Transition phase: final-mode fan-out through the last final ack.
     TransitionFinalAcks,
+    /// Whole online shard migration, start to cutover/abort. Root span.
+    Migration,
+    /// Migration phase: snapshot copy of the source storage image.
+    MigrationSnapshot,
+    /// Migration phase: redo catch-up rounds until the backlog drains.
+    MigrationCatchup,
+    /// Migration phase: writer-drain barrier + ownership/epoch cutover.
+    MigrationCutover,
 }
 
 impl SpanKind {
@@ -76,6 +84,10 @@ impl SpanKind {
             SpanKind::TransitionDualAcks => "transition_dual_acks",
             SpanKind::TransitionHold => "transition_hold",
             SpanKind::TransitionFinalAcks => "transition_final_acks",
+            SpanKind::Migration => "migration",
+            SpanKind::MigrationSnapshot => "migration_snapshot",
+            SpanKind::MigrationCatchup => "migration_catchup",
+            SpanKind::MigrationCutover => "migration_cutover",
         }
     }
 }

@@ -1,0 +1,513 @@
+//! `gdb-rebalance` — hot-shard detection and placement policy driving
+//! online shard migration.
+//!
+//! The *mechanics* of a migration (snapshot copy → redo catch-up →
+//! cutover barrier with an atomic routing-epoch bump) live in
+//! `globaldb::migrate`; this crate owns the *policy* side:
+//!
+//! * [`HotShardDetector`] — a windowed consumer of the live metrics
+//!   registry. Every [`HotShardDetector::observe`] snapshots the
+//!   `rebalance.shard_ops.*` / `rebalance.shard_bytes.*` counters the
+//!   transaction layer maintains, subtracts the previous observation,
+//!   and joins the deltas with the current shard placement into a
+//!   [`ClusterView`].
+//! * [`PlacementPolicy`] — pluggable proposal logic over a view.
+//!   [`LoadSpread`] moves the hottest shard off an overloaded host to
+//!   the least-loaded one; [`RegionAffinity`] moves a shard whose
+//!   traffic is dominated by a remote region into that region.
+//! * [`RebalanceController`] — glues the two together: call
+//!   [`RebalanceController::tick`] between workload windows and it
+//!   observes, consults its policies in order, and starts at most one
+//!   migration (the executor allows one in flight cluster-wide).
+//!
+//! Everything here is deterministic: observation order, host
+//! enumeration, and tie-breaks are all fixed, so a seeded run proposes
+//! the same migrations every time.
+
+use gdb_simnet::{NetNodeId, RegionId};
+use globaldb::migrate::metrics as mig_metrics;
+use globaldb::Cluster;
+
+/// One shard's load over the last observation window, joined with its
+/// current placement.
+#[derive(Debug, Clone)]
+pub struct ShardStat {
+    pub shard: usize,
+    /// Region of the current primary.
+    pub region: RegionId,
+    /// Host (within-region machine index) of the current primary.
+    pub host: u16,
+    /// Data-node operations routed to the shard during the window.
+    pub ops: u64,
+    /// Payload bytes of those operations.
+    pub bytes: u64,
+    /// Ops split by the submitting CN's region, indexed like
+    /// [`ClusterView::regions`].
+    pub by_region: Vec<u64>,
+}
+
+/// A candidate placement slot: one physical host in one region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct HostSlot {
+    pub region: RegionId,
+    pub host: u16,
+}
+
+/// What the detector hands the policies: per-shard window loads plus
+/// the current host inventory.
+#[derive(Debug, Clone)]
+pub struct ClusterView {
+    pub shards: Vec<ShardStat>,
+    /// Every live host slot, sorted (deterministic tie-breaks).
+    pub hosts: Vec<HostSlot>,
+    /// Region ids in cluster order (the index space of
+    /// [`ShardStat::by_region`]).
+    pub regions: Vec<RegionId>,
+}
+
+impl ClusterView {
+    /// Total windowed ops of the shards whose primary sits on `slot`.
+    pub fn host_load(&self, slot: HostSlot) -> u64 {
+        self.shards
+            .iter()
+            .filter(|s| s.region == slot.region && s.host == slot.host)
+            .map(|s| s.ops)
+            .sum()
+    }
+
+    /// Imbalance metric: max host load over mean host load (1.0 =
+    /// perfectly even, 0.0 = idle cluster).
+    pub fn spread(&self) -> f64 {
+        if self.hosts.is_empty() {
+            return 0.0;
+        }
+        let loads: Vec<u64> = self.hosts.iter().map(|&h| self.host_load(h)).collect();
+        let total: u64 = loads.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let mean = total as f64 / loads.len() as f64;
+        *loads.iter().max().unwrap() as f64 / mean
+    }
+}
+
+/// A migration a policy wants: move `shard` to `to`.
+#[derive(Debug, Clone)]
+pub struct MigrationProposal {
+    pub shard: usize,
+    pub to: HostSlot,
+    /// Which policy proposed it and why (for logs/tests).
+    pub reason: String,
+}
+
+/// Pluggable proposal logic over a [`ClusterView`]. Policies must be
+/// deterministic functions of the view.
+pub trait PlacementPolicy {
+    fn name(&self) -> &'static str;
+    fn propose(&self, view: &ClusterView) -> Option<MigrationProposal>;
+}
+
+/// Move the hottest shard off the most loaded host onto the least
+/// loaded one, when the cluster is imbalanced enough to bother.
+#[derive(Debug, Clone)]
+pub struct LoadSpread {
+    /// Trigger when `max host load > imbalance_ratio × mean host load`.
+    pub imbalance_ratio: f64,
+    /// Ignore windows with fewer ops than this on the hottest shard
+    /// (don't migrate on noise).
+    pub min_shard_ops: u64,
+}
+
+impl Default for LoadSpread {
+    fn default() -> Self {
+        LoadSpread {
+            imbalance_ratio: 1.5,
+            min_shard_ops: 64,
+        }
+    }
+}
+
+impl PlacementPolicy for LoadSpread {
+    fn name(&self) -> &'static str {
+        "load-spread"
+    }
+
+    fn propose(&self, view: &ClusterView) -> Option<MigrationProposal> {
+        if view.hosts.len() < 2 {
+            return None;
+        }
+        let hottest = *view
+            .hosts
+            .iter()
+            .max_by_key(|&&h| (view.host_load(h), std::cmp::Reverse(h)))?;
+        let coolest = *view.hosts.iter().min_by_key(|&&h| (view.host_load(h), h))?;
+        let hot_load = view.host_load(hottest);
+        let cool_load = view.host_load(coolest);
+        let total: u64 = view.hosts.iter().map(|&h| view.host_load(h)).sum();
+        let mean = total as f64 / view.hosts.len() as f64;
+        if hot_load == 0 || (hot_load as f64) <= self.imbalance_ratio * mean {
+            return None;
+        }
+        // Hottest shard currently living on the hottest host.
+        let shard = view
+            .shards
+            .iter()
+            .filter(|s| s.region == hottest.region && s.host == hottest.host)
+            .max_by_key(|s| (s.ops, std::cmp::Reverse(s.shard)))?;
+        if shard.ops < self.min_shard_ops {
+            return None;
+        }
+        // Only move if it strictly improves the spread: the receiving
+        // host must end up below where the donor started.
+        if cool_load + shard.ops >= hot_load {
+            return None;
+        }
+        Some(MigrationProposal {
+            shard: shard.shard,
+            to: coolest,
+            reason: format!(
+                "load-spread: host ({},{}) carries {hot_load} ops (mean {mean:.0}); \
+                 moving shard {} ({} ops) to host ({},{})",
+                hottest.region.0,
+                hottest.host,
+                shard.shard,
+                shard.ops,
+                coolest.region.0,
+                coolest.host
+            ),
+        })
+    }
+}
+
+/// Move a shard whose window traffic is dominated by one *remote*
+/// region into that region (placing it on the region's least-loaded
+/// host).
+#[derive(Debug, Clone)]
+pub struct RegionAffinity {
+    /// Minimum share of the shard's ops a remote region must account
+    /// for to justify moving the shard there.
+    pub dominance: f64,
+    /// Ignore shards with fewer windowed ops than this.
+    pub min_shard_ops: u64,
+}
+
+impl Default for RegionAffinity {
+    fn default() -> Self {
+        RegionAffinity {
+            dominance: 0.6,
+            min_shard_ops: 64,
+        }
+    }
+}
+
+impl PlacementPolicy for RegionAffinity {
+    fn name(&self) -> &'static str {
+        "region-affinity"
+    }
+
+    fn propose(&self, view: &ClusterView) -> Option<MigrationProposal> {
+        for s in &view.shards {
+            if s.ops < self.min_shard_ops {
+                continue;
+            }
+            for (ri, &region_ops) in s.by_region.iter().enumerate() {
+                let region = *view.regions.get(ri)?;
+                if region == s.region {
+                    continue;
+                }
+                if (region_ops as f64) < self.dominance * s.ops as f64 {
+                    continue;
+                }
+                let target = view
+                    .hosts
+                    .iter()
+                    .filter(|h| h.region == region)
+                    .min_by_key(|&&h| (view.host_load(h), h))
+                    .copied()?;
+                return Some(MigrationProposal {
+                    shard: s.shard,
+                    to: target,
+                    reason: format!(
+                        "region-affinity: shard {} gets {region_ops}/{} ops from region {}; \
+                         moving it there (host ({},{}))",
+                        s.shard, s.ops, region.0, target.region.0, target.host
+                    ),
+                });
+            }
+        }
+        None
+    }
+}
+
+/// Windowed consumer of the metrics registry: each `observe` reads the
+/// absolute `rebalance.shard_ops.*` counters, subtracts the previous
+/// observation, and returns the per-window deltas joined with the
+/// current placement.
+#[derive(Debug, Default)]
+pub struct HotShardDetector {
+    prev: Vec<(u64, u64, Vec<u64>)>,
+}
+
+impl HotShardDetector {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot the cluster's metrics and return the load view for the
+    /// window since the previous call (first call: since startup).
+    pub fn observe(&mut self, cluster: &mut Cluster) -> ClusterView {
+        let shard_count = cluster.db.shards().len();
+        let regions: Vec<RegionId> = cluster.db.regions().to_vec();
+        let report = cluster.db.metrics_snapshot();
+        self.prev
+            .resize_with(shard_count, || (0, 0, vec![0; regions.len()]));
+
+        let mut shards = Vec::with_capacity(shard_count);
+        for s in 0..shard_count {
+            let ops_total = report
+                .counter(&format!("{}.{s}", mig_metrics::SHARD_OPS_PREFIX))
+                .unwrap_or(0);
+            let bytes_total = report
+                .counter(&format!("{}.{s}", mig_metrics::SHARD_BYTES_PREFIX))
+                .unwrap_or(0);
+            let mut by_region_total = vec![0u64; regions.len()];
+            for (r, slot) in by_region_total.iter_mut().enumerate() {
+                *slot = report
+                    .counter(&format!("{}.{s}.r{r}", mig_metrics::SHARD_OPS_PREFIX))
+                    .unwrap_or(0);
+            }
+            let prev = &mut self.prev[s];
+            prev.2.resize(regions.len(), 0);
+            let by_region: Vec<u64> = by_region_total
+                .iter()
+                .zip(&prev.2)
+                .map(|(&cur, &old)| cur.saturating_sub(old))
+                .collect();
+            let primary = cluster.db.shards()[s].primary;
+            shards.push(ShardStat {
+                shard: s,
+                region: cluster.db.topo().node_region(primary),
+                host: cluster.db.topo().node_host(primary),
+                ops: ops_total.saturating_sub(prev.0),
+                bytes: bytes_total.saturating_sub(prev.1),
+                by_region,
+            });
+            *prev = (ops_total, bytes_total, by_region_total);
+        }
+
+        // Host inventory: every live host slot, sorted for
+        // deterministic tie-breaks.
+        let mut hosts: Vec<HostSlot> = Vec::new();
+        for i in 0..cluster.db.topo().node_count() {
+            let n = NetNodeId(i as u32);
+            if cluster.db.topo().is_node_down(n) {
+                continue;
+            }
+            let slot = HostSlot {
+                region: cluster.db.topo().node_region(n),
+                host: cluster.db.topo().node_host(n),
+            };
+            if !hosts.contains(&slot) {
+                hosts.push(slot);
+            }
+        }
+        hosts.sort();
+
+        ClusterView {
+            shards,
+            hosts,
+            regions,
+        }
+    }
+}
+
+/// Detector + policy chain + migration trigger. Call
+/// [`RebalanceController::tick`] between workload windows.
+pub struct RebalanceController {
+    pub detector: HotShardDetector,
+    pub policies: Vec<Box<dyn PlacementPolicy>>,
+    /// Every proposal that actually started a migration.
+    pub history: Vec<MigrationProposal>,
+}
+
+impl Default for RebalanceController {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RebalanceController {
+    /// Default policy chain: spread load first, then chase region
+    /// affinity.
+    pub fn new() -> Self {
+        RebalanceController {
+            detector: HotShardDetector::new(),
+            policies: vec![
+                Box::new(LoadSpread::default()),
+                Box::new(RegionAffinity::default()),
+            ],
+            history: Vec::new(),
+        }
+    }
+
+    pub fn with_policies(policies: Vec<Box<dyn PlacementPolicy>>) -> Self {
+        RebalanceController {
+            detector: HotShardDetector::new(),
+            policies,
+            history: Vec::new(),
+        }
+    }
+
+    /// Observe the window, consult the policies in order, and start the
+    /// first viable migration. Returns the proposal that started, if
+    /// any. Always advances the detector window, even when a migration
+    /// is already in flight (so the next idle tick sees a fresh window,
+    /// not the backlog).
+    pub fn tick(&mut self, cluster: &mut Cluster) -> Option<MigrationProposal> {
+        let view = self.detector.observe(cluster);
+        if cluster.migration_in_flight().is_some() {
+            return None;
+        }
+        for policy in &self.policies {
+            let Some(proposal) = policy.propose(&view) else {
+                continue;
+            };
+            let current = &view.shards[proposal.shard];
+            if (current.region, current.host) == (proposal.to.region, proposal.to.host) {
+                continue; // already there
+            }
+            if cluster
+                .start_migration(proposal.shard, proposal.to.region, proposal.to.host)
+                .is_ok()
+            {
+                self.history.push(proposal.clone());
+                return Some(proposal);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(shards: Vec<ShardStat>, hosts: Vec<(u16, u16)>, regions: usize) -> ClusterView {
+        ClusterView {
+            shards,
+            hosts: hosts
+                .into_iter()
+                .map(|(r, h)| HostSlot {
+                    region: RegionId(r),
+                    host: h,
+                })
+                .collect(),
+            regions: (0..regions as u16).map(RegionId).collect(),
+        }
+    }
+
+    fn stat(shard: usize, region: u16, host: u16, ops: u64, by_region: Vec<u64>) -> ShardStat {
+        ShardStat {
+            shard,
+            region: RegionId(region),
+            host,
+            ops,
+            bytes: ops * 256,
+            by_region,
+        }
+    }
+
+    #[test]
+    fn load_spread_moves_hottest_shard_to_coolest_host() {
+        let v = view(
+            vec![
+                stat(0, 0, 0, 900, vec![900]),
+                stat(1, 0, 0, 100, vec![100]),
+                stat(2, 0, 1, 50, vec![50]),
+            ],
+            vec![(0, 0), (0, 1), (0, 2)],
+            1,
+        );
+        let p = LoadSpread::default().propose(&v).expect("imbalanced");
+        assert_eq!(p.shard, 0);
+        assert_eq!(
+            p.to,
+            HostSlot {
+                region: RegionId(0),
+                host: 2
+            }
+        );
+    }
+
+    #[test]
+    fn load_spread_ignores_balanced_and_idle_clusters() {
+        let balanced = view(
+            vec![
+                stat(0, 0, 0, 100, vec![100]),
+                stat(1, 0, 1, 110, vec![110]),
+                stat(2, 0, 2, 90, vec![90]),
+            ],
+            vec![(0, 0), (0, 1), (0, 2)],
+            1,
+        );
+        assert!(LoadSpread::default().propose(&balanced).is_none());
+        let idle = view(vec![stat(0, 0, 0, 0, vec![0])], vec![(0, 0), (0, 1)], 1);
+        assert!(LoadSpread::default().propose(&idle).is_none());
+    }
+
+    #[test]
+    fn load_spread_refuses_moves_that_do_not_improve() {
+        // One giant shard: moving it just relocates the hot spot.
+        let v = view(
+            vec![stat(0, 0, 0, 1000, vec![1000])],
+            vec![(0, 0), (0, 1)],
+            1,
+        );
+        assert!(LoadSpread::default().propose(&v).is_none());
+    }
+
+    #[test]
+    fn region_affinity_moves_shard_toward_its_traffic() {
+        let v = view(
+            vec![
+                stat(0, 0, 0, 100, vec![10, 90]),
+                stat(1, 0, 1, 100, vec![80, 20]),
+            ],
+            vec![(0, 0), (0, 1), (1, 0), (1, 1)],
+            2,
+        );
+        let p = RegionAffinity::default().propose(&v).expect("dominated");
+        assert_eq!(p.shard, 0);
+        assert_eq!(p.to.region, RegionId(1));
+    }
+
+    #[test]
+    fn region_affinity_respects_min_ops_and_local_dominance() {
+        // Dominant region is already the shard's own.
+        let local = view(
+            vec![stat(0, 1, 0, 100, vec![5, 95])],
+            vec![(0, 0), (1, 0)],
+            2,
+        );
+        assert!(RegionAffinity::default().propose(&local).is_none());
+        // Too little traffic to justify a move.
+        let quiet = view(vec![stat(0, 0, 0, 10, vec![1, 9])], vec![(0, 0), (1, 0)], 2);
+        assert!(RegionAffinity::default().propose(&quiet).is_none());
+    }
+
+    #[test]
+    fn spread_metric_tracks_imbalance() {
+        let skewed = view(
+            vec![stat(0, 0, 0, 900, vec![900]), stat(1, 0, 1, 100, vec![100])],
+            vec![(0, 0), (0, 1)],
+            1,
+        );
+        let even = view(
+            vec![stat(0, 0, 0, 500, vec![500]), stat(1, 0, 1, 500, vec![500])],
+            vec![(0, 0), (0, 1)],
+            1,
+        );
+        assert!(skewed.spread() > even.spread());
+        assert!((even.spread() - 1.0).abs() < 1e-9);
+    }
+}

@@ -13,3 +13,7 @@ pub const SKYLINE_SELECTIONS: &str = "router.skyline.selections";
 /// the same (CN, shard) — each of these is also recorded as a
 /// `skyline_reselect` trace span.
 pub const SKYLINE_RESELECTIONS: &str = "router.skyline.reselections";
+/// Requests rejected because the submitting CN's cached route table
+/// carried a stale routing epoch (the shard migrated under it). The
+/// reject is retryable; the retry re-routes at the fresh epoch.
+pub const STALE_ROUTE_REJECTS: &str = "router.stale_route_rejects";

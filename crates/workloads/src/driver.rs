@@ -9,8 +9,97 @@
 use crate::report::WorkloadReport;
 use gdb_model::GdbResult;
 use globaldb::{Cluster, SimDuration, SimTime, TxnOutcome};
+use rand::Rng;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+/// How a workload samples keys from `1..=n`. The hot set's identity is
+/// fixed (low keys), so a run's skew is a pure function of the workload
+/// seed and the whole benchmark replays deterministically.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyDistribution {
+    /// Every key equally likely.
+    Uniform,
+    /// YCSB-style Zipfian: rank `r` drawn with probability ∝ `1/r^theta`
+    /// and mapped to key `r`, so key 1 is the hottest. `theta` in
+    /// `(0, 1)`; 0.99 is the YCSB default.
+    Zipfian { theta: f64 },
+    /// Sysbench's hot-spot shape: the first `hot_fraction` of the
+    /// keyspace receives `hot_prob` of all accesses.
+    Hotspot { hot_fraction: f64, hot_prob: f64 },
+}
+
+/// A key sampler with the Zipfian normalization constants precomputed
+/// (building them is `O(n)`; drawing is `O(1)`).
+#[derive(Debug, Clone)]
+pub struct KeySampler {
+    dist: KeyDistribution,
+    n: i64,
+    alpha: f64,
+    eta: f64,
+    zetan: f64,
+}
+
+fn zeta(n: i64, theta: f64) -> f64 {
+    (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+}
+
+impl KeySampler {
+    pub fn new(dist: KeyDistribution, n: i64) -> Self {
+        let n = n.max(1);
+        let (mut alpha, mut eta, mut zetan) = (0.0, 0.0, 0.0);
+        if let KeyDistribution::Zipfian { theta } = dist {
+            zetan = zeta(n, theta);
+            let zeta2 = zeta(n.min(2), theta);
+            alpha = 1.0 / (1.0 - theta);
+            eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        }
+        KeySampler {
+            dist,
+            n,
+            alpha,
+            eta,
+            zetan,
+        }
+    }
+
+    pub fn distribution(&self) -> KeyDistribution {
+        self.dist
+    }
+
+    /// Draw one key in `1..=n`. `Uniform` makes exactly one
+    /// `gen_range(1..=n)` call, so swapping a workload's inline uniform
+    /// pick for a sampler leaves its draw sequence bit-identical.
+    pub fn sample(&self, rng: &mut impl Rng) -> i64 {
+        match self.dist {
+            KeyDistribution::Uniform => rng.gen_range(1..=self.n),
+            KeyDistribution::Zipfian { theta } => {
+                // Gray et al.'s quick Zipf approximation (as in YCSB).
+                let u: f64 = rng.gen_range(0.0..1.0);
+                let uz = u * self.zetan;
+                if uz < 1.0 {
+                    1
+                } else if uz < 1.0 + 0.5f64.powf(theta) {
+                    2
+                } else {
+                    let r = 1.0 + self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha);
+                    (r as i64).clamp(1, self.n)
+                }
+            }
+            KeyDistribution::Hotspot {
+                hot_fraction,
+                hot_prob,
+            } => {
+                let hot = ((self.n as f64 * hot_fraction) as i64).clamp(1, self.n);
+                if hot < self.n && !rng.gen_bool(hot_prob.clamp(0.0, 1.0)) {
+                    rng.gen_range(hot + 1..=self.n)
+                } else {
+                    rng.gen_range(1..=hot)
+                }
+            }
+        }
+    }
+}
 
 /// A benchmark workload: setup (schema + load) plus a per-terminal
 /// transaction generator.
@@ -103,4 +192,62 @@ pub fn run_workload(
     report.reads_on_replica = cluster.db.stats().reads_on_replica - replica_reads_before;
     report.reads_on_primary = cluster.db.stats().reads_on_primary - primary_reads_before;
     report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_sampler_matches_the_inline_draw() {
+        let sampler = KeySampler::new(KeyDistribution::Uniform, 500);
+        let mut a = SmallRng::seed_from_u64(9);
+        let mut b = SmallRng::seed_from_u64(9);
+        for _ in 0..1_000 {
+            assert_eq!(sampler.sample(&mut a), b.gen_range(1..=500i64));
+        }
+    }
+
+    #[test]
+    fn zipfian_concentrates_on_low_keys() {
+        let sampler = KeySampler::new(KeyDistribution::Zipfian { theta: 0.99 }, 1_000);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut top10 = 0;
+        for _ in 0..10_000 {
+            let k = sampler.sample(&mut rng);
+            assert!((1..=1_000).contains(&k));
+            if k <= 10 {
+                top10 += 1;
+            }
+        }
+        // Uniform would put ~100 draws in the top 10 keys; zipf(0.99)
+        // puts roughly 4 000 there.
+        assert!(top10 > 2_000, "only {top10}/10000 draws hit the top 10");
+    }
+
+    #[test]
+    fn hotspot_honors_the_configured_mass() {
+        let sampler = KeySampler::new(
+            KeyDistribution::Hotspot {
+                hot_fraction: 0.1,
+                hot_prob: 0.9,
+            },
+            1_000,
+        );
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut hot = 0;
+        for _ in 0..10_000 {
+            let k = sampler.sample(&mut rng);
+            assert!((1..=1_000).contains(&k));
+            if k <= 100 {
+                hot += 1;
+            }
+        }
+        assert!(
+            (8_500..=9_500).contains(&hot),
+            "hot set took {hot}/10000 draws, expected ~9000"
+        );
+    }
 }

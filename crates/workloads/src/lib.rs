@@ -9,7 +9,8 @@
 //!   Fig. 6c configuration.
 //! * [`sysbench`] — Sysbench OLTP: N tables of M rows; the Point-Select
 //!   workload of Fig. 6d (uniform keys ⇒ ~2/3 of fetches remote on the
-//!   Three-City cluster).
+//!   Three-City cluster), with optional Zipfian / hot-spot key skew
+//!   ([`driver::KeyDistribution`]) for the rebalancing experiments.
 //! * [`driver`] — a closed-loop multi-terminal driver over virtual time
 //!   with a controllable remote-transaction fraction (§V-A) and think
 //!   times, producing throughput / latency reports.
@@ -19,5 +20,5 @@ pub mod report;
 pub mod sysbench;
 pub mod tpcc;
 
-pub use driver::{run_workload, RunConfig, Workload};
+pub use driver::{run_workload, KeyDistribution, KeySampler, RunConfig, Workload};
 pub use report::WorkloadReport;

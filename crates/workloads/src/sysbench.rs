@@ -6,7 +6,7 @@
 //! shard whose primary is remote from the submitting CN — exactly the
 //! paper's "2/3 of the tuples are fetched from a remote node".
 
-use crate::driver::Workload;
+use crate::driver::{KeyDistribution, KeySampler, Workload};
 use gdb_model::{Datum, GdbResult, Row};
 use globaldb::{Cluster, Prepared, SimTime, TxnOutcome};
 use rand::rngs::SmallRng;
@@ -53,6 +53,7 @@ pub struct SysbenchWorkload {
     pub pin_cn: Option<usize>,
     selects: Vec<Prepared>,
     updates: Vec<Prepared>,
+    sampler: KeySampler,
     rng: SmallRng,
     seed: u64,
 }
@@ -65,9 +66,23 @@ impl SysbenchWorkload {
             pin_cn: None,
             selects: Vec::new(),
             updates: Vec::new(),
+            sampler: KeySampler::new(KeyDistribution::Uniform, scale.rows_per_table),
             rng: SmallRng::seed_from_u64(seed ^ 0x5b_5eed),
             seed,
         }
+    }
+
+    /// Replace the uniform row pick with a skewed key distribution
+    /// (Zipfian or hot-spot). Skew concentrates load on whichever shards
+    /// own the low keys — the ingredient that makes hot-shard detection
+    /// and online rebalancing measurable.
+    pub fn with_key_dist(mut self, dist: KeyDistribution) -> Self {
+        self.sampler = KeySampler::new(dist, self.scale.rows_per_table);
+        self
+    }
+
+    pub fn key_dist(&self) -> KeyDistribution {
+        self.sampler.distribution()
     }
 }
 
@@ -113,7 +128,7 @@ impl Workload for SysbenchWorkload {
         at: SimTime,
     ) -> (&'static str, GdbResult<TxnOutcome>) {
         let t = self.rng.gen_range(0..self.scale.tables);
-        let id = self.rng.gen_range(1..=self.scale.rows_per_table);
+        let id = self.sampler.sample(&mut self.rng);
         let cn = self.pin_cn.unwrap_or(terminal % cluster.db.cns().len());
         match self.mode {
             SysbenchMode::PointSelect => {

@@ -50,7 +50,7 @@ stage_bench_smoke() {
     local out=target/bench-smoke
     rm -rf "$out"
     mkdir -p "$out"
-    for fig in fig1a fig6a fig6b fig6c fig6d; do
+    for fig in fig1a fig6a fig6b fig6c fig6d ablation_rebalance; do
         GDB_BENCH_SCALE=tiny GDB_BENCH_SECS=2 GDB_BENCH_TERMINALS=8 \
             cargo run --release -q -p gdb-bench --bin "$fig" -- \
             --json "$out/$fig.json" >/dev/null
@@ -60,7 +60,8 @@ stage_bench_smoke() {
     cargo run --release -q -p gdb-bench --bin benchcmp -- merge \
         "$out/BENCH_smoke.json" \
         "$out"/fig1a.json "$out"/fig6a.json "$out"/fig6b.json \
-        "$out"/fig6c.json "$out"/fig6d.json "$out"/nemesis.json
+        "$out"/fig6c.json "$out"/fig6d.json "$out"/ablation_rebalance.json \
+        "$out"/nemesis.json
     cargo run --release -q -p gdb-bench --bin benchcmp -- check \
         BENCH_smoke.json "$out/BENCH_smoke.json" --tolerance 0.20
 }

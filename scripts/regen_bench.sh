@@ -17,7 +17,7 @@ tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
 echo "==> tiny-scale smoke bundle -> BENCH_smoke.json"
-for fig in fig1a fig6a fig6b fig6c fig6d; do
+for fig in fig1a fig6a fig6b fig6c fig6d ablation_rebalance; do
     GDB_BENCH_SCALE=tiny GDB_BENCH_SECS=2 GDB_BENCH_TERMINALS=8 \
         cargo run --release -q -p gdb-bench --bin "$fig" -- \
         --json "$tmp/$fig.json" >/dev/null
@@ -27,7 +27,8 @@ cargo run --release -q -p gdb-chaos --bin nemesis -- \
 cargo run --release -q -p gdb-bench --bin benchcmp -- merge \
     BENCH_smoke.json \
     "$tmp"/fig1a.json "$tmp"/fig6a.json "$tmp"/fig6b.json \
-    "$tmp"/fig6c.json "$tmp"/fig6d.json "$tmp"/nemesis.json
+    "$tmp"/fig6c.json "$tmp"/fig6d.json "$tmp"/ablation_rebalance.json \
+    "$tmp"/nemesis.json
 
 echo "==> small-scale Fig. 6a -> BENCH_fig6a.json"
 GDB_BENCH_SCALE=small GDB_BENCH_SECS=10 GDB_BENCH_TERMINALS=24 \

@@ -97,6 +97,7 @@ fn kind(e: &gaussdb_global::GdbError) -> &'static str {
         FreshnessUnsatisfiable(_) => "freshness",
         DuplicateKey(_) => "duplicate",
         NotFound(_) => "notfound",
+        StaleRoute(_) => "stale_route",
         Internal(_) => "internal",
     }
 }
