@@ -204,6 +204,98 @@ fn bench_sql(c: &mut Criterion) {
     group.finish();
 }
 
+/// The event-engine hot path: schedule-and-drain mixes on the timing
+/// wheel vs the frozen heap engine (`gdb_simnet::reference::HeapSim`),
+/// closure and typed-event flavors. Delays are short (bucket-ring hits)
+/// with a sprinkle of sub-slot and far-future inserts, matching the
+/// cluster's flush/deliver/RCP cadence.
+fn bench_scheduler(c: &mut Criterion) {
+    use gdb_simnet::reference::HeapSim;
+    use gdb_simnet::{Sim, TypedEvent};
+
+    const N: u64 = 64;
+    fn delay(i: u64) -> SimDuration {
+        // 0..~8ms mix with every 16th event far-future (> wheel window).
+        if i % 16 == 15 {
+            SimDuration::from_millis(200 + i)
+        } else {
+            SimDuration::from_nanos((i * 127_001) % 8_000_000)
+        }
+    }
+
+    enum Tick {
+        Bump,
+    }
+    impl TypedEvent<u64> for Tick {
+        fn fire(self, w: &mut u64, _sim: &mut Sim<u64, Tick>) {
+            *w += 1;
+        }
+    }
+
+    let mut group = c.benchmark_group("scheduler");
+    group.bench_function("wheel_typed_push_pop_64", |b| {
+        let mut sim: Sim<u64, Tick> = Sim::new();
+        let mut w = 0u64;
+        b.iter(|| {
+            for i in 0..N {
+                sim.schedule_event_after(delay(i), Tick::Bump);
+            }
+            while sim.step(&mut w) {}
+            black_box(w)
+        });
+    });
+    group.bench_function("wheel_closure_push_pop_64", |b| {
+        let mut sim: Sim<u64> = Sim::new();
+        let mut w = 0u64;
+        b.iter(|| {
+            for i in 0..N {
+                sim.schedule_after(delay(i), |w, _| *w += 1);
+            }
+            while sim.step(&mut w) {}
+            black_box(w)
+        });
+    });
+    group.bench_function("heap_closure_push_pop_64", |b| {
+        let mut sim: HeapSim<u64> = HeapSim::new();
+        let mut w = 0u64;
+        b.iter(|| {
+            for i in 0..N {
+                sim.schedule_after(delay(i), |w, _| *w += 1);
+            }
+            while sim.step(&mut w) {}
+            black_box(w)
+        });
+    });
+    group.finish();
+}
+
+/// Per-event metrics recording: pre-registered handles (array index)
+/// vs the string path (hash each name per call).
+fn bench_metrics(c: &mut Criterion) {
+    use gdb_obs::MetricsRegistry;
+
+    let mut group = c.benchmark_group("metrics");
+    group.bench_function("record_handle", |b| {
+        let mut m = MetricsRegistry::default();
+        let ticks = m.register_counter("txnmgr.commits");
+        let lat = m.register_histogram("txnmgr.latency_us");
+        let d = SimDuration::from_micros(850);
+        b.iter(|| {
+            m.bump(ticks);
+            m.record(lat, d);
+        });
+    });
+    group.bench_function("record_string", |b| {
+        let mut m = MetricsRegistry::default();
+        let d = SimDuration::from_micros(850);
+        b.iter(|| {
+            m.count("txnmgr.commits", 1);
+            m.observe("txnmgr.latency_us", d);
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_timestamp_oracles,
@@ -211,6 +303,8 @@ criterion_group!(
     bench_skyline,
     bench_redo,
     bench_mvcc,
-    bench_sql
+    bench_sql,
+    bench_scheduler,
+    bench_metrics
 );
 criterion_main!(benches);

@@ -4,8 +4,8 @@
 //! [`globaldb::GlobalDb`], so a fault fires from *inside* a scheduled
 //! simulation event exactly like the background activity it disturbs.
 
-use gdb_simnet::{NetNodeId, Sim};
-use globaldb::{GlobalDb, SimDuration, SimTime};
+use gdb_simnet::NetNodeId;
+use globaldb::{CoreSim, GlobalDb, SimDuration, SimTime};
 use std::collections::HashMap;
 
 /// One injectable fault. Injection faults usually come paired with their
@@ -92,7 +92,7 @@ impl Fault {
     pub fn apply(
         &self,
         db: &mut GlobalDb,
-        sim: &mut Sim<GlobalDb>,
+        sim: &mut CoreSim,
         state: &mut ChaosState,
         now: SimTime,
     ) -> String {

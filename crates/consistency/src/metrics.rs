@@ -12,3 +12,21 @@ pub const RCP_ROUND_US: &str = "consistency.rcp.round_us";
 pub const HEARTBEATS_SENT: &str = "consistency.heartbeats_sent";
 /// Old tuple versions reclaimed by vacuum.
 pub const VERSIONS_VACUUMED: &str = "consistency.versions_vacuumed";
+
+use gdb_obs::{HistId, MetricsRegistry};
+
+/// Pre-registered handle for the per-round RCP latency histogram (the
+/// other consistency counters are mirrored from `ClusterStats` at
+/// snapshot time, which is not a hot path).
+#[derive(Debug, Clone, Copy)]
+pub struct RcpHandles {
+    pub round_us: HistId,
+}
+
+impl RcpHandles {
+    pub fn register(m: &mut MetricsRegistry) -> Self {
+        RcpHandles {
+            round_us: m.register_histogram(RCP_ROUND_US),
+        }
+    }
+}

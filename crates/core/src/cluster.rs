@@ -18,6 +18,7 @@
 //! inside this crate.
 
 use crate::config::{ClusterConfig, Placement, RoutingPolicy};
+use crate::event::{CoreEvent, CoreSim};
 use crate::net::MessagePlane;
 use crate::rcp_driver::GtmRate;
 use crate::repl_driver::{Replica, Shard};
@@ -75,6 +76,8 @@ pub struct GlobalDb {
     pub(crate) stats: ClusterStats,
     /// Observability: trace spans (off by default) + metrics registry.
     pub(crate) obs: Obs,
+    /// Pre-registered metric handles for the hot record sites.
+    pub(crate) hot: crate::hot::HotMetrics,
     /// Last skyline pick per (CN, shard) — a change is a re-selection
     /// (counted, and spanned when tracing is on).
     pub(crate) last_skyline_pick: std::collections::HashMap<(usize, usize), crate::ror::ReadTarget>,
@@ -280,7 +283,7 @@ impl GlobalDb {
                     self.stats.record_txn(&outcome);
                     self.obs
                         .metrics
-                        .observe(gdb_txnmgr::metrics::LATENCY_US, outcome.latency);
+                        .record(self.hot.txn.latency_us, outcome.latency);
                     Ok((value, outcome))
                 }
                 Err(e) => {
@@ -390,7 +393,7 @@ impl GlobalDb {
 /// The cluster plus its event engine — the object users interact with.
 pub struct Cluster {
     pub db: GlobalDb,
-    pub sim: Sim<GlobalDb>,
+    pub sim: CoreSim,
 }
 
 impl Cluster {
@@ -471,6 +474,8 @@ impl Cluster {
         let shard_count = shards.len();
         let region_count = regions.len();
         let plane = MessagePlane::new(regions[0]);
+        let mut obs = Obs::new();
+        let hot = crate::hot::HotMetrics::register(&mut obs.metrics);
         let mut db = GlobalDb {
             config,
             topo,
@@ -488,7 +493,8 @@ impl Cluster {
             gtm_rate: GtmRate::default(),
             table_replication: std::collections::HashMap::new(),
             stats: ClusterStats::default(),
-            obs: Obs::new(),
+            obs,
+            hot,
             last_skyline_pick: std::collections::HashMap::new(),
             clock_sync_blocked: vec![false; cn_count],
             txn_seq: 0,
@@ -510,28 +516,21 @@ impl Cluster {
         };
         db.gtm.set_mode(db.config.tm_mode);
 
-        let mut sim = Sim::new();
-        // Schedule the recurring background activities.
+        let mut sim: CoreSim = Sim::new();
+        // Schedule the recurring background activities (typed events —
+        // stored inline in the queue, no per-event allocation).
         for s in 0..db.shards.len() {
             let interval = db.config.flush_interval;
-            sim.schedule_at(SimTime::ZERO + interval, move |w: &mut GlobalDb, sim| {
-                crate::repl_driver::flush_event(w, sim, s);
-            });
+            sim.schedule_event_at(SimTime::ZERO + interval, CoreEvent::FlushShard { shard: s });
         }
         for r in 0..db.regions.len() {
             let interval = db.config.rcp_interval;
-            sim.schedule_at(SimTime::ZERO + interval, move |w: &mut GlobalDb, sim| {
-                crate::rcp_driver::rcp_event(w, sim, r);
-            });
+            sim.schedule_event_at(SimTime::ZERO + interval, CoreEvent::RcpRound { region: r });
         }
         let hb = db.config.heartbeat_interval;
-        sim.schedule_at(SimTime::ZERO + hb, |w: &mut GlobalDb, sim| {
-            crate::rcp_driver::heartbeat_event(w, sim);
-        });
+        sim.schedule_event_at(SimTime::ZERO + hb, CoreEvent::Heartbeat);
         if let Some(interval) = db.config.vacuum_interval {
-            sim.schedule_at(SimTime::ZERO + interval, |w: &mut GlobalDb, sim| {
-                crate::rcp_driver::vacuum_event(w, sim);
-            });
+            sim.schedule_event_at(SimTime::ZERO + interval, CoreEvent::Vacuum);
         }
 
         Cluster { db, sim }

@@ -32,7 +32,9 @@
 
 pub mod cluster;
 pub mod config;
+pub mod event;
 pub mod frontend;
+pub(crate) mod hot;
 pub mod lifecycle;
 pub mod migrate;
 pub mod net;
@@ -46,6 +48,7 @@ pub mod txn;
 
 pub use cluster::{Cluster, Cn, GlobalDb};
 pub use config::{ClusterConfig, Geometry, RoutingPolicy};
+pub use event::{CoreEvent, CoreSim};
 pub use migrate::{Migration, MigrationPhase, ShardLoad};
 pub use net::{Envelope, MessagePlane, RpcKind, ALL_RPC_KINDS};
 pub use repl_driver::{Replica, Shard};

@@ -32,12 +32,13 @@
 //! children tile it exactly (aborts tile up to the abort instant).
 
 use crate::cluster::GlobalDb;
+use crate::event::CoreSim;
 use crate::net::RpcKind;
 use crate::shardlog::ShardLog;
 use gdb_model::{GdbError, GdbResult, Timestamp};
 use gdb_obs::SpanKind;
 use gdb_replication::{ReplicaApplier, ShippingChannel};
-use gdb_simnet::{NetNodeId, NodeKind, RegionId, Sim, SimDuration, SimTime};
+use gdb_simnet::{NetNodeId, NodeKind, RegionId, SimDuration, SimTime};
 
 /// Metric names owned by the migration executor (consumed by
 /// `gdb-rebalance`'s hot-shard detector via the metrics registry).
@@ -120,7 +121,7 @@ pub struct Migration {
 /// `rebalance.migrations_*` for the outcome.
 pub fn start_migration(
     db: &mut GlobalDb,
-    sim: &mut Sim<GlobalDb>,
+    sim: &mut CoreSim,
     shard_idx: usize,
     to_region: RegionId,
     to_host: u16,
@@ -218,7 +219,7 @@ pub fn start_migration(
 
 /// One step of the migration state machine (snapshot arrival, a catch-up
 /// round, or the cutover barrier elapsing).
-pub(crate) fn migration_tick(db: &mut GlobalDb, sim: &mut Sim<GlobalDb>, seq: u64) {
+pub(crate) fn migration_tick(db: &mut GlobalDb, sim: &mut CoreSim, seq: u64) {
     let now = sim.now();
     // Stale tick for a migration that already finished or aborted.
     if db.migration.as_ref().map(|m| m.seq) != Some(seq) {
@@ -264,7 +265,7 @@ pub(crate) fn migration_tick(db: &mut GlobalDb, sim: &mut Sim<GlobalDb>, seq: u6
 /// whose round spacing exceeds that cadence would otherwise chase the
 /// heartbeat tail forever. The residue is handled by the cutover's
 /// synchronous final drain either way.
-fn catchup_round(db: &mut GlobalDb, sim: &mut Sim<GlobalDb>, seq: u64, now: SimTime) {
+fn catchup_round(db: &mut GlobalDb, sim: &mut CoreSim, seq: u64, now: SimTime) {
     // Take the migration out so the shard log and the migration channel
     // can be borrowed together.
     let mut m = db.migration.take().unwrap();
@@ -331,13 +332,7 @@ fn catchup_round(db: &mut GlobalDb, sim: &mut Sim<GlobalDb>, seq: u64, now: SimT
 /// source-side redo (writers keep committing on the source; the final
 /// drain at the cutover instant catches them). The barrier begins once
 /// the last catch-up batch has landed (`from`).
-fn begin_barrier(
-    db: &mut GlobalDb,
-    sim: &mut Sim<GlobalDb>,
-    seq: u64,
-    now: SimTime,
-    from: SimTime,
-) {
+fn begin_barrier(db: &mut GlobalDb, sim: &mut CoreSim, seq: u64, now: SimTime, from: SimTime) {
     let mut m = db.migration.take().unwrap();
     let Some(rtt) = db
         .plane
@@ -358,7 +353,7 @@ fn begin_barrier(
 /// The cutover instant: seal the source log, drain the remaining redo
 /// into the target synchronously, swap ownership, bump the routing
 /// epoch, and announce the new route table to the CNs.
-fn cutover(db: &mut GlobalDb, sim: &mut Sim<GlobalDb>, now: SimTime) {
+fn cutover(db: &mut GlobalDb, sim: &mut CoreSim, now: SimTime) {
     let mut m = db.migration.take().unwrap();
     // Final drain: everything the source accepted before this instant —
     // including records staged with future apply instants (their commit

@@ -10,10 +10,11 @@
 //! its latency is modelled by the round's scheduling, not per message.
 
 use crate::cluster::GlobalDb;
+use crate::event::{CoreEvent, CoreSim};
 use crate::net::RpcKind;
 use gdb_model::Timestamp;
-use gdb_obs::SpanKind;
-use gdb_simnet::{Sim, SimDuration, SimTime};
+use gdb_obs::{SpanId, SpanKind};
+use gdb_simnet::{SimDuration, SimTime};
 use gdb_txnmgr::TmMode;
 use gdb_wal::RedoPayload;
 
@@ -51,7 +52,7 @@ impl GlobalDb {
             self.obs.tracer.end(span, now);
             self.obs
                 .metrics
-                .observe(gdb_consistency::metrics::RCP_ROUND_US, SimDuration::ZERO);
+                .record(self.hot.rcp.round_us, SimDuration::ZERO);
         }
     }
 
@@ -240,36 +241,49 @@ impl GlobalDb {
 
 // ---- Recurring event functions ------------------------------------------
 
-pub(crate) fn rcp_event(w: &mut GlobalDb, sim: &mut Sim<GlobalDb>, region: usize) {
+pub(crate) fn rcp_event(w: &mut GlobalDb, sim: &mut CoreSim, region: usize) {
     if w.config.rcp_two_phase {
         // Two-phase round: gather replica reports now, compute +
         // distribute after the gathering round trips. The gap is a real
         // vulnerability window — a collector crash in between abandons
         // the round. The round's span (and latency) covers collect
-        // through finish; the span id rides in the finish closure.
+        // through finish; the span id rides in the finish event.
         if let Some(collector_cn) = w.rcp_collect(region, sim.now()) {
             let start = sim.now();
             let span = w.obs.tracer.begin(SpanKind::RcpRound, region as u64, start);
             let gather = w.rcp_gather_delay(region, collector_cn);
-            sim.schedule_after(gather, move |w: &mut GlobalDb, sim| {
-                let now = sim.now();
-                w.rcp_finish(region, collector_cn, now);
-                w.obs.tracer.end(span, now);
-                w.obs
-                    .metrics
-                    .observe(gdb_consistency::metrics::RCP_ROUND_US, now.since(start));
-            });
+            sim.schedule_event_after(
+                gather,
+                CoreEvent::RcpFinish {
+                    region,
+                    collector_cn,
+                    span,
+                    start,
+                },
+            );
         }
     } else {
         w.rcp_round(region, sim.now());
     }
     let interval = w.config.rcp_interval;
-    sim.schedule_after(interval, move |w: &mut GlobalDb, sim| {
-        rcp_event(w, sim, region);
-    });
+    sim.schedule_event_after(interval, CoreEvent::RcpRound { region });
 }
 
-pub(crate) fn heartbeat_event(w: &mut GlobalDb, sim: &mut Sim<GlobalDb>) {
+pub(crate) fn rcp_finish_event(
+    w: &mut GlobalDb,
+    sim: &mut CoreSim,
+    region: usize,
+    collector_cn: usize,
+    span: Option<SpanId>,
+    start: SimTime,
+) {
+    let now = sim.now();
+    w.rcp_finish(region, collector_cn, now);
+    w.obs.tracer.end(span, now);
+    w.obs.metrics.record(w.hot.rcp.round_us, now.since(start));
+}
+
+pub(crate) fn heartbeat_event(w: &mut GlobalDb, sim: &mut CoreSim) {
     w.heartbeat(sim.now());
     // The heartbeat doubles as the clock-health watchdog: a failed clock
     // triggers the online fallback to GTM mode (Fig. 3).
@@ -277,18 +291,14 @@ pub(crate) fn heartbeat_event(w: &mut GlobalDb, sim: &mut Sim<GlobalDb>) {
         crate::transition::start_transition(w, sim, gdb_txnmgr::TransitionDirection::ToGtm);
     }
     let interval = w.config.heartbeat_interval;
-    sim.schedule_after(interval, move |w: &mut GlobalDb, sim| {
-        heartbeat_event(w, sim);
-    });
+    sim.schedule_event_after(interval, CoreEvent::Heartbeat);
 }
 
-pub(crate) fn vacuum_event(w: &mut GlobalDb, sim: &mut Sim<GlobalDb>) {
+pub(crate) fn vacuum_event(w: &mut GlobalDb, sim: &mut CoreSim) {
     let removed = w.vacuum();
     w.stats.versions_vacuumed += removed as u64;
     let Some(interval) = w.config.vacuum_interval else {
         return;
     };
-    sim.schedule_after(interval, move |w: &mut GlobalDb, sim| {
-        vacuum_event(w, sim);
-    });
+    sim.schedule_event_after(interval, CoreEvent::Vacuum);
 }

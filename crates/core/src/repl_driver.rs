@@ -13,11 +13,12 @@
 //! bytes are accounted on the link without a second latency draw.
 
 use crate::cluster::{Cluster, GlobalDb};
+use crate::event::{CoreEvent, CoreSim};
 use crate::net::RpcKind;
 use crate::shardlog::ShardLog;
 use gdb_obs::SpanKind;
 use gdb_replication::{ReplicaApplier, ShippingChannel};
-use gdb_simnet::{NetNodeId, RegionId, Sim, SimDuration, SimTime};
+use gdb_simnet::{NetNodeId, RegionId, SimDuration, SimTime};
 use gdb_storage::DataNodeStorage;
 use gdb_wal::RedoRecord;
 
@@ -117,13 +118,14 @@ impl GlobalDb {
         // stats: channels are replaced on promote/rejoin and would lose
         // their counters.
         let primary = self.shards[shard_idx].primary;
+        let ship = self.hot.ship;
         for (node, records, raw, wire, arrive) in shipped {
             let m = &mut self.obs.metrics;
-            m.incr(gdb_replication::metrics::SHIP_BATCHES);
-            m.count(gdb_replication::metrics::SHIP_RECORDS, records);
-            m.count(gdb_replication::metrics::SHIP_RAW_BYTES, raw);
-            m.count(gdb_replication::metrics::SHIP_WIRE_BYTES, wire);
-            m.observe(gdb_replication::metrics::SHIP_BATCH_US, arrive.since(now));
+            m.bump(ship.batches);
+            m.add(ship.records, records);
+            m.add(ship.raw_bytes, raw);
+            m.add(ship.wire_bytes, wire);
+            m.record(ship.batch_us, arrive.since(now));
             // The propagation probe above carried 1 byte; account the rest
             // of the batch on the link so traffic totals reflect shipping.
             self.plane.charge_bytes(
@@ -203,22 +205,21 @@ impl Cluster {
 }
 
 /// Recurring flush event: ship one shard's sealed redo, schedule the
-/// deliveries and replays, and re-arm.
-pub(crate) fn flush_event(w: &mut GlobalDb, sim: &mut Sim<GlobalDb>, shard: usize) {
+/// deliveries and replays (typed, allocation-free), and re-arm.
+pub(crate) fn flush_event(w: &mut GlobalDb, sim: &mut CoreSim, shard: usize) {
     let now = sim.now();
     let deliveries = w.flush_shard(shard, now);
     for (node, epoch, deliver_at, records) in deliveries {
-        sim.schedule_at(deliver_at, move |w: &mut GlobalDb, sim| {
-            let Some(done) = w.deliver_batch(shard, node, epoch, records.len(), sim.now()) else {
-                return;
-            };
-            sim.schedule_at(done, move |w: &mut GlobalDb, sim| {
-                w.apply_batch(shard, node, epoch, &records, sim.now());
-            });
-        });
+        sim.schedule_event_at(
+            deliver_at,
+            CoreEvent::DeliverBatch {
+                shard,
+                node,
+                epoch,
+                records,
+            },
+        );
     }
     let interval = w.config.flush_interval;
-    sim.schedule_after(interval, move |w: &mut GlobalDb, sim| {
-        flush_event(w, sim, shard);
-    });
+    sim.schedule_event_after(interval, CoreEvent::FlushShard { shard });
 }

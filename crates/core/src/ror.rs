@@ -148,14 +148,10 @@ impl GlobalDb {
     /// one for the same (CN, shard) is a re-selection (the router moved
     /// the read traffic) and is recorded as a `skyline_reselect` span.
     fn note_skyline_pick(&mut self, cn: usize, shard: usize, target: ReadTarget, now: SimTime) {
-        self.obs
-            .metrics
-            .incr(gdb_router::metrics::SKYLINE_SELECTIONS);
+        self.obs.metrics.bump(self.hot.router.skyline_selections);
         let prev = self.last_skyline_pick.insert((cn, shard), target);
         if prev.is_some_and(|p| p != target) {
-            self.obs
-                .metrics
-                .incr(gdb_router::metrics::SKYLINE_RESELECTIONS);
+            self.obs.metrics.bump(self.hot.router.skyline_reselections);
             self.obs.tracer.record(
                 gdb_obs::SpanKind::SkylineReselect,
                 ((cn as u64) << 32) | shard as u64,

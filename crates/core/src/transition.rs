@@ -14,9 +14,10 @@
 //! tested in `tests/observability.rs`.
 
 use crate::cluster::GlobalDb;
+use crate::event::CoreSim;
 use crate::net::RpcKind;
 use gdb_obs::SpanKind;
-use gdb_simnet::{Sim, SimTime};
+use gdb_simnet::SimTime;
 use gdb_txnmgr::{handle_cn_msg, TmMsg, TransitionDirection, TransitionEvent};
 
 /// Phase boundaries of the in-flight transition, filled in as the
@@ -35,11 +36,7 @@ pub(crate) struct TransitionTrace {
 }
 
 /// Start a transition at the current virtual time.
-pub fn start_transition(
-    db: &mut GlobalDb,
-    sim: &mut Sim<GlobalDb>,
-    direction: TransitionDirection,
-) {
+pub fn start_transition(db: &mut GlobalDb, sim: &mut CoreSim, direction: TransitionDirection) {
     db.last_transition_completed = None;
     db.transition_trace = Some(TransitionTrace {
         direction,
@@ -58,7 +55,7 @@ pub fn start_transition(
 
 /// Apply orchestrator side effects: send messages (with latency) or arm
 /// the hold timer.
-fn enact(db: &mut GlobalDb, sim: &mut Sim<GlobalDb>, events: Vec<TransitionEvent>) {
+fn enact(db: &mut GlobalDb, sim: &mut CoreSim, events: Vec<TransitionEvent>) {
     let now = sim.now();
     for ev in events {
         match ev {
@@ -152,7 +149,7 @@ fn record_transition_spans(db: &mut GlobalDb, trace: &TransitionTrace, completed
     );
 }
 
-fn deliver_to_cn(db: &mut GlobalDb, sim: &mut Sim<GlobalDb>, cn: usize, msg: TmMsg) {
+fn deliver_to_cn(db: &mut GlobalDb, sim: &mut CoreSim, cn: usize, msg: TmMsg) {
     let now = sim.now();
     db.sync_cn_clock(cn, now);
     let reply = handle_cn_msg(cn, &mut db.cns[cn].tm, &msg, now);

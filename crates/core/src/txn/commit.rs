@@ -461,17 +461,14 @@ impl<'a> TxnHandle<'a> {
     /// ends at its shard's ack, so together they cover the parent exactly
     /// (the phase ends when its slowest branch does).
     fn record_phases(&mut self, exec_done: SimTime, write: Option<WritePhases>) {
-        use gdb_txnmgr::metrics as tm;
+        let tm = self.db.hot.txn;
         let m = &mut self.db.obs.metrics;
-        m.observe(
-            tm::PHASE_SNAPSHOT_US,
-            self.begin_done.since(self.started_at),
-        );
-        m.observe(tm::PHASE_EXECUTE_US, exec_done.since(self.begin_done));
+        m.record(tm.phase_snapshot_us, self.begin_done.since(self.started_at));
+        m.record(tm.phase_execute_us, exec_done.since(self.begin_done));
         if let Some(w) = &write {
-            m.observe(tm::PHASE_PREPARE_US, w.prepare_done.since(exec_done));
-            m.observe(tm::PHASE_COMMIT_WAIT_US, w.wait_end.since(w.prepare_done));
-            m.observe(tm::PHASE_REPLICATION_ACK_US, w.ack.since(w.wait_end));
+            m.record(tm.phase_prepare_us, w.prepare_done.since(exec_done));
+            m.record(tm.phase_commit_wait_us, w.wait_end.since(w.prepare_done));
+            m.record(tm.phase_replication_ack_us, w.ack.since(w.wait_end));
         }
         let t = &mut self.db.obs.tracer;
         if t.is_enabled() {

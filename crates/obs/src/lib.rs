@@ -28,10 +28,12 @@ pub mod report;
 pub mod span;
 
 pub use json::Json;
-pub use metrics::{HistSummary, Metric, MetricName, MetricsRegistry, MetricsReport};
+pub use metrics::{
+    CounterId, HistId, HistSummary, Metric, MetricName, MetricsRegistry, MetricsReport,
+};
 pub use report::{
     bundle, compare_artifacts, load_artifacts, to_chrome_trace, BenchArtifact, BenchSeries,
-    Comparison, NetStats,
+    Comparison, NetStats, WALL_BASELINE_LABEL, WALL_CLOCK_KEY,
 };
 pub use span::{Span, SpanId, SpanKind, Tracer};
 

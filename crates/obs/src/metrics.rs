@@ -11,9 +11,25 @@
 //! instrument. Storage is `BTreeMap`-backed so snapshots iterate in
 //! deterministic name order.
 //!
+//! # Handles
+//!
+//! Per-transaction and per-message call sites should not pay a string
+//! `BTreeMap` lookup per record. [`MetricsRegistry::register_counter`] /
+//! [`MetricsRegistry::register_histogram`] resolve a name once to a
+//! [`CounterId`] / [`HistId`] — a plain `Vec` slot index — and the hot
+//! methods ([`MetricsRegistry::add`], [`MetricsRegistry::bump`],
+//! [`MetricsRegistry::record`]) are direct indexed writes. The name→id
+//! map is consulted only at registration and by the string-path methods,
+//! which transparently forward to the slot when a name is registered (so
+//! mixed usage stays consistent). A slot appears in [`snapshot`] only
+//! once touched, keeping snapshots bit-identical with the old implicit
+//! registration no matter how many instruments are pre-registered.
+//!
 //! Histograms use [`LatencyHistogram::bounded`] — O(1) memory streaming
 //! summaries — so per-transaction hot paths never accumulate per-sample
 //! storage.
+//!
+//! [`snapshot`]: MetricsRegistry::snapshot
 
 use gdb_simnet::stats::LatencyHistogram;
 use gdb_simnet::SimDuration;
@@ -24,12 +40,32 @@ use std::collections::BTreeMap;
 /// Instrument name: a static constant or an owned labelled name.
 pub type MetricName = Cow<'static, str>;
 
+/// Handle to a pre-registered counter: a direct `Vec` slot index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterId(u32);
+
+/// Handle to a pre-registered histogram: a direct `Vec` slot index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistId(u32);
+
 /// Live instrument storage.
 #[derive(Debug, Default, Serialize, Deserialize)]
 pub struct MetricsRegistry {
     counters: BTreeMap<MetricName, u64>,
     gauges: BTreeMap<MetricName, f64>,
     histograms: BTreeMap<MetricName, LatencyHistogram>,
+    /// Slot storage for handle-based counters, parallel to
+    /// `counter_touched` / `counter_names`.
+    counter_slots: Vec<u64>,
+    /// Whether the slot has ever been written — untouched pre-registered
+    /// slots are excluded from snapshots, so registration alone never
+    /// changes a report.
+    counter_touched: Vec<bool>,
+    counter_names: Vec<MetricName>,
+    counter_ids: BTreeMap<MetricName, u32>,
+    hist_slots: Vec<LatencyHistogram>,
+    hist_names: Vec<MetricName>,
+    hist_ids: BTreeMap<MetricName, u32>,
 }
 
 impl MetricsRegistry {
@@ -37,9 +73,67 @@ impl MetricsRegistry {
         Self::default()
     }
 
+    /// Resolve `name` to a counter slot, creating it on first call. Any
+    /// value the string path already accumulated is adopted by the slot.
+    pub fn register_counter(&mut self, name: impl Into<MetricName>) -> CounterId {
+        let name = name.into();
+        if let Some(&id) = self.counter_ids.get(&name) {
+            return CounterId(id);
+        }
+        let id = self.counter_slots.len() as u32;
+        let existing = self.counters.remove(&name);
+        self.counter_touched.push(existing.is_some());
+        self.counter_slots.push(existing.unwrap_or(0));
+        self.counter_names.push(name.clone());
+        self.counter_ids.insert(name, id);
+        CounterId(id)
+    }
+
+    /// Resolve `name` to a histogram slot, creating it on first call.
+    pub fn register_histogram(&mut self, name: impl Into<MetricName>) -> HistId {
+        let name = name.into();
+        if let Some(&id) = self.hist_ids.get(&name) {
+            return HistId(id);
+        }
+        let id = self.hist_slots.len() as u32;
+        let existing = self.histograms.remove(&name);
+        self.hist_slots
+            .push(existing.unwrap_or_else(LatencyHistogram::bounded));
+        self.hist_names.push(name.clone());
+        self.hist_ids.insert(name, id);
+        HistId(id)
+    }
+
+    /// Add `delta` to a registered counter — one indexed write, no lookup.
+    #[inline]
+    pub fn add(&mut self, id: CounterId, delta: u64) {
+        let i = id.0 as usize;
+        self.counter_slots[i] += delta;
+        self.counter_touched[i] = true;
+    }
+
+    /// Increment a registered counter by one.
+    #[inline]
+    pub fn bump(&mut self, id: CounterId) {
+        self.add(id, 1);
+    }
+
+    /// Record one latency observation into a registered histogram — one
+    /// indexed write, no lookup.
+    #[inline]
+    pub fn record(&mut self, id: HistId, d: SimDuration) {
+        self.hist_slots[id.0 as usize].record(d);
+    }
+
     /// Add `delta` to counter `name` (created at zero on first use).
+    /// Forwards to the slot if `name` was registered.
     pub fn count(&mut self, name: impl Into<MetricName>, delta: u64) {
-        *self.counters.entry(name.into()).or_insert(0) += delta;
+        let name = name.into();
+        if let Some(&id) = self.counter_ids.get(&name) {
+            self.add(CounterId(id), delta);
+        } else {
+            *self.counters.entry(name).or_insert(0) += delta;
+        }
     }
 
     pub fn incr(&mut self, name: impl Into<MetricName>) {
@@ -49,7 +143,14 @@ impl MetricsRegistry {
     /// Set counter `name` to an absolute value (for mirroring externally
     /// maintained totals into the registry at snapshot time).
     pub fn set_counter(&mut self, name: impl Into<MetricName>, value: u64) {
-        self.counters.insert(name.into(), value);
+        let name = name.into();
+        if let Some(&id) = self.counter_ids.get(&name) {
+            let i = id as usize;
+            self.counter_slots[i] = value;
+            self.counter_touched[i] = true;
+        } else {
+            self.counters.insert(name, value);
+        }
     }
 
     pub fn gauge(&mut self, name: impl Into<MetricName>, value: f64) {
@@ -57,38 +158,72 @@ impl MetricsRegistry {
     }
 
     /// Record one latency observation into bounded histogram `name`.
+    /// Forwards to the slot if `name` was registered.
     pub fn observe(&mut self, name: impl Into<MetricName>, d: SimDuration) {
-        self.histograms
-            .entry(name.into())
-            .or_insert_with(LatencyHistogram::bounded)
-            .record(d);
+        let name = name.into();
+        if let Some(&id) = self.hist_ids.get(&name) {
+            self.record(HistId(id), d);
+        } else {
+            self.histograms
+                .entry(name)
+                .or_insert_with(LatencyHistogram::bounded)
+                .record(d);
+        }
     }
 
     /// Replace histogram `name` wholesale (for mirroring histograms
     /// maintained outside the registry into a snapshot).
     pub fn set_histogram(&mut self, name: impl Into<MetricName>, h: LatencyHistogram) {
-        self.histograms.insert(name.into(), h);
+        let name = name.into();
+        if let Some(&id) = self.hist_ids.get(&name) {
+            self.hist_slots[id as usize] = h;
+        } else {
+            self.histograms.insert(name, h);
+        }
     }
 
     pub fn counter(&self, name: &str) -> u64 {
+        if let Some(&id) = self.counter_ids.get(name) {
+            return self.counter_slots[id as usize];
+        }
         self.counters.get(name).copied().unwrap_or(0)
     }
 
     pub fn histogram(&self, name: &str) -> Option<&LatencyHistogram> {
+        if let Some(&id) = self.hist_ids.get(name) {
+            let h = &self.hist_slots[id as usize];
+            return if h.is_empty() { None } else { Some(h) };
+        }
         self.histograms.get(name)
     }
 
     /// Freeze the registry into a comparable, serializable report.
+    /// Registered slots are included only once touched (counters) or
+    /// non-empty (histograms), so the report is identical whether an
+    /// instrument went through the handle or the string path.
     pub fn snapshot(&self) -> MetricsReport {
         let mut metrics = BTreeMap::new();
         for (name, &v) in &self.counters {
             metrics.insert(name.to_string(), Metric::Counter(v));
+        }
+        for (i, &v) in self.counter_slots.iter().enumerate() {
+            if self.counter_touched[i] {
+                metrics.insert(self.counter_names[i].to_string(), Metric::Counter(v));
+            }
         }
         for (name, &v) in &self.gauges {
             metrics.insert(name.to_string(), Metric::Gauge(v));
         }
         for (name, h) in &self.histograms {
             metrics.insert(name.to_string(), Metric::Histogram(HistSummary::of(h)));
+        }
+        for (i, h) in self.hist_slots.iter().enumerate() {
+            if !h.is_empty() {
+                metrics.insert(
+                    self.hist_names[i].to_string(),
+                    Metric::Histogram(HistSummary::of(h)),
+                );
+            }
         }
         MetricsReport { metrics }
     }
@@ -205,13 +340,16 @@ impl MetricsReport {
     }
 
     /// Encode as a JSON object, one member per metric, in name order.
+    /// Counters encode as bare numbers; gauges are tagged
+    /// (`{"gauge": v}`) so an integral gauge value survives the round
+    /// trip as a gauge instead of decoding as a counter.
     pub fn to_json(&self) -> crate::Json {
         use crate::Json;
         let mut pairs = Vec::with_capacity(self.metrics.len());
         for (name, m) in &self.metrics {
             let v = match m {
                 Metric::Counter(c) => Json::u64(*c),
-                Metric::Gauge(g) => Json::Num(*g),
+                Metric::Gauge(g) => Json::obj(vec![("gauge", Json::Num(*g))]),
                 Metric::Histogram(h) => h.to_json(),
             };
             pairs.push((name.clone(), v));
@@ -219,9 +357,11 @@ impl MetricsReport {
         Json::Obj(pairs)
     }
 
-    /// Decode a report encoded by [`MetricsReport::to_json`]. A JSON
-    /// number is a counter if integral, a gauge otherwise; an object is a
-    /// histogram summary.
+    /// Decode a report encoded by [`MetricsReport::to_json`]. A bare JSON
+    /// number is a counter if integral; a `{"gauge": v}` object is a
+    /// gauge; any other object is a histogram summary. A bare
+    /// non-integral number still decodes as a gauge for artifacts written
+    /// before gauges were tagged.
     pub fn from_json(v: &crate::Json) -> Result<Self, String> {
         use crate::Json;
         let pairs = v.as_obj().ok_or("metrics: expected object")?;
@@ -230,6 +370,13 @@ impl MetricsReport {
             let m = match val {
                 Json::Num(n) if *n == n.trunc() && *n >= 0.0 => Metric::Counter(*n as u64),
                 Json::Num(n) => Metric::Gauge(*n),
+                Json::Obj(members) if members.len() == 1 && members[0].0 == "gauge" => {
+                    let g = members[0]
+                        .1
+                        .as_f64()
+                        .ok_or_else(|| format!("metrics.{name}: gauge must be a number"))?;
+                    Metric::Gauge(g)
+                }
                 Json::Obj(_) => {
                     Metric::Histogram(HistSummary::from_json(val, &format!("metrics.{name}"))?)
                 }
@@ -298,5 +445,76 @@ mod tests {
         let text = snap.to_json().to_pretty();
         let back = MetricsReport::from_json(&crate::Json::parse(&text).unwrap()).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn integral_gauge_round_trips_as_gauge() {
+        // Regression: `gauge("a.load", 2.0)` used to decode as
+        // `Metric::Counter(2)` because counters and gauges shared the
+        // bare-number encoding.
+        let mut r = MetricsRegistry::new();
+        r.gauge("a.load", 2.0);
+        r.count("a.n", 2);
+        let snap = r.snapshot();
+        let text = snap.to_json().to_pretty();
+        let back = MetricsReport::from_json(&crate::Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.gauge("a.load"), Some(2.0));
+        assert_eq!(back.counter("a.load"), None);
+        assert_eq!(back.counter("a.n"), Some(2));
+    }
+
+    #[test]
+    fn legacy_untagged_gauges_still_decode() {
+        // Artifacts written before gauges were tagged carry them as bare
+        // non-integral numbers.
+        let back =
+            MetricsReport::from_json(&crate::Json::parse(r#"{"a.load": 0.5, "a.n": 3}"#).unwrap())
+                .unwrap();
+        assert_eq!(back.gauge("a.load"), Some(0.5));
+        assert_eq!(back.counter("a.n"), Some(3));
+    }
+
+    #[test]
+    fn handles_resolve_to_slots_and_interop_with_strings() {
+        let mut r = MetricsRegistry::new();
+        // Registration adopts a value the string path already recorded.
+        r.count("a.events", 2);
+        let c = r.register_counter("a.events");
+        assert_eq!(r.register_counter("a.events"), c);
+        r.add(c, 3);
+        r.bump(c);
+        // The string path forwards to the slot after registration.
+        r.incr("a.events");
+        assert_eq!(r.counter("a.events"), 7);
+
+        let h = r.register_histogram("a.lat_us");
+        r.record(h, SimDuration::from_micros(10));
+        r.observe("a.lat_us", SimDuration::from_micros(30));
+        assert_eq!(r.histogram("a.lat_us").unwrap().len(), 2);
+
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("a.events"), Some(7));
+        assert_eq!(snap.histogram("a.lat_us").unwrap().count, 2);
+    }
+
+    #[test]
+    fn untouched_registered_instruments_stay_out_of_snapshots() {
+        // Pre-registering a fleet of instruments at startup must not
+        // change any snapshot until they are actually used — committed
+        // baselines rely on snapshot-identical behavior.
+        let mut with_handles = MetricsRegistry::new();
+        let c = with_handles.register_counter("x.used");
+        with_handles.register_counter("x.never");
+        with_handles.register_histogram("x.lat_never_us");
+        let h = with_handles.register_histogram("x.lat_us");
+        with_handles.add(c, 5);
+        with_handles.record(h, SimDuration::from_micros(7));
+
+        let mut plain = MetricsRegistry::new();
+        plain.count("x.used", 5);
+        plain.observe("x.lat_us", SimDuration::from_micros(7));
+
+        assert_eq!(with_handles.snapshot(), plain.snapshot());
     }
 }

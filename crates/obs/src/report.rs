@@ -178,6 +178,15 @@ impl BenchArtifact {
         self.config.push((key.into(), value.to_string()));
     }
 
+    /// Whether this artifact holds machine-local wall-clock measurements
+    /// (see [`WALL_CLOCK_KEY`]): the gate then compares speedup ratios
+    /// only, never absolute numbers.
+    pub fn is_wall_clock(&self) -> bool {
+        self.config
+            .iter()
+            .any(|(k, v)| k == WALL_CLOCK_KEY && v == "true")
+    }
+
     pub fn to_json(&self) -> Json {
         let config = self
             .config
@@ -322,6 +331,28 @@ pub fn to_chrome_trace(tracer: &Tracer) -> String {
 /// wait, synchronous replication acknowledgement).
 pub const GATED_PHASES: &[&str] = &["commit_wait", "replication_ack"];
 
+/// Config key (`"wall_clock" = "true"`) marking an artifact as measured
+/// in *wall-clock* time. Wall-clock numbers are machine-local: the same
+/// commit produces wildly different events/sec on a laptop vs a CI
+/// runner, so the gate must never compare their absolute values across
+/// machines. Instead, a wall-clock artifact carries its own in-run
+/// baseline — a series labelled [`WALL_BASELINE_LABEL`] re-measured on
+/// the same machine in the same process — and only the *speedup ratio*
+/// of every other series over it is gated.
+pub const WALL_CLOCK_KEY: &str = "wall_clock";
+
+/// The in-run baseline series of a wall-clock artifact (the frozen
+/// pre-optimization engine, re-run on the current machine).
+pub const WALL_BASELINE_LABEL: &str = "legacy";
+
+/// Relative slack on speedup ratios: wall-clock runs are noisy (CPU
+/// contention, thermal state), so the gate only fails on a large move.
+const WALL_SLACK: f64 = 0.35;
+
+/// Absolute floor: whatever the blessed speedup was, the optimized
+/// engine must stay at least this much faster than the frozen baseline.
+const WALL_SPEEDUP_FLOOR: f64 = 1.2;
+
 /// Absolute slack for phase-mean comparisons: sub-50 µs phases are
 /// dominated by quantization and scheduling noise, not regressions.
 const PHASE_SLACK_US: f64 = 50.0;
@@ -345,10 +376,10 @@ pub struct Comparison {
 
 impl Comparison {
     pub fn render(&self) -> String {
-        let unit = if self.metric == "throughput" {
-            "txn/s"
-        } else {
-            "us mean"
+        let unit = match self.metric.as_str() {
+            "throughput" => "txn/s",
+            "speedup" => "x over legacy",
+            _ => "us mean",
         };
         format!(
             "{:4} {}/{} {}: baseline {:.1} {unit}, current {:.1} ({:+.1}%)",
@@ -369,6 +400,13 @@ impl Comparison {
 /// `tolerance` relative phase-mean growth (plus a small absolute slack).
 /// Series only in `current` are ignored (adding figures never fails the
 /// gate).
+///
+/// Artifacts whose config carries [`WALL_CLOCK_KEY`]` = "true"` are
+/// machine-local and take a different path: only the speedup of each
+/// series over the artifact's [`WALL_BASELINE_LABEL`] series is gated
+/// (generous slack, absolute floor), never throughput, latency, or any
+/// absolute wall-clock number. A wall-clock artifact with no baseline
+/// series is informational and produces no comparisons.
 pub fn compare_artifacts(
     baseline: &[BenchArtifact],
     current: &[BenchArtifact],
@@ -377,6 +415,10 @@ pub fn compare_artifacts(
     let mut out = Vec::new();
     for base in baseline {
         let cur_art = current.iter().find(|a| a.figure == base.figure);
+        if base.is_wall_clock() {
+            compare_wall_clock(base, cur_art, &mut out);
+            continue;
+        }
         for bs in &base.series {
             let cur = cur_art.and_then(|a| a.series.iter().find(|s| s.label == bs.label));
             match cur {
@@ -430,6 +472,52 @@ pub fn compare_artifacts(
         }
     }
     out
+}
+
+/// The wall-clock leg of the gate: for every non-baseline series of a
+/// wall-clock artifact, the current run's speedup over its own in-run
+/// `legacy` series must hold up against the blessed speedup — within
+/// [`WALL_SLACK`] relative and never below [`WALL_SPEEDUP_FLOOR`].
+fn compare_wall_clock(
+    base: &BenchArtifact,
+    cur_art: Option<&BenchArtifact>,
+    out: &mut Vec<Comparison>,
+) {
+    let speedup_in = |a: &BenchArtifact, label: &str| -> Option<f64> {
+        let denom = a
+            .series
+            .iter()
+            .find(|s| s.label == WALL_BASELINE_LABEL)?
+            .throughput_txn_s;
+        let num = a.series.iter().find(|s| s.label == label)?.throughput_txn_s;
+        (denom > 0.0).then(|| num / denom)
+    };
+    for bs in &base.series {
+        if bs.label == WALL_BASELINE_LABEL {
+            continue;
+        }
+        // No in-run baseline series in the blessed artifact: the series
+        // is informational (nothing machine-portable to gate).
+        let Some(base_speedup) = speedup_in(base, &bs.label) else {
+            continue;
+        };
+        let cur_speedup = cur_art.and_then(|a| speedup_in(a, &bs.label));
+        let cur = cur_speedup.unwrap_or(0.0);
+        let threshold = (base_speedup * (1.0 - WALL_SLACK)).max(WALL_SPEEDUP_FLOOR);
+        out.push(Comparison {
+            figure: base.figure.clone(),
+            label: bs.label.clone(),
+            metric: "speedup".into(),
+            baseline: base_speedup,
+            current: cur,
+            ratio: if base_speedup > 0.0 {
+                cur / base_speedup
+            } else {
+                1.0
+            },
+            ok: cur_speedup.is_some_and(|c| c >= threshold),
+        });
+    }
 }
 
 #[cfg(test)]
@@ -573,6 +661,62 @@ mod tests {
         );
         assert_eq!(faster.len(), 2);
         assert!(faster.iter().all(|c| c.ok));
+    }
+
+    /// A wall-clock artifact: in-run `legacy` baseline plus a `fast`
+    /// series, absolute numbers machine-local by construction.
+    fn wall_artifact(fast_eps: f64, legacy_eps: f64) -> BenchArtifact {
+        let mut a = artifact("engine", "fast", fast_eps);
+        a.config_kv(WALL_CLOCK_KEY, "true");
+        a.series[0].phases.clear();
+        let mut legacy = a.series[0].clone();
+        legacy.label = WALL_BASELINE_LABEL.into();
+        legacy.throughput_txn_s = legacy_eps;
+        a.series.push(legacy);
+        a
+    }
+
+    #[test]
+    fn wall_clock_gate_compares_speedup_only() {
+        // Blessed: 3x speedup at 6M events/s.
+        let base = vec![wall_artifact(6_000_000.0, 2_000_000.0)];
+        // A machine 10x slower in absolute terms but with the same
+        // speedup passes — wall-clock absolutes are never gated.
+        let out = compare_artifacts(&base, &[wall_artifact(600_000.0, 200_000.0)], 0.20);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].metric, "speedup");
+        assert!(out[0].ok, "{out:?}");
+        assert!(out[0].render().contains("x over legacy"));
+        // Speedup held within slack (3.0 -> 2.2 with 35% slack) passes.
+        let out = compare_artifacts(&base, &[wall_artifact(4_400_000.0, 2_000_000.0)], 0.20);
+        assert!(out[0].ok, "{out:?}");
+        // Speedup collapsed to 1.1x: below both the relative slack and
+        // the absolute floor — fails.
+        let out = compare_artifacts(&base, &[wall_artifact(2_200_000.0, 2_000_000.0)], 0.20);
+        assert!(!out[0].ok, "{out:?}");
+        // Series missing from the current run fails.
+        let mut gone = wall_artifact(1.0, 1.0);
+        gone.series.retain(|s| s.label == WALL_BASELINE_LABEL);
+        let out = compare_artifacts(&base, &[gone], 0.20);
+        assert!(!out[0].ok, "{out:?}");
+        // An informational wall-clock artifact (no legacy series) is
+        // never gated.
+        let mut info = wall_artifact(5.0, 5.0);
+        info.figure = "engine_cluster".into();
+        info.series.retain(|s| s.label == "fast");
+        let out = compare_artifacts(&[info], &[], 0.20);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn wall_clock_floor_binds_even_when_baseline_was_modest() {
+        // Blessed speedup 1.5x: the 35% slack alone would allow 0.98x,
+        // but the absolute floor keeps the gate at 1.2x.
+        let base = vec![wall_artifact(1_500_000.0, 1_000_000.0)];
+        let out = compare_artifacts(&base, &[wall_artifact(1_190_000.0, 1_000_000.0)], 0.20);
+        assert!(!out[0].ok, "below floor must fail: {out:?}");
+        let out = compare_artifacts(&base, &[wall_artifact(1_250_000.0, 1_000_000.0)], 0.20);
+        assert!(out[0].ok, "above floor within slack must pass: {out:?}");
     }
 
     #[test]

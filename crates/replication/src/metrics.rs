@@ -14,3 +14,28 @@ pub const SHIP_RAW_BYTES: &str = "replication.ship.raw_bytes";
 pub const SHIP_WIRE_BYTES: &str = "replication.ship.wire_bytes";
 /// Seal-to-arrival latency of one shipped batch.
 pub const SHIP_BATCH_US: &str = "replication.ship.batch_us";
+
+use gdb_obs::{CounterId, HistId, MetricsRegistry};
+
+/// Pre-registered handles for the per-batch shipping hot path (recorded
+/// once per shipped batch at flush time).
+#[derive(Debug, Clone, Copy)]
+pub struct ShipHandles {
+    pub batches: CounterId,
+    pub records: CounterId,
+    pub raw_bytes: CounterId,
+    pub wire_bytes: CounterId,
+    pub batch_us: HistId,
+}
+
+impl ShipHandles {
+    pub fn register(m: &mut MetricsRegistry) -> Self {
+        ShipHandles {
+            batches: m.register_counter(SHIP_BATCHES),
+            records: m.register_counter(SHIP_RECORDS),
+            raw_bytes: m.register_counter(SHIP_RAW_BYTES),
+            wire_bytes: m.register_counter(SHIP_WIRE_BYTES),
+            batch_us: m.register_histogram(SHIP_BATCH_US),
+        }
+    }
+}

@@ -17,3 +17,23 @@ pub const SKYLINE_RESELECTIONS: &str = "router.skyline.reselections";
 /// carried a stale routing epoch (the shard migrated under it). The
 /// reject is retryable; the retry re-routes at the fresh epoch.
 pub const STALE_ROUTE_REJECTS: &str = "router.stale_route_rejects";
+
+use gdb_obs::{CounterId, MetricsRegistry};
+
+/// Pre-registered handles for the per-routed-read hot path (one skyline
+/// evaluation per replica-eligible read; the remaining router counters
+/// are mirrored from `ClusterStats` at snapshot time).
+#[derive(Debug, Clone, Copy)]
+pub struct RouterHandles {
+    pub skyline_selections: CounterId,
+    pub skyline_reselections: CounterId,
+}
+
+impl RouterHandles {
+    pub fn register(m: &mut MetricsRegistry) -> Self {
+        RouterHandles {
+            skyline_selections: m.register_counter(SKYLINE_SELECTIONS),
+            skyline_reselections: m.register_counter(SKYLINE_RESELECTIONS),
+        }
+    }
+}

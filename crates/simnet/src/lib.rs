@@ -19,11 +19,12 @@
 
 pub mod event;
 pub mod metrics;
+pub mod reference;
 pub mod stats;
 pub mod time;
 pub mod topology;
 
-pub use event::Sim;
+pub use event::{NoEvent, Sim, TypedEvent};
 pub use time::{SimDuration, SimTime};
 pub use topology::{
     CongestionModel, LinkParams, NetNodeId, NodeKind, RegionId, Topology, TopologyBuilder,

@@ -29,3 +29,32 @@ pub const PHASE_REPLICATION_ACK_US: &str = "txnmgr.phase.replication_ack_us";
 /// The prefix shared by all phase histograms; benches strip it to build
 /// the `phases_us` artifact section.
 pub const PHASE_PREFIX: &str = "txnmgr.phase.";
+
+use gdb_obs::{HistId, MetricsRegistry};
+
+/// Pre-registered handles for the per-transaction hot path: the
+/// end-to-end latency histogram and the five phase histograms recorded on
+/// every commit. Resolved once at cluster construction; recording through
+/// them is a direct slot write (see `gdb_obs::metrics`).
+#[derive(Debug, Clone, Copy)]
+pub struct TxnHandles {
+    pub latency_us: HistId,
+    pub phase_snapshot_us: HistId,
+    pub phase_execute_us: HistId,
+    pub phase_prepare_us: HistId,
+    pub phase_commit_wait_us: HistId,
+    pub phase_replication_ack_us: HistId,
+}
+
+impl TxnHandles {
+    pub fn register(m: &mut MetricsRegistry) -> Self {
+        TxnHandles {
+            latency_us: m.register_histogram(LATENCY_US),
+            phase_snapshot_us: m.register_histogram(PHASE_SNAPSHOT_US),
+            phase_execute_us: m.register_histogram(PHASE_EXECUTE_US),
+            phase_prepare_us: m.register_histogram(PHASE_PREPARE_US),
+            phase_commit_wait_us: m.register_histogram(PHASE_COMMIT_WAIT_US),
+            phase_replication_ack_us: m.register_histogram(PHASE_REPLICATION_ACK_US),
+        }
+    }
+}

@@ -20,6 +20,9 @@ stage_lint() {
 
     echo "==> cargo clippy --workspace -- -D warnings"
     cargo clippy --workspace --all-targets -- -D warnings
+
+    echo "==> cargo bench --no-run (benches must keep compiling)"
+    cargo bench --workspace --no-run -q
 }
 
 stage_build() {
@@ -64,6 +67,16 @@ stage_bench_smoke() {
         "$out"/nemesis.json
     cargo run --release -q -p gdb-bench --bin benchcmp -- check \
         BENCH_smoke.json "$out/BENCH_smoke.json" --tolerance 0.20
+
+    # Wall-clock engine gate: re-measures the timing-wheel engine against
+    # the frozen heap engine on *this* machine and checks only the
+    # speedup ratio (absolute events/sec are machine-local by design).
+    echo "==> engine wall-clock gate"
+    GDB_ENGINE_EVENTS=1000000 \
+        cargo run --release -q -p gdb-bench --bin engine_bench -- \
+        --json "$out/engine.json" >/dev/null
+    cargo run --release -q -p gdb-bench --bin benchcmp -- check \
+        BENCH_engine.json "$out/engine.json" --tolerance 0.20
 }
 
 case "${1:-all}" in

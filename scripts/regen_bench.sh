@@ -6,6 +6,11 @@
 #                       push against it (scripts/ci.sh bench-smoke).
 #   BENCH_fig6a.json  - the small-scale Fig. 6a artifact, with the
 #                       per-phase commit-wait vs execute breakdown.
+#   BENCH_engine.json - wall-clock engine benchmark (timing wheel vs the
+#                       frozen heap engine). Absolute events/sec are
+#                       machine-local; the CI gate only checks the
+#                       fast-over-legacy speedup ratio, so regenerating
+#                       on a different machine is safe.
 #
 # Run this after an intended performance change, eyeball the diff
 # (throughput should move the way you expect, nothing else), and commit
@@ -33,5 +38,8 @@ cargo run --release -q -p gdb-bench --bin benchcmp -- merge \
 echo "==> small-scale Fig. 6a -> BENCH_fig6a.json"
 GDB_BENCH_SCALE=small GDB_BENCH_SECS=10 GDB_BENCH_TERMINALS=24 \
     cargo run --release -q -p gdb-bench --bin fig6a -- --json BENCH_fig6a.json
+
+echo "==> wall-clock engine benchmark -> BENCH_engine.json"
+cargo run --release -q -p gdb-bench --bin engine_bench -- --json BENCH_engine.json
 
 echo "baselines regenerated; review the diff and commit"
