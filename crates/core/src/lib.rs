@@ -50,7 +50,7 @@ pub use cluster::{Cluster, Cn, GlobalDb};
 pub use config::{ClusterConfig, Geometry, RoutingPolicy};
 pub use event::{CoreEvent, CoreSim};
 pub use migrate::{Migration, MigrationPhase, ShardLoad};
-pub use net::{Envelope, MessagePlane, RpcKind, ALL_RPC_KINDS};
+pub use net::{Envelope, MessagePlane, RpcKind, SimTransport, Transport, ALL_RPC_KINDS};
 pub use repl_driver::{Replica, Shard};
 pub use stats::{ClusterStats, TxnOutcome};
 

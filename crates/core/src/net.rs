@@ -26,6 +26,7 @@ use gdb_obs::MetricsRegistry;
 use gdb_simnet::stats::LatencyHistogram;
 use gdb_simnet::{NetNodeId, RegionId, SimDuration, Topology};
 use std::collections::BTreeMap;
+use std::fmt;
 
 /// Every RPC the system puts on the wire. One enumerator per logical
 /// interaction, not per implementation call site (see DESIGN.md for the
@@ -114,6 +115,18 @@ impl RpcKind {
         }
     }
 
+    /// Position in [`ALL_RPC_KINDS`] — the stable wire discriminant used
+    /// by real transports when framing an [`Envelope`].
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Inverse of [`RpcKind::index`]; `None` for out-of-range values
+    /// (a corrupt or newer-versioned frame).
+    pub fn from_index(i: usize) -> Option<RpcKind> {
+        ALL_RPC_KINDS.get(i).copied()
+    }
+
     fn idx(self) -> usize {
         self as usize
     }
@@ -135,12 +148,77 @@ struct Traffic {
     bytes: u64,
 }
 
+/// How an [`Envelope`] physically reaches its destination.
+///
+/// The plane's accounting (per-kind counters, delay histograms,
+/// region-pair splits) is transport-independent; only the *delivery* —
+/// what it costs and whether it arrives — is pluggable. The default
+/// [`SimTransport`] asks the topology's cost model and advances no real
+/// time; real transports (in `gdb-realnet`) carry the envelope over OS
+/// channels or loopback TCP and report the *measured* wall-clock delay,
+/// consulting the same topology for fault state (down nodes, partitions)
+/// so chaos nemeses apply to physical backends too.
+///
+/// `Send` is a supertrait: a transport lives inside `GlobalDb` and real
+/// implementations hold socket handles and thread channels, so the whole
+/// cluster state must stay transferable across threads.
+pub trait Transport: Send {
+    /// Short stable name ("sim", "thread", "tcp") for metrics and traces.
+    fn name(&self) -> &'static str;
+
+    /// Deliver one envelope, returning the one-way delay the caller
+    /// should charge to virtual time, or `None` when the message cannot
+    /// be delivered (destination down, link partitioned or dropped).
+    ///
+    /// Determinism contract for simulated implementations: exactly one
+    /// `topo.one_way` call per invocation, in invocation order — the
+    /// topology RNG stream is part of the trace.
+    fn deliver(&mut self, topo: &mut Topology, env: Envelope) -> Option<SimDuration>;
+
+    /// Graceful teardown: join node threads, close sockets. Idempotent;
+    /// the default (for purely simulated transports) does nothing.
+    fn shutdown(&mut self) {}
+}
+
+/// The default transport: delivery *is* the simnet cost model. This is
+/// byte-for-byte the pre-trait behaviour — one `Topology::one_way` call
+/// per envelope — so committed baselines hold without re-blessing.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SimTransport;
+
+impl Transport for SimTransport {
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn deliver(&mut self, topo: &mut Topology, env: Envelope) -> Option<SimDuration> {
+        topo.one_way(env.from, env.to, env.bytes)
+    }
+}
+
 /// Per-kind, per-region-pair RPC accounting plus the latency chokepoint.
-#[derive(Debug, Default)]
 pub struct MessagePlane {
     totals: [Traffic; ALL_RPC_KINDS.len()],
     by_region: BTreeMap<(u8, RegionId, RegionId), Traffic>,
     delays: Vec<LatencyHistogram>,
+    transport: Box<dyn Transport>,
+    /// Messages that went through [`Transport::deliver`] and delivered,
+    /// per kind. Distinct from `totals`: statistically accounted fan-in
+    /// ([`MessagePlane::account`], e.g. RCP gather reports) is counted
+    /// there but never rides the transport. Real backends cross-check
+    /// their silo tallies against *this*.
+    delivered: [u64; ALL_RPC_KINDS.len()],
+}
+
+impl fmt::Debug for MessagePlane {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MessagePlane")
+            .field("totals", &self.totals)
+            .field("by_region", &self.by_region)
+            .field("delays", &self.delays)
+            .field("transport", &self.transport.name())
+            .finish()
+    }
 }
 
 impl MessagePlane {
@@ -152,6 +230,8 @@ impl MessagePlane {
             totals: Default::default(),
             by_region: BTreeMap::new(),
             delays: vec![LatencyHistogram::bounded(); ALL_RPC_KINDS.len()],
+            transport: Box::new(SimTransport),
+            delivered: [0; ALL_RPC_KINDS.len()],
         };
         for kind in ALL_RPC_KINDS {
             plane
@@ -159,6 +239,23 @@ impl MessagePlane {
                 .insert((kind.idx() as u8, home, home), Traffic::default());
         }
         plane
+    }
+
+    /// Swap the delivery backend. Counters and histograms carry over —
+    /// they describe the workload, not the wire.
+    pub fn set_transport(&mut self, transport: Box<dyn Transport>) {
+        self.transport = transport;
+    }
+
+    /// The active transport's name ("sim" unless a real backend was
+    /// installed).
+    pub fn transport_name(&self) -> &'static str {
+        self.transport.name()
+    }
+
+    /// Gracefully shut the active transport down (no-op for `sim`).
+    pub fn shutdown_transport(&mut self) {
+        self.transport.shutdown();
     }
 
     fn note(&mut self, kind: RpcKind, from: RegionId, to: RegionId, bytes: u64, msgs: u64) {
@@ -173,17 +270,24 @@ impl MessagePlane {
         r.bytes += bytes;
     }
 
-    /// The chokepoint: simulate one one-way message, returning its delay
-    /// (`None` when the destination is down or partitioned away). All
-    /// plane bookkeeping happens here.
+    /// The chokepoint: deliver one one-way message via the active
+    /// transport, returning its delay (`None` when the destination is
+    /// down or partitioned away). All plane bookkeeping happens here.
     pub fn charge(&mut self, topo: &mut Topology, env: Envelope) -> Option<SimDuration> {
-        let delay = topo.one_way(env.from, env.to, env.bytes);
+        let delay = self.transport.deliver(topo, env);
         if let Some(d) = delay {
             let (from, to) = (topo.node_region(env.from), topo.node_region(env.to));
             self.note(env.kind, from, to, env.bytes, 1);
             self.delays[env.kind.idx()].record(d);
+            self.delivered[env.kind.idx()] += 1;
         }
         delay
+    }
+
+    /// Messages of `kind` the active transport delivered (excludes
+    /// [`MessagePlane::account`]-only statistical traffic).
+    pub fn transport_msgs(&self, kind: RpcKind) -> u64 {
+        self.delivered[kind.idx()]
     }
 
     /// One one-way message of `kind`.
@@ -341,6 +445,50 @@ mod tests {
             let labelled = format!("rpc.{}.msgs.xian-xian", kind.name());
             assert_eq!(snap.counter(&labelled), Some(0), "missing {labelled}");
         }
+    }
+
+    #[test]
+    fn rpc_kind_wire_index_round_trips() {
+        for (i, kind) in ALL_RPC_KINDS.iter().enumerate() {
+            assert_eq!(kind.index(), i);
+            assert_eq!(RpcKind::from_index(i), Some(*kind));
+        }
+        assert_eq!(RpcKind::from_index(ALL_RPC_KINDS.len()), None);
+    }
+
+    #[test]
+    fn plane_and_transports_are_send() {
+        // Real transports hold socket handles and thread channels inside
+        // `GlobalDb`, so the plane (and thus any `Transport`) must be
+        // transferable across threads.
+        fn assert_send<T: Send>() {}
+        assert_send::<MessagePlane>();
+        assert_send::<SimTransport>();
+        assert_send::<Box<dyn Transport>>();
+    }
+
+    #[test]
+    fn swapping_transports_preserves_counters() {
+        struct NullTransport;
+        impl Transport for NullTransport {
+            fn name(&self) -> &'static str {
+                "null"
+            }
+            fn deliver(&mut self, _: &mut Topology, _: Envelope) -> Option<SimDuration> {
+                None
+            }
+        }
+        let (mut t, a, b) = city_pair(3);
+        let mut plane = MessagePlane::new(RegionId(0));
+        assert_eq!(plane.transport_name(), "sim");
+        plane.send(&mut t, RpcKind::DnRead, a, b, 64).unwrap();
+        assert_eq!(plane.msgs(RpcKind::DnRead), 1);
+        plane.set_transport(Box::new(NullTransport));
+        assert_eq!(plane.transport_name(), "null");
+        // Undeliverable: no delay, and the counter does not move.
+        assert_eq!(plane.send(&mut t, RpcKind::DnRead, a, b, 64), None);
+        assert_eq!(plane.msgs(RpcKind::DnRead), 1);
+        plane.shutdown_transport();
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub use metrics::{
 };
 pub use report::{
     bundle, compare_artifacts, load_artifacts, to_chrome_trace, BenchArtifact, BenchSeries,
-    Comparison, NetStats, WALL_BASELINE_LABEL, WALL_CLOCK_KEY,
+    Comparison, NetStats, WALL_BASELINE_KEY, WALL_BASELINE_LABEL, WALL_CLOCK_KEY, WALL_FLOOR_KEY,
 };
 pub use span::{Span, SpanId, SpanKind, Tracer};
 

@@ -187,6 +187,29 @@ impl BenchArtifact {
             .any(|(k, v)| k == WALL_CLOCK_KEY && v == "true")
     }
 
+    /// The value of a config key, if present.
+    pub fn config_value(&self, key: &str) -> Option<&str> {
+        self.config
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The label of this wall-clock artifact's in-run baseline series
+    /// ([`WALL_BASELINE_KEY`] override, else [`WALL_BASELINE_LABEL`]).
+    pub fn wall_baseline_label(&self) -> &str {
+        self.config_value(WALL_BASELINE_KEY)
+            .unwrap_or(WALL_BASELINE_LABEL)
+    }
+
+    /// This wall-clock artifact's absolute ratio floor
+    /// ([`WALL_FLOOR_KEY`] override, else [`WALL_SPEEDUP_FLOOR`]).
+    pub fn wall_floor(&self) -> f64 {
+        self.config_value(WALL_FLOOR_KEY)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(WALL_SPEEDUP_FLOOR)
+    }
+
     pub fn to_json(&self) -> Json {
         let config = self
             .config
@@ -342,8 +365,23 @@ pub const GATED_PHASES: &[&str] = &["commit_wait", "replication_ack"];
 pub const WALL_CLOCK_KEY: &str = "wall_clock";
 
 /// The in-run baseline series of a wall-clock artifact (the frozen
-/// pre-optimization engine, re-run on the current machine).
+/// pre-optimization engine, re-run on the current machine), unless the
+/// artifact names a different one via [`WALL_BASELINE_KEY`].
 pub const WALL_BASELINE_LABEL: &str = "legacy";
+
+/// Config key naming the in-run baseline series of a wall-clock
+/// artifact. The engine benches baseline against a frozen `legacy`
+/// implementation; the realnet smoke instead baselines its loopback-TCP
+/// backend against the in-process thread backend (`wall_baseline` =
+/// `"thread"`), measured in the same run on the same machine.
+pub const WALL_BASELINE_KEY: &str = "wall_baseline";
+
+/// Config key overriding [`WALL_SPEEDUP_FLOOR`] for one artifact. The
+/// ratio being gated need not be a speed*up*: the realnet smoke gates
+/// `tcp / thread` throughput, which is legitimately below 1 (real
+/// sockets cost more than channels), so its floor is a small fraction
+/// guarding against collapse rather than a 1.2× win.
+pub const WALL_FLOOR_KEY: &str = "wall_floor";
 
 /// Relative slack on speedup ratios: wall-clock runs are noisy (CPU
 /// contention, thermal state), so the gate only fails on a large move.
@@ -378,7 +416,7 @@ impl Comparison {
     pub fn render(&self) -> String {
         let unit = match self.metric.as_str() {
             "throughput" => "txn/s",
-            "speedup" => "x over legacy",
+            "speedup" => "x over in-run baseline",
             _ => "us mean",
         };
         format!(
@@ -476,24 +514,26 @@ pub fn compare_artifacts(
 
 /// The wall-clock leg of the gate: for every non-baseline series of a
 /// wall-clock artifact, the current run's speedup over its own in-run
-/// `legacy` series must hold up against the blessed speedup — within
-/// [`WALL_SLACK`] relative and never below [`WALL_SPEEDUP_FLOOR`].
+/// baseline series (the blessed artifact's [`BenchArtifact::wall_baseline_label`])
+/// must hold up against the blessed speedup — within [`WALL_SLACK`]
+/// relative and never below the artifact's [`BenchArtifact::wall_floor`].
 fn compare_wall_clock(
     base: &BenchArtifact,
     cur_art: Option<&BenchArtifact>,
     out: &mut Vec<Comparison>,
 ) {
+    let baseline_label = base.wall_baseline_label();
     let speedup_in = |a: &BenchArtifact, label: &str| -> Option<f64> {
         let denom = a
             .series
             .iter()
-            .find(|s| s.label == WALL_BASELINE_LABEL)?
+            .find(|s| s.label == baseline_label)?
             .throughput_txn_s;
         let num = a.series.iter().find(|s| s.label == label)?.throughput_txn_s;
         (denom > 0.0).then(|| num / denom)
     };
     for bs in &base.series {
-        if bs.label == WALL_BASELINE_LABEL {
+        if bs.label == baseline_label {
             continue;
         }
         // No in-run baseline series in the blessed artifact: the series
@@ -503,7 +543,7 @@ fn compare_wall_clock(
         };
         let cur_speedup = cur_art.and_then(|a| speedup_in(a, &bs.label));
         let cur = cur_speedup.unwrap_or(0.0);
-        let threshold = (base_speedup * (1.0 - WALL_SLACK)).max(WALL_SPEEDUP_FLOOR);
+        let threshold = (base_speedup * (1.0 - WALL_SLACK)).max(base.wall_floor());
         out.push(Comparison {
             figure: base.figure.clone(),
             label: bs.label.clone(),
@@ -686,7 +726,7 @@ mod tests {
         assert_eq!(out.len(), 1, "{out:?}");
         assert_eq!(out[0].metric, "speedup");
         assert!(out[0].ok, "{out:?}");
-        assert!(out[0].render().contains("x over legacy"));
+        assert!(out[0].render().contains("x over in-run baseline"));
         // Speedup held within slack (3.0 -> 2.2 with 35% slack) passes.
         let out = compare_artifacts(&base, &[wall_artifact(4_400_000.0, 2_000_000.0)], 0.20);
         assert!(out[0].ok, "{out:?}");
@@ -717,6 +757,44 @@ mod tests {
         assert!(!out[0].ok, "below floor must fail: {out:?}");
         let out = compare_artifacts(&base, &[wall_artifact(1_250_000.0, 1_000_000.0)], 0.20);
         assert!(out[0].ok, "above floor within slack must pass: {out:?}");
+    }
+
+    /// A realnet-shaped wall-clock artifact: the in-run baseline is the
+    /// `thread` backend and the gated ratio (`tcp / thread`) sits below
+    /// 1, so the artifact overrides both the baseline label and the
+    /// floor via config.
+    fn realnet_artifact(tcp_eps: f64, thread_eps: f64) -> BenchArtifact {
+        let mut a = artifact("realnet_smoke", "tcp", tcp_eps);
+        a.config_kv(WALL_CLOCK_KEY, "true");
+        a.config_kv(WALL_BASELINE_KEY, "thread");
+        a.config_kv(WALL_FLOOR_KEY, "0.02");
+        a.series[0].phases.clear();
+        let mut thread = a.series[0].clone();
+        thread.label = "thread".into();
+        thread.throughput_txn_s = thread_eps;
+        a.series.push(thread);
+        a
+    }
+
+    #[test]
+    fn wall_clock_gate_honors_config_baseline_and_floor() {
+        assert_eq!(realnet_artifact(1.0, 1.0).wall_baseline_label(), "thread");
+        assert_eq!(realnet_artifact(1.0, 1.0).wall_floor(), 0.02);
+        // Blessed ratio 0.5 (tcp at half the thread throughput): a
+        // sub-1.2 ratio must be gateable, so the default floor cannot
+        // apply.
+        let base = vec![realnet_artifact(500.0, 1_000.0)];
+        let out = compare_artifacts(&base, &[realnet_artifact(40.0, 100.0)], 0.20);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].ok, "ratio 0.4 vs blessed 0.5 within slack: {out:?}");
+        // Collapse below the relative slack fails even above the floor.
+        let out = compare_artifacts(&base, &[realnet_artifact(10.0, 100.0)], 0.20);
+        assert!(!out[0].ok, "ratio 0.1 vs blessed 0.5 must fail: {out:?}");
+        // The custom floor still binds: a blessed ratio so small that
+        // slack would allow near-zero is caught at 0.02.
+        let tiny = vec![realnet_artifact(25.0, 1_000.0)];
+        let out = compare_artifacts(&tiny, &[realnet_artifact(10.0, 1_000.0)], 0.20);
+        assert!(!out[0].ok, "ratio 0.01 under floor 0.02 must fail: {out:?}");
     }
 
     #[test]

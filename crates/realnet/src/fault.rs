@@ -1,0 +1,132 @@
+//! Realnet-native fault hooks: per-link delay and connection drops.
+//!
+//! Chaos faults expressed against the *topology* (region partitions,
+//! `tc` delay spikes, node crashes) already reach real transports — they
+//! consult [`gdb_simnet::Topology::deliverable`] and
+//! [`gdb_simnet::Topology::injected_delay`] per message. This module
+//! adds the faults only a physical backend can express: extra delay or a
+//! hard drop on one *silo pair's* link, keyed by host id like the
+//! silo/membership layout. The controller is `Clone + Send`; tests keep
+//! one handle while the transport (inside the cluster) holds another.
+
+use gdb_simnet::SimDuration;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Mutex};
+
+#[derive(Debug, Default)]
+struct LinkFaults {
+    delay_ns: BTreeMap<(u16, u16), u64>,
+    dropped: BTreeSet<(u16, u16)>,
+}
+
+fn norm(a: u16, b: u16) -> (u16, u16) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Shared, thread-safe fault state for real transports (symmetric,
+/// keyed by host pair).
+#[derive(Debug, Clone, Default)]
+pub struct FaultController {
+    inner: Arc<Mutex<LinkFaults>>,
+}
+
+impl FaultController {
+    /// Add `extra` one-way delay to every message between hosts `a`↔`b`
+    /// (physically slept by the receiving silo).
+    pub fn set_link_delay(&self, a: u16, b: u16, extra: SimDuration) {
+        self.inner
+            .lock()
+            .expect("fault lock")
+            .delay_ns
+            .insert(norm(a, b), extra.as_nanos());
+    }
+
+    pub fn clear_link_delay(&self, a: u16, b: u16) {
+        self.inner
+            .lock()
+            .expect("fault lock")
+            .delay_ns
+            .remove(&norm(a, b));
+    }
+
+    /// Drop the connection between hosts `a`↔`b`: deliveries return
+    /// `None` (undeliverable), like a partition at the socket layer.
+    pub fn drop_link(&self, a: u16, b: u16) {
+        self.inner
+            .lock()
+            .expect("fault lock")
+            .dropped
+            .insert(norm(a, b));
+    }
+
+    pub fn heal_link(&self, a: u16, b: u16) {
+        self.inner
+            .lock()
+            .expect("fault lock")
+            .dropped
+            .remove(&norm(a, b));
+    }
+
+    /// Clear every link fault at once (chaos-recovery sweep).
+    pub fn heal_all(&self) {
+        let mut f = self.inner.lock().expect("fault lock");
+        f.delay_ns.clear();
+        f.dropped.clear();
+    }
+
+    /// Extra injected delay on the `a`↔`b` link, in nanoseconds.
+    pub fn delay_ns(&self, a: u16, b: u16) -> u64 {
+        *self
+            .inner
+            .lock()
+            .expect("fault lock")
+            .delay_ns
+            .get(&norm(a, b))
+            .unwrap_or(&0)
+    }
+
+    pub fn is_dropped(&self, a: u16, b: u16) -> bool {
+        self.inner
+            .lock()
+            .expect("fault lock")
+            .dropped
+            .contains(&norm(a, b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_faults_are_symmetric_and_healable() {
+        let f = FaultController::default();
+        f.set_link_delay(2, 0, SimDuration::from_millis(5));
+        assert_eq!(f.delay_ns(0, 2), 5_000_000);
+        assert_eq!(f.delay_ns(2, 0), 5_000_000);
+        assert_eq!(f.delay_ns(0, 1), 0);
+        f.drop_link(1, 2);
+        assert!(f.is_dropped(2, 1));
+        assert!(!f.is_dropped(0, 1));
+        f.heal_link(1, 2);
+        assert!(!f.is_dropped(1, 2));
+        f.drop_link(0, 1);
+        f.heal_all();
+        assert!(!f.is_dropped(0, 1));
+        assert_eq!(f.delay_ns(0, 2), 0);
+    }
+
+    #[test]
+    fn clones_share_state_across_threads() {
+        let f = FaultController::default();
+        let g = f.clone();
+        std::thread::spawn(move || g.drop_link(0, 1))
+            .join()
+            .unwrap();
+        assert!(f.is_dropped(0, 1));
+    }
+}

@@ -1,0 +1,230 @@
+//! Sim/real divergence harness: the chaos invariant oracle runs the
+//! same probe schedule on every execution backend, and the backends
+//! must agree.
+//!
+//! "Agree" means three things:
+//!
+//! 1. the oracle's invariants (external consistency, RCP monotonicity,
+//!    durability of acked writes) hold on *every* backend — real
+//!    threads and sockets introduce real concurrency in delivery, but
+//!    the transaction logic still runs on the virtual-time driver, so
+//!    nothing the oracle checks may break;
+//! 2. the committed-write sets of sim and real runs coincide (measured
+//!    as Jaccard overlap — wall-clock delays may tip an occasional
+//!    probe across a timeout boundary, but nearly all commits must
+//!    match);
+//! 3. the plane-vs-silo accounting cross-check passes: every message
+//!    the driver charged through a real transport was routed by exactly
+//!    one silo.
+//!
+//! The fault tests reuse the chaos plan format unchanged
+//! ([`FaultPlan::at`] with [`Fault`] variants): delay-spike and
+//! partition nemeses manipulate the shared topology, which the real
+//! transports consult per message — so the same plan runs *physically*
+//! (injected delay actually slept, partitioned links actually refusing
+//! delivery) on thread and TCP backends.
+
+use gdb_chaos::trace::new_trace;
+use gdb_chaos::{Fault, FaultPlan, Oracle};
+use gdb_realnet::{Backend, RealCluster};
+use gdb_simnet::{SimDuration, SimTime};
+use globaldb::ClusterConfig;
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+const KEYS: i64 = 8;
+
+struct RunOutcome {
+    backend: Backend,
+    violations: Vec<String>,
+    /// Every acknowledged probe write as `(key, value)` — per-key values
+    /// are the strictly increasing `1, 2, 3, ...` chain, so two runs
+    /// that committed the same probes produce identical sets.
+    committed: BTreeSet<(i64, i64)>,
+    probe_writes: u64,
+}
+
+/// Run the oracle probe schedule (plus an optional fault plan) on one
+/// backend and collect the outcome.
+fn oracle_run(backend: Backend, plan: Option<FaultPlan>, until: SimTime) -> RunOutcome {
+    let mut rc = RealCluster::launch(ClusterConfig::globaldb_three_city(), backend);
+    let oracle = Oracle::install(&mut rc.cluster, KEYS).expect("oracle install");
+    let trace = new_trace();
+    if let Some(plan) = plan {
+        plan.schedule(&mut rc.cluster, Rc::clone(&trace));
+    }
+    oracle.schedule(
+        &mut rc.cluster,
+        SimTime::from_millis(250),
+        SimTime::from_millis(1750),
+        SimDuration::from_millis(50),
+        &trace,
+    );
+    rc.cluster.run_until(until);
+    // No failover faults in these plans, so the strict final-value
+    // durability check applies (empty failover list).
+    oracle.final_check(&mut rc.cluster, false, &[], SimDuration::ZERO);
+    let report = rc.shutdown();
+    report
+        .verify_against_plane(rc.cluster.db.plane())
+        .expect("plane/silo accounting must agree");
+    let state = oracle.state.borrow();
+    RunOutcome {
+        backend,
+        violations: state.violations.clone(),
+        committed: state.history.iter().map(|r| (r.key, r.value)).collect(),
+        probe_writes: state.writes_committed,
+    }
+}
+
+fn assert_clean(r: &RunOutcome) {
+    assert!(
+        r.violations.is_empty(),
+        "oracle violations on {} backend: {:?}",
+        r.backend.label(),
+        r.violations
+    );
+    assert!(
+        r.probe_writes > 0,
+        "{} backend committed no probe writes",
+        r.backend.label()
+    );
+}
+
+/// Jaccard overlap of two committed-write sets.
+fn agreement(a: &BTreeSet<(i64, i64)>, b: &BTreeSet<(i64, i64)>) -> f64 {
+    let inter = a.intersection(b).count() as f64;
+    let union = a.union(b).count() as f64;
+    if union == 0.0 {
+        1.0
+    } else {
+        inter / union
+    }
+}
+
+#[test]
+fn no_fault_oracle_passes_on_every_backend_and_committed_sets_agree() {
+    let until = SimTime::from_secs(2);
+    let sim = oracle_run(Backend::Sim, None, until);
+    let thread = oracle_run(Backend::Thread, None, until);
+    let tcp = oracle_run(Backend::Tcp, None, until);
+    for r in [&sim, &thread, &tcp] {
+        assert_clean(r);
+    }
+    for other in [&thread, &tcp] {
+        let overlap = agreement(&sim.committed, &other.committed);
+        println!(
+            "committed-set agreement sim vs {}: {:.3} ({} sim / {} {} writes)",
+            other.backend.label(),
+            overlap,
+            sim.committed.len(),
+            other.committed.len(),
+            other.backend.label(),
+        );
+        assert!(
+            overlap >= 0.9,
+            "sim and {} committed sets diverged: agreement {:.3}",
+            other.backend.label(),
+            overlap
+        );
+    }
+}
+
+/// The delay-spike + partition nemesis families, expressed in the
+/// ordinary chaos plan format, executed physically on real backends.
+fn delay_and_partition_plan() -> FaultPlan {
+    FaultPlan::new("realnet_delay_partition")
+        .at(
+            SimTime::from_millis(1000),
+            Fault::DelaySpike {
+                extra: SimDuration::from_millis(2),
+            },
+        )
+        .at(SimTime::from_millis(1400), Fault::ClearDelay)
+        .at(
+            SimTime::from_millis(1600),
+            Fault::PartitionRegions { a: 0, b: 1 },
+        )
+        .at(
+            SimTime::from_millis(2000),
+            Fault::HealRegions { a: 0, b: 1 },
+        )
+}
+
+#[test]
+fn chaos_fault_plan_runs_physically_on_thread_backend() {
+    let r = oracle_run(
+        Backend::Thread,
+        Some(delay_and_partition_plan()),
+        SimTime::from_millis(2500),
+    );
+    assert_clean(&r);
+}
+
+#[test]
+fn chaos_fault_plan_runs_physically_on_tcp_backend() {
+    let r = oracle_run(
+        Backend::Tcp,
+        Some(delay_and_partition_plan()),
+        SimTime::from_millis(2500),
+    );
+    assert_clean(&r);
+}
+
+/// Realnet-native socket-level faults (link drop + link delay via the
+/// [`gdb_realnet::FaultController`]) scheduled mid-run in chaos-plan
+/// style: the dropped link behaves like a partition at the connection
+/// layer, and after healing the oracle's strict durability check must
+/// still pass.
+#[test]
+fn link_drop_and_delay_hooks_hold_invariants_on_tcp_backend() {
+    let mut rc = RealCluster::launch(ClusterConfig::globaldb_three_city(), Backend::Tcp);
+    let faults = rc.faults();
+    let oracle = Oracle::install(&mut rc.cluster, KEYS).expect("oracle install");
+    let trace = new_trace();
+    oracle.schedule(
+        &mut rc.cluster,
+        SimTime::from_millis(250),
+        SimTime::from_millis(1750),
+        SimDuration::from_millis(50),
+        &trace,
+    );
+    // Host pair 0↔1 carries the bulk of cross-region traffic in the
+    // three-city layout; drop it for 400 virtual ms, then slow it.
+    let f = faults.clone();
+    rc.cluster
+        .sim
+        .schedule_at(SimTime::from_millis(1000), move |_, _| {
+            f.drop_link(0, 1);
+        });
+    let f = faults.clone();
+    rc.cluster
+        .sim
+        .schedule_at(SimTime::from_millis(1400), move |_, _| {
+            f.heal_link(0, 1);
+            f.set_link_delay(0, 1, SimDuration::from_millis(1));
+        });
+    let f = faults.clone();
+    rc.cluster
+        .sim
+        .schedule_at(SimTime::from_millis(1800), move |_, _| {
+            f.heal_all();
+        });
+    rc.cluster.run_until(SimTime::from_millis(2500));
+    oracle.final_check(&mut rc.cluster, false, &[], SimDuration::ZERO);
+    let report = rc.shutdown();
+    report
+        .verify_against_plane(rc.cluster.db.plane())
+        .expect("plane/silo accounting must agree");
+    let state = oracle.state.borrow();
+    assert!(
+        state.violations.is_empty(),
+        "oracle violations under link faults: {:?}",
+        state.violations
+    );
+    assert!(state.writes_committed > 0);
+    assert!(
+        state.writes_rejected > 0,
+        "the dropped link must have failed some probe writes"
+    );
+}

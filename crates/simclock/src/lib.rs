@@ -20,7 +20,9 @@
 pub mod drift;
 pub mod gclock;
 pub mod hlc;
+pub mod wall;
 
 pub use drift::DriftClock;
 pub use gclock::{GClock, GClockConfig};
 pub use hlc::Hlc;
+pub use wall::{TimeSource, WallClock};

@@ -1,0 +1,106 @@
+//! Real (wall-clock) time behind the virtual-time interface.
+//!
+//! Everything in this workspace tells time in [`SimTime`] nanoseconds.
+//! The simulated engine *assigns* those instants; a real-cluster backend
+//! (`gdb-realnet`) must instead *measure* them. [`TimeSource`] is the
+//! narrow seam both sides share, and [`WallClock`] is the real
+//! implementation: a monotonic clock anchored at an origin, reporting
+//! elapsed real nanoseconds as `SimTime` so measured delays slot into
+//! the same histograms, RCP math, and bench artifacts as simulated ones.
+//!
+//! Deliberately *not* used anywhere in `crates/core` — transport-generic
+//! core code stays on virtual time (a grep test enforces it), and only
+//! transport implementations and their silo threads read a `WallClock`.
+
+use gdb_simnet::{SimDuration, SimTime};
+use std::time::Instant;
+
+/// A source of the current instant. Object-safe so silo event loops can
+/// hold either the real clock or a test stub behind one pointer.
+pub trait TimeSource: Send {
+    /// The current instant, in nanoseconds since this source's origin.
+    fn now(&self) -> SimTime;
+}
+
+/// Monotonic real time, anchored when constructed (or at an explicit
+/// origin shared by several clocks so their readings are comparable).
+#[derive(Debug, Clone, Copy)]
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    /// A clock whose epoch is "now".
+    pub fn new() -> Self {
+        WallClock {
+            origin: Instant::now(),
+        }
+    }
+
+    /// A clock sharing `origin` — every silo of a real cluster is handed
+    /// the same origin so their timestamps form one timeline.
+    pub fn with_origin(origin: Instant) -> Self {
+        WallClock { origin }
+    }
+
+    pub fn origin(&self) -> Instant {
+        self.origin
+    }
+
+    /// Real time elapsed since `earlier` (saturating at zero).
+    pub fn since(&self, earlier: SimTime) -> SimDuration {
+        self.now().since(earlier)
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TimeSource for WallClock {
+    fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.origin.elapsed().as_nanos() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotone_and_advances() {
+        let clock = WallClock::new();
+        let a = clock.now();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let b = clock.now();
+        assert!(b > a, "wall clock went backwards: {a} -> {b}");
+        assert!(
+            b.since(a) >= SimDuration::from_millis(1),
+            "2ms sleep measured as {}",
+            b.since(a)
+        );
+    }
+
+    #[test]
+    fn shared_origin_clocks_agree() {
+        let origin = Instant::now();
+        let a = WallClock::with_origin(origin);
+        let b = WallClock::with_origin(origin);
+        let (ta, tb) = (a.now(), b.now());
+        // Two reads against the same origin are within a generous bound
+        // of each other (they differ only by the time between calls).
+        let skew = if ta > tb { ta.since(tb) } else { tb.since(ta) };
+        assert!(skew < SimDuration::from_secs(1), "skew {skew}");
+    }
+
+    #[test]
+    fn time_source_is_object_safe_and_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<WallClock>();
+        assert_send::<Box<dyn TimeSource>>();
+        let boxed: Box<dyn TimeSource> = Box::new(WallClock::new());
+        let _ = boxed.now();
+    }
+}

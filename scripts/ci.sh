@@ -11,6 +11,8 @@
 #   test           cargo test -q
 #   nemesis-smoke  nemesis seeds 1..5 (the CI "nemesis" job)
 #   bench-smoke    tiny-scale figure runs gated against BENCH_smoke.json
+#   realnet        real-backend tests + loopback smoke gated against
+#                  BENCH_realnet.json (the CI "realnet" job)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -79,12 +81,34 @@ stage_bench_smoke() {
         BENCH_engine.json "$out/engine.json" --tolerance 0.20
 }
 
+# Real-backend gate: the realnet crate's tests (unit + sim/real
+# divergence + seam scans), then the 3-node loopback TPC-C smoke gated
+# against BENCH_realnet.json. The artifact is wall_clock=true, so only
+# the tcp/thread throughput *ratio* is compared — never the
+# machine-local absolute numbers. Real threads and sockets can wedge in
+# ways virtual time cannot, hence the hard timeouts.
+stage_realnet() {
+    echo "==> realnet tests (thread + tcp backends)"
+    timeout 600 cargo test --release -q -p gdb-realnet
+
+    echo "==> realnet loopback smoke + wall-clock gate"
+    local out=target/realnet-smoke
+    rm -rf "$out"
+    mkdir -p "$out"
+    GDB_BENCH_SCALE=tiny GDB_BENCH_SECS=2 GDB_BENCH_TERMINALS=8 \
+        timeout 600 cargo run --release -q -p gdb-realnet --bin realnet_smoke -- \
+        --json "$out/realnet.json"
+    cargo run --release -q -p gdb-bench --bin benchcmp -- check \
+        BENCH_realnet.json "$out/realnet.json" --tolerance 0.20
+}
+
 case "${1:-all}" in
 lint) stage_lint ;;
 build) stage_build ;;
 test) stage_test ;;
 nemesis-smoke) stage_nemesis_smoke ;;
 bench-smoke) stage_bench_smoke ;;
+realnet) stage_realnet ;;
 main)
     stage_lint
     stage_build
@@ -98,6 +122,7 @@ all)
     stage_test
     stage_nemesis_smoke
     stage_bench_smoke
+    stage_realnet
     echo "CI OK"
     ;;
 *)

@@ -11,6 +11,9 @@
 #                       machine-local; the CI gate only checks the
 #                       fast-over-legacy speedup ratio, so regenerating
 #                       on a different machine is safe.
+#   BENCH_realnet.json - 3-node loopback TPC-C smoke on the real
+#                       backends. Also wall_clock=true: the gate checks
+#                       only the tcp-over-thread throughput ratio.
 #
 # Run this after an intended performance change, eyeball the diff
 # (throughput should move the way you expect, nothing else), and commit
@@ -41,5 +44,9 @@ GDB_BENCH_SCALE=small GDB_BENCH_SECS=10 GDB_BENCH_TERMINALS=24 \
 
 echo "==> wall-clock engine benchmark -> BENCH_engine.json"
 cargo run --release -q -p gdb-bench --bin engine_bench -- --json BENCH_engine.json
+
+echo "==> realnet loopback smoke -> BENCH_realnet.json"
+GDB_BENCH_SCALE=tiny GDB_BENCH_SECS=2 GDB_BENCH_TERMINALS=8 \
+    cargo run --release -q -p gdb-realnet --bin realnet_smoke -- --json BENCH_realnet.json
 
 echo "baselines regenerated; review the diff and commit"

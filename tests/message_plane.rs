@@ -60,6 +60,64 @@ fn no_direct_topology_charges_outside_the_plane() {
     );
 }
 
+/// Transport-generic crates stay transport-generic: no wall-clock or
+/// socket primitive may appear outside the crates whose *job* is real
+/// time — `simclock` (hosts the `WallClock` time source), `realnet`
+/// (the real transports), and `bench` (wall-clock measurement
+/// binaries). A `thread::sleep` or `Instant::now` in core, txnmgr, or
+/// replication would silently couple transaction logic to the machine
+/// clock and break both sim determinism and the sim/real split.
+#[test]
+fn no_wall_clock_or_sockets_in_transport_generic_crates() {
+    let banned = [
+        "Instant::now(",
+        "SystemTime",
+        "thread::sleep(",
+        "TcpStream",
+        "TcpListener",
+        "UdpSocket",
+        "WallClock",
+    ];
+    let exempt = ["simclock", "realnet", "bench"];
+    let crates_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("crates");
+    let mut offenders = Vec::new();
+    let mut scanned = 0usize;
+    for entry in std::fs::read_dir(&crates_dir).expect("read crates dir") {
+        let path = entry.expect("dir entry").path();
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        if !path.is_dir() || exempt.contains(&name.as_str()) {
+            continue;
+        }
+        let src = path.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        rust_sources(&src, &mut files);
+        for file in files {
+            scanned += 1;
+            let text = std::fs::read_to_string(&file).expect("read source");
+            let squeezed: String = text.chars().filter(|c| !c.is_whitespace()).collect();
+            for pat in banned {
+                let pat_squeezed: String = pat.chars().filter(|c| !c.is_whitespace()).collect();
+                if squeezed.contains(pat_squeezed.as_str()) {
+                    offenders.push(format!("{}: {pat}", file.display()));
+                }
+            }
+        }
+    }
+    assert!(scanned > 40, "unexpectedly few sources scanned ({scanned})");
+    assert!(
+        offenders.is_empty(),
+        "wall-clock/socket primitives in transport-generic crates:\n{}",
+        offenders.join("\n")
+    );
+}
+
 /// Every `RpcKind` has a live counter in `metrics_snapshot()` — both the
 /// total (`rpc.<kind>.msgs`) and at least one per-region-pair labelled
 /// variant (`rpc.<kind>.msgs.<from>-<to>`) — even for kinds this
