@@ -3,20 +3,26 @@
 //! ```text
 //! benchcmp merge OUT.json IN1.json [IN2.json ...]
 //! benchcmp check BASELINE.json CURRENT.json [--tolerance 0.20]
+//! benchcmp validate FILE.json [FILE.json ...]
 //! ```
 //!
 //! `merge` bundles several `gdb-bench/v1` artifacts into one
 //! `gdb-bench/bundle/v1` document. `check` compares current throughput
 //! against a committed baseline and exits non-zero if any series
 //! regressed beyond the tolerance (default 20%) or disappeared.
+//! `validate` parses every given artifact file and fails on schema
+//! drift (bad gate config, broken quantile ordering, duplicate or
+//! missing series) — the lint stage runs it over all committed
+//! `BENCH_*.json` baselines so drift is caught before a bench run.
 
-use gdb_obs::{bundle, compare_artifacts, load_artifacts, BenchArtifact, Json};
+use gdb_obs::{bundle, compare_artifacts, load_artifacts, validate_artifacts, BenchArtifact, Json};
 use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
         "usage: benchcmp merge OUT.json IN.json [IN.json ...]\n\
-         \x20      benchcmp check BASELINE.json CURRENT.json [--tolerance 0.20]"
+         \x20      benchcmp check BASELINE.json CURRENT.json [--tolerance 0.20]\n\
+         \x20      benchcmp validate FILE.json [FILE.json ...]"
     );
     std::process::exit(2);
 }
@@ -82,10 +88,37 @@ fn check(baseline: &str, current: &str, tolerance: f64) -> ExitCode {
     }
 }
 
+fn validate(paths: &[String]) -> ExitCode {
+    let mut problems = 0;
+    let mut artifacts = 0;
+    for path in paths {
+        let arts = read_artifacts(path);
+        artifacts += arts.len();
+        for msg in validate_artifacts(&arts) {
+            eprintln!("benchcmp: {path}: {msg}");
+            problems += 1;
+        }
+    }
+    if problems > 0 {
+        eprintln!(
+            "benchcmp: {problems} schema problem(s) across {} file(s)",
+            paths.len()
+        );
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "validated {artifacts} artifacts across {} file(s)",
+            paths.len()
+        );
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("merge") if args.len() >= 3 => merge(&args[1], &args[2..]),
+        Some("validate") if args.len() >= 2 => validate(&args[1..]),
         Some("check") if args.len() >= 3 => {
             let mut tolerance = 0.20;
             let mut i = 3;

@@ -11,6 +11,8 @@
 //! * `GDB_BENCH_SECS`  = measured virtual seconds (default 10)
 //! * `GDB_BENCH_TERMINALS` = closed-loop terminals (default 24)
 
+pub mod txnpath;
+
 use gdb_obs::{BenchArtifact, BenchSeries, HistSummary, NetStats};
 use gdb_simnet::stats::LatencyHistogram;
 use gdb_simnet::SimDuration;

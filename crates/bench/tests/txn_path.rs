@@ -1,0 +1,36 @@
+//! Differential correctness of the transaction hot path: the optimized
+//! pipeline and the frozen pre-pass reference must produce byte-identical
+//! durable segments and identical committed state on randomized scripts.
+
+use gdb_bench::txnpath::{assert_equivalent, generate_script, run_fast, run_reference};
+
+#[test]
+fn optimized_path_matches_frozen_reference_across_seeds() {
+    for seed in [1u64, 7, 42, 1337, 0xDEADBEEF] {
+        let script = generate_script(seed, 2_000);
+        let fast = run_fast(&script, 64);
+        let reference = run_reference(&script, 64);
+        assert_equivalent(&fast, &reference);
+    }
+}
+
+#[test]
+fn ship_window_is_invisible_to_committed_state() {
+    let script = generate_script(99, 2_000);
+    let reference = run_reference(&script, 64);
+    for window in [1usize, 13, 256, usize::MAX] {
+        let fast = run_fast(&script, window);
+        assert_equivalent(&fast, &reference);
+    }
+}
+
+#[test]
+fn group_commit_cuts_fsyncs_without_losing_records() {
+    let script = generate_script(5, 2_000);
+    let fast = run_fast(&script, 64);
+    let reference = run_reference(&script, 64);
+    // Same records durable on both paths, ~64x fewer fsyncs on one.
+    assert_eq!(fast.synced_txns, reference.synced_txns);
+    assert_eq!(reference.fsyncs, 2_000);
+    assert!(fast.fsyncs <= 2_000 / 64 + 1, "fsyncs {}", fast.fsyncs);
+}

@@ -113,16 +113,37 @@ fn emit_sequence(
 /// Compress `data` into a self-contained block.
 pub fn compress(data: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(data.len() / 2 + 16);
-    write_varint(&mut out, data.len());
+    let mut table = MatchTable::default();
+    compress_into(data, &mut table, &mut out);
+    out
+}
+
+/// Reusable hash table for [`compress_into`]. Each call re-clears it
+/// (a 256 KiB memset, far cheaper than the allocation-plus-zeroing a
+/// fresh `vec!` per block costs on the per-batch ship path).
+#[derive(Debug)]
+pub struct MatchTable(Vec<u32>);
+
+impl Default for MatchTable {
+    fn default() -> Self {
+        MatchTable(vec![0u32; 1 << HASH_LOG])
+    }
+}
+
+/// [`compress`] appending to a caller-owned buffer — byte-identical
+/// output, no allocations once `out` and `table` have warmed up.
+pub fn compress_into(data: &[u8], table: &mut MatchTable, out: &mut Vec<u8>) {
+    write_varint(out, data.len());
     let n = data.len();
     if n < MIN_MATCH + TAIL_LITERALS {
         if n > 0 {
-            emit_sequence(&mut out, data, None);
+            emit_sequence(out, data, None);
         }
-        return out;
+        return;
     }
 
-    let mut table = vec![0u32; 1 << HASH_LOG]; // stores position + 1
+    table.0.iter_mut().for_each(|s| *s = 0);
+    let table = &mut table.0; // stores position + 1
     let match_limit = n - TAIL_LITERALS;
     let mut i = 0usize;
     let mut anchor = 0usize;
@@ -139,7 +160,7 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
                 while i + ml < match_limit && data[pos + ml] == data[i + ml] {
                     ml += 1;
                 }
-                emit_sequence(&mut out, &data[anchor..i], Some((i - pos, ml)));
+                emit_sequence(out, &data[anchor..i], Some((i - pos, ml)));
                 i += ml;
                 anchor = i;
                 continue;
@@ -147,19 +168,27 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
         }
         i += 1;
     }
-    emit_sequence(&mut out, &data[anchor..], None);
-    out
+    emit_sequence(out, &data[anchor..], None);
 }
 
 /// Decompress a block produced by [`compress`].
 pub fn decompress(wire: &[u8]) -> Result<Vec<u8>, CompressError> {
+    let mut out = Vec::new();
+    decompress_into(wire, &mut out)?;
+    Ok(out)
+}
+
+/// [`decompress`] into a caller-owned buffer (cleared first, capacity
+/// reused across calls on the replay path).
+pub fn decompress_into(wire: &[u8], out: &mut Vec<u8>) -> Result<(), CompressError> {
+    out.clear();
     let mut pos = 0usize;
     let expected = read_varint(wire, &mut pos)?;
     // Cap the pre-allocation: a corrupt header must not abort the process.
-    let mut out = Vec::with_capacity(expected.min(1 << 20));
+    out.reserve(expected.min(1 << 20));
     if expected == 0 {
         return if pos == wire.len() {
-            Ok(out)
+            Ok(())
         } else {
             Err(CompressError::LengthMismatch {
                 expected,
@@ -234,7 +263,7 @@ pub fn decompress(wire: &[u8]) -> Result<Vec<u8>, CompressError> {
             actual: out.len(),
         });
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]

@@ -11,17 +11,38 @@
 
 use gdb_model::TxnId;
 use gdb_simnet::SimTime;
-use gdb_wal::{Lsn, RedoBuffer, RedoPayload};
+use gdb_wal::{GroupCommitWal, Lsn, RedoBuffer, RedoPayload};
 use std::collections::BTreeMap;
 
 /// The redo log of one primary shard: a staging area ordered by virtual
-/// time plus the sealed shipping buffer.
-#[derive(Debug, Default)]
+/// time, the sealed shipping buffer, and the durable on-disk segment.
+///
+/// Sealing doubles as the group-commit boundary: every record sealed in
+/// one `seal_upto`/`seal_all` call is framed into the durable
+/// [`GroupCommitWal`] and the whole window is synced *once* at the end
+/// of the call, instead of paying a per-transaction sync (and its
+/// partial-tail-page rewrite) for each commit record.
+#[derive(Debug)]
 pub struct ShardLog {
     staging: BTreeMap<(SimTime, u64), (TxnId, RedoPayload)>,
     seq: u64,
     sealed: RedoBuffer,
+    durable: GroupCommitWal,
     sealed_upto: SimTime,
+}
+
+impl Default for ShardLog {
+    fn default() -> Self {
+        ShardLog {
+            staging: BTreeMap::new(),
+            seq: 0,
+            sealed: RedoBuffer::new(),
+            // The seal call, not a record count, bounds the window: each
+            // seal ends with one explicit sync over everything it framed.
+            durable: GroupCommitWal::with_window(usize::MAX),
+            sealed_upto: SimTime::ZERO,
+        }
+    }
 }
 
 impl ShardLog {
@@ -53,8 +74,14 @@ impl ShardLog {
                 break;
             }
             let ((_, _), (txn, payload)) = entry.remove_entry();
+            let lsn = self.sealed.head_lsn();
+            self.durable.append_parts(lsn, txn, payload.as_view());
+            self.durable.commit();
             self.sealed.append(txn, payload);
             sealed += 1;
+        }
+        if sealed > 0 {
+            self.durable.sync();
         }
         self.sealed_upto = self.sealed_upto.max(upto);
         sealed
@@ -73,8 +100,14 @@ impl ShardLog {
         let mut sealed = 0;
         while let Some(entry) = self.staging.first_entry() {
             let ((_, _), (txn, payload)) = entry.remove_entry();
+            let lsn = self.sealed.head_lsn();
+            self.durable.append_parts(lsn, txn, payload.as_view());
+            self.durable.commit();
             self.sealed.append(txn, payload);
             sealed += 1;
+        }
+        if sealed > 0 {
+            self.durable.sync();
         }
         self.sealed_upto = self.sealed_upto.max(now);
         sealed
@@ -92,6 +125,11 @@ impl ShardLog {
     /// Records still staged (not yet shippable).
     pub fn staged_len(&self) -> usize {
         self.staging.len()
+    }
+
+    /// The durable on-disk segment group commit writes into.
+    pub fn durable(&self) -> &GroupCommitWal {
+        &self.durable
     }
 }
 
@@ -169,6 +207,27 @@ mod tests {
         // seals on the next flush).
         log.append(SimTime::from_millis(10), TxnId(2), commit(2));
         assert_eq!(log.seal_upto(SimTime::from_millis(15)), 1);
+    }
+
+    #[test]
+    fn seal_group_commits_durable_segment() {
+        let mut log = ShardLog::new();
+        for i in 0..10u64 {
+            log.append(SimTime::from_millis(i), TxnId(i), commit(i));
+        }
+        // Two seal windows -> two fsyncs, not ten.
+        log.seal_upto(SimTime::from_millis(4));
+        log.seal_upto(SimTime::from_millis(9));
+        assert_eq!(log.durable().fsyncs, 2);
+        assert_eq!(log.durable().synced_txns, 10);
+        assert_eq!(log.durable().unsynced_bytes(), 0);
+        // The durable segment holds exactly the sealed records.
+        let recs = gdb_wal::record::decode_all(log.durable().segment()).unwrap();
+        let sealed: Vec<_> = log.sealed().iter().cloned().collect();
+        assert_eq!(recs, sealed);
+        // An empty seal window does not sync.
+        log.seal_upto(SimTime::from_millis(20));
+        assert_eq!(log.durable().fsyncs, 2);
     }
 
     #[test]

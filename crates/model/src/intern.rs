@@ -1,0 +1,93 @@
+//! String interning for hot name lookups.
+//!
+//! Catalog resolution and metric naming repeatedly hash the same small
+//! set of strings ("warehouse", "orders.pk", ...). An [`Interner`]
+//! turns each distinct string into a dense [`Sym`] once; afterwards the
+//! symbol is the identity — `Copy`, 4 bytes, compares and hashes as an
+//! integer — so per-operation costs stop scaling with string length
+//! and per-lookup allocations disappear.
+
+use crate::fxhash::FxHashMap;
+
+/// An interned string: a dense index into its [`Interner`]. Only
+/// meaningful together with the interner that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(pub u32);
+
+/// Append-only string pool. Interning the same text twice returns the
+/// same [`Sym`]; resolution is an array index.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    by_text: FxHashMap<String, Sym>,
+    texts: Vec<String>,
+}
+
+impl Interner {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `text`, allocating only the first time it is seen.
+    pub fn intern(&mut self, text: &str) -> Sym {
+        if let Some(&sym) = self.by_text.get(text) {
+            return sym;
+        }
+        let sym = Sym(self.texts.len() as u32);
+        self.texts.push(text.to_string());
+        self.by_text.insert(text.to_string(), sym);
+        sym
+    }
+
+    /// Look up the symbol for `text` without interning it.
+    pub fn get(&self, text: &str) -> Option<Sym> {
+        self.by_text.get(text).copied()
+    }
+
+    /// The text behind `sym`. Panics on a symbol from another interner
+    /// (an index out of range).
+    pub fn resolve(&self, sym: Sym) -> &str {
+        &self.texts[sym.0 as usize]
+    }
+
+    /// Number of distinct strings interned.
+    pub fn len(&self) -> usize {
+        self.texts.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.texts.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("warehouse");
+        let b = i.intern("district");
+        let a2 = i.intern("warehouse");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut i = Interner::new();
+        let s = i.intern("orders.pk");
+        assert_eq!(i.resolve(s), "orders.pk");
+        assert_eq!(i.get("orders.pk"), Some(s));
+        assert_eq!(i.get("missing"), None);
+    }
+
+    #[test]
+    fn symbols_are_dense() {
+        let mut i = Interner::new();
+        for n in 0..100 {
+            assert_eq!(i.intern(&format!("t{n}")), Sym(n));
+        }
+    }
+}

@@ -7,14 +7,18 @@
 
 pub mod datum;
 pub mod error;
+pub mod fxhash;
 pub mod ids;
+pub mod intern;
 pub mod row;
 pub mod schema;
 pub mod timestamp;
 
 pub use datum::{DataType, Datum};
 pub use error::{GdbError, GdbResult};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{IndexId, ShardId, TableId, TxnId};
+pub use intern::{Interner, Sym};
 pub use row::{Row, RowKey};
 pub use schema::{ColumnDef, DistributionKind, SchemaBuilder, TableSchema};
 pub use timestamp::{Timestamp, TimestampBound};

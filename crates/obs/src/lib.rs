@@ -32,8 +32,9 @@ pub use metrics::{
     CounterId, HistId, HistSummary, Metric, MetricName, MetricsRegistry, MetricsReport,
 };
 pub use report::{
-    bundle, compare_artifacts, load_artifacts, to_chrome_trace, BenchArtifact, BenchSeries,
-    Comparison, NetStats, WALL_BASELINE_KEY, WALL_BASELINE_LABEL, WALL_CLOCK_KEY, WALL_FLOOR_KEY,
+    bundle, compare_artifacts, load_artifacts, to_chrome_trace, validate_artifacts, BenchArtifact,
+    BenchSeries, Comparison, NetStats, WALL_ALLOC_FLOOR_KEY, WALL_ALLOC_METRIC_KEY,
+    WALL_BASELINE_KEY, WALL_BASELINE_LABEL, WALL_CLOCK_KEY, WALL_FLOOR_KEY,
 };
 pub use span::{Span, SpanId, SpanKind, Tracer};
 

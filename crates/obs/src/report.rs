@@ -210,6 +210,14 @@ impl BenchArtifact {
             .unwrap_or(WALL_SPEEDUP_FLOOR)
     }
 
+    /// This wall-clock artifact's `alloc_improvement` floor
+    /// ([`WALL_ALLOC_FLOOR_KEY`] override, else 1.0).
+    pub fn wall_alloc_floor(&self) -> f64 {
+        self.config_value(WALL_ALLOC_FLOOR_KEY)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1.0)
+    }
+
     pub fn to_json(&self) -> Json {
         let config = self
             .config
@@ -383,6 +391,22 @@ pub const WALL_BASELINE_KEY: &str = "wall_baseline";
 /// guarding against collapse rather than a 1.2× win.
 pub const WALL_FLOOR_KEY: &str = "wall_floor";
 
+/// Config key naming a *lower-is-better* gauge (e.g.
+/// `"txn.allocs_per_txn"`) carried in each series' metrics snapshot of a
+/// wall-clock artifact. When set, the gate adds an `alloc_improvement`
+/// comparison per non-baseline series: the ratio `baseline gauge /
+/// series gauge` (how many times fewer allocations the optimized path
+/// makes) must hold up against the blessed ratio within [`WALL_SLACK`]
+/// and never drop below the artifact's [`WALL_ALLOC_FLOOR_KEY`] floor.
+/// Allocation counts are deterministic per build (unlike wall time), so
+/// this leg is far less noisy than the speedup leg it mirrors.
+pub const WALL_ALLOC_METRIC_KEY: &str = "wall_alloc_metric";
+
+/// Config key for the absolute `alloc_improvement` floor (default 1.0:
+/// the optimized path must at least not allocate *more* than its
+/// baseline).
+pub const WALL_ALLOC_FLOOR_KEY: &str = "wall_alloc_floor";
+
 /// Relative slack on speedup ratios: wall-clock runs are noisy (CPU
 /// contention, thermal state), so the gate only fails on a large move.
 const WALL_SLACK: f64 = 0.35;
@@ -417,6 +441,7 @@ impl Comparison {
         let unit = match self.metric.as_str() {
             "throughput" => "txn/s",
             "speedup" => "x over in-run baseline",
+            "alloc_improvement" => "x fewer allocs than in-run baseline",
             _ => "us mean",
         };
         format!(
@@ -532,6 +557,25 @@ fn compare_wall_clock(
         let num = a.series.iter().find(|s| s.label == label)?.throughput_txn_s;
         (denom > 0.0).then(|| num / denom)
     };
+    // Improvement of a lower-is-better gauge over the in-run baseline:
+    // `baseline gauge / series gauge` (10.0 = ten times fewer).
+    let alloc_metric = base.config_value(WALL_ALLOC_METRIC_KEY);
+    let improvement_in = |a: &BenchArtifact, label: &str| -> Option<f64> {
+        let metric = alloc_metric?;
+        let denom = a
+            .series
+            .iter()
+            .find(|s| s.label == label)?
+            .metrics
+            .gauge(metric)?;
+        let num = a
+            .series
+            .iter()
+            .find(|s| s.label == baseline_label)?
+            .metrics
+            .gauge(metric)?;
+        (denom > 0.0).then(|| num / denom)
+    };
     for bs in &base.series {
         if bs.label == baseline_label {
             continue;
@@ -557,7 +601,116 @@ fn compare_wall_clock(
             },
             ok: cur_speedup.is_some_and(|c| c >= threshold),
         });
+        if let Some(base_improvement) = improvement_in(base, &bs.label) {
+            let cur_improvement = cur_art.and_then(|a| improvement_in(a, &bs.label));
+            let cur = cur_improvement.unwrap_or(0.0);
+            let threshold = (base_improvement * (1.0 - WALL_SLACK)).max(base.wall_alloc_floor());
+            out.push(Comparison {
+                figure: base.figure.clone(),
+                label: bs.label.clone(),
+                metric: "alloc_improvement".into(),
+                baseline: base_improvement,
+                current: cur,
+                ratio: if base_improvement > 0.0 {
+                    cur / base_improvement
+                } else {
+                    1.0
+                },
+                ok: cur_improvement.is_some_and(|c| c >= threshold),
+            });
+        }
     }
+}
+
+/// Schema-sanity validation of committed artifacts: every oddity a
+/// hand-edited or drifted `BENCH_*.json` could carry that the gate
+/// would otherwise silently mis-compare. Returns one message per
+/// problem (empty = valid). Run by `benchcmp validate` in the lint
+/// stage over every committed baseline.
+pub fn validate_artifacts(artifacts: &[BenchArtifact]) -> Vec<String> {
+    let mut errs = Vec::new();
+    let mut figures = std::collections::BTreeSet::new();
+    for a in artifacts {
+        let fig = &a.figure;
+        if fig.is_empty() {
+            errs.push("artifact with empty figure name".into());
+            continue;
+        }
+        if !figures.insert(fig.clone()) {
+            errs.push(format!("{fig}: duplicate figure in one document"));
+        }
+        if a.series.is_empty() {
+            errs.push(format!("{fig}: no series"));
+        }
+        for (key, _) in &a.config {
+            if key.is_empty() {
+                errs.push(format!("{fig}: empty config key"));
+            }
+        }
+        if a.is_wall_clock() {
+            if let Some(v) = a.config_value(WALL_FLOOR_KEY) {
+                if v.parse::<f64>()
+                    .map_or(true, |f| !f.is_finite() || f <= 0.0)
+                {
+                    errs.push(format!("{fig}: bad {WALL_FLOOR_KEY} {v:?}"));
+                }
+            }
+            if let Some(v) = a.config_value(WALL_ALLOC_FLOOR_KEY) {
+                if v.parse::<f64>()
+                    .map_or(true, |f| !f.is_finite() || f <= 0.0)
+                {
+                    errs.push(format!("{fig}: bad {WALL_ALLOC_FLOOR_KEY} {v:?}"));
+                }
+            }
+            let baseline = a.wall_baseline_label().to_string();
+            if a.config_value(WALL_BASELINE_KEY).is_some()
+                && !a.series.iter().any(|s| s.label == baseline)
+            {
+                errs.push(format!(
+                    "{fig}: {WALL_BASELINE_KEY} names absent series {baseline:?}"
+                ));
+            }
+            if let Some(metric) = a.config_value(WALL_ALLOC_METRIC_KEY) {
+                for s in &a.series {
+                    if s.metrics.gauge(metric).is_none() {
+                        errs.push(format!(
+                            "{fig}/{}: {WALL_ALLOC_METRIC_KEY} {metric:?} missing from metrics",
+                            s.label
+                        ));
+                    }
+                }
+            }
+        }
+        let mut labels = std::collections::BTreeSet::new();
+        for s in &a.series {
+            let label = &s.label;
+            if label.is_empty() {
+                errs.push(format!("{fig}: series with empty label"));
+            }
+            if !labels.insert(label.clone()) {
+                errs.push(format!("{fig}: duplicate series label {label:?}"));
+            }
+            for (name, v) in [("throughput_txn_s", s.throughput_txn_s), ("tpmc", s.tpmc)] {
+                if !v.is_finite() || v < 0.0 {
+                    errs.push(format!(
+                        "{fig}/{label}: {name} = {v} not a finite non-negative"
+                    ));
+                }
+            }
+            let mut hists: Vec<(String, &HistSummary)> = vec![("latency_us".into(), &s.latency)];
+            hists.extend(s.phases.iter().map(|(k, h)| (format!("phases_us.{k}"), h)));
+            for (name, h) in hists {
+                let quantiles = [h.p50_us, h.p95_us, h.p99_us, h.p999_us];
+                if quantiles.windows(2).any(|w| w[0] > w[1]) {
+                    errs.push(format!("{fig}/{label}: {name} quantiles not monotone"));
+                }
+                if h.count > 0 && (h.min_us > h.max_us || h.mean_us > h.max_us) {
+                    errs.push(format!("{fig}/{label}: {name} min/mean/max inconsistent"));
+                }
+            }
+        }
+    }
+    errs
 }
 
 #[cfg(test)]
@@ -795,6 +948,99 @@ mod tests {
         let tiny = vec![realnet_artifact(25.0, 1_000.0)];
         let out = compare_artifacts(&tiny, &[realnet_artifact(10.0, 1_000.0)], 0.20);
         assert!(!out[0].ok, "ratio 0.01 under floor 0.02 must fail: {out:?}");
+    }
+
+    /// A txn-bench-shaped wall-clock artifact: fast + legacy series with
+    /// an allocations-per-transaction gauge, gated via
+    /// [`WALL_ALLOC_METRIC_KEY`] with a 10x floor.
+    fn alloc_artifact(fast_eps: f64, fast_allocs: f64, legacy_allocs: f64) -> BenchArtifact {
+        let mut a = wall_artifact(fast_eps, 1_000_000.0);
+        a.config_kv(WALL_ALLOC_METRIC_KEY, "txn.allocs_per_txn");
+        a.config_kv(WALL_ALLOC_FLOOR_KEY, "10");
+        for (i, allocs) in [fast_allocs, legacy_allocs].into_iter().enumerate() {
+            let mut m = crate::metrics::MetricsRegistry::default();
+            m.gauge("txn.allocs_per_txn", allocs);
+            a.series[i].metrics = m.snapshot();
+        }
+        a
+    }
+
+    #[test]
+    fn wall_clock_gate_checks_alloc_improvement() {
+        // Blessed: 3x speedup, 30x fewer allocations (0.9 vs 27).
+        let base = vec![alloc_artifact(3_000_000.0, 0.9, 27.0)];
+        let rows = |cur: &BenchArtifact| compare_artifacts(&base, std::slice::from_ref(cur), 0.20);
+        // Same shape passes and yields speedup + alloc rows.
+        let out = rows(&alloc_artifact(3_000_000.0, 0.9, 27.0));
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert_eq!(out[1].metric, "alloc_improvement");
+        assert!(out.iter().all(|c| c.ok), "{out:?}");
+        assert!(out[1].render().contains("x fewer allocs"));
+        // Improvement held within slack (30x -> 21x with 35% slack).
+        let out = rows(&alloc_artifact(3_000_000.0, 1.25, 27.0));
+        assert!(out[1].ok, "{out:?}");
+        // Fast path regressed to only 3x fewer allocations: below the
+        // 10x floor — fails even though slack alone would be generous.
+        let out = rows(&alloc_artifact(3_000_000.0, 9.0, 27.0));
+        assert!(!out[1].ok, "{out:?}");
+        // Gauge missing from the current run fails the alloc row.
+        let mut gone = alloc_artifact(3_000_000.0, 0.9, 27.0);
+        gone.series[0].metrics = MetricsReport::default();
+        let out = rows(&gone);
+        assert!(!out[1].ok, "{out:?}");
+        // The speedup leg is unaffected by the alloc config.
+        assert_eq!(out[0].metric, "speedup");
+        assert!(out[0].ok, "{out:?}");
+    }
+
+    #[test]
+    fn validate_catches_schema_drift() {
+        // A healthy document validates clean.
+        let good = vec![
+            artifact("fig1a", "tpcc", 50.0),
+            alloc_artifact(3_000_000.0, 0.9, 27.0),
+        ];
+        assert!(
+            validate_artifacts(&good).is_empty(),
+            "{:?}",
+            validate_artifacts(&good)
+        );
+
+        let errs = |arts: &[BenchArtifact]| validate_artifacts(arts);
+        // Duplicate figures in one document.
+        let dup = vec![artifact("fig1a", "a", 1.0), artifact("fig1a", "b", 1.0)];
+        assert!(errs(&dup).iter().any(|e| e.contains("duplicate figure")));
+        // Duplicate series labels.
+        let mut a = artifact("fig1a", "x", 1.0);
+        a.series.push(a.series[0].clone());
+        assert!(errs(&[a])
+            .iter()
+            .any(|e| e.contains("duplicate series label")));
+        // Non-finite throughput.
+        let mut a = artifact("fig1a", "x", 1.0);
+        a.series[0].throughput_txn_s = f64::NAN;
+        assert!(errs(&[a]).iter().any(|e| e.contains("throughput_txn_s")));
+        // Unparseable wall floor.
+        let mut a = wall_artifact(2.0, 1.0);
+        a.config_kv(WALL_FLOOR_KEY, "fast");
+        assert!(errs(&[a]).iter().any(|e| e.contains(WALL_FLOOR_KEY)));
+        // Alloc metric configured but absent from a series' metrics.
+        let mut a = alloc_artifact(3_000_000.0, 0.9, 27.0);
+        a.series[1].metrics = MetricsReport::default();
+        assert!(errs(&[a]).iter().any(|e| e.contains("txn.allocs_per_txn")));
+        // wall_baseline naming a series that does not exist.
+        let mut a = wall_artifact(2.0, 1.0);
+        a.config_kv(WALL_BASELINE_KEY, "thread");
+        assert!(errs(&[a]).iter().any(|e| e.contains("absent series")));
+        // Quantile ordering violated.
+        let mut a = artifact("fig1a", "x", 1.0);
+        a.series[0].latency.p95_us = a.series[0].latency.p99_us + 1_000_000;
+        assert!(errs(&[a]).iter().any(|e| e.contains("not monotone")));
+        // Empty figure and empty series list.
+        assert!(!errs(&[BenchArtifact::new("")]).is_empty());
+        assert!(errs(&[BenchArtifact::new("f")])
+            .iter()
+            .any(|e| e.contains("no series")));
     }
 
     #[test]

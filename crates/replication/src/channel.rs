@@ -5,8 +5,8 @@
 //! when enough bytes are pending. Batches are optionally compressed
 //! (paper §V-A: LZ4 halves-or-better the WAN bytes).
 
-use gdb_compress::Codec;
-use gdb_wal::{LogBatch, Lsn, RedoBuffer};
+use gdb_compress::{Codec, MatchTable};
+use gdb_wal::{EncodeScratch, LogBatch, Lsn, RedoBuffer};
 
 /// Statistics for one channel.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -28,6 +28,12 @@ pub struct WireBatch {
 }
 
 /// Sender state for one replica.
+///
+/// Carries reusable encode/compress scratch so the per-batch drain is
+/// allocation-free at steady state: records are framed once into
+/// `raw_buf` and compressed once into `wire_buf` (the old path encoded
+/// into a fresh vec and then compressed a *second* time just to learn
+/// the wire size).
 #[derive(Debug)]
 pub struct ShippingChannel {
     /// Next LSN to ship.
@@ -35,6 +41,10 @@ pub struct ShippingChannel {
     codec: Codec,
     /// Max records per drained batch.
     max_batch_records: usize,
+    scratch: EncodeScratch,
+    raw_buf: Vec<u8>,
+    wire_buf: Vec<u8>,
+    match_table: MatchTable,
     pub stats: ChannelStats,
 }
 
@@ -44,6 +54,10 @@ impl ShippingChannel {
             next_lsn: Lsn(0),
             codec,
             max_batch_records: 4096,
+            scratch: EncodeScratch::default(),
+            raw_buf: Vec::new(),
+            wire_buf: Vec::new(),
+            match_table: MatchTable::default(),
             stats: ChannelStats::default(),
         }
     }
@@ -76,17 +90,27 @@ impl ShippingChannel {
             return None;
         }
         self.next_lsn = Lsn(batch.last_lsn().0 + 1);
-        let raw = batch.encode();
-        let wire_bytes = self.codec.wire_size(&raw);
+        self.raw_buf.clear();
+        batch.encode_into(&mut self.scratch, &mut self.raw_buf);
+        self.codec
+            .encode_into(&self.raw_buf, &mut self.match_table, &mut self.wire_buf);
+        let raw_bytes = self.raw_buf.len();
+        let wire_bytes = self.wire_buf.len();
         self.stats.batches += 1;
         self.stats.records += batch.len() as u64;
-        self.stats.raw_bytes += raw.len() as u64;
+        self.stats.raw_bytes += raw_bytes as u64;
         self.stats.wire_bytes += wire_bytes as u64;
         Some(WireBatch {
             batch,
             wire_bytes,
-            raw_bytes: raw.len(),
+            raw_bytes,
         })
+    }
+
+    /// The wire bytes of the most recent [`Self::drain`] (valid until the
+    /// next drain). Lets callers ship the encoded form without re-encoding.
+    pub fn last_wire(&self) -> &[u8] {
+        &self.wire_buf
     }
 
     /// Reset the cursor (replica recovery: resume from its applied LSN).

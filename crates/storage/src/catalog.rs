@@ -3,8 +3,7 @@
 //! Computing nodes are stateless (paper §II-A) and share the catalog; data
 //! nodes keep a copy that DDL replay keeps current on replicas.
 
-use gdb_model::{GdbError, GdbResult, IndexId, TableId, TableSchema};
-use std::collections::HashMap;
+use gdb_model::{FxHashMap, GdbError, GdbResult, IndexId, Interner, TableId, TableSchema};
 
 /// Metadata of one secondary index.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -18,12 +17,19 @@ pub struct IndexDef {
 }
 
 /// Table and index metadata.
+///
+/// Name lookups go through an [`Interner`]: each distinct name is
+/// hashed as a string once to obtain a `Sym`, and the by-name maps key
+/// on the `Sym` (a `u32`) with a fast hasher. Interned names are never
+/// freed — catalogs see few distinct names and DDL is rare, so the
+/// table stays tiny even across drop/recreate cycles.
 #[derive(Debug, Default, Clone)]
 pub struct Catalog {
-    tables: HashMap<TableId, TableSchema>,
-    by_name: HashMap<String, TableId>,
-    indexes: HashMap<IndexId, IndexDef>,
-    index_by_name: HashMap<String, IndexId>,
+    tables: FxHashMap<TableId, TableSchema>,
+    names: Interner,
+    by_name: FxHashMap<gdb_model::Sym, TableId>,
+    indexes: FxHashMap<IndexId, IndexDef>,
+    index_by_name: FxHashMap<gdb_model::Sym, IndexId>,
     next_table: u32,
     next_index: u32,
 }
@@ -42,14 +48,15 @@ impl Catalog {
 
     /// Register a table (id already set in the schema).
     pub fn create_table(&mut self, schema: TableSchema) -> GdbResult<()> {
-        if self.by_name.contains_key(&schema.name) {
+        let sym = self.names.intern(&schema.name);
+        if self.by_name.contains_key(&sym) {
             return Err(GdbError::Schema(format!(
                 "table {} already exists",
                 schema.name
             )));
         }
         self.next_table = self.next_table.max(schema.id.0 + 1);
-        self.by_name.insert(schema.name.clone(), schema.id);
+        self.by_name.insert(sym, schema.id);
         self.tables.insert(schema.id, schema);
         Ok(())
     }
@@ -59,7 +66,9 @@ impl Catalog {
             .tables
             .remove(&id)
             .ok_or_else(|| GdbError::Schema(format!("unknown table {id}")))?;
-        self.by_name.remove(&schema.name);
+        if let Some(sym) = self.names.get(&schema.name) {
+            self.by_name.remove(&sym);
+        }
         let dropped: Vec<IndexId> = self
             .indexes
             .values()
@@ -68,7 +77,9 @@ impl Catalog {
             .collect();
         for ix in dropped {
             if let Some(def) = self.indexes.remove(&ix) {
-                self.index_by_name.remove(&def.name);
+                if let Some(sym) = self.names.get(&def.name) {
+                    self.index_by_name.remove(&sym);
+                }
             }
         }
         Ok(schema)
@@ -82,14 +93,18 @@ impl Catalog {
 
     pub fn table_by_name(&self, name: &str) -> GdbResult<&TableSchema> {
         let id = self
-            .by_name
+            .names
             .get(name)
+            .and_then(|sym| self.by_name.get(&sym))
             .ok_or_else(|| GdbError::Schema(format!("unknown table {name}")))?;
         self.table(*id)
     }
 
     pub fn table_names(&self) -> Vec<&str> {
-        self.by_name.keys().map(|s| s.as_str()).collect()
+        self.by_name
+            .keys()
+            .map(|&sym| self.names.resolve(sym))
+            .collect()
     }
 
     pub fn tables(&self) -> impl Iterator<Item = &TableSchema> {
@@ -109,12 +124,13 @@ impl Catalog {
                 "index {name}: column position out of range"
             )));
         }
-        if self.index_by_name.contains_key(&name) {
+        let sym = self.names.intern(&name);
+        if self.index_by_name.contains_key(&sym) {
             return Err(GdbError::Schema(format!("index {name} already exists")));
         }
         let id = IndexId(self.next_index);
         self.next_index += 1;
-        self.index_by_name.insert(name.clone(), id);
+        self.index_by_name.insert(sym, id);
         self.indexes.insert(
             id,
             IndexDef {
@@ -129,8 +145,9 @@ impl Catalog {
 
     pub fn drop_index(&mut self, name: &str) -> GdbResult<IndexDef> {
         let id = self
-            .index_by_name
-            .remove(name)
+            .names
+            .get(name)
+            .and_then(|sym| self.index_by_name.remove(&sym))
             .ok_or_else(|| GdbError::Schema(format!("unknown index {name}")))?;
         Ok(self.indexes.remove(&id).expect("index map consistent"))
     }
@@ -143,8 +160,9 @@ impl Catalog {
 
     pub fn index_by_name(&self, name: &str) -> GdbResult<&IndexDef> {
         let id = self
-            .index_by_name
+            .names
             .get(name)
+            .and_then(|sym| self.index_by_name.get(&sym))
             .ok_or_else(|| GdbError::Schema(format!("unknown index {name}")))?;
         self.index(*id)
     }

@@ -10,17 +10,17 @@
 use crate::catalog::Catalog;
 use crate::lock::LockTable;
 use crate::table::{Table, VisibleRow};
-use gdb_model::{Datum, GdbError, GdbResult, IndexId, Row, RowKey, TableId, Timestamp};
+use gdb_model::{Datum, FxHashMap, GdbError, GdbResult, IndexId, Row, RowKey, TableId, Timestamp};
 use gdb_simnet::SimTime;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// Storage state of one data node (primary or replica).
 #[derive(Debug, Default, Clone)]
 pub struct DataNodeStorage {
     catalog: Catalog,
-    tables: HashMap<TableId, Table>,
+    tables: FxHashMap<TableId, Table>,
     /// index id → ordered map of (index cols ‖ pk) → pk.
-    indexes: HashMap<IndexId, BTreeMap<RowKey, RowKey>>,
+    indexes: FxHashMap<IndexId, BTreeMap<RowKey, RowKey>>,
     pub locks: LockTable,
     /// Row reads served (load metric).
     pub reads: u64,
@@ -93,6 +93,20 @@ impl DataNodeStorage {
         RowKey(vals)
     }
 
+    /// The `(index, entry)` pairs a write to `(table, key, row)` must
+    /// install. Returns an empty (non-allocating) vec when the table has
+    /// no secondary indexes — the common case on the hot write path.
+    fn index_updates(&self, table: TableId, key: &RowKey, row: &Row) -> Vec<(IndexId, RowKey)> {
+        if self.indexes.is_empty() {
+            return Vec::new();
+        }
+        self.catalog
+            .indexes_on(table)
+            .iter()
+            .map(|ix| (ix.id, Self::index_entry(&ix.columns, row, key)))
+            .collect()
+    }
+
     // ---- DML (installs *committed* versions) -------------------------
 
     fn table_mut(&mut self, id: TableId) -> GdbResult<&mut Table> {
@@ -117,15 +131,13 @@ impl DataNodeStorage {
         commit_vtime: SimTime,
     ) -> GdbResult<()> {
         self.writes += 1;
-        let index_updates: Vec<(IndexId, RowKey)> = self
-            .catalog
-            .indexes_on(table)
-            .iter()
-            .map(|ix| (ix.id, Self::index_entry(&ix.columns, &row, &key)))
-            .collect();
+        let index_updates = self.index_updates(table, &key, &row);
         let tbl = self.table_mut(table)?;
         if tbl.exists_newest(&key) {
             return Err(GdbError::DuplicateKey(format!("{table} {key}")));
+        }
+        if index_updates.is_empty() {
+            return tbl.install_version(key, Some(row), commit_ts, commit_vtime);
         }
         tbl.install_version(key.clone(), Some(row), commit_ts, commit_vtime)?;
         for (ix, entry) in index_updates {
@@ -148,15 +160,13 @@ impl DataNodeStorage {
         commit_vtime: SimTime,
     ) -> GdbResult<()> {
         self.writes += 1;
-        let index_updates: Vec<(IndexId, RowKey)> = self
-            .catalog
-            .indexes_on(table)
-            .iter()
-            .map(|ix| (ix.id, Self::index_entry(&ix.columns, &new_row, &key)))
-            .collect();
+        let index_updates = self.index_updates(table, &key, &new_row);
         let tbl = self.table_mut(table)?;
         if !tbl.exists_newest(&key) {
             return Err(GdbError::NotFound(format!("{table} {key}")));
+        }
+        if index_updates.is_empty() {
+            return tbl.install_version(key, Some(new_row), commit_ts, commit_vtime);
         }
         tbl.install_version(key.clone(), Some(new_row), commit_ts, commit_vtime)?;
         for (ix, entry) in index_updates {
@@ -179,14 +189,36 @@ impl DataNodeStorage {
         commit_vtime: SimTime,
     ) -> GdbResult<()> {
         self.writes += 1;
-        let index_updates: Vec<(IndexId, RowKey)> = self
-            .catalog
-            .indexes_on(table)
-            .iter()
-            .map(|ix| (ix.id, Self::index_entry(&ix.columns, &row, &key)))
-            .collect();
+        let index_updates = self.index_updates(table, &key, &row);
         let tbl = self.table_mut(table)?;
+        if index_updates.is_empty() {
+            return tbl.install_version(key, Some(row), commit_ts, commit_vtime);
+        }
         tbl.install_version(key.clone(), Some(row), commit_ts, commit_vtime)?;
+        for (ix, entry) in index_updates {
+            self.indexes
+                .get_mut(&ix)
+                .expect("index storage consistent")
+                .insert(entry, key.clone());
+        }
+        Ok(())
+    }
+
+    /// [`DataNodeStorage::apply_put`] borrowing the key: the replay hot
+    /// path clones it only when the key is new to the table or feeds a
+    /// secondary index.
+    pub fn apply_put_at(
+        &mut self,
+        table: TableId,
+        key: &RowKey,
+        row: Row,
+        commit_ts: Timestamp,
+        commit_vtime: SimTime,
+    ) -> GdbResult<()> {
+        self.writes += 1;
+        let index_updates = self.index_updates(table, key, &row);
+        let tbl = self.table_mut(table)?;
+        tbl.install_version_at(key, Some(row), commit_ts, commit_vtime)?;
         for (ix, entry) in index_updates {
             self.indexes
                 .get_mut(&ix)
@@ -223,6 +255,28 @@ impl DataNodeStorage {
         self.writes += 1;
         let tbl = self.table_mut(table)?;
         tbl.install_version(key, None, commit_ts, commit_vtime)
+    }
+
+    /// [`DataNodeStorage::apply_delete`] borrowing the key.
+    pub fn apply_delete_at(
+        &mut self,
+        table: TableId,
+        key: &RowKey,
+        commit_ts: Timestamp,
+        commit_vtime: SimTime,
+    ) -> GdbResult<()> {
+        self.writes += 1;
+        let tbl = self.table_mut(table)?;
+        tbl.install_version_at(key, None, commit_ts, commit_vtime)
+    }
+
+    /// A cleared recycled row buffer from the table's vacuum pool (see
+    /// [`Table::recycled_row`]); a fresh `Row` if the table is unknown.
+    pub fn recycled_row(&mut self, table: TableId) -> Row {
+        self.tables
+            .get_mut(&table)
+            .map(|t| t.recycled_row())
+            .unwrap_or_default()
     }
 
     // ---- Reads -------------------------------------------------------

@@ -7,9 +7,8 @@
 //! observes the release time and adds the wait to its own latency — exactly
 //! the blocking a real lock manager would produce.
 
-use gdb_model::{RowKey, TableId, TxnId};
+use gdb_model::{FxHashMap, RowKey, TableId, TxnId};
 use gdb_simnet::SimTime;
-use std::collections::HashMap;
 
 /// Result of a lock attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,9 +27,16 @@ struct LockState {
 }
 
 /// The per-data-node lock table.
+///
+/// Keyed as a two-level map (table, then row key) with a fast
+/// non-cryptographic hasher: the hot acquire path probes the inner map
+/// through a borrowed `&RowKey` and clones the key only when inserting
+/// a lock on a row it has never seen. The frozen flat-map
+/// implementation lives in [`crate::reference`] with differential tests
+/// pinning the two to identical outcomes.
 #[derive(Debug, Default, Clone)]
 pub struct LockTable {
-    locks: HashMap<(TableId, RowKey), LockState>,
+    locks: FxHashMap<TableId, FxHashMap<RowKey, LockState>>,
     /// Total lock-wait events (contention metric).
     pub waits: u64,
 }
@@ -53,41 +59,42 @@ impl LockTable {
         now: SimTime,
         release_at: SimTime,
     ) -> LockOutcome {
-        let entry = self.locks.entry((table, key.clone()));
-        match entry {
-            std::collections::hash_map::Entry::Occupied(mut o) => {
-                let state = o.get_mut();
-                if state.holder == txn {
-                    state.release_at = state.release_at.max(release_at);
-                    return LockOutcome::Acquired;
-                }
-                if state.release_at <= now {
-                    // Previous holder's commit already completed.
-                    *state = LockState {
-                        holder: txn,
-                        release_at,
-                    };
-                    return LockOutcome::Acquired;
-                }
-                self.waits += 1;
-                LockOutcome::WaitUntil(state.release_at)
+        let shard = self.locks.entry(table).or_default();
+        if let Some(state) = shard.get_mut(key) {
+            if state.holder == txn {
+                state.release_at = state.release_at.max(release_at);
+                return LockOutcome::Acquired;
             }
-            std::collections::hash_map::Entry::Vacant(v) => {
-                v.insert(LockState {
+            if state.release_at <= now {
+                // Previous holder's commit already completed.
+                *state = LockState {
                     holder: txn,
                     release_at,
-                });
-                LockOutcome::Acquired
+                };
+                return LockOutcome::Acquired;
             }
+            self.waits += 1;
+            LockOutcome::WaitUntil(state.release_at)
+        } else {
+            shard.insert(
+                key.clone(),
+                LockState {
+                    holder: txn,
+                    release_at,
+                },
+            );
+            LockOutcome::Acquired
         }
     }
 
     /// Extend the release time of all locks held by `txn` (its commit time
     /// moved later, e.g. a 2PC round lengthened the transaction).
     pub fn extend(&mut self, txn: TxnId, release_at: SimTime) {
-        for state in self.locks.values_mut() {
-            if state.holder == txn {
-                state.release_at = state.release_at.max(release_at);
+        for shard in self.locks.values_mut() {
+            for state in shard.values_mut() {
+                if state.holder == txn {
+                    state.release_at = state.release_at.max(release_at);
+                }
             }
         }
     }
@@ -95,14 +102,16 @@ impl LockTable {
     /// Release all locks held by `txn` (abort path — commit releases
     /// implicitly by letting release times expire).
     pub fn release_all(&mut self, txn: TxnId) {
-        self.locks.retain(|_, s| s.holder != txn);
+        for shard in self.locks.values_mut() {
+            shard.retain(|_, s| s.holder != txn);
+        }
     }
 
     /// Set the exact release time of one lock held by `txn` (the commit
     /// path pins each lock to the transaction's per-shard commit-apply
     /// instant).
     pub fn set_release(&mut self, table: TableId, key: &RowKey, txn: TxnId, at: SimTime) {
-        if let Some(s) = self.locks.get_mut(&(table, key.clone())) {
+        if let Some(s) = self.locks.get_mut(&table).and_then(|m| m.get_mut(key)) {
             if s.holder == txn {
                 s.release_at = at;
             }
@@ -111,23 +120,26 @@ impl LockTable {
 
     /// Drop expired entries (housekeeping so the map doesn't grow forever).
     pub fn sweep(&mut self, now: SimTime) {
-        self.locks.retain(|_, s| s.release_at > now);
+        for shard in self.locks.values_mut() {
+            shard.retain(|_, s| s.release_at > now);
+        }
     }
 
     /// Current holder of a lock, if unexpired.
     pub fn holder(&self, table: TableId, key: &RowKey, now: SimTime) -> Option<TxnId> {
         self.locks
-            .get(&(table, key.clone()))
+            .get(&table)
+            .and_then(|m| m.get(key))
             .filter(|s| s.release_at > now)
             .map(|s| s.holder)
     }
 
     pub fn len(&self) -> usize {
-        self.locks.len()
+        self.locks.values().map(|m| m.len()).sum()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.locks.is_empty()
+        self.len() == 0
     }
 }
 

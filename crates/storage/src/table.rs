@@ -1,4 +1,13 @@
 //! Versioned tables with snapshot visibility.
+//!
+//! Version chains live in a per-table slab arena: each chain is a
+//! newest-first singly linked list of `u32` node indices, with the head
+//! stored in the key B-tree. Vacuumed nodes go on a freelist and their
+//! row buffers into a bounded pool, so the steady state — install,
+//! read, vacuum, repeat — allocates nothing per transaction. The frozen
+//! pre-arena implementation is kept verbatim in [`crate::reference`]
+//! and the differential property tests there pin the two to identical
+//! behavior.
 
 use gdb_model::{GdbError, GdbResult, Row, RowKey, Timestamp};
 use gdb_simnet::SimTime;
@@ -28,69 +37,75 @@ pub struct VisibleRow<'a> {
     pub commit_vtime: SimTime,
 }
 
-/// The version chain for one primary key, newest last.
-#[derive(Debug, Clone, Default)]
-pub struct VersionChain {
-    versions: Vec<Version>,
+/// Chain-list terminator.
+const NIL: u32 = u32::MAX;
+
+/// Vacuumed row buffers kept for reuse, per table. Bounded so a burst
+/// of deletes cannot pin arbitrary memory.
+const ROW_POOL_CAP: usize = 4096;
+
+/// One arena slot: a version plus the index of the next-*older* version
+/// in its chain.
+#[derive(Debug, Clone)]
+struct VersionNode {
+    version: Version,
+    older: u32,
 }
 
-impl VersionChain {
-    /// Append a version. Chains must stay ordered by commit timestamp —
-    /// guaranteed by the lock table (a writer waits out the previous holder
-    /// whose commit wait, in turn, guarantees a larger timestamp).
-    fn push(&mut self, key: &RowKey, v: Version) -> GdbResult<()> {
-        if let Some(last) = self.versions.last() {
-            if v.commit_ts < last.commit_ts {
-                return Err(GdbError::Internal(format!(
-                    "version chain order violation at {key}: {} (vtime {}) after {} (vtime {})",
-                    v.commit_ts, v.commit_vtime, last.commit_ts, last.commit_vtime
-                )));
+/// Slab arena holding every version node of one table, with a freelist
+/// fed by vacuum and a bounded pool of recycled row buffers.
+#[derive(Debug, Default, Clone)]
+struct VersionArena {
+    nodes: Vec<VersionNode>,
+    free: Vec<u32>,
+    row_pool: Vec<Row>,
+}
+
+impl VersionArena {
+    fn alloc(&mut self, version: Version, older: u32) -> u32 {
+        match self.free.pop() {
+            Some(i) => {
+                self.nodes[i as usize] = VersionNode { version, older };
+                i
+            }
+            None => {
+                self.nodes.push(VersionNode { version, older });
+                (self.nodes.len() - 1) as u32
             }
         }
-        self.versions.push(v);
-        Ok(())
     }
 
-    /// The newest version visible at `snapshot` (may be a tombstone).
-    fn visible_at(&self, snapshot: Timestamp) -> Option<&Version> {
-        self.versions.iter().rev().find(|v| v.commit_ts <= snapshot)
-    }
-
-    /// The newest version regardless of snapshot (for read-committed
-    /// updates after a lock wait).
-    fn newest(&self) -> Option<&Version> {
-        self.versions.last()
-    }
-
-    /// Drop versions no longer visible to any snapshot ≥ `horizon`
-    /// (vacuum). Keeps the newest version at or below the horizon plus
-    /// everything above it.
-    fn vacuum(&mut self, horizon: Timestamp) -> usize {
-        // Index of the newest version with commit_ts <= horizon.
-        let keep_from = match self.versions.iter().rposition(|v| v.commit_ts <= horizon) {
-            Some(i) => i,
-            None => return 0,
-        };
-        let removed = keep_from;
-        if removed > 0 {
-            self.versions.drain(0..removed);
+    /// Return a node to the freelist, salvaging its row buffer.
+    fn release(&mut self, idx: u32) {
+        let node = &mut self.nodes[idx as usize];
+        if let Some(mut row) = node.version.row.take() {
+            if self.row_pool.len() < ROW_POOL_CAP {
+                row.0.clear();
+                self.row_pool.push(row);
+            }
         }
-        removed
+        self.free.push(idx);
     }
 
-    pub fn len(&self) -> usize {
-        self.versions.len()
-    }
-
-    pub fn is_empty(&self) -> bool {
-        self.versions.is_empty()
+    /// Newest version at or below `snapshot` walking from `head`.
+    fn visible_at(&self, mut idx: u32, snapshot: Timestamp) -> Option<&Version> {
+        while idx != NIL {
+            let node = &self.nodes[idx as usize];
+            if node.version.commit_ts <= snapshot {
+                return Some(&node.version);
+            }
+            idx = node.older;
+        }
+        None
     }
 }
 
-/// A versioned table: primary-key ordered chains.
+/// A versioned table: primary-key ordered chains in a slab arena.
 #[derive(Debug, Default, Clone)]
 pub struct Table {
-    rows: BTreeMap<RowKey, VersionChain>,
+    /// Key -> head (newest) version node of its chain.
+    rows: BTreeMap<RowKey, u32>,
+    arena: VersionArena,
     /// Count of version installs (write amplification metric).
     pub versions_installed: u64,
 }
@@ -101,7 +116,10 @@ impl Table {
     }
 
     /// Install a committed version (insert, update, or tombstone).
-    /// `row = None` is a delete.
+    /// `row = None` is a delete. Chains must stay ordered by commit
+    /// timestamp — guaranteed by the lock table (a writer waits out the
+    /// previous holder whose commit wait, in turn, guarantees a larger
+    /// timestamp).
     pub fn install_version(
         &mut self,
         key: RowKey,
@@ -109,22 +127,82 @@ impl Table {
         commit_ts: Timestamp,
         commit_vtime: SimTime,
     ) -> GdbResult<()> {
+        use std::collections::btree_map::Entry;
         self.versions_installed += 1;
-        let chain = self.rows.entry(key.clone()).or_default();
-        chain.push(
-            &key,
-            Version {
-                commit_ts,
-                commit_vtime,
-                row,
-            },
-        )
+        let v = Version {
+            commit_ts,
+            commit_vtime,
+            row,
+        };
+        match self.rows.entry(key) {
+            Entry::Occupied(mut o) => {
+                let head = *o.get();
+                let last = &self.arena.nodes[head as usize].version;
+                if v.commit_ts < last.commit_ts {
+                    return Err(GdbError::Internal(format!(
+                        "version chain order violation at {}: {} (vtime {}) after {} (vtime {})",
+                        o.key(),
+                        v.commit_ts,
+                        v.commit_vtime,
+                        last.commit_ts,
+                        last.commit_vtime
+                    )));
+                }
+                *o.get_mut() = self.arena.alloc(v, head);
+            }
+            Entry::Vacant(va) => {
+                let idx = self.arena.alloc(v, NIL);
+                va.insert(idx);
+            }
+        }
+        Ok(())
+    }
+
+    /// [`Table::install_version`] borrowing the key: clones it only when
+    /// the key is new to the table, so the steady-state replay path
+    /// (existing keys, recycled row buffers) installs with zero
+    /// allocations.
+    pub fn install_version_at(
+        &mut self,
+        key: &RowKey,
+        row: Option<Row>,
+        commit_ts: Timestamp,
+        commit_vtime: SimTime,
+    ) -> GdbResult<()> {
+        self.versions_installed += 1;
+        let v = Version {
+            commit_ts,
+            commit_vtime,
+            row,
+        };
+        if let Some(head_slot) = self.rows.get_mut(key) {
+            let head = *head_slot;
+            let last = &self.arena.nodes[head as usize].version;
+            if v.commit_ts < last.commit_ts {
+                return Err(GdbError::Internal(format!(
+                    "version chain order violation at {key}: {} (vtime {}) after {} (vtime {})",
+                    v.commit_ts, v.commit_vtime, last.commit_ts, last.commit_vtime
+                )));
+            }
+            *head_slot = self.arena.alloc(v, head);
+        } else {
+            let idx = self.arena.alloc(v, NIL);
+            self.rows.insert(key.clone(), idx);
+        }
+        Ok(())
+    }
+
+    /// A cleared row buffer recycled from vacuumed versions (or a fresh
+    /// one if the pool is empty). Pass its contents back through
+    /// [`Table::install_version`] to keep the steady state allocation-free.
+    pub fn recycled_row(&mut self) -> Row {
+        self.arena.row_pool.pop().unwrap_or_default()
     }
 
     /// Point read at a snapshot. Tombstones read as `None`.
     pub fn read(&self, key: &RowKey, snapshot: Timestamp) -> Option<VisibleRow<'_>> {
-        let (key, chain) = self.rows.get_key_value(key)?;
-        let v = chain.visible_at(snapshot)?;
+        let (key, &head) = self.rows.get_key_value(key)?;
+        let v = self.arena.visible_at(head, snapshot)?;
         v.row.as_ref().map(|row| VisibleRow {
             key,
             row,
@@ -136,8 +214,8 @@ impl Table {
     /// The newest committed row regardless of snapshot (read-committed
     /// update path, used after acquiring the row lock).
     pub fn read_newest(&self, key: &RowKey) -> Option<VisibleRow<'_>> {
-        let (key, chain) = self.rows.get_key_value(key)?;
-        let v = chain.newest()?;
+        let (key, &head) = self.rows.get_key_value(key)?;
+        let v = &self.arena.nodes[head as usize].version;
         v.row.as_ref().map(|row| VisibleRow {
             key,
             row,
@@ -168,8 +246,8 @@ impl Table {
         let hi_b = hi.map_or(Bound::Unbounded, |k| Bound::Included(k.clone()));
         self.rows
             .range((lo_b, hi_b))
-            .filter_map(|(key, chain)| {
-                chain.visible_at(snapshot).and_then(|v| {
+            .filter_map(|(key, &head)| {
+                self.arena.visible_at(head, snapshot).and_then(|v| {
                     v.row.as_ref().map(|row| VisibleRow {
                         key,
                         row,
@@ -192,16 +270,40 @@ impl Table {
     }
 
     /// Vacuum all chains up to `horizon`; returns versions removed.
+    /// Keeps, per chain, the newest version at or below the horizon plus
+    /// everything above it; freed nodes go to the arena freelist.
     pub fn vacuum(&mut self, horizon: Timestamp) -> usize {
+        let Table { rows, arena, .. } = self;
         let mut removed = 0;
-        for chain in self.rows.values_mut() {
-            removed += chain.vacuum(horizon);
+        for head in rows.values_mut() {
+            // Find the keeper: newest node with commit_ts <= horizon.
+            let mut keeper = *head;
+            while keeper != NIL && arena.nodes[keeper as usize].version.commit_ts > horizon {
+                keeper = arena.nodes[keeper as usize].older;
+            }
+            if keeper == NIL {
+                continue;
+            }
+            // Everything older than the keeper is dead.
+            let mut cur = arena.nodes[keeper as usize].older;
+            arena.nodes[keeper as usize].older = NIL;
+            while cur != NIL {
+                let next = arena.nodes[cur as usize].older;
+                arena.release(cur);
+                removed += 1;
+                cur = next;
+            }
         }
         // Drop keys whose only remaining version is an old tombstone.
-        self.rows.retain(|_, chain| {
-            !(chain.len() == 1
-                && chain.versions[0].row.is_none()
-                && chain.versions[0].commit_ts <= horizon)
+        rows.retain(|_, head| {
+            let node = &arena.nodes[*head as usize];
+            let drop = node.older == NIL
+                && node.version.row.is_none()
+                && node.version.commit_ts <= horizon;
+            if drop {
+                arena.release(*head);
+            }
+            !drop
         });
         removed
     }

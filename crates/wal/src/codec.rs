@@ -2,10 +2,38 @@
 //! strings, and datum/row/key encoding shared by all redo record types.
 
 use gdb_model::{DataType, Datum, Row, RowKey};
+use std::fmt;
 
 /// Decode failure: the byte stream is malformed or truncated.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct DecodeError(pub String);
+///
+/// Deliberately `Copy` with only static payloads: decode errors used to
+/// carry a formatted `String`, which put an allocation (and a `format!`)
+/// on every hot-path error check even though the message was always one
+/// of a handful of fixed shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The stream ended before the named field completed.
+    Truncated(&'static str),
+    /// A varint ran past 64 bits.
+    VarintOverflow,
+    /// A string field held invalid UTF-8.
+    InvalidUtf8,
+    /// An unrecognized tag byte for the named kind.
+    UnknownTag { kind: &'static str, tag: u8 },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated(what) => write!(f, "truncated {what}"),
+            DecodeError::VarintOverflow => write!(f, "varint overflow"),
+            DecodeError::InvalidUtf8 => write!(f, "invalid utf8"),
+            DecodeError::UnknownTag { kind, tag } => write!(f, "unknown {kind} tag {tag}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
 
 pub type DecodeResult<T> = Result<T, DecodeError>;
 
@@ -36,6 +64,7 @@ pub fn put_str(out: &mut Vec<u8>, s: &str) {
 }
 
 /// A cursor over encoded bytes.
+#[derive(Debug)]
 pub struct Reader<'a> {
     data: &'a [u8],
     pos: usize,
@@ -58,7 +87,7 @@ impl<'a> Reader<'a> {
         let b = *self
             .data
             .get(self.pos)
-            .ok_or_else(|| DecodeError("truncated u8".into()))?;
+            .ok_or(DecodeError::Truncated("u8"))?;
         self.pos += 1;
         Ok(b)
     }
@@ -74,7 +103,7 @@ impl<'a> Reader<'a> {
             }
             shift += 7;
             if shift >= 64 {
-                return Err(DecodeError("varint overflow".into()));
+                return Err(DecodeError::VarintOverflow);
             }
         }
     }
@@ -87,19 +116,25 @@ impl<'a> Reader<'a> {
     pub fn bytes(&mut self) -> DecodeResult<&'a [u8]> {
         let len = self.varint()? as usize;
         if self.pos + len > self.data.len() {
-            return Err(DecodeError(format!(
-                "truncated bytes: want {len}, have {}",
-                self.remaining()
-            )));
+            return Err(DecodeError::Truncated("bytes"));
         }
         let s = &self.data[self.pos..self.pos + len];
         self.pos += len;
         Ok(s)
     }
 
-    pub fn str(&mut self) -> DecodeResult<String> {
+    /// Borrow a string field out of the underlying buffer: validates
+    /// UTF-8 in place, no copy. The hot replay path for callers that
+    /// only inspect (or intern) the text.
+    pub fn str_ref(&mut self) -> DecodeResult<&'a str> {
         let b = self.bytes()?;
-        String::from_utf8(b.to_vec()).map_err(|_| DecodeError("invalid utf8".into()))
+        std::str::from_utf8(b).map_err(|_| DecodeError::InvalidUtf8)
+    }
+
+    /// Owned string field. One validation, one allocation (the old
+    /// implementation copied the bytes first and validated the copy).
+    pub fn str(&mut self) -> DecodeResult<String> {
+        self.str_ref().map(str::to_string)
     }
 }
 
@@ -139,7 +174,12 @@ pub fn get_datum(r: &mut Reader) -> DecodeResult<Datum> {
         T_TEXT => Datum::Text(r.str()?),
         T_BOOL_F => Datum::Bool(false),
         T_BOOL_T => Datum::Bool(true),
-        t => return Err(DecodeError(format!("unknown datum tag {t}"))),
+        t => {
+            return Err(DecodeError::UnknownTag {
+                kind: "datum",
+                tag: t,
+            })
+        }
     })
 }
 
@@ -151,12 +191,22 @@ pub fn put_row(out: &mut Vec<u8>, row: &Row) {
 }
 
 pub fn get_row(r: &mut Reader) -> DecodeResult<Row> {
+    let mut row = Row::default();
+    get_row_into(r, &mut row)?;
+    Ok(row)
+}
+
+/// Decode a row into a caller-owned buffer, reusing its capacity. The
+/// steady-state replay path decodes millions of rows; recycling the
+/// datum `Vec` drops the per-row allocation to zero.
+pub fn get_row_into(r: &mut Reader, row: &mut Row) -> DecodeResult<()> {
+    row.0.clear();
     let n = r.varint()? as usize;
-    let mut vals = Vec::with_capacity(n.min(1024));
+    row.0.reserve(n.min(1024));
     for _ in 0..n {
-        vals.push(get_datum(r)?);
+        row.0.push(get_datum(r)?);
     }
-    Ok(Row(vals))
+    Ok(())
 }
 
 pub fn put_key(out: &mut Vec<u8>, key: &RowKey) {
@@ -175,6 +225,17 @@ pub fn get_key(r: &mut Reader) -> DecodeResult<RowKey> {
     Ok(RowKey(vals))
 }
 
+/// Decode a key into a caller-owned buffer (see [`get_row_into`]).
+pub fn get_key_into(r: &mut Reader, key: &mut RowKey) -> DecodeResult<()> {
+    key.0.clear();
+    let n = r.varint()? as usize;
+    key.0.reserve(n.min(64));
+    for _ in 0..n {
+        key.0.push(get_datum(r)?);
+    }
+    Ok(())
+}
+
 pub fn put_data_type(out: &mut Vec<u8>, dt: DataType) {
     out.push(match dt {
         DataType::Int => 0,
@@ -190,7 +251,12 @@ pub fn get_data_type(r: &mut Reader) -> DecodeResult<DataType> {
         1 => DataType::Decimal,
         2 => DataType::Text,
         3 => DataType::Bool,
-        t => return Err(DecodeError(format!("unknown data type tag {t}"))),
+        t => {
+            return Err(DecodeError::UnknownTag {
+                kind: "data type",
+                tag: t,
+            })
+        }
     })
 }
 
@@ -264,5 +330,57 @@ mod tests {
         let mut out = Vec::new();
         put_bytes(&mut out, &[0xff, 0xfe]);
         assert!(Reader::new(&out).str().is_err());
+        assert_eq!(
+            Reader::new(&out).str_ref().unwrap_err(),
+            DecodeError::InvalidUtf8
+        );
+    }
+
+    #[test]
+    fn str_ref_borrows_from_input() {
+        let mut out = Vec::new();
+        put_str(&mut out, "héllo");
+        let mut r = Reader::new(&out);
+        let s: &str = r.str_ref().unwrap();
+        assert_eq!(s, "héllo");
+        // The borrow points into `out`, not a copy.
+        assert_eq!(s.as_ptr(), out[out.len() - s.len()..].as_ptr());
+    }
+
+    #[test]
+    fn decode_into_reuses_buffers() {
+        let row = Row(vec![Datum::Int(1), Datum::Bool(true)]);
+        let key = RowKey(vec![Datum::Int(7)]);
+        let mut out = Vec::new();
+        put_row(&mut out, &row);
+        put_key(&mut out, &key);
+
+        let mut row_buf = Row(Vec::with_capacity(8));
+        let mut key_buf = RowKey(Vec::with_capacity(8));
+        let row_cap = row_buf.0.capacity();
+        let mut r = Reader::new(&out);
+        get_row_into(&mut r, &mut row_buf).unwrap();
+        get_key_into(&mut r, &mut key_buf).unwrap();
+        assert_eq!(row_buf, row);
+        assert_eq!(key_buf, key);
+        assert_eq!(row_buf.0.capacity(), row_cap, "no reallocation");
+
+        // Stale contents are cleared on reuse.
+        let mut r2 = Reader::new(&out);
+        get_row_into(&mut r2, &mut row_buf).unwrap();
+        assert_eq!(row_buf, row);
+    }
+
+    #[test]
+    fn unknown_tags_name_the_kind() {
+        let err = get_datum(&mut Reader::new(&[99])).unwrap_err();
+        assert_eq!(
+            err,
+            DecodeError::UnknownTag {
+                kind: "datum",
+                tag: 99
+            }
+        );
+        assert!(err.to_string().contains("datum"));
     }
 }

@@ -21,5 +21,8 @@ pub mod crc;
 pub mod record;
 pub mod segment;
 
-pub use record::{DdlKind, Lsn, RedoPayload, RedoRecord, WalError};
-pub use segment::{LogBatch, RedoBuffer};
+pub use record::{
+    DdlKind, EncodeScratch, Lsn, RedoPayload, RedoPayloadRef, RedoRecord, ReplayDecoder,
+    ReplayStep, WalError,
+};
+pub use segment::{GroupCommitWal, LogBatch, RedoBuffer, SYNC_PAGE};

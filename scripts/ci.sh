@@ -6,11 +6,14 @@
 # Usage: scripts/ci.sh [STAGE]
 #   all            every stage below (default; what local runs use)
 #   main           lint + build + test + bench-smoke (the CI "ci" job)
-#   lint           cargo fmt --check && cargo clippy -D warnings
+#   lint           cargo fmt --check && cargo clippy -D warnings, plus
+#                  benchcmp validate over every committed BENCH_*.json
 #   build          cargo build --release
 #   test           cargo test -q
 #   nemesis-smoke  nemesis seeds 1..5 (the CI "nemesis" job)
 #   bench-smoke    tiny-scale figure runs gated against BENCH_smoke.json
+#   txn            transaction hot-path wall-clock + allocation gate
+#                  against BENCH_txn.json (the CI "txn" job)
 #   realnet        real-backend tests + loopback smoke gated against
 #                  BENCH_realnet.json (the CI "realnet" job)
 set -euo pipefail
@@ -25,6 +28,9 @@ stage_lint() {
 
     echo "==> cargo bench --no-run (benches must keep compiling)"
     cargo bench --workspace --no-run -q
+
+    echo "==> benchcmp validate (committed baselines must parse cleanly)"
+    cargo run --release -q -p gdb-bench --bin benchcmp -- validate BENCH_*.json
 }
 
 stage_build() {
@@ -81,6 +87,25 @@ stage_bench_smoke() {
         BENCH_engine.json "$out/engine.json" --tolerance 0.20
 }
 
+# Transaction hot-path gate: drives the fixed-seed write script through
+# the optimized pipeline and the frozen pre-pass reference, asserts
+# byte-identical durable segments, then checks two *ratios* against
+# BENCH_txn.json: wall-clock speedup (floor 1.5x) and allocations per
+# committed transaction (floor 10x fewer). Absolutes are machine-local
+# and never compared. The timeout guards against a wedged run — the
+# whole stage normally finishes in well under a minute.
+stage_txn() {
+    echo "==> txn hot-path wall-clock + allocation gate"
+    local out=target/txn-bench
+    rm -rf "$out"
+    mkdir -p "$out"
+    GDB_TXN_TXNS=60000 GDB_TXN_WINDOW=64 \
+        timeout 600 cargo run --release -q -p gdb-bench --bin txn_bench -- \
+        --json "$out/txn.json"
+    cargo run --release -q -p gdb-bench --bin benchcmp -- check \
+        BENCH_txn.json "$out/txn.json" --tolerance 0.20
+}
+
 # Real-backend gate: the realnet crate's tests (unit + sim/real
 # divergence + seam scans), then the 3-node loopback TPC-C smoke gated
 # against BENCH_realnet.json. The artifact is wall_clock=true, so only
@@ -108,6 +133,7 @@ build) stage_build ;;
 test) stage_test ;;
 nemesis-smoke) stage_nemesis_smoke ;;
 bench-smoke) stage_bench_smoke ;;
+txn) stage_txn ;;
 realnet) stage_realnet ;;
 main)
     stage_lint
@@ -122,6 +148,7 @@ all)
     stage_test
     stage_nemesis_smoke
     stage_bench_smoke
+    stage_txn
     stage_realnet
     echo "CI OK"
     ;;

@@ -14,6 +14,11 @@
 #   BENCH_realnet.json - 3-node loopback TPC-C smoke on the real
 #                       backends. Also wall_clock=true: the gate checks
 #                       only the tcp-over-thread throughput ratio.
+#   BENCH_txn.json    - transaction hot-path benchmark (live pipeline vs
+#                       the frozen pre-pass reference). wall_clock=true:
+#                       the gate checks the fast-over-legacy speedup and
+#                       the allocations-per-txn reduction, both in-run
+#                       ratios, so cross-machine re-blessing is safe.
 #
 # Run this after an intended performance change, eyeball the diff
 # (throughput should move the way you expect, nothing else), and commit
@@ -44,6 +49,9 @@ GDB_BENCH_SCALE=small GDB_BENCH_SECS=10 GDB_BENCH_TERMINALS=24 \
 
 echo "==> wall-clock engine benchmark -> BENCH_engine.json"
 cargo run --release -q -p gdb-bench --bin engine_bench -- --json BENCH_engine.json
+
+echo "==> wall-clock txn hot-path benchmark -> BENCH_txn.json"
+cargo run --release -q -p gdb-bench --bin txn_bench -- --json BENCH_txn.json
 
 echo "==> realnet loopback smoke -> BENCH_realnet.json"
 GDB_BENCH_SCALE=tiny GDB_BENCH_SECS=2 GDB_BENCH_TERMINALS=8 \
