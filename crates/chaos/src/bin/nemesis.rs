@@ -69,7 +69,7 @@ fn to_artifact(report: &ChaosReport, seed: u64) -> BenchArtifact {
 fn usage() -> ! {
     eprintln!(
         "usage: nemesis [--seed N] [--duration 60s|500ms] [--plan NAME] [--json PATH] \
-         [--overlap] [--migrations]\n\
+         [--overlap] [--migrations] [--elastic]\n\
          plans: {}",
         canned::all()
             .iter()
@@ -87,6 +87,7 @@ fn main() -> ExitCode {
     let mut json_path: Option<String> = None;
     let mut overlap = false;
     let mut migrations = false;
+    let mut elastic = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -116,6 +117,7 @@ fn main() -> ExitCode {
             }
             "--overlap" => overlap = true,
             "--migrations" => migrations = true,
+            "--elastic" => elastic = true,
             _ => usage(),
         }
         i += 1;
@@ -125,6 +127,7 @@ fn main() -> ExitCode {
     cfg.duration = duration;
     cfg.overlap = overlap;
     cfg.migrations = migrations;
+    cfg.elastic = elastic;
 
     let report = match plan_name {
         Some(name) => match canned::by_name(&name) {

@@ -69,6 +69,25 @@ pub enum Fault {
     /// (by then an orphan DN — the abort already dropped it from the
     /// shard map).
     RestoreMigrationTarget,
+    /// Crash the *source* of an in-flight migration — preferring a member
+    /// parked at its cutover barrier, so the batched plan's cutover-time
+    /// guard re-check is what catches it. The executor must abort that
+    /// member without disturbing its plan-mates; a no-op when no
+    /// migration is in flight.
+    CrashMigrationSource,
+    /// Restore the node downed by [`Fault::CrashMigrationSource`] through
+    /// its typed recovery path (it is still the shard's live primary or
+    /// replica — the abort left ownership at the source).
+    RestoreMigrationSource,
+    /// Elastic scale-out: provision a spare data node on `(region, host)`
+    /// mid-traffic. It carries nothing until a drain or the rebalancer
+    /// moves placements onto it.
+    AddNode { region: usize, host: u16 },
+    /// Elastic scale-in: mark `(region, host)` draining and start the
+    /// batched plan that empties it (skipping shards already migrating —
+    /// re-issue to finish). Its data nodes retire once the last placement
+    /// leaves.
+    RemoveNode { region: usize, host: u16 },
 }
 
 /// Runtime memory the engine keeps while a plan executes — currently the
@@ -81,6 +100,9 @@ pub struct ChaosState {
     /// Migration target downed by `CrashMigrationTarget` (consumed by
     /// `RestoreMigrationTarget`).
     pub crashed_migration_target: Option<NetNodeId>,
+    /// `(node, shard)` downed by `CrashMigrationSource` (consumed by
+    /// `RestoreMigrationSource`).
+    pub crashed_migration_source: Option<(NetNodeId, usize)>,
 }
 
 impl Fault {
@@ -209,6 +231,66 @@ impl Fault {
                 }
                 None => "skip restore-migration-target: nothing crashed".into(),
             },
+            Fault::CrashMigrationSource => {
+                let pick = db
+                    .migrations()
+                    .iter()
+                    .find(|m| {
+                        matches!(
+                            m.phase,
+                            globaldb::MigrationPhase::Barrier | globaldb::MigrationPhase::Ready
+                        )
+                    })
+                    .or_else(|| db.migrations().first())
+                    .map(|m| (m.source, m.shard));
+                match pick {
+                    Some((node, shard)) => {
+                        db.topo_mut().set_node_down(node, true);
+                        state.crashed_migration_source = Some((node, shard));
+                        format!("fault crash-migration-source shard={shard} node={}", node.0)
+                    }
+                    None => "skip crash-migration-source: no migration in flight".into(),
+                }
+            }
+            Fault::RestoreMigrationSource => match state.crashed_migration_source.take() {
+                Some((node, shard)) => {
+                    let still_primary = db.shards().get(shard).map(|s| s.primary) == Some(node);
+                    let replica_idx = db
+                        .shards()
+                        .get(shard)
+                        .and_then(|s| s.replicas.iter().position(|r| r.node == node));
+                    if still_primary {
+                        db.restart_primary(shard);
+                        format!("recover restore-migration-source shard={shard} (primary restart)")
+                    } else if let Some(ri) = replica_idx {
+                        db.restart_replica(shard, ri, now);
+                        format!("recover restore-migration-source shard={shard} (replica restart)")
+                    } else {
+                        db.restore_node(node);
+                        format!("recover restore-migration-source node={} (orphan)", node.0)
+                    }
+                }
+                None => "skip restore-migration-source: nothing crashed".into(),
+            },
+            Fault::AddNode { region, host } => {
+                if region >= db.regions().len() {
+                    return format!("skip add-node: no region {region}");
+                }
+                let r = db.regions()[region];
+                let node = db.join_data_node(r, host);
+                format!("fault add-node r{region}h{host} node={}", node.0)
+            }
+            Fault::RemoveNode { region, host } => {
+                if region >= db.regions().len() {
+                    return format!("skip remove-node: no region {region}");
+                }
+                let r = db.regions()[region];
+                match gdb_rebalance::drain_host(db, sim, r, host) {
+                    Ok(0) => format!("fault remove-node r{region}h{host}: empty, retired"),
+                    Ok(n) => format!("fault remove-node r{region}h{host}: draining {n} placements"),
+                    Err(e) => format!("skip remove-node r{region}h{host}: {e}"),
+                }
+            }
         }
     }
 
@@ -226,6 +308,7 @@ impl Fault {
                 | Fault::DelaySpike { .. }
                 | Fault::ClockSyncOutage { .. }
                 | Fault::CrashMigrationTarget
+                | Fault::CrashMigrationSource
         )
     }
 }

@@ -57,6 +57,11 @@ pub struct NemesisConfig {
     /// migration target mid-copy. Off by default so existing seeds keep
     /// replaying their exact historical schedules.
     pub migrations: bool,
+    /// Include the elastic-membership family: episodes that provision a
+    /// spare data node and then drain one of the original hosts onto the
+    /// survivors mid-traffic, half of them crashing (then restoring) a
+    /// drain-move source mid-flight. Off by default, same reason.
+    pub elastic: bool,
 }
 
 impl NemesisConfig {
@@ -67,6 +72,7 @@ impl NemesisConfig {
             duration,
             overlap: false,
             migrations: false,
+            elastic: false,
         }
     }
 
@@ -79,6 +85,11 @@ impl NemesisConfig {
         self.migrations = true;
         self
     }
+
+    pub fn with_elastic(mut self) -> Self {
+        self.elastic = true;
+        self
+    }
 }
 
 /// Generate a random, fully paired fault schedule.
@@ -88,10 +99,20 @@ pub fn generate(cfg: &NemesisConfig, shape: &ClusterShape) -> FaultPlan {
     let end = cfg.start + cfg.duration;
     let mut t = cfg.start;
 
-    let families = if cfg.migrations { 8 } else { 7 };
+    // Enabled families, indexed by the same u32 draw as ever: with only
+    // `migrations` on, the list is `[0..=7]` and the draw is identical to
+    // the historical `gen_range(0..8)`, so existing seeds replay their
+    // exact schedules; `elastic` appends family 8.
+    let mut families: Vec<u32> = (0..=6).collect();
+    if cfg.migrations {
+        families.push(7);
+    }
+    if cfg.elastic {
+        families.push(8);
+    }
     while t < end {
         let hold = SimDuration::from_millis(rng.gen_range(80u64..400));
-        let kind = rng.gen_range(0u32..families);
+        let kind = families[rng.gen_range(0u32..families.len() as u32) as usize];
         match kind {
             0 => {
                 // Primary crash, recovered either in place (WAL catch-up)
@@ -161,6 +182,36 @@ pub fn generate(cfg: &NemesisConfig, shape: &ClusterShape) -> FaultPlan {
                     plan = plan
                         .at(t + half, Fault::CrashMigrationTarget)
                         .at(t + hold, Fault::RestoreMigrationTarget);
+                }
+            }
+            8 => {
+                // Elastic membership mid-traffic: provision a spare node
+                // off the initial footprint, then drain one original host
+                // onto the survivors. Half the episodes crash a drain-move
+                // source mid-flight (the member aborts, the host stays
+                // draining) and restore it by the end of the hold.
+                let add_region = rng.gen_range(0..shape.regions);
+                let add_host = 3 + rng.gen_range(0..2u16);
+                let drain_region = rng.gen_range(0..shape.regions);
+                plan = plan.at(
+                    t,
+                    Fault::AddNode {
+                        region: add_region,
+                        host: add_host,
+                    },
+                );
+                let quarter = SimDuration::from_nanos(hold.as_nanos() / 4);
+                plan = plan.at(
+                    t + quarter,
+                    Fault::RemoveNode {
+                        region: drain_region,
+                        host: drain_region as u16,
+                    },
+                );
+                if rng.gen_bool(0.5) {
+                    plan = plan
+                        .at(t + quarter + quarter, Fault::CrashMigrationSource)
+                        .at(t + hold, Fault::RestoreMigrationSource);
                 }
             }
             _ => {
@@ -372,6 +423,37 @@ mod tests {
         assert_eq!(
             with.events,
             generate(&cfg.with_migrations(), &shape()).events
+        );
+    }
+
+    #[test]
+    fn elastic_family_is_gated_by_the_flag() {
+        let cfg = NemesisConfig::new(13, SimTime::from_millis(500), SimDuration::from_secs(10));
+        let plain = generate(&cfg.with_migrations(), &shape());
+        assert!(
+            !plain
+                .events
+                .iter()
+                .any(|e| matches!(e.fault, Fault::AddNode { .. } | Fault::RemoveNode { .. })),
+            "schedules without the flag must not touch membership"
+        );
+        let with = generate(&cfg.with_migrations().with_elastic(), &shape());
+        assert!(
+            with.events
+                .iter()
+                .any(|e| matches!(e.fault, Fault::AddNode { .. })),
+            "elastic flag drew no add-node episode over 10s"
+        );
+        assert!(
+            with.events
+                .iter()
+                .any(|e| matches!(e.fault, Fault::RemoveNode { .. })),
+            "elastic flag drew no remove-node episode over 10s"
+        );
+        // Still deterministic with the extra family.
+        assert_eq!(
+            with.events,
+            generate(&cfg.with_migrations().with_elastic(), &shape()).events
         );
     }
 

@@ -226,6 +226,39 @@ pub mod canned {
             .at(t(2200), Fault::RestartPrimary { shard: 1 })
     }
 
+    /// Elastic membership under fire: scale out with a spare data node
+    /// in region 1, then drain region 1's original host onto the
+    /// survivors while a delay spike is up; crash the source of one
+    /// drain move mid-flight (the member aborts, its plan-mates cut
+    /// over, the host stays draining), restore it, and re-issue the
+    /// drain so the host empties and its data nodes retire — all while
+    /// an unrelated migration and a GTM failover land elsewhere.
+    pub fn elastic_under_fire() -> FaultPlan {
+        FaultPlan::new("elastic-under-fire")
+            .at(t(200), Fault::AddNode { region: 1, host: 3 })
+            .at(
+                t(300),
+                Fault::DelaySpike {
+                    extra: SimDuration::from_millis(2),
+                },
+            )
+            .at(t(400), Fault::RemoveNode { region: 1, host: 1 })
+            .at(t(450), Fault::CrashMigrationSource)
+            .at(t(900), Fault::ClearDelay)
+            .at(t(1100), Fault::RestoreMigrationSource)
+            .at(
+                t(1400),
+                Fault::StartMigration {
+                    shard: 2,
+                    to_region: 0,
+                    to_host: 1,
+                },
+            )
+            .at(t(1600), Fault::CrashGtm)
+            .at(t(2000), Fault::RestartGtm)
+            .at(t(2300), Fault::RemoveNode { region: 1, host: 1 })
+    }
+
     /// All canned plans, by name.
     pub fn all() -> Vec<FaultPlan> {
         vec![
@@ -235,6 +268,7 @@ pub mod canned {
             overlapping_faults(),
             heavy_overlap(),
             migrate_under_fire(),
+            elastic_under_fire(),
         ]
     }
 
@@ -261,7 +295,7 @@ mod tests {
     #[test]
     fn canned_plans_are_named_and_nonempty() {
         let plans = canned::all();
-        assert_eq!(plans.len(), 6);
+        assert_eq!(plans.len(), 7);
         for p in &plans {
             assert!(!p.events.is_empty(), "{} is empty", p.name);
             assert!(canned::by_name(&p.name).is_some());

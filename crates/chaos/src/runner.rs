@@ -32,6 +32,9 @@ pub struct ChaosConfig {
     /// Let the nemesis generator draw online-migration episodes
     /// ([`NemesisConfig::with_migrations`]).
     pub migrations: bool,
+    /// Let the nemesis generator draw elastic-membership episodes
+    /// ([`NemesisConfig::with_elastic`]).
+    pub elastic: bool,
     /// Replication mode under torment. Synchronous modes get the strict
     /// durability oracle; `Async` gets the bounded-loss check (a failover
     /// may lose at most the shipping-window tail).
@@ -52,6 +55,7 @@ impl ChaosConfig {
             probe_keys: 4,
             overlap: false,
             migrations: false,
+            elastic: false,
             replication: ReplicationMode::SyncRemoteQuorum { quorum: 1 },
         }
     }
@@ -297,6 +301,9 @@ pub fn run_nemesis(seed: u64, cfg: &ChaosConfig) -> ChaosReport {
     }
     if cfg.migrations {
         nemesis = nemesis.with_migrations();
+    }
+    if cfg.elastic {
+        nemesis = nemesis.with_elastic();
     }
     let plan = crate::nemesis::generate(&nemesis, &shape);
     run_plan(plan, cfg)

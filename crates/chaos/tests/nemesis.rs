@@ -110,6 +110,67 @@ fn tpcc_survives_migrate_under_fire_plan() {
     );
 }
 
+/// Elastic membership under fire: scale-out, a host drain whose source
+/// crashes mid-flight (the member aborts, plan-mates still cut over),
+/// and a re-issued drain that empties and retires the host — with a
+/// delay spike, an unrelated migration, and a GTM failover in the mix.
+#[test]
+fn tpcc_survives_elastic_under_fire_plan() {
+    let report = run_plan(canned::elastic_under_fire(), &ChaosConfig::quick(108));
+    assert_clean(&report);
+    assert!(report.trace.iter().any(|l| l.contains("add-node")));
+    assert!(report.trace.iter().any(|l| l.contains("remove-node")));
+    assert!(report
+        .trace
+        .iter()
+        .any(|l| l.contains("crash-migration-source")));
+    let c = |n: &str| report.metrics.counter(n).unwrap_or(0);
+    assert!(
+        c("rebalance.migrations_aborted") >= 1,
+        "the source crash must abort its drain member:\n{}",
+        report.render()
+    );
+    assert!(
+        c("rebalance.migrations_completed") >= 2,
+        "plan-mates and the re-issued drain must cut over:\n{}",
+        report.render()
+    );
+    assert!(
+        c("rebalance.routing_epoch") >= 1,
+        "drain cutovers must bump the routing epoch"
+    );
+}
+
+/// The nemesis's elastic family: seeded random schedules where node
+/// adds, host drains, and mid-drain source crashes interleave with
+/// every other fault family.
+#[test]
+fn tpcc_survives_nemesis_seeds_with_elastic() {
+    let mut drains = 0usize;
+    let mut adds = 0usize;
+    for seed in 51..=60u64 {
+        let mut cfg = ChaosConfig::quick(seed);
+        cfg.duration = SimDuration::from_secs(2);
+        cfg.elastic = true;
+        let report = run_nemesis(seed, &cfg);
+        assert_clean(&report);
+        adds += report
+            .trace
+            .iter()
+            .filter(|l| l.contains("fault add-node"))
+            .count();
+        drains += report
+            .trace
+            .iter()
+            .filter(|l| l.contains("fault remove-node"))
+            .count();
+    }
+    assert!(
+        adds > 0 && drains > 0,
+        "ten elastic seeds never exercised membership changes (adds={adds}, drains={drains})"
+    );
+}
+
 /// The nemesis's migration family: seeded random schedules where online
 /// shard migrations (and mid-copy target crashes) interleave with every
 /// other fault family.

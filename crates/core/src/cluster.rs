@@ -90,13 +90,23 @@ pub struct GlobalDb {
     pub(crate) last_transition_completed: Option<gdb_txnmgr::TransitionDirection>,
     /// Phase boundaries of the in-flight DUAL transition (span source).
     pub(crate) transition_trace: Option<TransitionTrace>,
-    /// Current cluster routing epoch: bumped atomically at every shard
-    /// migration cutover.
+    /// Current cluster routing epoch: bumped atomically at every batched
+    /// migration-plan cutover that moves at least one primary.
     pub(crate) routing_epoch: u64,
-    /// The in-flight shard migration (at most one cluster-wide).
-    pub(crate) migration: Option<crate::migrate::Migration>,
+    /// In-flight shard migrations (members of batched plans; at most one
+    /// per shard).
+    pub(crate) migrations: Vec<crate::migrate::Migration>,
     /// Monotone migration id guarding scheduled migration events.
     pub(crate) migration_seq: u64,
+    /// Monotone batched-plan id.
+    pub(crate) plan_seq: u64,
+    /// Hosts being drained for retirement (elastic scale-in), as
+    /// `(region, host)` slots.
+    pub(crate) draining: Vec<(RegionId, u16)>,
+    /// Slot of the last host whose data nodes were retired.
+    pub(crate) last_host_retired: Option<(RegionId, u16)>,
+    /// Every host slot ever decommissioned — excluded from placement.
+    pub(crate) retired_hosts: Vec<(RegionId, u16)>,
     /// Per-shard live load counters (hot-shard detection input).
     pub(crate) shard_load: Vec<crate::migrate::ShardLoad>,
     /// Shard of the last completed migration (observed by tests/benches).
@@ -204,9 +214,35 @@ impl GlobalDb {
         self.routing_epoch
     }
 
-    /// The in-flight shard migration, if any.
+    /// The earliest-started in-flight migration, if any.
     pub fn migration(&self) -> Option<&crate::migrate::Migration> {
-        self.migration.as_ref()
+        self.migrations.first()
+    }
+
+    /// All in-flight migrations, in start order.
+    pub fn migrations(&self) -> &[crate::migrate::Migration] {
+        &self.migrations
+    }
+
+    /// Shards with a migration in flight, in start order.
+    pub fn migrating_shards(&self) -> Vec<usize> {
+        self.migrations.iter().map(|m| m.shard).collect()
+    }
+
+    /// Hosts currently draining toward retirement.
+    pub fn draining_hosts(&self) -> &[(RegionId, u16)] {
+        &self.draining
+    }
+
+    /// Slot of the last host whose data nodes were retired.
+    pub fn last_host_retired(&self) -> Option<(RegionId, u16)> {
+        self.last_host_retired
+    }
+
+    /// Host slots decommissioned by a drain: the rebalancer must never
+    /// place anything on them again.
+    pub fn retired_hosts(&self) -> &[(RegionId, u16)] {
+        &self.retired_hosts
     }
 
     /// Per-shard live load counters, indexed like [`GlobalDb::shards`].
@@ -519,8 +555,12 @@ impl Cluster {
             last_transition_completed: None,
             transition_trace: None,
             routing_epoch: 0,
-            migration: None,
+            migrations: Vec::new(),
             migration_seq: 0,
+            plan_seq: 0,
+            draining: Vec::new(),
+            last_host_retired: None,
+            retired_hosts: Vec::new(),
             shard_load: vec![
                 crate::migrate::ShardLoad {
                     ops: 0,
@@ -616,9 +656,16 @@ impl Cluster {
         crate::migrate::start_migration(&mut self.db, &mut self.sim, shard, to_region, to_host)
     }
 
-    /// The shard currently being migrated, if any.
+    /// Start a batched migration plan: k distinct shards (primary or
+    /// replica moves) copied concurrently and cut over together under
+    /// one routing-epoch bump. Returns the plan id.
+    pub fn start_plan(&mut self, specs: Vec<crate::migrate::MigrationSpec>) -> GdbResult<u64> {
+        crate::migrate::start_plan(&mut self.db, &mut self.sim, specs)
+    }
+
+    /// The shard of the earliest-started in-flight migration, if any.
     pub fn migration_in_flight(&self) -> Option<usize> {
-        self.db.migration.as_ref().map(|m| m.shard)
+        self.db.migrations.first().map(|m| m.shard)
     }
 
     /// Run a vacuum pass at the current virtual time.

@@ -49,7 +49,7 @@ pub mod txn;
 pub use cluster::{Cluster, Cn, GlobalDb};
 pub use config::{ClusterConfig, Geometry, RoutingPolicy};
 pub use event::{CoreEvent, CoreSim};
-pub use migrate::{Migration, MigrationPhase, ShardLoad};
+pub use migrate::{Migration, MigrationKind, MigrationPhase, MigrationSpec, ShardLoad};
 pub use net::{Envelope, MessagePlane, RpcKind, SimTransport, Transport, ALL_RPC_KINDS};
 pub use repl_driver::{Replica, Shard};
 pub use stats::{ClusterStats, TxnOutcome};

@@ -13,7 +13,7 @@ use crate::repl_driver::Replica;
 use crate::shardlog::ShardLog;
 use gdb_model::{GdbError, GdbResult, Timestamp};
 use gdb_replication::{ReplicaApplier, ShippingChannel};
-use gdb_simnet::{NetNodeId, SimDuration, SimTime};
+use gdb_simnet::{NetNodeId, NodeKind, RegionId, SimDuration, SimTime};
 
 impl GlobalDb {
     /// Crash an arbitrary node: messages to/from it are dropped.
@@ -265,5 +265,91 @@ impl GlobalDb {
         });
         self.rebuild_rcp_groups();
         Ok(())
+    }
+
+    // ---- Elastic membership: online node add / drain / retire ----------
+
+    /// Provision a spare data node on `(region, host)` — elastic
+    /// scale-out. The node carries no shards yet; it advertises the host
+    /// slot to the rebalancer, which moves primaries/replicas onto it
+    /// through the normal migration path. Draws no RNG, so an idle join
+    /// leaves the trace unchanged.
+    pub fn join_data_node(&mut self, region: RegionId, host: u16) -> NetNodeId {
+        self.topo.add_node(region, host, NodeKind::DataNodeReplica)
+    }
+
+    /// Mark a host slot as draining (elastic scale-in): the rebalancer's
+    /// cost model treats every placement on it as maximally expensive and
+    /// proposes moves off it; once empty — and no in-flight migration
+    /// touches it — its data nodes are retired permanently by
+    /// [`GlobalDb::maybe_retire_drained`]. Co-located CNs/GTM stay.
+    pub fn mark_host_draining(&mut self, region: RegionId, host: u16) {
+        if !self.draining.contains(&(region, host)) {
+            self.draining.push((region, host));
+        }
+    }
+
+    /// Shard placements currently on `(region, host)`: primary shard
+    /// indices and `(shard, replica node)` pairs.
+    pub fn host_placements(
+        &self,
+        region: RegionId,
+        host: u16,
+    ) -> (Vec<usize>, Vec<(usize, NetNodeId)>) {
+        let mut primaries = Vec::new();
+        let mut replicas = Vec::new();
+        for (s, shard) in self.shards.iter().enumerate() {
+            if self.topo.node_region(shard.primary) == region
+                && self.topo.node_host(shard.primary) == host
+            {
+                primaries.push(s);
+            }
+            for r in &shard.replicas {
+                if self.topo.node_region(r.node) == region && self.topo.node_host(r.node) == host {
+                    replicas.push((s, r.node));
+                }
+            }
+        }
+        (primaries, replicas)
+    }
+
+    /// Retire the data nodes of every draining host that has emptied
+    /// (no primary, no replica, no in-flight migration endpoint on it).
+    /// Called after every migration-plan completion or abort, so a
+    /// drain self-completes the moment its last move lands; callable
+    /// directly to force a sweep.
+    pub fn maybe_retire_drained(&mut self) {
+        let mut i = 0;
+        while i < self.draining.len() {
+            let (region, host) = self.draining[i];
+            let (primaries, replicas) = self.host_placements(region, host);
+            let busy = self.migrations.iter().any(|m| {
+                [m.source, m.target]
+                    .iter()
+                    .any(|&n| self.topo.node_region(n) == region && self.topo.node_host(n) == host)
+            });
+            if primaries.is_empty() && replicas.is_empty() && !busy {
+                for n in 0..self.topo.node_count() {
+                    let node = NetNodeId(n as u32);
+                    if self.topo.node_region(node) == region
+                        && self.topo.node_host(node) == host
+                        && matches!(
+                            self.topo.node_kind(node),
+                            NodeKind::DataNodePrimary | NodeKind::DataNodeReplica
+                        )
+                        && !self.topo.is_node_retired(node)
+                    {
+                        self.topo.retire_node(node);
+                    }
+                }
+                self.draining.remove(i);
+                self.last_host_retired = Some((region, host));
+                if !self.retired_hosts.contains(&(region, host)) {
+                    self.retired_hosts.push((region, host));
+                }
+            } else {
+                i += 1;
+            }
+        }
     }
 }

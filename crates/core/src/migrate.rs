@@ -1,20 +1,30 @@
 //! Online shard migration: snapshot copy → redo catch-up → cutover.
 //!
-//! Moves a shard's primary from its current data node (the *source*) to a
-//! freshly provisioned data node (the *target*) without losing
-//! availability: the source keeps serving reads and writes through the
-//! snapshot and catch-up phases, and the cutover is a brief DUAL-style
-//! barrier — seal the source log, drain the remaining redo into the
-//! target synchronously, swap ownership, and atomically bump the cluster
-//! **routing epoch**. Requests routed with a stale epoch are rejected
-//! with the retryable [`GdbError::StaleRoute`] and re-routed on retry.
+//! Moves a shard's **primary** — or one of its **replicas** — from its
+//! current data node (the *source* of the data stream is always the
+//! shard's primary) to a freshly provisioned data node (the *target*)
+//! without losing availability: the shard keeps serving reads and writes
+//! through the snapshot and catch-up phases, and the cutover is a brief
+//! DUAL-style barrier — seal the source log, drain the remaining redo
+//! into the target synchronously, swap ownership, and atomically bump
+//! the cluster **routing epoch**. Requests routed with a stale epoch are
+//! rejected with the retryable [`GdbError::StaleRoute`] and re-routed on
+//! retry.
 //!
-//! State machine (one migration in flight at a time):
+//! Migrations are grouped into **plans** ([`start_plan`]): a plan moves
+//! k distinct shards (each a primary or replica move) and cuts all of
+//! them over under **one** routing-epoch bump — the members copy and
+//! catch up independently, park in the `Ready` phase once their barrier
+//! elapses, and the last member to become ready triggers the batched
+//! cutover. Replica-only plans swap replica identity without touching
+//! the routing epoch (routing only names primaries).
+//!
+//! Per-member state machine:
 //!
 //! ```text
-//! Idle → Snapshot → Catchup → Barrier → Cutover
-//!            \          \         \
-//!             +----------+---------+--→ Abort (rollback to source)
+//! Idle → Snapshot → Catchup → Barrier → Ready ─┐ (all plan members ready)
+//!            \          \         \            ├──→ Batched cutover
+//!             +----------+---------+--→ Abort ─┘ (drop member, plan goes on)
 //! ```
 //!
 //! Every wire interaction is typed on the message plane —
@@ -23,9 +33,12 @@
 //! [`RpcKind::MigrateCutover`] for the barrier round trip and the
 //! routing-epoch announcement fan-out to the CNs. A crash of the source
 //! or target (or a concurrent promotion replacing the source) at any
-//! point aborts the migration and leaves routing/ownership exactly at
+//! point aborts that member and leaves its routing/ownership exactly at
 //! the source — the target applier is private state until cutover, so
-//! abort is a pure drop.
+//! abort is a pure drop; surviving plan members continue and cut over
+//! together. After every plan completion or abort the cluster checks
+//! whether a draining host has emptied and can be retired
+//! ([`GlobalDb::maybe_retire_drained`] — elastic scale-in).
 //!
 //! The whole run is spanned: a `Migration` root whose
 //! `MigrationSnapshot` / `MigrationCatchup` / `MigrationCutover`
@@ -76,24 +89,50 @@ pub struct ShardLoad {
     pub by_region: Vec<u64>,
 }
 
-/// Phase of the in-flight migration.
+/// What a migration moves: the shard's primary, or the replica currently
+/// hosted on a specific node (identified by node, not index — promotions
+/// reshuffle the replica vector).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationKind {
+    Primary,
+    Replica { node: NetNodeId },
+}
+
+/// One member of a migration plan: move `shard`'s primary (or the
+/// replica on `kind`'s node) to a fresh data node on `(to_region,
+/// to_host)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationSpec {
+    pub shard: usize,
+    pub kind: MigrationKind,
+    pub to_region: RegionId,
+    pub to_host: u16,
+}
+
+/// Phase of an in-flight migration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MigrationPhase {
     /// The storage image is in flight to the target.
     Snapshot,
     /// Redo batches ship each round until the backlog drains.
     Catchup,
-    /// The cutover barrier round trip is in flight; the next event seals,
-    /// drains, and swaps ownership.
+    /// The cutover barrier round trip is in flight.
     Barrier,
+    /// Barrier elapsed; parked until every plan member is ready, then the
+    /// whole plan cuts over under one routing-epoch bump.
+    Ready,
 }
 
-/// The in-flight migration (at most one cluster-wide).
+/// One in-flight migration (a member of a batched plan).
 pub struct Migration {
     pub shard: usize,
+    /// The data stream's source: the shard's primary for both kinds.
     pub source: NetNodeId,
     pub target: NetNodeId,
     pub target_region: RegionId,
+    pub kind: MigrationKind,
+    /// The batched plan this member belongs to.
+    pub plan: u64,
     pub phase: MigrationPhase,
     pub started: SimTime,
     /// Set when the snapshot arrived and catch-up began.
@@ -114,11 +153,12 @@ pub struct Migration {
     pub(crate) stream_free: SimTime,
 }
 
-/// Start migrating `shard_idx` to a freshly provisioned data node on
-/// `(to_region, to_host)` at the current virtual time. Fails (without
-/// side effects) when a migration is already in flight or the source is
-/// down; once started, watch [`GlobalDb::migration`] /
-/// `rebalance.migrations_*` for the outcome.
+/// Start migrating `shard_idx`'s primary to a freshly provisioned data
+/// node on `(to_region, to_host)` at the current virtual time — a
+/// single-member [`start_plan`]. Fails (without side effects) when the
+/// shard is already migrating or its primary is down; once started,
+/// watch [`GlobalDb::migrations`] / `rebalance.migrations_*` for the
+/// outcome.
 pub fn start_migration(
     db: &mut GlobalDb,
     sim: &mut CoreSim,
@@ -126,27 +166,100 @@ pub fn start_migration(
     to_region: RegionId,
     to_host: u16,
 ) -> GdbResult<()> {
+    start_plan(
+        db,
+        sim,
+        vec![MigrationSpec {
+            shard: shard_idx,
+            kind: MigrationKind::Primary,
+            to_region,
+            to_host,
+        }],
+    )
+    .map(|_| ())
+}
+
+/// Start a batched migration plan: every member is validated up front
+/// (no side effects on error), then all members start copying
+/// concurrently and cut over together under one routing-epoch bump.
+/// A plan never moves the same shard twice, and a shard with a
+/// migration already in flight cannot join a new plan.
+pub fn start_plan(
+    db: &mut GlobalDb,
+    sim: &mut CoreSim,
+    specs: Vec<MigrationSpec>,
+) -> GdbResult<u64> {
+    if specs.is_empty() {
+        return Err(GdbError::Internal("empty migration plan".into()));
+    }
+    let mut seen = std::collections::HashSet::new();
+    for spec in &specs {
+        if spec.shard >= db.shards.len() {
+            return Err(GdbError::Internal(format!("no shard {}", spec.shard)));
+        }
+        if !seen.insert(spec.shard) {
+            return Err(GdbError::Execution(format!(
+                "plan moves shard {} twice",
+                spec.shard
+            )));
+        }
+        if db.migrations.iter().any(|m| m.shard == spec.shard) {
+            return Err(GdbError::Execution(format!(
+                "migration of shard {} already in flight",
+                spec.shard
+            )));
+        }
+        let source = db.shards[spec.shard].primary;
+        if db.topo.is_node_down(source) {
+            return Err(GdbError::NodeUnavailable(format!(
+                "shard {} source primary is down",
+                spec.shard
+            )));
+        }
+        if let MigrationKind::Replica { node } = spec.kind {
+            if !db.shards[spec.shard]
+                .replicas
+                .iter()
+                .any(|r| r.node == node)
+            {
+                return Err(GdbError::Internal(format!(
+                    "node {} is not a replica of shard {}",
+                    node.0, spec.shard
+                )));
+            }
+        }
+        if db
+            .topo
+            .is_partitioned(db.topo.node_region(source), spec.to_region)
+        {
+            return Err(GdbError::NodeUnavailable(format!(
+                "shard {} target region unreachable from source",
+                spec.shard
+            )));
+        }
+    }
+    db.plan_seq += 1;
+    let plan = db.plan_seq;
+    for spec in specs {
+        start_member(db, sim, plan, spec);
+    }
+    Ok(plan)
+}
+
+/// Start one plan member: provision the target, cut the snapshot, and
+/// ship the storage image (preconditions were validated by
+/// [`start_plan`]).
+fn start_member(db: &mut GlobalDb, sim: &mut CoreSim, plan: u64, spec: MigrationSpec) {
     let now = sim.now();
-    if shard_idx >= db.shards.len() {
-        return Err(GdbError::Internal(format!("no shard {shard_idx}")));
-    }
-    if let Some(m) = &db.migration {
-        return Err(GdbError::Execution(format!(
-            "migration of shard {} already in flight",
-            m.shard
-        )));
-    }
+    let shard_idx = spec.shard;
     let source = db.shards[shard_idx].primary;
-    if db.topo.is_node_down(source) {
-        return Err(GdbError::NodeUnavailable(format!(
-            "shard {shard_idx} source primary is down"
-        )));
-    }
     // Provision the target DN. `add_node` draws no RNG, so an idle run
     // (no migration scheduled) stays trace-identical.
-    let target = db
-        .topo
-        .add_node(to_region, to_host, NodeKind::DataNodePrimary);
+    let node_kind = match spec.kind {
+        MigrationKind::Primary => NodeKind::DataNodePrimary,
+        MigrationKind::Replica { .. } => NodeKind::DataNodeReplica,
+    };
+    let target = db.topo.add_node(spec.to_region, spec.to_host, node_kind);
 
     // Snapshot cut: seal the *entire* staged log so the stream cut
     // aligns with the storage snapshot (same rule as promote/rejoin —
@@ -174,9 +287,12 @@ pub fn start_migration(
         db.plane
             .send(&mut db.topo, RpcKind::MigrateSnapshot, source, target, 1)
     else {
-        return Err(GdbError::NodeUnavailable(format!(
-            "shard {shard_idx} migration target unreachable"
-        )));
+        // Validated reachable above; a racing fault still loses the
+        // member without ever admitting it to the plan.
+        db.stats.migrations_started += 1;
+        db.stats.migrations_aborted += 1;
+        db.last_migration_aborted = Some((shard_idx, "target unreachable".to_string()));
+        return;
     };
     let link = db
         .topo
@@ -195,11 +311,13 @@ pub fn start_migration(
 
     db.migration_seq += 1;
     let seq = db.migration_seq;
-    db.migration = Some(Migration {
+    db.migrations.push(Migration {
         shard: shard_idx,
         source,
         target,
-        target_region: to_region,
+        target_region: spec.to_region,
+        kind: spec.kind,
+        plan,
         phase: MigrationPhase::Snapshot,
         started: now,
         snapshot_end: None,
@@ -214,37 +332,45 @@ pub fn start_migration(
     sim.schedule_at(arrive, move |w: &mut GlobalDb, sim| {
         migration_tick(w, sim, seq);
     });
-    Ok(())
 }
 
-/// One step of the migration state machine (snapshot arrival, a catch-up
+/// Fault guards for one member: a dead endpoint, a promotion that
+/// replaced the source, or (replica moves) a promotion that consumed
+/// the replica being replaced.
+fn guard_failure(db: &GlobalDb, m: &Migration) -> Option<&'static str> {
+    if db.topo.is_node_down(m.source) {
+        return Some("source down");
+    }
+    if db.topo.is_node_down(m.target) {
+        return Some("target down");
+    }
+    if db.shards[m.shard].primary != m.source {
+        return Some("source replaced by failover");
+    }
+    if let MigrationKind::Replica { node } = m.kind {
+        if !db.shards[m.shard].replicas.iter().any(|r| r.node == node) {
+            return Some("replaced replica left the group");
+        }
+    }
+    None
+}
+
+/// One step of a member's state machine (snapshot arrival, a catch-up
 /// round, or the cutover barrier elapsing).
 pub(crate) fn migration_tick(db: &mut GlobalDb, sim: &mut CoreSim, seq: u64) {
     let now = sim.now();
     // Stale tick for a migration that already finished or aborted.
-    if db.migration.as_ref().map(|m| m.seq) != Some(seq) {
+    let Some(idx) = db.migrations.iter().position(|m| m.seq == seq) else {
         return;
-    }
-    let m = db.migration.as_ref().unwrap();
-    // Fault guards: a dead endpoint — or a promotion that replaced the
-    // source under us — aborts the migration. Ownership never moved, so
-    // abort is a pure drop of the target-side state.
-    let reason = if db.topo.is_node_down(m.source) {
-        Some("source down")
-    } else if db.topo.is_node_down(m.target) {
-        Some("target down")
-    } else if db.shards[m.shard].primary != m.source {
-        Some("source replaced by failover")
-    } else {
-        None
     };
-    if let Some(reason) = reason {
-        abort_migration(db, now, reason);
+    if let Some(reason) = guard_failure(db, &db.migrations[idx]) {
+        let m = db.migrations.remove(idx);
+        abort_member(db, sim, m, now, reason);
         return;
     }
-    match db.migration.as_ref().unwrap().phase {
+    match db.migrations[idx].phase {
         MigrationPhase::Snapshot => {
-            let m = db.migration.as_mut().unwrap();
+            let m = &mut db.migrations[idx];
             m.phase = MigrationPhase::Catchup;
             m.snapshot_end = Some(now);
             let interval = db.config.flush_interval;
@@ -252,8 +378,15 @@ pub(crate) fn migration_tick(db: &mut GlobalDb, sim: &mut CoreSim, seq: u64) {
                 migration_tick(w, sim, seq);
             });
         }
-        MigrationPhase::Catchup => catchup_round(db, sim, seq, now),
-        MigrationPhase::Barrier => cutover(db, sim, now),
+        MigrationPhase::Catchup => catchup_round(db, sim, idx, seq, now),
+        MigrationPhase::Barrier => {
+            let m = &mut db.migrations[idx];
+            m.phase = MigrationPhase::Ready;
+            let plan = m.plan;
+            maybe_cutover_plan(db, sim, plan, now);
+        }
+        // Ready members have no scheduled ticks; a stray one is inert.
+        MigrationPhase::Ready => {}
     }
 }
 
@@ -265,10 +398,10 @@ pub(crate) fn migration_tick(db: &mut GlobalDb, sim: &mut CoreSim, seq: u64) {
 /// whose round spacing exceeds that cadence would otherwise chase the
 /// heartbeat tail forever. The residue is handled by the cutover's
 /// synchronous final drain either way.
-fn catchup_round(db: &mut GlobalDb, sim: &mut CoreSim, seq: u64, now: SimTime) {
+fn catchup_round(db: &mut GlobalDb, sim: &mut CoreSim, idx: usize, seq: u64, now: SimTime) {
     // Take the migration out so the shard log and the migration channel
     // can be borrowed together.
-    let mut m = db.migration.take().unwrap();
+    let mut m = db.migrations.remove(idx);
     db.shards[m.shard].log.seal_upto(now);
     let wire = m.channel.drain(db.shards[m.shard].log.sealed());
     match wire {
@@ -277,8 +410,7 @@ fn catchup_round(db: &mut GlobalDb, sim: &mut CoreSim, seq: u64, now: SimTime) {
                 db.plane
                     .send(&mut db.topo, RpcKind::MigrateCatchup, m.source, m.target, 1)
             else {
-                db.migration = Some(m);
-                abort_migration(db, now, "target unreachable during catch-up");
+                abort_member(db, sim, m, now, "target unreachable during catch-up");
                 return;
             };
             let link = db
@@ -309,10 +441,10 @@ fn catchup_round(db: &mut GlobalDb, sim: &mut CoreSim, seq: u64, now: SimTime) {
                 panic!("migration catch-up replay failed (shard {}): {e}", m.shard);
             }
             m.rounds += 1;
-            db.migration = Some(m);
+            db.migrations.insert(idx, m);
             if caught_up {
                 // Run the barrier after this last batch lands.
-                begin_barrier(db, sim, seq, now, arrive);
+                begin_barrier(db, sim, idx, seq, now, arrive);
             } else {
                 let interval = db.config.flush_interval;
                 let next = arrive.max(now + interval);
@@ -322,8 +454,8 @@ fn catchup_round(db: &mut GlobalDb, sim: &mut CoreSim, seq: u64, now: SimTime) {
             }
         }
         None => {
-            db.migration = Some(m);
-            begin_barrier(db, sim, seq, now, now);
+            db.migrations.insert(idx, m);
+            begin_barrier(db, sim, idx, seq, now, now);
         }
     }
 }
@@ -332,115 +464,213 @@ fn catchup_round(db: &mut GlobalDb, sim: &mut CoreSim, seq: u64, now: SimTime) {
 /// source-side redo (writers keep committing on the source; the final
 /// drain at the cutover instant catches them). The barrier begins once
 /// the last catch-up batch has landed (`from`).
-fn begin_barrier(db: &mut GlobalDb, sim: &mut CoreSim, seq: u64, now: SimTime, from: SimTime) {
-    let mut m = db.migration.take().unwrap();
+fn begin_barrier(
+    db: &mut GlobalDb,
+    sim: &mut CoreSim,
+    idx: usize,
+    seq: u64,
+    now: SimTime,
+    from: SimTime,
+) {
+    let m = &mut db.migrations[idx];
+    let (source, target) = (m.source, m.target);
     let Some(rtt) = db
         .plane
-        .rtt(&mut db.topo, RpcKind::MigrateCutover, m.source, m.target)
+        .rtt(&mut db.topo, RpcKind::MigrateCutover, source, target)
     else {
-        db.migration = Some(m);
-        abort_migration(db, now, "barrier round trip failed");
+        let m = db.migrations.remove(idx);
+        abort_member(db, sim, m, now, "barrier round trip failed");
         return;
     };
+    let m = &mut db.migrations[idx];
     m.phase = MigrationPhase::Barrier;
     m.catchup_end = Some(now);
-    db.migration = Some(m);
     sim.schedule_at(from.max(now) + rtt, move |w: &mut GlobalDb, sim| {
         migration_tick(w, sim, seq);
     });
 }
 
-/// The cutover instant: seal the source log, drain the remaining redo
-/// into the target synchronously, swap ownership, bump the routing
-/// epoch, and announce the new route table to the CNs.
-fn cutover(db: &mut GlobalDb, sim: &mut CoreSim, now: SimTime) {
-    let mut m = db.migration.take().unwrap();
-    // Final drain: everything the source accepted before this instant —
-    // including records staged with future apply instants (their commit
-    // processing already ran synchronously) — moves to the target.
-    db.shards[m.shard].log.seal_all(now);
-    while let Some(wire) = m.channel.drain(db.shards[m.shard].log.sealed()) {
-        db.plane.charge_bytes(
-            &mut db.topo,
-            RpcKind::MigrateCutover,
-            m.source,
-            m.target,
-            wire.wire_bytes as u64,
-        );
-        if let Err(e) = m.applier.apply_batch(&wire.batch.records, now) {
-            panic!("migration cutover replay failed (shard {}): {e}", m.shard);
+/// Cut the whole plan over if every surviving member is `Ready`.
+fn maybe_cutover_plan(db: &mut GlobalDb, sim: &mut CoreSim, plan: u64, now: SimTime) {
+    let mut any = false;
+    for m in &db.migrations {
+        if m.plan == plan {
+            any = true;
+            if m.phase != MigrationPhase::Ready {
+                return;
+            }
         }
     }
-
-    db.stats.migrations_completed += 1;
-    db.last_migration_completed = Some(m.shard);
-    record_migration_spans(db, &m, now);
-
-    let codec = db.config.codec;
-    let Migration {
-        shard: shard_idx,
-        target,
-        target_region,
-        applier,
-        ..
-    } = m;
-    let shard = &mut db.shards[shard_idx];
-    // The source's row locks outlive the cutover for the same reason
-    // they outlive a promotion: drained records can carry apply instants
-    // (and commit timestamps) later than the cutover instant, and only
-    // the lock release times make the next writer of such a key wait
-    // them out.
-    let old_locks = std::mem::take(&mut shard.storage.locks);
-    shard.primary = target;
-    shard.region = target_region;
-    shard.storage = applier.into_storage();
-    shard.storage.locks = old_locks;
-    shard.log = ShardLog::new();
-    // Replicas full-resync from the new primary: fresh applier over a
-    // snapshot of its state, fresh channel on the new (empty) redo
-    // stream, new incarnation (orphans in-flight deliveries).
-    for replica in &mut shard.replicas {
-        replica.applier = ReplicaApplier::new(shard.storage.clone());
-        replica.channel = ShippingChannel::new(codec);
-        replica.busy_until = now;
-        replica.stream_free = now;
-        replica.last_arrival = now;
-        replica.epoch += 1;
-    }
-
-    // The atomic routing-epoch bump: this instant is the serialization
-    // point between old-route and new-route requests.
-    db.routing_epoch += 1;
-    let epoch = db.routing_epoch;
-    db.shards[shard_idx].owner_epoch = epoch;
-    db.rebuild_rcp_groups();
-
-    // Announce the new route table to every CN (real latency; an
-    // unreachable CN learns the epoch from its first stale-route
-    // reject instead).
-    for cn in 0..db.cns.len() {
-        let to = db.cns[cn].node;
-        if let Some(delay) = db
-            .plane
-            .send(&mut db.topo, RpcKind::MigrateCutover, target, to, 128)
-        {
-            sim.schedule_after(delay, move |w: &mut GlobalDb, _sim| {
-                let e = &mut w.cns[cn].route_epoch;
-                *e = (*e).max(epoch);
-            });
-        }
+    if any {
+        cutover_plan(db, sim, plan, now);
     }
 }
 
-/// Abort the in-flight migration: drop the target-side state. The
-/// source kept ownership throughout, so no shard/routing state changes.
-pub(crate) fn abort_migration(db: &mut GlobalDb, now: SimTime, reason: &str) {
-    let Some(m) = db.migration.take() else {
-        return;
-    };
+/// The batched cutover instant: per member, seal the source log, drain
+/// the remaining redo into the target synchronously, and swap ownership
+/// (primary moves) or replica identity (replica moves); then bump the
+/// routing epoch **once** (iff a primary moved), rebuild the RCP groups
+/// once, and announce the new route table to the CNs once.
+fn cutover_plan(db: &mut GlobalDb, sim: &mut CoreSim, plan: u64, now: SimTime) {
+    // Pull every plan member out, preserving start order.
+    let mut members = Vec::new();
+    let mut i = 0;
+    while i < db.migrations.len() {
+        if db.migrations[i].plan == plan {
+            members.push(db.migrations.remove(i));
+        } else {
+            i += 1;
+        }
+    }
+    let mut primary_moved: Vec<usize> = Vec::new();
+    let mut announce_from = None;
+    let mut completed_any = false;
+    let codec = db.config.codec;
+    for mut m in members {
+        // Guard re-check at the cutover instant: a Ready member has no
+        // scheduled tick, so a source/target crash while it waited for
+        // its plan-mates surfaces here.
+        if let Some(reason) = guard_failure(db, &m) {
+            record_abort(db, &m, now, reason);
+            continue;
+        }
+        // Final drain: everything the source accepted before this
+        // instant — including records staged with future apply instants
+        // (their commit processing already ran synchronously) — moves to
+        // the target.
+        db.shards[m.shard].log.seal_all(now);
+        while let Some(wire) = m.channel.drain(db.shards[m.shard].log.sealed()) {
+            db.plane.charge_bytes(
+                &mut db.topo,
+                RpcKind::MigrateCutover,
+                m.source,
+                m.target,
+                wire.wire_bytes as u64,
+            );
+            if let Err(e) = m.applier.apply_batch(&wire.batch.records, now) {
+                panic!("migration cutover replay failed (shard {}): {e}", m.shard);
+            }
+        }
+
+        db.stats.migrations_completed += 1;
+        db.last_migration_completed = Some(m.shard);
+        record_migration_spans(db, &m, now);
+        completed_any = true;
+
+        let Migration {
+            shard: shard_idx,
+            target,
+            target_region,
+            kind,
+            applier,
+            channel,
+            ..
+        } = m;
+        match kind {
+            MigrationKind::Primary => {
+                let shard = &mut db.shards[shard_idx];
+                // The source's row locks outlive the cutover for the same
+                // reason they outlive a promotion: drained records can
+                // carry apply instants (and commit timestamps) later than
+                // the cutover instant, and only the lock release times
+                // make the next writer of such a key wait them out.
+                let old_locks = std::mem::take(&mut shard.storage.locks);
+                shard.primary = target;
+                shard.region = target_region;
+                shard.storage = applier.into_storage();
+                shard.storage.locks = old_locks;
+                shard.log = ShardLog::new();
+                // Replicas full-resync from the new primary: fresh applier
+                // over a snapshot of its state, fresh channel on the new
+                // (empty) redo stream, new incarnation (orphans in-flight
+                // deliveries).
+                for replica in &mut shard.replicas {
+                    replica.applier = ReplicaApplier::new(shard.storage.clone());
+                    replica.channel = ShippingChannel::new(codec);
+                    replica.busy_until = now;
+                    replica.stream_free = now;
+                    replica.last_arrival = now;
+                    replica.epoch += 1;
+                }
+                primary_moved.push(shard_idx);
+                announce_from = Some(target);
+            }
+            MigrationKind::Replica { node: old } => {
+                let shard = &mut db.shards[shard_idx];
+                let replica = shard
+                    .replicas
+                    .iter_mut()
+                    .find(|r| r.node == old)
+                    .expect("guard checked the replaced replica is present");
+                // Swap replica identity in place: the built applier takes
+                // over, the migration channel continues from the sealed
+                // head it drained to, and the incarnation bump orphans
+                // deliveries still in flight to the old node.
+                replica.node = target;
+                replica.region = target_region;
+                replica.applier = applier;
+                replica.channel = channel;
+                replica.busy_until = now;
+                replica.stream_free = now;
+                replica.last_arrival = now;
+                replica.epoch += 1;
+                // The replaced node leaves the cluster for good.
+                db.topo.retire_node(old);
+            }
+        }
+    }
+
+    if !primary_moved.is_empty() {
+        // The atomic routing-epoch bump: this instant is the
+        // serialization point between old-route and new-route requests —
+        // one bump for the whole batch.
+        db.routing_epoch += 1;
+        let epoch = db.routing_epoch;
+        for s in primary_moved {
+            db.shards[s].owner_epoch = epoch;
+        }
+        // Announce the new route table to every CN (real latency; an
+        // unreachable CN learns the epoch from its first stale-route
+        // reject instead).
+        let from = announce_from.expect("a primary moved");
+        for cn in 0..db.cns.len() {
+            let to = db.cns[cn].node;
+            if let Some(delay) = db
+                .plane
+                .send(&mut db.topo, RpcKind::MigrateCutover, from, to, 128)
+            {
+                sim.schedule_after(delay, move |w: &mut GlobalDb, _sim| {
+                    let e = &mut w.cns[cn].route_epoch;
+                    *e = (*e).max(epoch);
+                });
+            }
+        }
+    }
+    if completed_any {
+        // Replica membership/regions may have changed: rebuild the
+        // per-region RCP groups once for the whole batch.
+        db.rebuild_rcp_groups();
+    }
+    db.maybe_retire_drained();
+}
+
+/// Record one member's abort (stats + spans). Ownership never moved, so
+/// no shard/routing state changes.
+fn record_abort(db: &mut GlobalDb, m: &Migration, now: SimTime, reason: &str) {
     db.stats.migrations_aborted += 1;
     db.last_migration_aborted = Some((m.shard, reason.to_string()));
-    record_migration_spans(db, &m, now);
+    record_migration_spans(db, m, now);
+}
+
+/// Abort one member (already removed from [`GlobalDb::migrations`]):
+/// drop the target-side state, then re-check its plan — the surviving
+/// members may all be `Ready` and waiting on this one — and the drain
+/// bookkeeping.
+fn abort_member(db: &mut GlobalDb, sim: &mut CoreSim, m: Migration, now: SimTime, reason: &str) {
+    let plan = m.plan;
+    record_abort(db, &m, now, reason);
+    maybe_cutover_plan(db, sim, plan, now);
+    db.maybe_retire_drained();
 }
 
 /// Record the migration's span tree: a `Migration` root whose phase

@@ -213,6 +213,86 @@ fn stale_routing_epoch_is_rejected_and_rerouted() {
     assert_eq!(c.db.stats().stale_route_rejects, 1, "no second reject");
 }
 
+/// A batched plan — two primary moves plus a replica move onto a
+/// freshly joined node — cuts over under ONE routing-epoch bump, and a
+/// CN that missed the announcement gets exactly one StaleRoute reject
+/// before its retry lands.
+#[test]
+fn batched_plan_bumps_epoch_once_and_stale_cn_retries() {
+    let (mut c, key) = migration_fixture();
+    assert_eq!(c.db.routing_epoch(), 0);
+
+    // Scale out: a spare data node on a brand-new host slot.
+    let joined = c.db.join_data_node(c.db.regions()[0], 3);
+
+    let h0 = c.db.topo().node_host(c.db.shards()[0].primary);
+    let h1 = c.db.topo().node_host(c.db.shards()[1].primary);
+    let old_replica = c.db.shards()[2].replicas[0].node;
+    let region = c.db.regions()[0];
+    let plan = c
+        .start_plan(vec![
+            globaldb::MigrationSpec {
+                shard: 0,
+                kind: globaldb::MigrationKind::Primary,
+                to_region: region,
+                to_host: (h0 + 1) % 3,
+            },
+            globaldb::MigrationSpec {
+                shard: 1,
+                kind: globaldb::MigrationKind::Primary,
+                to_region: region,
+                to_host: (h1 + 1) % 3,
+            },
+            globaldb::MigrationSpec {
+                shard: 2,
+                kind: globaldb::MigrationKind::Replica { node: old_replica },
+                to_region: region,
+                to_host: 3,
+            },
+        ])
+        .unwrap();
+    assert_eq!(c.db.stats().migrations_started, 3);
+    c.run_until(c.now() + SimDuration::from_secs(3));
+
+    // All three members completed under the same plan...
+    assert_eq!(c.db.stats().migrations_completed, 3);
+    assert!(c.db.migrations().iter().all(|m| m.plan != plan));
+    // ...with exactly ONE epoch bump for the whole batch.
+    assert_eq!(c.db.routing_epoch(), 1, "batch must flip the epoch once");
+    // The replica landed on the joined node's host and the old copy is
+    // permanently gone.
+    assert!(c.db.shards()[2]
+        .replicas
+        .iter()
+        .any(|r| c.db.topo().node_host(r.node) == 3));
+    assert!(c.db.shards()[2]
+        .replicas
+        .iter()
+        .all(|r| r.node != old_replica));
+    let _ = joined;
+
+    // A CN with a stale route cache is rejected once, refreshed, and
+    // its retry succeeds.
+    c.db.cns_mut()[0].route_epoch = 0;
+    let upd = c.prepare("UPDATE kv SET v = ? WHERE k = ?").unwrap();
+    let at = c.now() + SimDuration::from_millis(5);
+    let err = c
+        .run_transaction(0, at, false, true, |txn| {
+            txn.execute(&upd, &[Datum::Int(7), Datum::Int(key)])
+                .map(|_| ())
+        })
+        .expect_err("stale route must be rejected");
+    assert!(matches!(err, GdbError::StaleRoute(_)), "got {err}");
+    assert!(err.is_retryable());
+    assert_eq!(c.db.cns()[0].route_epoch, 1, "reject refreshes the cache");
+    let at = c.now() + SimDuration::from_millis(5);
+    c.run_transaction(0, at, false, true, |txn| {
+        txn.execute(&upd, &[Datum::Int(7), Datum::Int(key)])
+            .map(|_| ())
+    })
+    .expect("retry at the fresh epoch must succeed");
+}
+
 #[test]
 fn migrated_shard_serves_prior_writes_from_every_cn() {
     let (mut c, key) = migration_fixture();

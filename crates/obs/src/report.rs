@@ -218,6 +218,14 @@ impl BenchArtifact {
             .unwrap_or(1.0)
     }
 
+    /// The absolute ceiling of this artifact's counter-gate leg
+    /// ([`COUNTER_GATE_MAX_KEY`]; unbounded when absent).
+    pub fn counter_gate_max(&self) -> f64 {
+        self.config_value(COUNTER_GATE_MAX_KEY)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(f64::INFINITY)
+    }
+
     pub fn to_json(&self) -> Json {
         let config = self
             .config
@@ -407,6 +415,32 @@ pub const WALL_ALLOC_METRIC_KEY: &str = "wall_alloc_metric";
 /// baseline).
 pub const WALL_ALLOC_FLOOR_KEY: &str = "wall_alloc_floor";
 
+/// Config key naming a *lower-is-better* counter (e.g.
+/// `"rebalance.migrations_started"`) carried in a series' metrics
+/// snapshot. When set, the gate adds a `counter:<name>` comparison for
+/// the gated series: the current count must stay under the artifact's
+/// [`COUNTER_GATE_MAX_KEY`] ceiling and must not grow past the blessed
+/// count by more than the tolerance plus [`COUNTER_SLACK`]. This is how
+/// the rebalance ablation pins "converges in ≤ N migrations": a
+/// ping-pong regression quadruples the count and fails the gate even if
+/// throughput barely moves.
+pub const COUNTER_GATE_METRIC_KEY: &str = "counter_gate_metric";
+
+/// Config key for the absolute ceiling of the counter-gate leg (a
+/// count, e.g. `"4"`). Missing = no absolute ceiling; only the
+/// relative-to-baseline check applies.
+pub const COUNTER_GATE_MAX_KEY: &str = "counter_gate_max";
+
+/// Config key naming the one series label the counter-gate applies to
+/// (e.g. the rebalancing twin, not the static control). Missing = every
+/// series is gated.
+pub const COUNTER_GATE_SERIES_KEY: &str = "counter_gate_series";
+
+/// Absolute slack on counter comparisons: event counts are small
+/// integers, so a ±1 wobble around a tiny baseline must not fail the
+/// gate the way a relative check alone would.
+pub const COUNTER_SLACK: f64 = 1.0;
+
 /// Relative slack on speedup ratios: wall-clock runs are noisy (CPU
 /// contention, thermal state), so the gate only fails on a large move.
 const WALL_SLACK: f64 = 0.35;
@@ -442,6 +476,7 @@ impl Comparison {
             "throughput" => "txn/s",
             "speedup" => "x over in-run baseline",
             "alloc_improvement" => "x fewer allocs than in-run baseline",
+            m if m.starts_with("counter:") => "(lower is better)",
             _ => "us mean",
         };
         format!(
@@ -529,6 +564,30 @@ pub fn compare_artifacts(
                             ratio: if b > 0.0 { c / b } else { 1.0 },
                             ok: c <= b * (1.0 + tolerance) + PHASE_SLACK_US,
                         });
+                    }
+                    // The lower-is-better counter leg (e.g. migration
+                    // counts): bounded by the artifact's absolute
+                    // ceiling AND by the blessed count plus slack.
+                    if let Some(name) = base.config_value(COUNTER_GATE_METRIC_KEY) {
+                        let gated = match base.config_value(COUNTER_GATE_SERIES_KEY) {
+                            None => true,
+                            Some(l) => l == bs.label,
+                        };
+                        if gated {
+                            // An absent counter was never incremented.
+                            let b = bs.metrics.counter(name).unwrap_or(0) as f64;
+                            let c = cs.metrics.counter(name).unwrap_or(0) as f64;
+                            out.push(Comparison {
+                                figure: base.figure.clone(),
+                                label: bs.label.clone(),
+                                metric: format!("counter:{name}"),
+                                baseline: b,
+                                current: c,
+                                ratio: if b > 0.0 { c / b } else { 1.0 },
+                                ok: c <= base.counter_gate_max()
+                                    && c <= b * (1.0 + tolerance) + COUNTER_SLACK,
+                            });
+                        }
                     }
                 }
             }
@@ -678,6 +737,26 @@ pub fn validate_artifacts(artifacts: &[BenchArtifact]) -> Vec<String> {
                             s.label
                         ));
                     }
+                }
+            }
+        }
+        if a.config_value(COUNTER_GATE_METRIC_KEY).is_some() {
+            if let Some(v) = a.config_value(COUNTER_GATE_MAX_KEY) {
+                if v.parse::<f64>().map_or(true, |f| !f.is_finite() || f < 0.0) {
+                    errs.push(format!("{fig}: bad {COUNTER_GATE_MAX_KEY} {v:?}"));
+                }
+            }
+            if let Some(label) = a.config_value(COUNTER_GATE_SERIES_KEY) {
+                if !a.series.iter().any(|s| s.label == label) {
+                    errs.push(format!(
+                        "{fig}: {COUNTER_GATE_SERIES_KEY} names absent series {label:?}"
+                    ));
+                }
+            }
+        } else {
+            for key in [COUNTER_GATE_MAX_KEY, COUNTER_GATE_SERIES_KEY] {
+                if a.config_value(key).is_some() {
+                    errs.push(format!("{fig}: {key} without {COUNTER_GATE_METRIC_KEY}"));
                 }
             }
         }
@@ -991,6 +1070,84 @@ mod tests {
         // The speedup leg is unaffected by the alloc config.
         assert_eq!(out[0].metric, "speedup");
         assert!(out[0].ok, "{out:?}");
+    }
+
+    /// A rebalance-ablation-shaped artifact: a static control plus a
+    /// rebalancing series whose migration count is gated (ceiling 4,
+    /// lower is better) via [`COUNTER_GATE_METRIC_KEY`].
+    fn counter_artifact(migrations: u64) -> BenchArtifact {
+        let mut a = artifact("ablation_rebalance", "static-skew", 90.0);
+        a.config_kv(COUNTER_GATE_METRIC_KEY, "rebalance.migrations_started");
+        a.config_kv(COUNTER_GATE_MAX_KEY, 4);
+        a.config_kv(COUNTER_GATE_SERIES_KEY, "rebalance-skew");
+        let mut rebal = a.series[0].clone();
+        rebal.label = "rebalance-skew".into();
+        rebal.throughput_txn_s = 100.0;
+        let mut m = crate::metrics::MetricsRegistry::default();
+        let id = m.register_counter("rebalance.migrations_started");
+        m.add(id, migrations);
+        rebal.metrics = m.snapshot();
+        a.series.push(rebal);
+        a
+    }
+
+    #[test]
+    fn counter_gate_is_lower_is_better_with_a_ceiling() {
+        let base = vec![counter_artifact(3)];
+        let rows = |cur: &BenchArtifact| compare_artifacts(&base, std::slice::from_ref(cur), 0.20);
+        // Same count passes; the leg applies only to the gated series.
+        let out = rows(&counter_artifact(3));
+        let counters: Vec<_> = out
+            .iter()
+            .filter(|c| c.metric.starts_with("counter:"))
+            .collect();
+        assert_eq!(counters.len(), 1, "{out:?}");
+        assert_eq!(counters[0].label, "rebalance-skew");
+        assert!(counters[0].ok, "{out:?}");
+        assert!(counters[0].render().contains("(lower is better)"));
+        // One fewer migration (an improvement) passes.
+        let out = rows(&counter_artifact(2));
+        assert!(out.iter().all(|c| c.ok), "{out:?}");
+        // Past the absolute ceiling fails even against a high baseline.
+        let out = rows(&counter_artifact(5));
+        let bad = out.iter().find(|c| c.metric.starts_with("counter:"));
+        assert!(!bad.unwrap().ok, "count 5 over max 4 must fail: {out:?}");
+        // Ping-pong regression: way past baseline*(1+tol)+slack.
+        let mut no_max = counter_artifact(3);
+        no_max.config.retain(|(k, _)| k != COUNTER_GATE_MAX_KEY);
+        let out = compare_artifacts(&[no_max], &[counter_artifact(16)], 0.20);
+        let bad = out.iter().find(|c| c.metric.starts_with("counter:"));
+        assert!(!bad.unwrap().ok, "16 vs blessed 3 must fail: {out:?}");
+        // A counter absent from the current snapshot counts as zero.
+        let mut quiet = counter_artifact(3);
+        quiet.series[1].metrics = MetricsReport::default();
+        let out = rows(&quiet);
+        assert!(out.iter().all(|c| c.ok), "{out:?}");
+    }
+
+    #[test]
+    fn validate_catches_counter_gate_drift() {
+        assert!(validate_artifacts(&[counter_artifact(3)]).is_empty());
+        // Ceiling that does not parse.
+        let mut a = counter_artifact(3);
+        a.config.retain(|(k, _)| k != COUNTER_GATE_MAX_KEY);
+        a.config_kv(COUNTER_GATE_MAX_KEY, "four");
+        assert!(validate_artifacts(&[a])
+            .iter()
+            .any(|e| e.contains(COUNTER_GATE_MAX_KEY)));
+        // Gated series that does not exist.
+        let mut a = counter_artifact(3);
+        a.config.retain(|(k, _)| k != COUNTER_GATE_SERIES_KEY);
+        a.config_kv(COUNTER_GATE_SERIES_KEY, "ghost");
+        assert!(validate_artifacts(&[a])
+            .iter()
+            .any(|e| e.contains("absent series")));
+        // Ceiling/series keys without the metric key are dangling.
+        let mut a = artifact("fig1a", "x", 1.0);
+        a.config_kv(COUNTER_GATE_MAX_KEY, 4);
+        assert!(validate_artifacts(&[a])
+            .iter()
+            .any(|e| e.contains("without")));
     }
 
     #[test]

@@ -1,0 +1,322 @@
+//! The frozen PR 4 placement-policy chain, kept as a differential
+//! reference for the Placement v2 cost model.
+//!
+//! Before the unified cost model, the controller consulted a
+//! first-match chain of [`PlacementPolicy`] implementations:
+//! [`LoadSpread`] (move the hottest shard off the most loaded host)
+//! then [`RegionAffinity`] (chase a shard's dominant remote region).
+//! Because each policy scored the *next* move in isolation, the chain
+//! could oscillate: LoadSpread would scatter the one-sided shards that
+//! RegionAffinity had just centralized, and the pair would trade the
+//! same shards back and forth every window (the `ablation_rebalance`
+//! run spent 16 migrations on a workload that needs 4).
+//!
+//! Nothing here is called by production code anymore. The tests in
+//! `tests/rebalance.rs` still drive [`LegacyController`] head-to-head
+//! against the cost model to show the new controller converges on views
+//! the old chain ping-ponged on, and the policy unit tests below pin
+//! the frozen behavior so the reference itself cannot drift.
+
+use crate::{ClusterView, HostSlot};
+use globaldb::Cluster;
+
+/// A migration a policy wants: move `shard`'s primary to `to`.
+#[derive(Debug, Clone)]
+pub struct MigrationProposal {
+    pub shard: usize,
+    pub to: HostSlot,
+    /// Which policy proposed it and why (for logs/tests).
+    pub reason: String,
+}
+
+/// Pluggable proposal logic over a [`ClusterView`]. Policies must be
+/// deterministic functions of the view.
+pub trait PlacementPolicy {
+    fn name(&self) -> &'static str;
+    fn propose(&self, view: &ClusterView) -> Option<MigrationProposal>;
+}
+
+/// Move the hottest shard off the most loaded host onto the least
+/// loaded one, when the cluster is imbalanced enough to bother.
+#[derive(Debug, Clone)]
+pub struct LoadSpread {
+    /// Trigger when `max host load > imbalance_ratio × mean host load`.
+    pub imbalance_ratio: f64,
+    /// Ignore windows with fewer ops than this on the hottest shard
+    /// (don't migrate on noise).
+    pub min_shard_ops: u64,
+}
+
+impl Default for LoadSpread {
+    fn default() -> Self {
+        LoadSpread {
+            imbalance_ratio: 1.5,
+            min_shard_ops: 64,
+        }
+    }
+}
+
+impl PlacementPolicy for LoadSpread {
+    fn name(&self) -> &'static str {
+        "load-spread"
+    }
+
+    fn propose(&self, view: &ClusterView) -> Option<MigrationProposal> {
+        if view.hosts.len() < 2 {
+            return None;
+        }
+        let hottest = *view
+            .hosts
+            .iter()
+            .max_by_key(|&&h| (view.host_load(h), std::cmp::Reverse(h)))?;
+        let coolest = *view.hosts.iter().min_by_key(|&&h| (view.host_load(h), h))?;
+        let hot_load = view.host_load(hottest);
+        let cool_load = view.host_load(coolest);
+        let total: u64 = view.hosts.iter().map(|&h| view.host_load(h)).sum();
+        let mean = total as f64 / view.hosts.len() as f64;
+        if hot_load == 0 || (hot_load as f64) <= self.imbalance_ratio * mean {
+            return None;
+        }
+        // Hottest shard currently living on the hottest host.
+        let shard = view
+            .shards
+            .iter()
+            .filter(|s| s.region == hottest.region && s.host == hottest.host)
+            .max_by_key(|s| (s.ops, std::cmp::Reverse(s.shard)))?;
+        if shard.ops < self.min_shard_ops {
+            return None;
+        }
+        // Only move if it strictly improves the spread: the receiving
+        // host must end up below where the donor started.
+        if cool_load + shard.ops >= hot_load {
+            return None;
+        }
+        Some(MigrationProposal {
+            shard: shard.shard,
+            to: coolest,
+            reason: format!(
+                "load-spread: host ({},{}) carries {hot_load} ops (mean {mean:.0}); \
+                 moving shard {} ({} ops) to host ({},{})",
+                hottest.region.0,
+                hottest.host,
+                shard.shard,
+                shard.ops,
+                coolest.region.0,
+                coolest.host
+            ),
+        })
+    }
+}
+
+/// Move a shard whose window traffic is dominated by one *remote*
+/// region into that region (placing it on the region's least-loaded
+/// host).
+#[derive(Debug, Clone)]
+pub struct RegionAffinity {
+    /// Minimum share of the shard's ops a remote region must account
+    /// for to justify moving the shard there.
+    pub dominance: f64,
+    /// Ignore shards with fewer windowed ops than this.
+    pub min_shard_ops: u64,
+}
+
+impl Default for RegionAffinity {
+    fn default() -> Self {
+        RegionAffinity {
+            dominance: 0.6,
+            min_shard_ops: 64,
+        }
+    }
+}
+
+impl PlacementPolicy for RegionAffinity {
+    fn name(&self) -> &'static str {
+        "region-affinity"
+    }
+
+    fn propose(&self, view: &ClusterView) -> Option<MigrationProposal> {
+        for s in &view.shards {
+            if s.ops < self.min_shard_ops {
+                continue;
+            }
+            for (ri, &region_ops) in s.by_region.iter().enumerate() {
+                let region = *view.regions.get(ri)?;
+                if region == s.region {
+                    continue;
+                }
+                if (region_ops as f64) < self.dominance * s.ops as f64 {
+                    continue;
+                }
+                let target = view
+                    .hosts
+                    .iter()
+                    .filter(|h| h.region == region)
+                    .min_by_key(|&&h| (view.host_load(h), h))
+                    .copied()?;
+                return Some(MigrationProposal {
+                    shard: s.shard,
+                    to: target,
+                    reason: format!(
+                        "region-affinity: shard {} gets {region_ops}/{} ops from region {}; \
+                         moving it there (host ({},{}))",
+                        s.shard, s.ops, region.0, target.region.0, target.host
+                    ),
+                });
+            }
+        }
+        None
+    }
+}
+
+/// The PR 4 controller: detector + first-match policy chain + one
+/// migration in flight at a time. Kept verbatim (modulo the detector's
+/// new signature) for differential tests.
+pub struct LegacyController {
+    pub detector: crate::HotShardDetector,
+    pub policies: Vec<Box<dyn PlacementPolicy>>,
+    /// Every proposal that actually started a migration.
+    pub history: Vec<MigrationProposal>,
+}
+
+impl Default for LegacyController {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LegacyController {
+    /// Default policy chain: spread load first, then chase region
+    /// affinity.
+    pub fn new() -> Self {
+        LegacyController {
+            detector: crate::HotShardDetector::new(),
+            policies: vec![
+                Box::new(LoadSpread::default()),
+                Box::new(RegionAffinity::default()),
+            ],
+            history: Vec::new(),
+        }
+    }
+
+    pub fn with_policies(policies: Vec<Box<dyn PlacementPolicy>>) -> Self {
+        LegacyController {
+            detector: crate::HotShardDetector::new(),
+            policies,
+            history: Vec::new(),
+        }
+    }
+
+    /// Observe the window, consult the policies in order, and start the
+    /// first viable migration. Returns the proposal that started, if
+    /// any. Always advances the detector window, even when a migration
+    /// is already in flight (so the next idle tick sees a fresh window,
+    /// not the backlog).
+    pub fn tick(&mut self, cluster: &mut Cluster) -> Option<MigrationProposal> {
+        let view = self.detector.observe(&mut cluster.db);
+        if cluster.migration_in_flight().is_some() {
+            return None;
+        }
+        for policy in &self.policies {
+            let Some(proposal) = policy.propose(&view) else {
+                continue;
+            };
+            let current = &view.shards[proposal.shard];
+            if (current.region, current.host) == (proposal.to.region, proposal.to.host) {
+                continue; // already there
+            }
+            if cluster
+                .start_migration(proposal.shard, proposal.to.region, proposal.to.host)
+                .is_ok()
+            {
+                self.history.push(proposal.clone());
+                return Some(proposal);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests_support::{stat, view};
+    use gdb_simnet::RegionId;
+
+    #[test]
+    fn load_spread_moves_hottest_shard_to_coolest_host() {
+        let v = view(
+            vec![
+                stat(0, 0, 0, 900, vec![900]),
+                stat(1, 0, 0, 100, vec![100]),
+                stat(2, 0, 1, 50, vec![50]),
+            ],
+            vec![(0, 0), (0, 1), (0, 2)],
+            1,
+        );
+        let p = LoadSpread::default().propose(&v).expect("imbalanced");
+        assert_eq!(p.shard, 0);
+        assert_eq!(
+            p.to,
+            HostSlot {
+                region: RegionId(0),
+                host: 2
+            }
+        );
+    }
+
+    #[test]
+    fn load_spread_ignores_balanced_and_idle_clusters() {
+        let balanced = view(
+            vec![
+                stat(0, 0, 0, 100, vec![100]),
+                stat(1, 0, 1, 110, vec![110]),
+                stat(2, 0, 2, 90, vec![90]),
+            ],
+            vec![(0, 0), (0, 1), (0, 2)],
+            1,
+        );
+        assert!(LoadSpread::default().propose(&balanced).is_none());
+        let idle = view(vec![stat(0, 0, 0, 0, vec![0])], vec![(0, 0), (0, 1)], 1);
+        assert!(LoadSpread::default().propose(&idle).is_none());
+    }
+
+    #[test]
+    fn load_spread_refuses_moves_that_do_not_improve() {
+        // One giant shard: moving it just relocates the hot spot.
+        let v = view(
+            vec![stat(0, 0, 0, 1000, vec![1000])],
+            vec![(0, 0), (0, 1)],
+            1,
+        );
+        assert!(LoadSpread::default().propose(&v).is_none());
+    }
+
+    #[test]
+    fn region_affinity_moves_shard_toward_its_traffic() {
+        let v = view(
+            vec![
+                stat(0, 0, 0, 100, vec![10, 90]),
+                stat(1, 0, 1, 100, vec![80, 20]),
+            ],
+            vec![(0, 0), (0, 1), (1, 0), (1, 1)],
+            2,
+        );
+        let p = RegionAffinity::default().propose(&v).expect("dominated");
+        assert_eq!(p.shard, 0);
+        assert_eq!(p.to.region, RegionId(1));
+    }
+
+    #[test]
+    fn region_affinity_respects_min_ops_and_local_dominance() {
+        // Dominant region is already the shard's own.
+        let local = view(
+            vec![stat(0, 1, 0, 100, vec![5, 95])],
+            vec![(0, 0), (1, 0)],
+            2,
+        );
+        assert!(RegionAffinity::default().propose(&local).is_none());
+        // Too little traffic to justify a move.
+        let quiet = view(vec![stat(0, 0, 0, 10, vec![1, 9])], vec![(0, 0), (1, 0)], 2);
+        assert!(RegionAffinity::default().propose(&quiet).is_none());
+    }
+}

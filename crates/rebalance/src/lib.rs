@@ -1,32 +1,55 @@
-//! `gdb-rebalance` — hot-shard detection and placement policy driving
-//! online shard migration.
+//! `gdb-rebalance` — hot-shard detection and cost-model-driven shard
+//! placement ("Placement v2").
 //!
 //! The *mechanics* of a migration (snapshot copy → redo catch-up →
-//! cutover barrier with an atomic routing-epoch bump) live in
+//! cutover barrier, batched under one routing-epoch bump) live in
 //! `globaldb::migrate`; this crate owns the *policy* side:
 //!
 //! * [`HotShardDetector`] — a windowed consumer of the live metrics
 //!   registry. Every [`HotShardDetector::observe`] snapshots the
 //!   `rebalance.shard_ops.*` / `rebalance.shard_bytes.*` counters the
 //!   transaction layer maintains, subtracts the previous observation,
-//!   and joins the deltas with the current shard placement into a
-//!   [`ClusterView`].
-//! * [`PlacementPolicy`] — pluggable proposal logic over a view.
-//!   [`LoadSpread`] moves the hottest shard off an overloaded host to
-//!   the least-loaded one; [`RegionAffinity`] moves a shard whose
-//!   traffic is dominated by a remote region into that region.
+//!   and joins the deltas with the current primary/replica placement
+//!   and drain state into a [`ClusterView`].
+//! * [`PlacementCost`] — one scalar objective over a view (cross-region
+//!   traffic, load spread, replica balance, drain pressure) with a
+//!   greedy batch search, [`PlacementCost::propose_batch`], that emits
+//!   strictly-cost-reducing moves gated by a [`Hysteresis`] margin.
 //! * [`RebalanceController`] — glues the two together: call
 //!   [`RebalanceController::tick`] between workload windows and it
-//!   observes, consults its policies in order, and starts at most one
-//!   migration (the executor allows one in flight cluster-wide).
+//!   observes, reconciles the in-flight batch, and starts at most one
+//!   batched migration plan.
+//! * [`drain_host`] — the imperative scale-in entry point: mark a host
+//!   draining and launch the plan that empties it.
+//!
+//! The pre-cost-model policy chain ([`LoadSpread`] → [`RegionAffinity`]
+//! first-match) is frozen in [`legacy`] as a differential reference.
 //!
 //! Everything here is deterministic: observation order, host
 //! enumeration, and tie-breaks are all fixed, so a seeded run proposes
 //! the same migrations every time.
 
+pub mod cost;
+pub mod legacy;
+
+pub use cost::{apply_move, CostPolicy, CostProposal, Hysteresis, PlacementCost};
+pub use legacy::{
+    LegacyController, LoadSpread, MigrationProposal, PlacementPolicy, RegionAffinity,
+};
+
 use gdb_simnet::{NetNodeId, RegionId};
 use globaldb::migrate::metrics as mig_metrics;
-use globaldb::Cluster;
+use globaldb::{Cluster, CoreSim, GdbResult, GlobalDb, MigrationKind, MigrationSpec};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One replica placement of a shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaStat {
+    /// The replica data node.
+    pub node: NetNodeId,
+    /// Host slot it occupies.
+    pub slot: HostSlot,
+}
 
 /// One shard's load over the last observation window, joined with its
 /// current placement.
@@ -44,6 +67,8 @@ pub struct ShardStat {
     /// Ops split by the submitting CN's region, indexed like
     /// [`ClusterView::regions`].
     pub by_region: Vec<u64>,
+    /// Current replica placements of the shard.
+    pub replicas: Vec<ReplicaStat>,
 }
 
 /// A candidate placement slot: one physical host in one region.
@@ -53,8 +78,8 @@ pub struct HostSlot {
     pub host: u16,
 }
 
-/// What the detector hands the policies: per-shard window loads plus
-/// the current host inventory.
+/// What the detector hands the cost model: per-shard window loads plus
+/// the current host inventory and drain state.
 #[derive(Debug, Clone)]
 pub struct ClusterView {
     pub shards: Vec<ShardStat>,
@@ -63,6 +88,9 @@ pub struct ClusterView {
     /// Region ids in cluster order (the index space of
     /// [`ShardStat::by_region`]).
     pub regions: Vec<RegionId>,
+    /// Host slots currently draining (scale-in): placements must move
+    /// off them and nothing may move onto them.
+    pub draining: Vec<HostSlot>,
 }
 
 impl ClusterView {
@@ -91,154 +119,6 @@ impl ClusterView {
     }
 }
 
-/// A migration a policy wants: move `shard` to `to`.
-#[derive(Debug, Clone)]
-pub struct MigrationProposal {
-    pub shard: usize,
-    pub to: HostSlot,
-    /// Which policy proposed it and why (for logs/tests).
-    pub reason: String,
-}
-
-/// Pluggable proposal logic over a [`ClusterView`]. Policies must be
-/// deterministic functions of the view.
-pub trait PlacementPolicy {
-    fn name(&self) -> &'static str;
-    fn propose(&self, view: &ClusterView) -> Option<MigrationProposal>;
-}
-
-/// Move the hottest shard off the most loaded host onto the least
-/// loaded one, when the cluster is imbalanced enough to bother.
-#[derive(Debug, Clone)]
-pub struct LoadSpread {
-    /// Trigger when `max host load > imbalance_ratio × mean host load`.
-    pub imbalance_ratio: f64,
-    /// Ignore windows with fewer ops than this on the hottest shard
-    /// (don't migrate on noise).
-    pub min_shard_ops: u64,
-}
-
-impl Default for LoadSpread {
-    fn default() -> Self {
-        LoadSpread {
-            imbalance_ratio: 1.5,
-            min_shard_ops: 64,
-        }
-    }
-}
-
-impl PlacementPolicy for LoadSpread {
-    fn name(&self) -> &'static str {
-        "load-spread"
-    }
-
-    fn propose(&self, view: &ClusterView) -> Option<MigrationProposal> {
-        if view.hosts.len() < 2 {
-            return None;
-        }
-        let hottest = *view
-            .hosts
-            .iter()
-            .max_by_key(|&&h| (view.host_load(h), std::cmp::Reverse(h)))?;
-        let coolest = *view.hosts.iter().min_by_key(|&&h| (view.host_load(h), h))?;
-        let hot_load = view.host_load(hottest);
-        let cool_load = view.host_load(coolest);
-        let total: u64 = view.hosts.iter().map(|&h| view.host_load(h)).sum();
-        let mean = total as f64 / view.hosts.len() as f64;
-        if hot_load == 0 || (hot_load as f64) <= self.imbalance_ratio * mean {
-            return None;
-        }
-        // Hottest shard currently living on the hottest host.
-        let shard = view
-            .shards
-            .iter()
-            .filter(|s| s.region == hottest.region && s.host == hottest.host)
-            .max_by_key(|s| (s.ops, std::cmp::Reverse(s.shard)))?;
-        if shard.ops < self.min_shard_ops {
-            return None;
-        }
-        // Only move if it strictly improves the spread: the receiving
-        // host must end up below where the donor started.
-        if cool_load + shard.ops >= hot_load {
-            return None;
-        }
-        Some(MigrationProposal {
-            shard: shard.shard,
-            to: coolest,
-            reason: format!(
-                "load-spread: host ({},{}) carries {hot_load} ops (mean {mean:.0}); \
-                 moving shard {} ({} ops) to host ({},{})",
-                hottest.region.0,
-                hottest.host,
-                shard.shard,
-                shard.ops,
-                coolest.region.0,
-                coolest.host
-            ),
-        })
-    }
-}
-
-/// Move a shard whose window traffic is dominated by one *remote*
-/// region into that region (placing it on the region's least-loaded
-/// host).
-#[derive(Debug, Clone)]
-pub struct RegionAffinity {
-    /// Minimum share of the shard's ops a remote region must account
-    /// for to justify moving the shard there.
-    pub dominance: f64,
-    /// Ignore shards with fewer windowed ops than this.
-    pub min_shard_ops: u64,
-}
-
-impl Default for RegionAffinity {
-    fn default() -> Self {
-        RegionAffinity {
-            dominance: 0.6,
-            min_shard_ops: 64,
-        }
-    }
-}
-
-impl PlacementPolicy for RegionAffinity {
-    fn name(&self) -> &'static str {
-        "region-affinity"
-    }
-
-    fn propose(&self, view: &ClusterView) -> Option<MigrationProposal> {
-        for s in &view.shards {
-            if s.ops < self.min_shard_ops {
-                continue;
-            }
-            for (ri, &region_ops) in s.by_region.iter().enumerate() {
-                let region = *view.regions.get(ri)?;
-                if region == s.region {
-                    continue;
-                }
-                if (region_ops as f64) < self.dominance * s.ops as f64 {
-                    continue;
-                }
-                let target = view
-                    .hosts
-                    .iter()
-                    .filter(|h| h.region == region)
-                    .min_by_key(|&&h| (view.host_load(h), h))
-                    .copied()?;
-                return Some(MigrationProposal {
-                    shard: s.shard,
-                    to: target,
-                    reason: format!(
-                        "region-affinity: shard {} gets {region_ops}/{} ops from region {}; \
-                         moving it there (host ({},{}))",
-                        s.shard, s.ops, region.0, target.region.0, target.host
-                    ),
-                });
-            }
-        }
-        None
-    }
-}
-
 /// Windowed consumer of the metrics registry: each `observe` reads the
 /// absolute `rebalance.shard_ops.*` counters, subtracts the previous
 /// observation, and returns the per-window deltas joined with the
@@ -255,10 +135,10 @@ impl HotShardDetector {
 
     /// Snapshot the cluster's metrics and return the load view for the
     /// window since the previous call (first call: since startup).
-    pub fn observe(&mut self, cluster: &mut Cluster) -> ClusterView {
-        let shard_count = cluster.db.shards().len();
-        let regions: Vec<RegionId> = cluster.db.regions().to_vec();
-        let report = cluster.db.metrics_snapshot();
+    pub fn observe(&mut self, db: &mut GlobalDb) -> ClusterView {
+        let shard_count = db.shards().len();
+        let regions: Vec<RegionId> = db.regions().to_vec();
+        let report = db.metrics_snapshot();
         self.prev
             .resize_with(shard_count, || (0, 0, vec![0; regions.len()]));
 
@@ -283,51 +163,82 @@ impl HotShardDetector {
                 .zip(&prev.2)
                 .map(|(&cur, &old)| cur.saturating_sub(old))
                 .collect();
-            let primary = cluster.db.shards()[s].primary;
+            let primary = db.shards()[s].primary;
+            let replicas = db.shards()[s]
+                .replicas
+                .iter()
+                .map(|r| ReplicaStat {
+                    node: r.node,
+                    slot: HostSlot {
+                        region: db.topo().node_region(r.node),
+                        host: db.topo().node_host(r.node),
+                    },
+                })
+                .collect();
             shards.push(ShardStat {
                 shard: s,
-                region: cluster.db.topo().node_region(primary),
-                host: cluster.db.topo().node_host(primary),
+                region: db.topo().node_region(primary),
+                host: db.topo().node_host(primary),
                 ops: ops_total.saturating_sub(prev.0),
                 bytes: bytes_total.saturating_sub(prev.1),
                 by_region,
+                replicas,
             });
             *prev = (ops_total, bytes_total, by_region_total);
         }
 
         // Host inventory: every live host slot, sorted for
-        // deterministic tie-breaks.
+        // deterministic tie-breaks. Decommissioned slots are excluded
+        // even if a co-located CN keeps answering — a drained machine
+        // never rejoins placement.
+        let retired: Vec<HostSlot> = db
+            .retired_hosts()
+            .iter()
+            .map(|&(region, host)| HostSlot { region, host })
+            .collect();
         let mut hosts: Vec<HostSlot> = Vec::new();
-        for i in 0..cluster.db.topo().node_count() {
+        for i in 0..db.topo().node_count() {
             let n = NetNodeId(i as u32);
-            if cluster.db.topo().is_node_down(n) {
+            if db.topo().is_node_down(n) {
                 continue;
             }
             let slot = HostSlot {
-                region: cluster.db.topo().node_region(n),
-                host: cluster.db.topo().node_host(n),
+                region: db.topo().node_region(n),
+                host: db.topo().node_host(n),
             };
-            if !hosts.contains(&slot) {
+            if !hosts.contains(&slot) && !retired.contains(&slot) {
                 hosts.push(slot);
             }
         }
         hosts.sort();
 
+        let mut draining: Vec<HostSlot> = db
+            .draining_hosts()
+            .iter()
+            .map(|&(region, host)| HostSlot { region, host })
+            .collect();
+        draining.sort();
+
         ClusterView {
             shards,
             hosts,
             regions,
+            draining,
         }
     }
 }
 
-/// Detector + policy chain + migration trigger. Call
+/// Detector + cost model + batched migration trigger. Call
 /// [`RebalanceController::tick`] between workload windows.
 pub struct RebalanceController {
     pub detector: HotShardDetector,
-    pub policies: Vec<Box<dyn PlacementPolicy>>,
+    pub model: PlacementCost,
+    pub policy: CostPolicy,
+    pub hysteresis: Hysteresis,
+    /// Shard → the proposal whose migration is still in flight.
+    in_flight: BTreeMap<usize, CostProposal>,
     /// Every proposal that actually started a migration.
-    pub history: Vec<MigrationProposal>,
+    pub history: Vec<CostProposal>,
 }
 
 impl Default for RebalanceController {
@@ -337,62 +248,153 @@ impl Default for RebalanceController {
 }
 
 impl RebalanceController {
-    /// Default policy chain: spread load first, then chase region
-    /// affinity.
     pub fn new() -> Self {
         RebalanceController {
             detector: HotShardDetector::new(),
-            policies: vec![
-                Box::new(LoadSpread::default()),
-                Box::new(RegionAffinity::default()),
-            ],
+            model: PlacementCost::default(),
+            policy: CostPolicy::default(),
+            hysteresis: Hysteresis::new(),
+            in_flight: BTreeMap::new(),
             history: Vec::new(),
         }
     }
 
-    pub fn with_policies(policies: Vec<Box<dyn PlacementPolicy>>) -> Self {
-        RebalanceController {
-            detector: HotShardDetector::new(),
-            policies,
-            history: Vec::new(),
+    /// Shards whose controller-started moves have not finished yet.
+    pub fn in_flight_shards(&self) -> Vec<usize> {
+        self.in_flight.keys().copied().collect()
+    }
+
+    /// Observe the window, reconcile the in-flight batch, and — when the
+    /// cluster is quiescent — start the batched plan the cost model
+    /// proposes. Returns the proposals that started (empty when the
+    /// model is satisfied or a plan is still running). Always advances
+    /// the detector window and decays the hysteresis, even when busy.
+    pub fn tick(&mut self, cluster: &mut Cluster) -> Vec<CostProposal> {
+        let view = self.detector.observe(&mut cluster.db);
+        self.hysteresis.decay(&self.policy);
+
+        // Reconcile: a tracked shard that is no longer migrating either
+        // landed (charge hysteresis so it doesn't bounce right back) or
+        // aborted (clear its penalty — the aborted move must not
+        // suppress a re-proposal).
+        let migrating: BTreeSet<usize> = cluster.db.migrating_shards().into_iter().collect();
+        let finished: Vec<usize> = self
+            .in_flight
+            .keys()
+            .copied()
+            .filter(|s| !migrating.contains(s))
+            .collect();
+        for shard in finished {
+            let p = self.in_flight.remove(&shard).expect("tracked");
+            if Self::move_landed(&cluster.db, &p) {
+                self.hysteresis.note_move(shard, &self.policy);
+            } else {
+                self.hysteresis.clear(shard);
+            }
+        }
+
+        // One plan in flight cluster-wide (also yields to migrations
+        // started elsewhere, e.g. by a chaos fault).
+        if !migrating.is_empty() {
+            return Vec::new();
+        }
+
+        let proposals =
+            self.model
+                .propose_batch(&view, &self.policy, &self.hysteresis, &BTreeSet::new());
+        if proposals.is_empty() {
+            return Vec::new();
+        }
+        let specs: Vec<MigrationSpec> = proposals.iter().map(spec_of).collect();
+        match cluster.start_plan(specs) {
+            Ok(_) => {
+                for p in &proposals {
+                    self.in_flight.insert(p.shard, p.clone());
+                    self.history.push(p.clone());
+                }
+                proposals
+            }
+            Err(_) => Vec::new(),
         }
     }
 
-    /// Observe the window, consult the policies in order, and start the
-    /// first viable migration. Returns the proposal that started, if
-    /// any. Always advances the detector window, even when a migration
-    /// is already in flight (so the next idle tick sees a fresh window,
-    /// not the backlog).
-    pub fn tick(&mut self, cluster: &mut Cluster) -> Option<MigrationProposal> {
-        let view = self.detector.observe(cluster);
-        if cluster.migration_in_flight().is_some() {
-            return None;
-        }
-        for policy in &self.policies {
-            let Some(proposal) = policy.propose(&view) else {
-                continue;
-            };
-            let current = &view.shards[proposal.shard];
-            if (current.region, current.host) == (proposal.to.region, proposal.to.host) {
-                continue; // already there
+    /// Did the cluster end up where the proposal wanted?
+    fn move_landed(db: &GlobalDb, p: &CostProposal) -> bool {
+        let Some(shard) = db.shards().get(p.shard) else {
+            return false;
+        };
+        match p.kind {
+            MigrationKind::Primary => {
+                db.topo().node_region(shard.primary) == p.to.region
+                    && db.topo().node_host(shard.primary) == p.to.host
             }
-            if cluster
-                .start_migration(proposal.shard, proposal.to.region, proposal.to.host)
-                .is_ok()
-            {
-                self.history.push(proposal.clone());
-                return Some(proposal);
+            MigrationKind::Replica { node } => {
+                !shard.replicas.iter().any(|r| r.node == node)
+                    && shard.replicas.iter().any(|r| {
+                        db.topo().node_region(r.node) == p.to.region
+                            && db.topo().node_host(r.node) == p.to.host
+                    })
             }
         }
-        None
     }
 }
 
+fn spec_of(p: &CostProposal) -> MigrationSpec {
+    MigrationSpec {
+        shard: p.shard,
+        kind: p.kind,
+        to_region: p.to.region,
+        to_host: p.to.host,
+    }
+}
+
+/// Elastic scale-in: mark `(region, host)` draining and start the
+/// batched plan that moves every primary and replica off it (the drain
+/// cost term makes each such move clear the margin regardless of shard
+/// heat). Returns the number of moves started; `0` means the host was
+/// already empty — in that case its data nodes are retired immediately.
+///
+/// Shards with a migration already in flight are skipped; the host
+/// stays draining and a later [`RebalanceController::tick`] (or another
+/// `drain_host` call) finishes the job.
+pub fn drain_host(
+    db: &mut GlobalDb,
+    sim: &mut CoreSim,
+    region: RegionId,
+    host: u16,
+) -> GdbResult<usize> {
+    db.mark_host_draining(region, host);
+    let mut detector = HotShardDetector::new();
+    let view = detector.observe(db);
+    let model = PlacementCost::default();
+    let policy = CostPolicy {
+        // A drain must empty the host in one plan if it can; don't cap
+        // the batch at the steady-state size.
+        max_batch: view.shards.len().max(1) * 3,
+        ..CostPolicy::default()
+    };
+    let busy: BTreeSet<usize> = db.migrating_shards().into_iter().collect();
+    let slot = HostSlot { region, host };
+    let proposals: Vec<CostProposal> = model
+        .propose_batch(&view, &policy, &Hysteresis::new(), &busy)
+        .into_iter()
+        .filter(|p| p.from == slot)
+        .collect();
+    if proposals.is_empty() {
+        db.maybe_retire_drained();
+        return Ok(0);
+    }
+    let specs: Vec<MigrationSpec> = proposals.iter().map(spec_of).collect();
+    let n = specs.len();
+    globaldb::migrate::start_plan(db, sim, specs)?;
+    Ok(n)
+}
+
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests_support {
     use super::*;
 
-    fn view(shards: Vec<ShardStat>, hosts: Vec<(u16, u16)>, regions: usize) -> ClusterView {
+    pub fn view(shards: Vec<ShardStat>, hosts: Vec<(u16, u16)>, regions: usize) -> ClusterView {
         ClusterView {
             shards,
             hosts: hosts
@@ -403,10 +405,11 @@ mod tests {
                 })
                 .collect(),
             regions: (0..regions as u16).map(RegionId).collect(),
+            draining: Vec::new(),
         }
     }
 
-    fn stat(shard: usize, region: u16, host: u16, ops: u64, by_region: Vec<u64>) -> ShardStat {
+    pub fn stat(shard: usize, region: u16, host: u16, ops: u64, by_region: Vec<u64>) -> ShardStat {
         ShardStat {
             shard,
             region: RegionId(region),
@@ -414,86 +417,15 @@ mod tests {
             ops,
             bytes: ops * 256,
             by_region,
+            replicas: Vec::new(),
         }
     }
+}
 
-    #[test]
-    fn load_spread_moves_hottest_shard_to_coolest_host() {
-        let v = view(
-            vec![
-                stat(0, 0, 0, 900, vec![900]),
-                stat(1, 0, 0, 100, vec![100]),
-                stat(2, 0, 1, 50, vec![50]),
-            ],
-            vec![(0, 0), (0, 1), (0, 2)],
-            1,
-        );
-        let p = LoadSpread::default().propose(&v).expect("imbalanced");
-        assert_eq!(p.shard, 0);
-        assert_eq!(
-            p.to,
-            HostSlot {
-                region: RegionId(0),
-                host: 2
-            }
-        );
-    }
-
-    #[test]
-    fn load_spread_ignores_balanced_and_idle_clusters() {
-        let balanced = view(
-            vec![
-                stat(0, 0, 0, 100, vec![100]),
-                stat(1, 0, 1, 110, vec![110]),
-                stat(2, 0, 2, 90, vec![90]),
-            ],
-            vec![(0, 0), (0, 1), (0, 2)],
-            1,
-        );
-        assert!(LoadSpread::default().propose(&balanced).is_none());
-        let idle = view(vec![stat(0, 0, 0, 0, vec![0])], vec![(0, 0), (0, 1)], 1);
-        assert!(LoadSpread::default().propose(&idle).is_none());
-    }
-
-    #[test]
-    fn load_spread_refuses_moves_that_do_not_improve() {
-        // One giant shard: moving it just relocates the hot spot.
-        let v = view(
-            vec![stat(0, 0, 0, 1000, vec![1000])],
-            vec![(0, 0), (0, 1)],
-            1,
-        );
-        assert!(LoadSpread::default().propose(&v).is_none());
-    }
-
-    #[test]
-    fn region_affinity_moves_shard_toward_its_traffic() {
-        let v = view(
-            vec![
-                stat(0, 0, 0, 100, vec![10, 90]),
-                stat(1, 0, 1, 100, vec![80, 20]),
-            ],
-            vec![(0, 0), (0, 1), (1, 0), (1, 1)],
-            2,
-        );
-        let p = RegionAffinity::default().propose(&v).expect("dominated");
-        assert_eq!(p.shard, 0);
-        assert_eq!(p.to.region, RegionId(1));
-    }
-
-    #[test]
-    fn region_affinity_respects_min_ops_and_local_dominance() {
-        // Dominant region is already the shard's own.
-        let local = view(
-            vec![stat(0, 1, 0, 100, vec![5, 95])],
-            vec![(0, 0), (1, 0)],
-            2,
-        );
-        assert!(RegionAffinity::default().propose(&local).is_none());
-        // Too little traffic to justify a move.
-        let quiet = view(vec![stat(0, 0, 0, 10, vec![1, 9])], vec![(0, 0), (1, 0)], 2);
-        assert!(RegionAffinity::default().propose(&quiet).is_none());
-    }
+#[cfg(test)]
+mod tests {
+    use super::tests_support::{stat, view};
+    use super::*;
 
     #[test]
     fn spread_metric_tracks_imbalance() {
@@ -509,5 +441,124 @@ mod tests {
         );
         assert!(skewed.spread() > even.spread());
         assert!((even.spread() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn one_sided_view_converges_in_one_batch() {
+        // Eight shards, all traffic from region 0, half the primaries
+        // stranded in region 1: the model moves exactly those four over
+        // in one batch and is then satisfied.
+        let mut shards = Vec::new();
+        for s in 0..8 {
+            let region = if s < 4 { 0 } else { 1 };
+            shards.push(stat(s, region, 0, 100, vec![100, 0]));
+        }
+        let v = view(shards, vec![(0, 0), (1, 0)], 2);
+        let model = PlacementCost::default();
+        let policy = CostPolicy::default();
+        let hysteresis = Hysteresis::new();
+        let batch = model.propose_batch(&v, &policy, &hysteresis, &BTreeSet::new());
+        assert_eq!(batch.len(), 4);
+        for p in &batch {
+            assert!(matches!(p.kind, MigrationKind::Primary));
+            assert_eq!(p.to.region, RegionId(0));
+            assert!(p.cost_after < p.cost_before);
+        }
+        let mut settled = v.clone();
+        for p in &batch {
+            apply_move(&mut settled, p);
+        }
+        let again = model.propose_batch(&settled, &policy, &hysteresis, &BTreeSet::new());
+        assert!(again.is_empty(), "converged view re-proposed: {again:?}");
+    }
+
+    #[test]
+    fn drain_pressure_overrides_min_ops() {
+        // A cold shard (below min_shard_ops) still flees a draining host.
+        let mut v = view(vec![stat(0, 0, 0, 10, vec![10])], vec![(0, 0), (0, 1)], 1);
+        let model = PlacementCost::default();
+        let policy = CostPolicy::default();
+        assert!(model
+            .propose_batch(&v, &policy, &Hysteresis::new(), &BTreeSet::new())
+            .is_empty());
+        v.draining.push(HostSlot {
+            region: RegionId(0),
+            host: 0,
+        });
+        let batch = model.propose_batch(&v, &policy, &Hysteresis::new(), &BTreeSet::new());
+        assert_eq!(batch.len(), 1);
+        assert_eq!(
+            batch[0].to,
+            HostSlot {
+                region: RegionId(0),
+                host: 1
+            }
+        );
+    }
+
+    #[test]
+    fn replica_imbalance_is_leveled() {
+        // Two replicas piled on one host, an empty host available: the
+        // model relocates one replica (never onto the primary's host).
+        let mk_replica = |id: u32, r: u16, h: u16| ReplicaStat {
+            node: NetNodeId(id),
+            slot: HostSlot {
+                region: RegionId(r),
+                host: h,
+            },
+        };
+        let mut s0 = stat(0, 0, 0, 0, vec![0]);
+        s0.replicas = vec![mk_replica(10, 0, 1)];
+        let mut s1 = stat(1, 0, 0, 0, vec![0]);
+        s1.replicas = vec![mk_replica(11, 0, 1)];
+        let v = view(vec![s0, s1], vec![(0, 0), (0, 1), (0, 2)], 1);
+        let model = PlacementCost::default();
+        let batch = model.propose_batch(
+            &v,
+            &CostPolicy::default(),
+            &Hysteresis::new(),
+            &BTreeSet::new(),
+        );
+        assert_eq!(batch.len(), 1);
+        assert!(matches!(batch[0].kind, MigrationKind::Replica { .. }));
+        assert_eq!(
+            batch[0].to,
+            HostSlot {
+                region: RegionId(0),
+                host: 2
+            }
+        );
+    }
+
+    #[test]
+    fn hysteresis_raises_the_bar_for_recent_movers() {
+        // A marginal win (Δcost = 0.10) is blocked right after the shard
+        // moved and allowed again once the penalty decays.
+        let v = view(
+            vec![stat(0, 0, 0, 100, vec![45, 55])],
+            vec![(0, 0), (1, 0)],
+            2,
+        );
+        let model = PlacementCost::default();
+        let policy = CostPolicy::default();
+        let mut hysteresis = Hysteresis::new();
+        assert_eq!(
+            model
+                .propose_batch(&v, &policy, &hysteresis, &BTreeSet::new())
+                .len(),
+            1
+        );
+        hysteresis.note_move(0, &policy);
+        assert!(model
+            .propose_batch(&v, &policy, &hysteresis, &BTreeSet::new())
+            .is_empty());
+        hysteresis.decay(&policy);
+        hysteresis.decay(&policy);
+        assert_eq!(
+            model
+                .propose_batch(&v, &policy, &hysteresis, &BTreeSet::new())
+                .len(),
+            1
+        );
     }
 }

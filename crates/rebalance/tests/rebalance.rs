@@ -4,7 +4,7 @@
 //! path: a target crash mid-migration leaves routing and ownership
 //! exactly at the source.
 
-use gdb_rebalance::{HotShardDetector, RebalanceController};
+use gdb_rebalance::{drain_host, HotShardDetector, LegacyController, RebalanceController};
 use gdb_simnet::RegionId;
 use globaldb::{Cluster, ClusterConfig, Datum, SimTime};
 
@@ -70,11 +70,11 @@ fn skewed_load_triggers_migration_and_improves_spread() {
     let source_host = host_of(&c, 0);
 
     let mut probe = HotShardDetector::new();
-    probe.observe(&mut c); // baseline: discard startup traffic
+    probe.observe(&mut c.db); // baseline: discard startup traffic
 
     let at = read_window(&mut c, &by_shard[0].clone(), 200, t(310));
     let at = read_window(&mut c, &by_shard[3].clone(), 80, at);
-    let skewed_view = probe.observe(&mut c);
+    let skewed_view = probe.observe(&mut c.db);
     let spread_before = skewed_view.spread();
     assert!(
         spread_before > 1.5,
@@ -84,18 +84,22 @@ fn skewed_load_triggers_migration_and_improves_spread() {
     // The controller sees the same counters and starts a migration of
     // the hot shard.
     let mut controller = RebalanceController::new();
-    let proposal = controller
-        .tick(&mut c)
-        .expect("skew must trigger a migration");
+    let batch = controller.tick(&mut c);
+    assert!(!batch.is_empty(), "skew must trigger a migration");
+    let proposal = batch[0].clone();
     assert_eq!(
         proposal.shard, 0,
         "hot shard is the one proposed: {}",
         proposal.reason
     );
+    assert!(
+        proposal.cost_after < proposal.cost_before,
+        "accepted moves strictly reduce cost"
+    );
     assert_ne!(proposal.to.host, source_host, "must leave the hot host");
     assert!(c.migration_in_flight().is_some());
-    // A second tick while one is in flight must not start another.
-    assert!(controller.tick(&mut c).is_none());
+    // A second tick while the plan is in flight must not start another.
+    assert!(controller.tick(&mut c).is_empty());
 
     // Keep writing the hot keys while the migration runs: the source
     // stays available through snapshot/catch-up, and any post-cutover
@@ -160,11 +164,11 @@ fn skewed_load_triggers_migration_and_improves_spread() {
     // Same skewed window against the new placement: the spread strictly
     // improves because the hot shard no longer shares a host with the
     // warm one.
-    probe.observe(&mut c); // reset the window past the migration traffic
+    probe.observe(&mut c.db); // reset the window past the migration traffic
     let start = c.now() + gdb_simnet::SimDuration::from_millis(1);
     let at3 = read_window(&mut c, &by_shard[0].clone(), 200, start);
     read_window(&mut c, &by_shard[3].clone(), 80, at3);
-    let spread_after = probe.observe(&mut c).spread();
+    let spread_after = probe.observe(&mut c.db).spread();
     assert!(
         spread_after < spread_before,
         "post-cutover spread must strictly improve: {spread_after} !< {spread_before}"
@@ -234,7 +238,75 @@ fn balanced_load_keeps_the_controller_idle() {
     // Uniform traffic over every key: nothing to do.
     let keys: Vec<i64> = (0..120).collect();
     read_window(&mut c, &keys, 240, t(310));
-    assert!(controller.tick(&mut c).is_none());
+    assert!(controller.tick(&mut c).is_empty());
     assert_eq!(c.db.stats().migrations_started, 0);
     assert_eq!(c.db.routing_epoch(), 0);
+}
+
+/// The frozen PR 4 chain still drives a migration end-to-end on the
+/// same skewed window the cost model acts on — the differential
+/// reference stays executable, not just compilable.
+#[test]
+fn legacy_chain_still_drives_migration() {
+    let (mut c, by_shard) = setup();
+    let mut legacy = LegacyController::new();
+    legacy.detector.observe(&mut c.db); // discard startup traffic
+    let at = read_window(&mut c, &by_shard[0].clone(), 200, t(310));
+    read_window(&mut c, &by_shard[3].clone(), 80, at);
+    let proposal = legacy.tick(&mut c).expect("legacy chain must propose");
+    assert_eq!(proposal.shard, 0);
+    assert!(c.migration_in_flight().is_some());
+    c.run_until(c.now() + gdb_simnet::SimDuration::from_secs(2));
+    assert_eq!(c.db.last_migration_completed(), Some(0));
+    assert_eq!(legacy.history.len(), 1);
+}
+
+/// Elastic scale-in: drain a host onto the rest of the cluster (plus a
+/// freshly joined spare), watch its data nodes retire, and verify every
+/// shard keeps serving.
+#[test]
+fn drain_host_empties_and_retires_it() {
+    let (mut c, by_shard) = setup();
+    let epoch_before = c.db.routing_epoch();
+    c.db.join_data_node(RegionId(0), 3);
+    let (primaries, replicas) = c.db.host_placements(RegionId(0), 2);
+    let expected_moves = primaries.len() + replicas.len();
+    assert!(expected_moves > 0, "host 2 must start populated");
+
+    let started = drain_host(&mut c.db, &mut c.sim, RegionId(0), 2).unwrap();
+    assert_eq!(started, expected_moves, "one drain plan moves everything");
+    c.run_until(c.now() + gdb_simnet::SimDuration::from_secs(3));
+
+    // The host emptied, its data nodes retired, and the drain list is
+    // clean again.
+    let (p_after, r_after) = c.db.host_placements(RegionId(0), 2);
+    assert!(
+        p_after.is_empty() && r_after.is_empty(),
+        "host 2 must empty"
+    );
+    assert!(c.db.draining_hosts().is_empty());
+    assert_eq!(c.db.last_host_retired(), Some((RegionId(0), 2)));
+    assert_eq!(c.db.retired_hosts(), &[(RegionId(0), 2)]);
+    // One batched plan, one routing-epoch bump (it moved >= 1 primary).
+    assert_eq!(c.db.routing_epoch(), epoch_before + 1);
+    assert_eq!(c.db.stats().migrations_completed as usize, expected_moves);
+    assert_eq!(c.db.stats().migrations_aborted, 0);
+
+    // Every shard still serves its keys after the shuffle.
+    let sel = c.prepare("SELECT v FROM kv WHERE k = ?").unwrap();
+    let mut at = c.now() + gdb_simnet::SimDuration::from_millis(5);
+    for keys in &by_shard {
+        let key = keys[0];
+        at = at.max(c.now()) + gdb_simnet::SimDuration::from_millis(1);
+        c.run_transaction(0, at, true, true, |txn| {
+            let out = txn.execute(&sel, &[Datum::Int(key)])?;
+            assert!(!out.rows().is_empty(), "drained shard must serve key {key}");
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    // A second drain of the same (now empty, retired) host is a no-op.
+    let again = drain_host(&mut c.db, &mut c.sim, RegionId(0), 2).unwrap();
+    assert_eq!(again, 0);
 }

@@ -160,6 +160,7 @@ pub struct Topology {
     default_wan: LinkParams,
     injected_inter_host: SimDuration,
     down_nodes: HashSet<NetNodeId>,
+    retired_nodes: HashSet<NetNodeId>,
     partitions: HashSet<(RegionId, RegionId)>,
     cross_region_stats: BTreeMap<(RegionId, RegionId), LinkStats>,
     total_stats: LinkStats,
@@ -177,6 +178,7 @@ impl Topology {
             default_wan: LinkParams::wan_baseline(SimDuration::from_millis(30), 1_000),
             injected_inter_host: SimDuration::ZERO,
             down_nodes: HashSet::new(),
+            retired_nodes: HashSet::new(),
             partitions: HashSet::new(),
             cross_region_stats: BTreeMap::new(),
             total_stats: LinkStats::default(),
@@ -261,7 +263,8 @@ impl Topology {
         self.injected_inter_host
     }
 
-    /// Mark a node as crashed: messages to/from it are dropped.
+    /// Mark a node as crashed: messages to/from it are dropped. Retired
+    /// nodes stay unreachable regardless; bringing one "up" is a no-op.
     pub fn set_node_down(&mut self, n: NetNodeId, down: bool) {
         if down {
             self.down_nodes.insert(n);
@@ -270,12 +273,26 @@ impl Topology {
         }
     }
 
+    /// Permanently remove a node from the cluster (elastic scale-in).
+    /// Unlike a crash, retirement is one-way: the node is unreachable
+    /// forever and is excluded from [`Topology::down_nodes`], so chaos
+    /// recovery sweeps never resurrect it.
+    pub fn retire_node(&mut self, n: NetNodeId) {
+        self.retired_nodes.insert(n);
+        self.down_nodes.remove(&n);
+    }
+
+    pub fn is_node_retired(&self, n: NetNodeId) -> bool {
+        self.retired_nodes.contains(&n)
+    }
+
     pub fn is_node_down(&self, n: NetNodeId) -> bool {
-        self.down_nodes.contains(&n)
+        self.down_nodes.contains(&n) || self.retired_nodes.contains(&n)
     }
 
     /// Nodes currently marked down, in id order (deterministic iteration
-    /// for fault-injection oracles and traces).
+    /// for fault-injection oracles and traces). Retired nodes are not
+    /// listed: they are gone, not recoverable.
     pub fn down_nodes(&self) -> Vec<NetNodeId> {
         let mut nodes: Vec<NetNodeId> = self.down_nodes.iter().copied().collect();
         nodes.sort_by_key(|n| n.0);
@@ -303,7 +320,7 @@ impl Topology {
     /// Cost of delivering `bytes` from `from` to `to`, or `None` if the
     /// message cannot be delivered (node down or regions partitioned).
     pub fn one_way(&mut self, from: NetNodeId, to: NetNodeId, bytes: u64) -> Option<SimDuration> {
-        if self.down_nodes.contains(&from) || self.down_nodes.contains(&to) {
+        if self.is_node_down(from) || self.is_node_down(to) {
             return None;
         }
         if from == to {
@@ -352,7 +369,7 @@ impl Topology {
     /// putting a frame on an actual socket, so simulated fault injection
     /// (chaos nemeses) drops their physical messages too.
     pub fn deliverable(&self, from: NetNodeId, to: NetNodeId) -> bool {
-        if self.down_nodes.contains(&from) || self.down_nodes.contains(&to) {
+        if self.is_node_down(from) || self.is_node_down(to) {
             return false;
         }
         if from == to {
@@ -607,6 +624,22 @@ mod tests {
         assert!(t.one_way(n1, n3, 10).is_none());
         t.set_node_down(n3, false);
         assert!(t.one_way(n1, n3, 10).is_some());
+    }
+
+    #[test]
+    fn retirement_is_permanent_and_invisible_to_recovery() {
+        let (mut t, n1, _, n3, _) = two_region_topo();
+        t.set_node_down(n3, true);
+        assert_eq!(t.down_nodes(), vec![n3]);
+        t.retire_node(n3);
+        assert!(t.is_node_retired(n3));
+        assert!(t.is_node_down(n3));
+        assert!(t.down_nodes().is_empty(), "retired ≠ recoverable");
+        // A recovery sweep bringing the node "up" does not resurrect it.
+        t.set_node_down(n3, false);
+        assert!(t.is_node_down(n3));
+        assert!(t.one_way(n1, n3, 10).is_none());
+        assert!(!t.deliverable(n1, n3));
     }
 
     #[test]

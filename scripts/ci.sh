@@ -49,6 +49,19 @@ stage_nemesis_smoke() {
         cargo run --release -q -p gdb-chaos --bin nemesis -- --seed "$seed" --duration 2s \
             | tail -n 1
     done
+
+    # Elastic membership under fire: node add, host drain with a
+    # mid-flight source crash, and the re-issued drain that retires the
+    # host. Virtual time cannot wedge, but a drain that never finishes
+    # would loop the executor forever — hence the hard timeout.
+    echo "==> elastic-under-fire canned plan"
+    timeout 300 cargo run --release -q -p gdb-chaos --bin nemesis -- \
+        --plan elastic-under-fire | tail -n 1
+    echo "==> elastic nemesis (3 seeds)"
+    for seed in 51 52 53; do
+        timeout 300 cargo run --release -q -p gdb-chaos --bin nemesis -- \
+            --seed "$seed" --duration 2s --elastic | tail -n 1
+    done
 }
 
 # Regenerate every figure artifact at tiny scale and compare throughput
