@@ -14,6 +14,9 @@
 //! drift (bad gate config, broken quantile ordering, duplicate or
 //! missing series) — the lint stage runs it over all committed
 //! `BENCH_*.json` baselines so drift is caught before a bench run.
+//! `.toml` arguments are linted as scenario files instead (unknown
+//! tables/keys, dangling plan or fault names), so the same stage covers
+//! the committed `scenarios/*.toml`.
 
 use gdb_obs::{bundle, compare_artifacts, load_artifacts, validate_artifacts, BenchArtifact, Json};
 use std::process::ExitCode;
@@ -22,7 +25,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: benchcmp merge OUT.json IN.json [IN.json ...]\n\
          \x20      benchcmp check BASELINE.json CURRENT.json [--tolerance 0.20]\n\
-         \x20      benchcmp validate FILE.json [FILE.json ...]"
+         \x20      benchcmp validate FILE.json|SCENARIO.toml [...]"
     );
     std::process::exit(2);
 }
@@ -91,7 +94,20 @@ fn check(baseline: &str, current: &str, tolerance: f64) -> ExitCode {
 fn validate(paths: &[String]) -> ExitCode {
     let mut problems = 0;
     let mut artifacts = 0;
+    let mut scenarios = 0;
     for path in paths {
+        if path.ends_with(".toml") {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("benchcmp: read {path}: {e}");
+                std::process::exit(2);
+            });
+            scenarios += 1;
+            for msg in gdb_chaos::scenario::lint(&text) {
+                eprintln!("benchcmp: {path}: {msg}");
+                problems += 1;
+            }
+            continue;
+        }
         let arts = read_artifacts(path);
         artifacts += arts.len();
         for msg in validate_artifacts(&arts) {
@@ -101,13 +117,13 @@ fn validate(paths: &[String]) -> ExitCode {
     }
     if problems > 0 {
         eprintln!(
-            "benchcmp: {problems} schema problem(s) across {} file(s)",
+            "benchcmp: {problems} problem(s) across {} file(s)",
             paths.len()
         );
         ExitCode::FAILURE
     } else {
         println!(
-            "validated {artifacts} artifacts across {} file(s)",
+            "validated {artifacts} artifacts and {scenarios} scenario(s) across {} file(s)",
             paths.len()
         );
         ExitCode::SUCCESS

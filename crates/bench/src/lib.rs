@@ -129,21 +129,13 @@ pub fn ratio(value: f64, base: f64) -> String {
 
 /// The path given by `--json <path>` on the binary's command line.
 pub fn json_out_path() -> Option<PathBuf> {
-    arg_path("--json")
+    gdb_obs::cli_path("--json")
 }
 
 /// The path given by `--trace <path>`: where to write a Chrome
 /// trace-event JSON of the instrumented run's span tree.
 pub fn trace_out_path() -> Option<PathBuf> {
-    arg_path("--trace")
-}
-
-fn arg_path(flag: &str) -> Option<PathBuf> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .map(PathBuf::from)
+    gdb_obs::cli_path("--trace")
 }
 
 /// Start a `gdb-bench/v1` artifact for one figure, recording the run
@@ -166,7 +158,7 @@ pub fn series_from_run(
     cluster: &mut Cluster,
     report: &WorkloadReport,
 ) -> BenchSeries {
-    let snap = cluster.db.metrics_snapshot();
+    let snap = cluster.metrics_snapshot();
     // Measured-window latency across all transaction types.
     let mut lat = LatencyHistogram::bounded();
     for h in report.latency.values() {

@@ -10,19 +10,9 @@
 
 use gdb_chaos::plan::canned;
 use gdb_chaos::{run_nemesis, run_plan, ChaosConfig, ChaosReport};
-use gdb_obs::{BenchArtifact, BenchSeries, NetStats};
+use gdb_obs::{flag_value, parse_duration, BenchArtifact, BenchSeries, NetStats};
 use gdb_simnet::SimDuration;
 use std::process::ExitCode;
-
-fn parse_duration(s: &str) -> Option<SimDuration> {
-    if let Some(ms) = s.strip_suffix("ms") {
-        return ms.parse::<u64>().ok().map(SimDuration::from_millis);
-    }
-    if let Some(secs) = s.strip_suffix('s') {
-        return secs.parse::<u64>().ok().map(SimDuration::from_secs);
-    }
-    s.parse::<u64>().ok().map(SimDuration::from_secs)
-}
 
 /// Encode one run as a `gdb-bench/v1` artifact (figure `nemesis`).
 fn to_artifact(report: &ChaosReport, seed: u64) -> BenchArtifact {
@@ -81,47 +71,39 @@ fn usage() -> ! {
 }
 
 fn main() -> ExitCode {
-    let mut seed: u64 = 1;
-    let mut duration = SimDuration::from_secs(3);
-    let mut plan_name: Option<String> = None;
-    let mut json_path: Option<String> = None;
-    let mut overlap = false;
-    let mut migrations = false;
-    let mut elastic = false;
-
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Reject typos up front: every flag must be one we know, and value
+    // flags must have their value.
+    let value_flags = ["--seed", "--duration", "--plan", "--json"];
+    let bool_flags = ["--overlap", "--migrations", "--elastic"];
     let mut i = 0;
     while i < args.len() {
-        match args[i].as_str() {
-            "--seed" => {
-                i += 1;
-                seed = args
-                    .get(i)
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage());
+        let a = args[i].as_str();
+        if value_flags.contains(&a) {
+            if args.get(i + 1).is_none() {
+                usage();
             }
-            "--duration" => {
-                i += 1;
-                duration = args
-                    .get(i)
-                    .and_then(|v| parse_duration(v))
-                    .unwrap_or_else(|| usage());
-            }
-            "--plan" => {
-                i += 1;
-                plan_name = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
-            }
-            "--json" => {
-                i += 1;
-                json_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
-            }
-            "--overlap" => overlap = true,
-            "--migrations" => migrations = true,
-            "--elastic" => elastic = true,
-            _ => usage(),
+            i += 2;
+        } else if bool_flags.contains(&a) {
+            i += 1;
+        } else {
+            usage();
         }
-        i += 1;
     }
+
+    let seed: u64 = match flag_value(&args, "--seed") {
+        Some(v) => v.parse().unwrap_or_else(|_| usage()),
+        None => 1,
+    };
+    let duration = match flag_value(&args, "--duration") {
+        Some(v) => parse_duration(v).unwrap_or_else(|| usage()),
+        None => SimDuration::from_secs(3),
+    };
+    let plan_name = flag_value(&args, "--plan").map(str::to_string);
+    let json_path = flag_value(&args, "--json").map(str::to_string);
+    let overlap = args.iter().any(|a| a == "--overlap");
+    let migrations = args.iter().any(|a| a == "--migrations");
+    let elastic = args.iter().any(|a| a == "--elastic");
 
     let mut cfg = ChaosConfig::quick(seed);
     cfg.duration = duration;

@@ -25,11 +25,13 @@ pub mod nemesis;
 pub mod oracle;
 pub mod plan;
 pub mod runner;
+pub mod scenario;
 pub mod trace;
 
 pub use fault::Fault;
 pub use nemesis::NemesisConfig;
 pub use oracle::{FailoverWindow, Oracle, PROBE_LATENCY_US};
 pub use plan::{FaultEvent, FaultPlan};
-pub use runner::{run_nemesis, run_plan, ChaosConfig, ChaosReport};
+pub use runner::{run_nemesis, run_plan, run_plan_on, run_plan_prepped, ChaosConfig, ChaosReport};
+pub use scenario::{PlanSource, Scenario};
 pub use trace::{Trace, TraceHandle};

@@ -201,12 +201,35 @@ fn failover_windows(plan: &FaultPlan) -> Vec<FailoverWindow> {
 
 /// Run TPC-C under `plan` and return the full report.
 pub fn run_plan(plan: FaultPlan, cfg: &ChaosConfig) -> ChaosReport {
-    let mut cluster = Cluster::new(cfg.cluster_config());
+    run_plan_on(plan, cfg, cfg.cluster_config())
+}
+
+/// [`run_plan`] against an explicit cluster config — the entry point for
+/// scenario files, whose `[topology]` table overrides the canonical
+/// chaos shape (shard/replica/CN counts, geometry) while keeping the
+/// oracle, heal-all recovery, and final-check machinery intact.
+pub fn run_plan_on(plan: FaultPlan, cfg: &ChaosConfig, cc: ClusterConfig) -> ChaosReport {
+    run_plan_prepped(plan, cfg, cc, |_| {})
+}
+
+/// [`run_plan_on`] with a post-load cluster hook, called after TPC-C
+/// setup and oracle installation but before the plan is scheduled. A
+/// scenario uses it to arm periodic events of its own (e.g. recurring
+/// auto-rebalance ticks). The hook must schedule via the cluster's own
+/// simulation so determinism is preserved.
+pub fn run_plan_prepped(
+    plan: FaultPlan,
+    cfg: &ChaosConfig,
+    cc: ClusterConfig,
+    prep: impl FnOnce(&mut Cluster),
+) -> ChaosReport {
+    let mut cluster = Cluster::new(cc);
     let strict = cluster.db.config().replication.is_sync();
     let scale = TpccScale::tiny();
     let mut workload = TpccWorkload::new(scale, TpccMix::standard(), cfg.workload_seed);
     workload.setup(&mut cluster).expect("TPC-C setup");
     let oracle = Oracle::install(&mut cluster, cfg.probe_keys).expect("oracle install");
+    prep(&mut cluster);
 
     let t0 = cluster.now();
     let start = t0 + cfg.warmup;
@@ -256,7 +279,7 @@ pub fn run_plan(plan: FaultPlan, cfg: &ChaosConfig) -> ChaosReport {
 
     let trace_lines = trace.borrow().lines();
     let state = oracle.state.borrow();
-    let metrics = cluster.db.metrics_snapshot();
+    let metrics = cluster.metrics_snapshot();
     let latency = metrics
         .histogram(gdb_txnmgr::metrics::LATENCY_US)
         .cloned()

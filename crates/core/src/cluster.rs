@@ -363,6 +363,31 @@ impl GlobalDb {
         self.obs.metrics.snapshot()
     }
 
+    /// Refresh the per-replica freshness gauges against virtual time
+    /// `now`: RCP lag (how far each replica's replayed commit timestamp
+    /// trails the present) and log-ship backlog (sealed redo records the
+    /// shipping channel has not yet drained). These are the live values
+    /// a DBA inspects before redirecting read-only traffic (paper §IV);
+    /// [`Cluster::metrics_snapshot`] calls this automatically.
+    pub fn sync_replica_lag_metrics(&mut self, now: SimTime) {
+        let now_us = now.as_micros();
+        let m = &mut self.obs.metrics;
+        for (s, shard) in self.shards.iter().enumerate() {
+            for (r, replica) in shard.replicas.iter().enumerate() {
+                let lag = now_us.saturating_sub(replica.applier.max_commit_ts().as_micros());
+                let backlog = replica.channel.backlog(shard.log.sealed());
+                m.gauge(
+                    gdb_replication::metrics::replica_rcp_lag_gauge(s, r),
+                    lag as f64,
+                );
+                m.gauge(
+                    gdb_replication::metrics::replica_backlog_gauge(s, r),
+                    backlog as f64,
+                );
+            }
+        }
+    }
+
     fn sync_derived_metrics(&mut self) {
         let m = &mut self.obs.metrics;
         m.set_counter(gdb_txnmgr::metrics::COMMITTED, self.stats.committed);
@@ -671,6 +696,16 @@ impl Cluster {
     /// Run a vacuum pass at the current virtual time.
     pub fn vacuum(&mut self) -> usize {
         self.db.vacuum()
+    }
+
+    /// Metrics snapshot with the time-derived per-replica freshness
+    /// gauges refreshed at the engine's current virtual time. Prefer
+    /// this over [`GlobalDb::metrics_snapshot`] whenever the engine is
+    /// at hand.
+    pub fn metrics_snapshot(&mut self) -> MetricsReport {
+        let now = self.sim.now();
+        self.db.sync_replica_lag_metrics(now);
+        self.db.metrics_snapshot()
     }
 
     /// Crash a shard's primary data node (paper §IV: replicas keep serving

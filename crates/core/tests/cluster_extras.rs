@@ -138,3 +138,31 @@ fn freshness_bound_with_dead_primary_counts_rejections() {
     assert!(!o.used_replica, "1ns bound forces primary reads");
     assert_eq!(c.db.stats().ror_rejected_freshness, 0);
 }
+
+/// Replica freshness is a first-class metrics surface: the snapshot
+/// carries one RCP-lag gauge and one log-ship backlog gauge per
+/// (shard, replica), under the names the operator console reads.
+#[test]
+fn metrics_snapshot_carries_replica_lag_gauges() {
+    let mut c = kv_cluster(ClusterConfig::globaldb_three_city());
+    c.execute_sql(0, t(100), "UPDATE kv SET v = 1 WHERE k = 7", &[])
+        .unwrap();
+    c.run_until(t(500));
+    let snap = c.metrics_snapshot();
+    for s in 0..c.db.shards().len() {
+        for r in 0..c.db.shards()[s].replicas.len() {
+            let lag = gdb_replication::metrics::replica_rcp_lag_gauge(s, r);
+            let backlog = gdb_replication::metrics::replica_backlog_gauge(s, r);
+            let lag_v = snap
+                .gauge(&lag)
+                .unwrap_or_else(|| panic!("missing gauge {lag}"));
+            assert!(lag_v >= 0.0);
+            assert!(snap.gauge(&backlog).is_some(), "missing gauge {backlog}");
+        }
+    }
+    // The exact names are an API other tooling greps for; pin them.
+    assert!(snap.gauge("replication.replica_rcp_lag_us.s0.r0").is_some());
+    assert!(snap
+        .gauge("replication.replica_backlog_records.s0.r0")
+        .is_some());
+}

@@ -22,11 +22,13 @@
 //! hand-rolled in [`json`] (compact writer + recursive-descent parser)
 //! with deterministic key order throughout.
 
+pub mod config;
 pub mod json;
 pub mod metrics;
 pub mod report;
 pub mod span;
 
+pub use config::{cli_path, flag_value, parse_duration, ConfDoc, ConfTable, ConfValue};
 pub use json::Json;
 pub use metrics::{
     CounterId, HistId, HistSummary, Metric, MetricName, MetricsRegistry, MetricsReport,

@@ -270,14 +270,24 @@ impl RebalanceController {
     /// model is satisfied or a plan is still running). Always advances
     /// the detector window and decays the hysteresis, even when busy.
     pub fn tick(&mut self, cluster: &mut Cluster) -> Vec<CostProposal> {
-        let view = self.detector.observe(&mut cluster.db);
+        let Cluster { db, sim, .. } = cluster;
+        self.tick_at(db, sim)
+    }
+
+    /// [`RebalanceController::tick`] against the split world/scheduler
+    /// borrow, so a scheduled simulation event (which owns
+    /// `&mut GlobalDb` + `&mut CoreSim`, not a whole [`Cluster`]) can
+    /// drive the controller — e.g. a scenario's recurring
+    /// auto-rebalance tick.
+    pub fn tick_at(&mut self, db: &mut GlobalDb, sim: &mut CoreSim) -> Vec<CostProposal> {
+        let view = self.detector.observe(db);
         self.hysteresis.decay(&self.policy);
 
         // Reconcile: a tracked shard that is no longer migrating either
         // landed (charge hysteresis so it doesn't bounce right back) or
         // aborted (clear its penalty — the aborted move must not
         // suppress a re-proposal).
-        let migrating: BTreeSet<usize> = cluster.db.migrating_shards().into_iter().collect();
+        let migrating: BTreeSet<usize> = db.migrating_shards().into_iter().collect();
         let finished: Vec<usize> = self
             .in_flight
             .keys()
@@ -286,7 +296,7 @@ impl RebalanceController {
             .collect();
         for shard in finished {
             let p = self.in_flight.remove(&shard).expect("tracked");
-            if Self::move_landed(&cluster.db, &p) {
+            if Self::move_landed(db, &p) {
                 self.hysteresis.note_move(shard, &self.policy);
             } else {
                 self.hysteresis.clear(shard);
@@ -306,7 +316,7 @@ impl RebalanceController {
             return Vec::new();
         }
         let specs: Vec<MigrationSpec> = proposals.iter().map(spec_of).collect();
-        match cluster.start_plan(specs) {
+        match globaldb::migrate::start_plan(db, sim, specs) {
             Ok(_) => {
                 for p in &proposals {
                     self.in_flight.insert(p.shard, p.clone());

@@ -15,6 +15,26 @@ pub const SHIP_WIRE_BYTES: &str = "replication.ship.wire_bytes";
 /// Seal-to-arrival latency of one shipped batch.
 pub const SHIP_BATCH_US: &str = "replication.ship.batch_us";
 
+/// Per-replica RCP lag gauge prefix: `<prefix>.s<shard>.r<replica>` is
+/// how far (in µs of virtual time) the replica's replayed commit
+/// timestamp trails the present — the freshness a DBA inspects before
+/// redirecting read-only traffic (paper §IV).
+pub const REPLICA_RCP_LAG_PREFIX: &str = "replication.replica_rcp_lag_us";
+/// Per-replica log-ship backlog gauge prefix: `<prefix>.s<shard>.r<replica>`
+/// is the number of sealed redo records the shipping channel has not yet
+/// drained to the replica.
+pub const REPLICA_BACKLOG_PREFIX: &str = "replication.replica_backlog_records";
+
+/// Gauge name for one replica's RCP lag.
+pub fn replica_rcp_lag_gauge(shard: usize, replica: usize) -> String {
+    format!("{REPLICA_RCP_LAG_PREFIX}.s{shard}.r{replica}")
+}
+
+/// Gauge name for one replica's log-ship backlog.
+pub fn replica_backlog_gauge(shard: usize, replica: usize) -> String {
+    format!("{REPLICA_BACKLOG_PREFIX}.s{shard}.r{replica}")
+}
+
 use gdb_obs::{CounterId, HistId, MetricsRegistry};
 
 /// Pre-registered handles for the per-batch shipping hot path (recorded

@@ -1,0 +1,96 @@
+//! The operator console binary.
+//!
+//! ```text
+//! gdb-shell                                   # REPL on the sim backend
+//! gdb-shell --backend thread                  # real threads (PR-6 seam)
+//! gdb-shell --seed 7 --script ops.gdb         # batch transcript
+//! gdb-shell scenario run scenarios/x.toml     # one-shot command
+//! ```
+//!
+//! Exits non-zero if any command failed (unknown command, bad arguments,
+//! scenario violations) or the backend teardown failed verification.
+
+use gdb_obs::flag_value;
+use gdb_realnet::Backend;
+use gdb_shell::Shell;
+use std::io::{BufRead, Write};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: gdb-shell [--backend sim|thread|tcp] [--seed N] [--script FILE] [COMMAND...]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let backend = match flag_value(&args, "--backend") {
+        None | Some("sim") => Backend::Sim,
+        Some("thread") => Backend::Thread,
+        Some("tcp") => Backend::Tcp,
+        Some(_) => usage(),
+    };
+    let seed: u64 = match flag_value(&args, "--seed") {
+        Some(v) => v.parse().unwrap_or_else(|_| usage()),
+        None => 1,
+    };
+    let script = flag_value(&args, "--script").map(str::to_string);
+
+    // Everything after the flags is one inline command.
+    let mut rest: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--backend" | "--seed" | "--script" => i += 2,
+            a => {
+                rest.push(a.to_string());
+                i += 1;
+            }
+        }
+    }
+
+    let mut shell = Shell::launch(seed, backend);
+    if let Some(path) = script {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("gdb-shell: read {path}: {e}");
+            std::process::exit(2);
+        });
+        print!("{}", shell.run_script(&text));
+    } else if !rest.is_empty() {
+        let out = shell.exec(&rest.join(" "));
+        if !out.is_empty() {
+            println!("{out}");
+        }
+    } else {
+        repl(&mut shell);
+    }
+    println!("{}", shell.shutdown());
+    if shell.failed() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn repl(shell: &mut Shell) {
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    loop {
+        print!("gdb> ");
+        let _ = stdout.flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        let line = line.trim();
+        if line == "quit" || line == "exit" {
+            break;
+        }
+        let out = shell.exec(line);
+        if !out.is_empty() {
+            println!("{out}");
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Determinism and backend-agreement gates for the operator console.
+//!
+//! * The golden test runs the same script on two fresh sim-backed
+//!   shells and requires byte-identical transcripts — any wall-clock,
+//!   address, or hash-order leak into the output fails here.
+//! * The thread-backend test replays the SQL portion on a real-threads
+//!   cluster and requires the same statement results as sim, plus a
+//!   clean plane/silo accounting cross-check at teardown.
+
+use gdb_realnet::Backend;
+use gdb_shell::Shell;
+
+const SCRIPT: &str = "
+# operator smoke: observe, write, break, heal, migrate
+status
+nodes
+shards
+sql CREATE TABLE kv (k INT NOT NULL, v INT, PRIMARY KEY (k)) DISTRIBUTE BY HASH(k)
+sql INSERT INTO kv VALUES (1, 10), (2, 20), (3, 30)
+run 200ms
+sql SELECT v FROM kv WHERE k = 2
+lag
+fault crash-primary shard=0
+run 100ms
+fault restart-primary shard=0
+run 500ms
+sql SELECT v FROM kv WHERE k = 1
+metrics replication.ship
+use cn 1
+sql UPDATE kv SET v = 21 WHERE k = 2
+migrate 0 1 1
+shards
+run 2s
+shards
+sql SELECT v FROM kv WHERE k = 2
+";
+
+const SQL_SCRIPT: &str = "
+sql CREATE TABLE kv (k INT NOT NULL, v INT, PRIMARY KEY (k)) DISTRIBUTE BY HASH(k)
+sql INSERT INTO kv VALUES (1, 10), (2, 20), (3, 30)
+run 200ms
+sql UPDATE kv SET v = 11 WHERE k = 1
+run 200ms
+sql SELECT v FROM kv WHERE k = 1
+sql SELECT COUNT(*) FROM kv
+";
+
+#[test]
+fn golden_transcript_is_byte_identical() {
+    let run = || {
+        let mut shell = Shell::launch(7, Backend::Sim);
+        let transcript = shell.run_script(SCRIPT);
+        assert!(!shell.failed(), "script failed:\n{transcript}");
+        transcript
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first, second, "transcript must replay byte-identically");
+    // Sanity: the transcript actually exercised the surfaces it claims.
+    for needle in ["-- via ", "lag_ms", "MIGRATING", "replication.ship.batches"] {
+        assert!(first.contains(needle), "missing {needle:?}:\n{first}");
+    }
+}
+
+/// The statement-visible results (rows, counts) of every SQL command,
+/// excluding the `--` footer whose latency depends on physical timing.
+fn sql_results(transcript: &str) -> Vec<String> {
+    transcript
+        .lines()
+        .filter(|l| l.starts_with('(') || l.ends_with("row(s)") || l.ends_with("affected"))
+        .map(str::to_string)
+        .collect()
+}
+
+#[test]
+fn thread_backend_agrees_with_sim() {
+    let run = |backend: Backend| {
+        let mut shell = Shell::launch(7, backend);
+        let transcript = shell.run_script(SQL_SCRIPT);
+        let teardown = shell.shutdown();
+        assert!(
+            teardown.contains("plane verified"),
+            "{backend:?}: {teardown}"
+        );
+        assert!(!shell.failed(), "{backend:?} failed:\n{transcript}");
+        sql_results(&transcript)
+    };
+    let sim = run(Backend::Sim);
+    let thread = run(Backend::Thread);
+    assert!(!sim.is_empty(), "script produced no SQL results");
+    assert_eq!(sim, thread, "committed results must agree across backends");
+}
+
+#[test]
+fn committed_scenarios_lint_clean() {
+    for text in [
+        include_str!("../../../scenarios/migrate-under-fire.toml"),
+        include_str!("../../../scenarios/elastic-under-fire.toml"),
+    ] {
+        let errors = gdb_chaos::scenario::lint(text);
+        assert!(errors.is_empty(), "{errors:?}");
+    }
+}

@@ -11,6 +11,8 @@
 #   build          cargo build --release
 #   test           cargo test -q
 #   nemesis-smoke  nemesis seeds 1..5 (the CI "nemesis" job)
+#   shell          gdb-shell tests + committed scenario replays (the CI
+#                  "shell" job)
 #   bench-smoke    tiny-scale figure runs gated against BENCH_smoke.json
 #   txn            transaction hot-path wall-clock + allocation gate
 #                  against BENCH_txn.json (the CI "txn" job)
@@ -29,8 +31,8 @@ stage_lint() {
     echo "==> cargo bench --no-run (benches must keep compiling)"
     cargo bench --workspace --no-run -q
 
-    echo "==> benchcmp validate (committed baselines must parse cleanly)"
-    cargo run --release -q -p gdb-bench --bin benchcmp -- validate BENCH_*.json
+    echo "==> benchcmp validate (committed baselines + scenario files)"
+    cargo run --release -q -p gdb-bench --bin benchcmp -- validate BENCH_*.json scenarios/*.toml
 }
 
 stage_build() {
@@ -61,6 +63,30 @@ stage_nemesis_smoke() {
     for seed in 51 52 53; do
         timeout 300 cargo run --release -q -p gdb-chaos --bin nemesis -- \
             --seed "$seed" --duration 2s --elastic | tail -n 1
+    done
+
+    # The same two drills as committed scenario files, replayed through
+    # the operator console (oracle must stay green).
+    echo "==> committed scenario replays"
+    for scn in scenarios/*.toml; do
+        timeout 300 cargo run --release -q -p gdb-shell --bin gdb-shell -- \
+            scenario run "$scn" | tail -n 1
+    done
+}
+
+# Operator-console gate: the shell's unit + golden-transcript tests
+# (byte-identical replay, thread-backend agreement), then both committed
+# scenario files replayed end to end. Scenario runs are virtual-time
+# chaos runs and cannot wedge, but the thread-backend test joins real
+# threads — hence the hard timeouts.
+stage_shell() {
+    echo "==> gdb-shell tests (golden transcript + thread backend)"
+    timeout 600 cargo test --release -q -p gdb-shell
+
+    echo "==> committed scenario replays via gdb-shell"
+    for scn in scenarios/*.toml; do
+        timeout 300 cargo run --release -q -p gdb-shell --bin gdb-shell -- \
+            scenario run "$scn" | tail -n 1
     done
 }
 
@@ -145,6 +171,7 @@ lint) stage_lint ;;
 build) stage_build ;;
 test) stage_test ;;
 nemesis-smoke) stage_nemesis_smoke ;;
+shell) stage_shell ;;
 bench-smoke) stage_bench_smoke ;;
 txn) stage_txn ;;
 realnet) stage_realnet ;;
@@ -160,6 +187,7 @@ all)
     stage_build
     stage_test
     stage_nemesis_smoke
+    stage_shell
     stage_bench_smoke
     stage_txn
     stage_realnet
