@@ -316,6 +316,7 @@ pub fn run_nemesis(seed: u64, cfg: &ChaosConfig) -> ChaosReport {
         regions: match cc.geometry {
             globaldb::Geometry::OneRegion { .. } => 1,
             globaldb::Geometry::ThreeCity { .. } => 3,
+            globaldb::Geometry::MultiRegion { regions, .. } => regions,
         },
     };
     let mut nemesis = NemesisConfig::new(seed, SimTime::ZERO, cfg.duration);

@@ -533,6 +533,7 @@ pub fn run_scenario(scn: &Scenario) -> ChaosReport {
                 regions: match cc.geometry {
                     globaldb::Geometry::OneRegion { .. } => 1,
                     globaldb::Geometry::ThreeCity { .. } => 3,
+                    globaldb::Geometry::MultiRegion { regions, .. } => regions,
                 },
             };
             let mut nemesis =

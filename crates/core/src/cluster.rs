@@ -78,9 +78,15 @@ pub struct GlobalDb {
     pub(crate) obs: Obs,
     /// Pre-registered metric handles for the hot record sites.
     pub(crate) hot: crate::hot::HotMetrics,
-    /// Last skyline pick per (CN, shard) — a change is a re-selection
-    /// (counted, and spanned when tracing is on).
-    pub(crate) last_skyline_pick: std::collections::HashMap<(usize, usize), crate::ror::ReadTarget>,
+    /// Flat O(1) routing table: shard → (primary, owner epoch) plus the
+    /// per-CN nearest-shard index. Rebuilt *only* when placement changes
+    /// (batched cutover, replica promotion) — every route between
+    /// rebuilds is a plain `Vec` load. See [`GlobalDb::rebuild_routes`].
+    pub(crate) routes: gdb_router::RouteTable,
+    /// Last skyline pick per (CN, shard), flat-indexed
+    /// `cn * shard_count + shard` — a change is a re-selection (counted,
+    /// and spanned when tracing is on).
+    pub(crate) last_skyline_pick: Vec<Option<crate::ror::ReadTarget>>,
     /// Per-CN flag: `true` while the CN's clock-sync daemon is cut off
     /// from its regional time device (fault injection). While blocked the
     /// clock keeps drifting and its error bound grows until sync resumes.
@@ -295,12 +301,43 @@ impl GlobalDb {
         self.regions.iter().position(|&r| r == region).unwrap_or(0)
     }
 
-    /// Nearest shard to a CN (for reads of replicated tables).
+    /// Nearest shard to a CN (for reads of replicated tables). O(1):
+    /// reads the cached per-CN index in the routing table. The cache is
+    /// decision-identical to the old per-call `min_by_key` RTT scan
+    /// because `nominal_rtt` only changes relative order when a primary
+    /// *moves* — exactly when [`GlobalDb::rebuild_routes`] runs.
     pub(crate) fn nearest_shard(&self, cn: usize) -> usize {
-        let cn_node = self.cns[cn].node;
-        (0..self.shards.len())
-            .min_by_key(|&s| self.topo.nominal_rtt(cn_node, self.shards[s].primary))
-            .unwrap_or(0)
+        debug_assert_eq!(self.routes.nearest(cn), {
+            let cn_node = self.cns[cn].node;
+            (0..self.shards.len())
+                .min_by_key(|&s| self.topo.nominal_rtt(cn_node, self.shards[s].primary))
+                .unwrap_or(0)
+        });
+        self.routes.nearest(cn)
+    }
+
+    /// Rebuild the flat routing table from the current placement. Must
+    /// be called at every point a shard primary can change: cluster
+    /// construction, batched-plan cutover, and replica promotion. Cheap
+    /// relative to the events that trigger it (O(shards × CNs), and
+    /// those events are rare by design).
+    pub(crate) fn rebuild_routes(&mut self) {
+        let placement: Vec<(NetNodeId, u64)> = self
+            .shards
+            .iter()
+            .map(|s| (s.primary, s.owner_epoch))
+            .collect();
+        let cn_nodes: Vec<NetNodeId> = self.cns.iter().map(|c| c.node).collect();
+        let topo = &self.topo;
+        self.routes =
+            gdb_router::RouteTable::build(self.routing_epoch, &placement, &cn_nodes, |a, b| {
+                topo.nominal_rtt(a, b)
+            });
+    }
+
+    /// The flat routing table (read-only diagnostics / benches).
+    pub fn routes(&self) -> &gdb_router::RouteTable {
+        &self.routes
     }
 
     /// Current RCP visible at a CN.
@@ -459,6 +496,12 @@ impl GlobalDb {
                 );
             }
         }
+        for (s, shard) in self.shards.iter().enumerate() {
+            m.gauge(
+                gdb_storage::metrics::arena_resident_bytes_gauge(s),
+                shard.storage.resident_bytes() as f64,
+            );
+        }
         let total = self.topo.total_stats();
         m.set_counter(gdb_simnet::metrics::MSGS, total.messages);
         m.set_counter(gdb_simnet::metrics::BYTES, total.bytes);
@@ -574,7 +617,8 @@ impl Cluster {
             stats: ClusterStats::default(),
             obs,
             hot,
-            last_skyline_pick: std::collections::HashMap::new(),
+            routes: gdb_router::RouteTable::default(),
+            last_skyline_pick: vec![None; cn_count * shard_count],
             clock_sync_blocked: vec![false; cn_count],
             txn_seq: 0,
             last_transition_completed: None,
@@ -598,6 +642,7 @@ impl Cluster {
             last_migration_aborted: None,
         };
         db.gtm.set_mode(db.config.tm_mode);
+        db.rebuild_routes();
 
         let mut sim: CoreSim = Sim::new();
         // Schedule the recurring background activities (typed events —

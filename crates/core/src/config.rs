@@ -15,6 +15,10 @@ pub enum Geometry {
     /// Xi'an / Langzhong / Dongguan, 25/35/55 ms RTT triangle.
     /// `tuned` = BBR + Nagle-off (GlobalDB's network stack, §V-A).
     ThreeCity { tuned: bool, bandwidth_mbps: u64 },
+    /// The scale tier's synthetic N-region full-mesh WAN (one host per
+    /// region; RTTs grow with circular region distance). See
+    /// [`TopologyBuilder::multi_region`].
+    MultiRegion { regions: usize, bandwidth_mbps: u64 },
 }
 
 /// How read-only queries are routed.
@@ -64,6 +68,11 @@ pub struct ClusterConfig {
     /// Cadence of the background vacuum that prunes MVCC versions below
     /// the cluster-wide RCP horizon (`None` disables it).
     pub vacuum_interval: Option<SimDuration>,
+    /// Per-storage-instance arena soft limit: when a shard primary's (or
+    /// replica's) version arenas pin more than this many bytes at a
+    /// vacuum tick, the storage is compacted (pooled row buffers dropped,
+    /// slab slack returned). `None` disables pressure compaction.
+    pub arena_soft_limit_bytes: Option<usize>,
     pub seed: u64,
 }
 
@@ -153,7 +162,32 @@ impl ClusterConfig {
             replay: ReplayCostModel::default(),
             op_cpu_cost: SimDuration::from_micros(30),
             vacuum_interval: Some(SimDuration::from_secs(5)),
+            arena_soft_limit_bytes: None,
             seed: 42,
+        }
+    }
+
+    /// The scale-tier preset (ROADMAP "scale-out stress tier"):
+    /// `regions` regions (one host each) meshed by the synthetic WAN,
+    /// one CN per region, `shard_count` shards with one replica each,
+    /// GClock + async replication + LZ4 + ROR — the GlobalDB
+    /// configuration, just big.
+    pub fn globaldb_scale(regions: usize, shard_count: usize) -> Self {
+        ClusterConfig {
+            geometry: Geometry::MultiRegion {
+                regions,
+                bandwidth_mbps: 1_000,
+            },
+            cn_count: regions,
+            shard_count,
+            replicas_per_shard: 1,
+            tm_mode: TmMode::GClock,
+            replication: ReplicationMode::Async,
+            codec: Codec::Lz4,
+            routing: RoutingPolicy::ReadOnReplica {
+                freshness_bound: None,
+            },
+            ..Self::base()
         }
     }
 
@@ -184,10 +218,18 @@ impl ClusterConfig {
                 let (t, rs) = TopologyBuilder::three_city(self.seed, *tuned, *bandwidth_mbps);
                 (t, rs.to_vec())
             }
+            Geometry::MultiRegion {
+                regions,
+                bandwidth_mbps,
+            } => TopologyBuilder::multi_region(self.seed, *regions, *bandwidth_mbps),
         };
         // Hosts: in One-Region, three hosts in the single region; in
-        // Three-City, one host per city (matching the paper's 3 servers).
-        let host_count = 3usize;
+        // Three-City, one host per city (matching the paper's 3 servers);
+        // in the synthetic multi-region mesh, one host per region.
+        let host_count = match &self.geometry {
+            Geometry::MultiRegion { regions, .. } => (*regions).max(1),
+            _ => 3usize,
+        };
         let host_region = |h: usize| -> usize {
             if regions.len() == 1 {
                 0

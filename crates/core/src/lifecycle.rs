@@ -220,6 +220,11 @@ impl GlobalDb {
 
         // Replica membership changed: rebuild the per-region RCP groups.
         self.rebuild_rcp_groups();
+        // The primary moved (no routing-epoch bump on promotion — routes
+        // to the shard stay valid, only the destination node changed):
+        // refresh the flat routing table so O(1) lookups see the new
+        // primary and the nearest-shard cache tracks the new placement.
+        self.rebuild_routes();
         Ok(())
     }
 

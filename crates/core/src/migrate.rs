@@ -629,6 +629,9 @@ fn cutover_plan(db: &mut GlobalDb, sim: &mut CoreSim, plan: u64, now: SimTime) {
         for s in primary_moved {
             db.shards[s].owner_epoch = epoch;
         }
+        // Placement changed: refresh the flat O(1) routing table in the
+        // same instant as the epoch bump (one rebuild per batch).
+        db.rebuild_routes();
         // Announce the new route table to every CN (real latency; an
         // unreachable CN learns the epoch from its first stale-route
         // reject instead).

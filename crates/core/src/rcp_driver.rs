@@ -212,8 +212,46 @@ impl GlobalDb {
     }
 
     /// Vacuum primaries up to the cluster-wide minimum RCP (safe horizon:
-    /// every replica and every client snapshot is at or above it).
+    /// every replica and every client snapshot is at or above it), trim
+    /// shard shipping logs past the durable-consumer floor, and compact
+    /// arenas under memory pressure.
     pub(crate) fn vacuum(&mut self) -> usize {
+        // Memory-pressure compaction runs even before the first RCP
+        // advance (bulk load can blow the soft limit long before any
+        // vacuum horizon exists).
+        if let Some(limit) = self.config.arena_soft_limit_bytes {
+            for s in &mut self.shards {
+                if s.storage.resident_bytes() > limit {
+                    s.storage.compact();
+                    self.stats.pressure_compactions += 1;
+                }
+                for replica in &mut s.replicas {
+                    if replica.applier.storage.resident_bytes() > limit {
+                        replica.applier.storage.compact();
+                        self.stats.pressure_compactions += 1;
+                    }
+                }
+            }
+        }
+
+        // Shard-log trimming: every record below the minimum resume
+        // point over the shard's replicas *and* its in-flight migration
+        // catch-ups is durably consumed and can never be re-requested
+        // (crash rewinds go to the applier resume point, and in-flight
+        // delivery events carry their records by value).
+        for (si, s) in self.shards.iter_mut().enumerate() {
+            let mut floor = s.log.sealed_head();
+            for replica in &s.replicas {
+                floor = floor.min(replica.applier.resume_from());
+            }
+            for m in &self.migrations {
+                if m.shard == si {
+                    floor = floor.min(m.applier.resume_from());
+                }
+            }
+            self.stats.redo_records_trimmed += s.log.trim_shipped(floor) as u64;
+        }
+
         let horizon = self
             .rcp
             .iter()

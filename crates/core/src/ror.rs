@@ -149,7 +149,9 @@ impl GlobalDb {
     /// the read traffic) and is recorded as a `skyline_reselect` span.
     fn note_skyline_pick(&mut self, cn: usize, shard: usize, target: ReadTarget, now: SimTime) {
         self.obs.metrics.bump(self.hot.router.skyline_selections);
-        let prev = self.last_skyline_pick.insert((cn, shard), target);
+        // Flat-indexed slot (cn * shard_count + shard): O(1), no hashing
+        // on a per-read path that runs once per ROR-eligible statement.
+        let prev = self.last_skyline_pick[cn * self.shards.len() + shard].replace(target);
         if prev.is_some_and(|p| p != target) {
             self.obs.metrics.bump(self.hot.router.skyline_reselections);
             self.obs.tracer.record(

@@ -131,6 +131,16 @@ impl ShardLog {
     pub fn durable(&self) -> &GroupCommitWal {
         &self.durable
     }
+
+    /// Trim the sealed shipping buffer below `floor` — the minimum
+    /// resume point over every consumer (replica appliers and in-flight
+    /// migration catch-ups). The durable group-commit segment is never
+    /// trimmed: it models the on-disk WAL, while the shipping buffer is
+    /// the in-memory retention window this reclaims. Returns records
+    /// dropped.
+    pub fn trim_shipped(&mut self, floor: Lsn) -> usize {
+        self.sealed.trim_to(floor)
+    }
 }
 
 #[cfg(test)]
@@ -228,6 +238,31 @@ mod tests {
         // An empty seal window does not sync.
         log.seal_upto(SimTime::from_millis(20));
         assert_eq!(log.durable().fsyncs, 2);
+    }
+
+    #[test]
+    fn trim_shipped_drops_below_floor_only() {
+        let mut log = ShardLog::new();
+        for i in 0..10u64 {
+            log.append(SimTime::from_millis(i), TxnId(i), commit(i));
+        }
+        log.seal_upto(SimTime::from_millis(9));
+        assert_eq!(log.trim_shipped(Lsn(6)), 6);
+        // Total-ever count and head are unchanged; residency shrinks.
+        assert_eq!(log.sealed().len(), 10);
+        assert_eq!(log.sealed().resident_len(), 4);
+        assert_eq!(log.sealed_head(), Lsn(10));
+        // The untrimmed suffix still ships with correct LSNs.
+        let batch = log.sealed().batch_from(Lsn(6), 100);
+        let lsns: Vec<u64> = batch.records.iter().map(|r| r.lsn.0).collect();
+        assert_eq!(lsns, vec![6, 7, 8, 9]);
+        // The durable segment is untouched: all 10 records remain.
+        let recs = gdb_wal::record::decode_all(log.durable().segment()).unwrap();
+        assert_eq!(recs.len(), 10);
+        // Sealing after a trim keeps numbering from the head.
+        log.append(SimTime::from_millis(20), TxnId(20), commit(20));
+        log.seal_upto(SimTime::from_millis(20));
+        assert_eq!(log.sealed().batch_from(Lsn(10), 5).records[0].lsn, Lsn(10));
     }
 
     #[test]

@@ -32,7 +32,11 @@ impl<'a> TxnHandle<'a> {
     /// fresh epoch.
     fn route_to_shard(&mut self, shard: usize, bytes: u64) -> GdbResult<()> {
         let db = &mut *self.db;
-        let owner = db.shards[shard].owner_epoch;
+        // O(1) epoch check off the flat routing table; the table is
+        // rebuilt at every placement change, so it always mirrors
+        // `shards[shard].owner_epoch` (pinned by the debug assert).
+        let owner = db.routes.owner_epoch(shard);
+        debug_assert_eq!(owner, db.shards[shard].owner_epoch);
         if self.route_epoch < owner {
             db.stats.stale_route_rejects += 1;
             db.cns[self.cn].route_epoch = db.routing_epoch;
@@ -310,8 +314,10 @@ impl<'a> DataAccess for TxnHandle<'a> {
         let snapshot = self.snapshot;
         // Pick the read target per shard (skyline under ROR, else the
         // primary) and charge ONE parallel scatter over the chosen nodes.
-        let mut targets: std::collections::HashMap<usize, ReadTarget> =
-            std::collections::HashMap::new();
+        // `targets` parallels the deduped `shards` list — the touched
+        // shard count per statement is small, so a position scan beats
+        // hashing on this per-op path.
+        let mut targets: Vec<ReadTarget> = Vec::with_capacity(shards.len());
         let mut nodes: Vec<gdb_simnet::NetNodeId> = Vec::new();
         for &s in &shards {
             let t = if self.ror {
@@ -324,7 +330,7 @@ impl<'a> DataAccess for TxnHandle<'a> {
                 ReadTarget::Primary => self.db.shards[s].primary,
                 ReadTarget::Replica(ri) => self.db.shards[s].replicas[ri].node,
             };
-            targets.insert(s, t);
+            targets.push(t);
             nodes.push(node);
         }
         let bytes = OP_MSG_BYTES * (keys.len() as u64 / 4).max(1);
@@ -351,7 +357,8 @@ impl<'a> DataAccess for TxnHandle<'a> {
                 out.push(hit.clone());
                 continue;
             }
-            if let Some(ReadTarget::Replica(ri)) = targets.get(&s) {
+            let target = shards.iter().position(|&u| u == s).map(|i| targets[i]);
+            if let Some(ReadTarget::Replica(ri)) = target.as_ref() {
                 let res = self.db.shards[s].replicas[*ri]
                     .applier
                     .read(table, key, snapshot)?;

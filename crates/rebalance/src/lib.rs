@@ -119,6 +119,15 @@ impl ClusterView {
     }
 }
 
+/// The pre-formatted metric names of one shard, built once per cluster
+/// shape instead of 2+R `format!` allocations per shard per window.
+#[derive(Debug, Clone)]
+struct ShardMetricNames {
+    ops: String,
+    bytes: String,
+    by_region: Vec<String>,
+}
+
 /// Windowed consumer of the metrics registry: each `observe` reads the
 /// absolute `rebalance.shard_ops.*` counters, subtracts the previous
 /// observation, and returns the per-window deltas joined with the
@@ -126,11 +135,36 @@ impl ClusterView {
 #[derive(Debug, Default)]
 pub struct HotShardDetector {
     prev: Vec<(u64, u64, Vec<u64>)>,
+    /// Metric-name lookup table, keyed by shard; rebuilt only when the
+    /// shard or region count changes. At the scale tier (hundreds of
+    /// shards × several regions) re-formatting these every window
+    /// dominated `observe`.
+    names: Vec<ShardMetricNames>,
 }
 
 impl HotShardDetector {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    fn ensure_names(&mut self, shard_count: usize, region_count: usize) {
+        let stale = self.names.len() != shard_count
+            || self
+                .names
+                .first()
+                .is_some_and(|n| n.by_region.len() != region_count);
+        if !stale {
+            return;
+        }
+        self.names = (0..shard_count)
+            .map(|s| ShardMetricNames {
+                ops: format!("{}.{s}", mig_metrics::SHARD_OPS_PREFIX),
+                bytes: format!("{}.{s}", mig_metrics::SHARD_BYTES_PREFIX),
+                by_region: (0..region_count)
+                    .map(|r| format!("{}.{s}.r{r}", mig_metrics::SHARD_OPS_PREFIX))
+                    .collect(),
+            })
+            .collect();
     }
 
     /// Snapshot the cluster's metrics and return the load view for the
@@ -141,20 +175,16 @@ impl HotShardDetector {
         let report = db.metrics_snapshot();
         self.prev
             .resize_with(shard_count, || (0, 0, vec![0; regions.len()]));
+        self.ensure_names(shard_count, regions.len());
 
         let mut shards = Vec::with_capacity(shard_count);
         for s in 0..shard_count {
-            let ops_total = report
-                .counter(&format!("{}.{s}", mig_metrics::SHARD_OPS_PREFIX))
-                .unwrap_or(0);
-            let bytes_total = report
-                .counter(&format!("{}.{s}", mig_metrics::SHARD_BYTES_PREFIX))
-                .unwrap_or(0);
+            let names = &self.names[s];
+            let ops_total = report.counter(&names.ops).unwrap_or(0);
+            let bytes_total = report.counter(&names.bytes).unwrap_or(0);
             let mut by_region_total = vec![0u64; regions.len()];
             for (r, slot) in by_region_total.iter_mut().enumerate() {
-                *slot = report
-                    .counter(&format!("{}.{s}.r{r}", mig_metrics::SHARD_OPS_PREFIX))
-                    .unwrap_or(0);
+                *slot = report.counter(&names.by_region[r]).unwrap_or(0);
             }
             let prev = &mut self.prev[s];
             prev.2.resize(regions.len(), 0);
@@ -191,12 +221,12 @@ impl HotShardDetector {
         // deterministic tie-breaks. Decommissioned slots are excluded
         // even if a co-located CN keeps answering — a drained machine
         // never rejoins placement.
-        let retired: Vec<HostSlot> = db
+        let retired: BTreeSet<HostSlot> = db
             .retired_hosts()
             .iter()
             .map(|&(region, host)| HostSlot { region, host })
             .collect();
-        let mut hosts: Vec<HostSlot> = Vec::new();
+        let mut seen: BTreeSet<HostSlot> = BTreeSet::new();
         for i in 0..db.topo().node_count() {
             let n = NetNodeId(i as u32);
             if db.topo().is_node_down(n) {
@@ -206,11 +236,12 @@ impl HotShardDetector {
                 region: db.topo().node_region(n),
                 host: db.topo().node_host(n),
             };
-            if !hosts.contains(&slot) && !retired.contains(&slot) {
-                hosts.push(slot);
+            if !retired.contains(&slot) {
+                seen.insert(slot);
             }
         }
-        hosts.sort();
+        // BTreeSet iterates in order: same sorted inventory as before.
+        let hosts: Vec<HostSlot> = seen.into_iter().collect();
 
         let mut draining: Vec<HostSlot> = db
             .draining_hosts()

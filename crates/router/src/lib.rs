@@ -11,6 +11,8 @@
 pub mod metrics;
 pub mod skyline;
 pub mod staleness;
+pub mod table;
 
 pub use skyline::{NodeMetrics, Skyline};
 pub use staleness::{estimate_staleness_gclock, estimate_staleness_gtm};
+pub use table::{MapRouteTable, RouteEntry, RouteTable};

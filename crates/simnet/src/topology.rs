@@ -512,6 +512,33 @@ impl TopologyBuilder {
         t.set_link(xian, dongguan, mk(55));
         (t, [xian, langzhong, dongguan])
     }
+
+    /// A synthetic N-region WAN for the scale tier (ROADMAP's 5–9 region
+    /// stress geometry): a full mesh where the RTT between regions `i`
+    /// and `j` grows with their circular distance —
+    /// `20 ms + 10 ms × min(|i−j|, n−|i−j|)` — so the geometry has real
+    /// near/far structure (nearest-shard routing is non-trivial) while
+    /// staying a pure function of the region count. Links are tuned
+    /// (BBR + Nagle-off) at `bandwidth_mbps`.
+    pub fn multi_region(
+        seed: u64,
+        regions: usize,
+        bandwidth_mbps: u64,
+    ) -> (Topology, Vec<RegionId>) {
+        let mut t = Topology::new(seed);
+        let rs: Vec<RegionId> = (0..regions)
+            .map(|i| t.add_region(format!("r{i}")))
+            .collect();
+        t.set_intra_region(LinkParams::lan());
+        for i in 0..regions {
+            for j in (i + 1)..regions {
+                let ring = (j - i).min(regions - (j - i)) as u64;
+                let rtt = SimDuration::from_millis(20 + 10 * ring);
+                t.set_link(rs[i], rs[j], LinkParams::wan_tuned(rtt, bandwidth_mbps));
+            }
+        }
+        (t, rs)
+    }
 }
 
 /// A tiny convenience: the virtual time a periodic activity with `period`

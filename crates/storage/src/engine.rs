@@ -373,6 +373,20 @@ impl DataNodeStorage {
     pub fn total_keys(&self) -> usize {
         self.tables.values().map(|t| t.key_count()).sum()
     }
+
+    /// Allocator bytes pinned by every table's version arena (the
+    /// `storage.arena_resident_bytes.s<shard>` gauge source).
+    pub fn resident_bytes(&self) -> usize {
+        self.tables.values().map(|t| t.resident_bytes()).sum()
+    }
+
+    /// Release reusable memory across all tables (memory-pressure
+    /// response; visible state untouched).
+    pub fn compact(&mut self) {
+        for t in self.tables.values_mut() {
+            t.compact();
+        }
+    }
 }
 
 #[cfg(test)]

@@ -26,3 +26,27 @@ pub use catalog::Catalog;
 pub use engine::DataNodeStorage;
 pub use lock::{LockOutcome, LockTable};
 pub use table::{Table, Version, VisibleRow};
+
+/// Metric names exported by the storage layer.
+pub mod metrics {
+    /// Per-shard gauge prefix: allocator bytes pinned by the shard
+    /// primary's version arenas. Full name `{prefix}.s{shard}`.
+    pub const ARENA_RESIDENT_BYTES_PREFIX: &str = "storage.arena_resident_bytes";
+
+    /// The per-shard arena footprint gauge name.
+    pub fn arena_resident_bytes_gauge(shard: usize) -> String {
+        format!("{ARENA_RESIDENT_BYTES_PREFIX}.s{shard}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    /// Dashboards and the scale bench key on these names.
+    #[test]
+    fn metric_names_are_frozen() {
+        assert_eq!(
+            super::metrics::arena_resident_bytes_gauge(3),
+            "storage.arena_resident_bytes.s3"
+        );
+    }
+}

@@ -87,6 +87,44 @@ impl VersionArena {
         self.free.push(idx);
     }
 
+    /// Allocator bytes the arena currently pins, capacity-based (a pure
+    /// function of the operation history, so seeded runs report
+    /// identical footprints): slab capacity, freelist capacity, pooled
+    /// row buffers, and the row buffers held live inside nodes.
+    fn resident_bytes(&self) -> usize {
+        let node_rows: usize = self
+            .nodes
+            .iter()
+            .map(|n| {
+                n.version.row.as_ref().map_or(0, |r| {
+                    r.0.capacity() * std::mem::size_of::<gdb_model::Datum>()
+                })
+            })
+            .sum();
+        let pooled: usize = self
+            .row_pool
+            .iter()
+            .map(|r| r.0.capacity() * std::mem::size_of::<gdb_model::Datum>())
+            .sum();
+        self.nodes.capacity() * std::mem::size_of::<VersionNode>()
+            + self.free.capacity() * std::mem::size_of::<u32>()
+            + self.row_pool.capacity() * std::mem::size_of::<Row>()
+            + node_rows
+            + pooled
+    }
+
+    /// Release memory held for reuse: drop the pooled row buffers and
+    /// return slack slab/freelist capacity to the allocator. The
+    /// freelist *entries* are kept — they index live slab slots and
+    /// dropping them would leak arena nodes. Steady-state allocation
+    /// freedom resumes as vacuum refills the pool.
+    fn compact(&mut self) {
+        self.row_pool.clear();
+        self.row_pool.shrink_to_fit();
+        self.nodes.shrink_to_fit();
+        self.free.shrink_to_fit();
+    }
+
     /// Newest version at or below `snapshot` walking from `head`.
     fn visible_at(&self, mut idx: u32, snapshot: Timestamp) -> Option<&Version> {
         while idx != NIL {
@@ -269,6 +307,18 @@ impl Table {
         self.rows.len()
     }
 
+    /// Allocator bytes pinned by this table's version arena (see
+    /// [`VersionArena::resident_bytes`]); key B-tree overhead excluded.
+    pub fn resident_bytes(&self) -> usize {
+        self.arena.resident_bytes()
+    }
+
+    /// Release reusable memory under pressure (pooled row buffers and
+    /// slab slack); visible state is untouched.
+    pub fn compact(&mut self) {
+        self.arena.compact();
+    }
+
     /// Vacuum all chains up to `horizon`; returns versions removed.
     /// Keeps, per chain, the newest version at or below the horizon plus
     /// everything above it; freed nodes go to the arena freelist.
@@ -426,6 +476,36 @@ mod tests {
             .unwrap();
         tbl.vacuum(t(50));
         assert_eq!(tbl.key_count(), 0);
+    }
+
+    #[test]
+    fn compact_reclaims_bytes_without_changing_reads() {
+        let mut tbl = Table::new();
+        for i in 0..200i64 {
+            tbl.install_version(k(i), Some(r(i, "payload")), t(10), SimTime::ZERO)
+                .unwrap();
+            tbl.install_version(k(i), Some(r(i, "payload2")), t(20), SimTime::ZERO)
+                .unwrap();
+        }
+        // Vacuum frees half the versions into the pool/freelist.
+        tbl.vacuum(t(20));
+        let before = tbl.resident_bytes();
+        let visible: Vec<_> = tbl.scan(t(20)).iter().map(|v| v.row.clone()).collect();
+        tbl.compact();
+        assert!(
+            tbl.resident_bytes() < before,
+            "compact did not shrink: {} -> {}",
+            before,
+            tbl.resident_bytes()
+        );
+        let after: Vec<_> = tbl.scan(t(20)).iter().map(|v| v.row.clone()).collect();
+        assert_eq!(visible, after);
+        // The arena still works (freelist intact): install more versions.
+        for i in 0..200i64 {
+            tbl.install_version(k(i), Some(r(i, "v3")), t(30), SimTime::ZERO)
+                .unwrap();
+        }
+        assert_eq!(tbl.read(&k(5), t(30)).unwrap().row, &r(5, "v3"));
     }
 
     #[test]

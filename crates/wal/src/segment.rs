@@ -59,10 +59,17 @@ impl LogBatch {
 }
 
 /// Append buffer for one primary data node's redo stream.
+///
+/// Records below `base` have been trimmed ([`RedoBuffer::trim_to`]): every
+/// durable consumer (replica appliers, in-flight migration catch-ups) had
+/// already advanced past them, so they can never be re-requested. LSNs are
+/// stable — trimming shifts storage, never numbering.
 #[derive(Debug, Default)]
 pub struct RedoBuffer {
     records: Vec<RedoRecord>,
     next_lsn: u64,
+    /// LSN of `records[0]`; everything below was trimmed.
+    base: u64,
 }
 
 impl RedoBuffer {
@@ -78,13 +85,13 @@ impl RedoBuffer {
         lsn
     }
 
-    /// Total records ever appended.
+    /// Total records ever appended (trimmed records still count).
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.base as usize + self.records.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.base == 0 && self.records.is_empty()
     }
 
     /// The LSN the next append will receive.
@@ -92,15 +99,32 @@ impl RedoBuffer {
         Lsn(self.next_lsn)
     }
 
+    /// Lowest LSN still resident (everything below was trimmed).
+    pub fn base_lsn(&self) -> Lsn {
+        Lsn(self.base)
+    }
+
+    /// Records still resident (not trimmed).
+    pub fn resident_len(&self) -> usize {
+        self.records.len()
+    }
+
     /// Records in `[from, from + max)` as a shipping batch; empty batch if
-    /// `from` is at the head.
+    /// `from` is at the head. Requesting below the trim floor is a caller
+    /// bug (the floor is the min over all consumer cursors).
     pub fn batch_from(&self, from: Lsn, max: usize) -> LogBatch {
-        let start = from.0 as usize;
-        let end = (start + max).min(self.records.len());
-        let records = if start >= self.records.len() {
-            Vec::new()
-        } else {
-            self.records[start..end].to_vec()
+        debug_assert!(
+            from.0 >= self.base,
+            "batch_from({from:?}) below trim floor {}",
+            self.base
+        );
+        let records = match from.0.checked_sub(self.base) {
+            Some(off) if (off as usize) < self.records.len() => {
+                let start = off as usize;
+                let end = (start + max).min(self.records.len());
+                self.records[start..end].to_vec()
+            }
+            _ => Vec::new(),
         };
         LogBatch {
             first_lsn: from,
@@ -108,14 +132,34 @@ impl RedoBuffer {
         }
     }
 
-    /// Read a single record (testing / recovery).
+    /// Read a single record (testing / recovery). `None` if unappended
+    /// *or* already trimmed.
     pub fn get(&self, lsn: Lsn) -> Option<&RedoRecord> {
-        self.records.get(lsn.0 as usize)
+        let off = lsn.0.checked_sub(self.base)?;
+        self.records.get(off as usize)
     }
 
-    /// Iterate over all records (in LSN order).
+    /// Iterate over all resident records (in LSN order).
     pub fn iter(&self) -> impl Iterator<Item = &RedoRecord> {
         self.records.iter()
+    }
+
+    /// Drop every record below `floor` (exclusive), reclaiming memory.
+    /// The caller must guarantee no consumer will ever request an LSN
+    /// below `floor` again — in the cluster this is the min resume point
+    /// over all replica appliers and in-flight migrations. Returns the
+    /// number of records dropped.
+    pub fn trim_to(&mut self, floor: Lsn) -> usize {
+        let cut = floor
+            .0
+            .saturating_sub(self.base)
+            .min(self.records.len() as u64) as usize;
+        if cut == 0 {
+            return 0;
+        }
+        self.records.drain(..cut);
+        self.base += cut as u64;
+        cut
     }
 }
 
@@ -292,6 +336,34 @@ mod tests {
         buf.append(TxnId(9), RedoPayload::Abort);
         assert_eq!(buf.get(Lsn(0)).unwrap().txn, TxnId(9));
         assert!(buf.get(Lsn(1)).is_none());
+    }
+
+    #[test]
+    fn trim_preserves_lsns_and_totals() {
+        let mut buf = RedoBuffer::new();
+        for i in 0..10 {
+            buf.append(TxnId(i), commit(i));
+        }
+        assert_eq!(buf.trim_to(Lsn(4)), 4);
+        // LSN numbering and "total ever appended" are unchanged.
+        assert_eq!(buf.len(), 10);
+        assert_eq!(buf.resident_len(), 6);
+        assert_eq!(buf.base_lsn(), Lsn(4));
+        assert_eq!(buf.head_lsn(), Lsn(10));
+        assert!(buf.get(Lsn(3)).is_none());
+        assert_eq!(buf.get(Lsn(4)).unwrap().lsn, Lsn(4));
+        // Batches above the floor are identical to the untrimmed view.
+        let b = buf.batch_from(Lsn(6), 3);
+        assert_eq!(b.first_lsn, Lsn(6));
+        assert_eq!(b.last_lsn(), Lsn(8));
+        // Appends keep numbering from the head.
+        assert_eq!(buf.append(TxnId(99), commit(99)), Lsn(10));
+        // Re-trimming below the floor is a no-op.
+        assert_eq!(buf.trim_to(Lsn(2)), 0);
+        assert_eq!(buf.trim_to(Lsn(4)), 0);
+        // Trimming past the head clamps to resident records.
+        assert_eq!(buf.trim_to(Lsn(1000)), 7);
+        assert!(buf.batch_from(Lsn(11), 5).is_empty());
     }
 
     fn sample_records(n: u64) -> Vec<RedoRecord> {

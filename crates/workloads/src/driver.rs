@@ -44,16 +44,40 @@ fn zeta(n: i64, theta: f64) -> f64 {
     (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
 }
 
+/// Process-wide cache of the Zipfian normalization constants
+/// `(alpha, eta, zetan)` keyed by `(n, theta)`. Computing them is the
+/// `O(n)` part of building a sampler — at 10⁶ keys that is a million
+/// `powf` calls — and every terminal of a run uses the same `(n, theta)`,
+/// so pay it once per distinct pair per process. `f64` summation here is
+/// deterministic (fixed iteration order), so a cache hit is bit-identical
+/// to a recompute: draws are unchanged for existing seeds (asserted by
+/// `zipf_cache_is_draw_identical`).
+fn zipf_constants(n: i64, theta: f64) -> (f64, f64, f64) {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+    type ConstMap = HashMap<(i64, u64), (f64, f64, f64)>;
+    static CACHE: OnceLock<Mutex<ConstMap>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let key = (n, theta.to_bits());
+    if let Some(&hit) = cache.lock().unwrap().get(&key) {
+        return hit;
+    }
+    let zetan = zeta(n, theta);
+    let zeta2 = zeta(n.min(2), theta);
+    let alpha = 1.0 / (1.0 - theta);
+    let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+    let computed = (alpha, eta, zetan);
+    cache.lock().unwrap().insert(key, computed);
+    computed
+}
+
 impl KeySampler {
     pub fn new(dist: KeyDistribution, n: i64) -> Self {
         let n = n.max(1);
-        let (mut alpha, mut eta, mut zetan) = (0.0, 0.0, 0.0);
-        if let KeyDistribution::Zipfian { theta } = dist {
-            zetan = zeta(n, theta);
-            let zeta2 = zeta(n.min(2), theta);
-            alpha = 1.0 / (1.0 - theta);
-            eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
-        }
+        let (alpha, eta, zetan) = match dist {
+            KeyDistribution::Zipfian { theta } => zipf_constants(n, theta),
+            _ => (0.0, 0.0, 0.0),
+        };
         KeySampler {
             dist,
             n,
@@ -225,6 +249,32 @@ mod tests {
         // Uniform would put ~100 draws in the top 10 keys; zipf(0.99)
         // puts roughly 4 000 there.
         assert!(top10 > 2_000, "only {top10}/10000 draws hit the top 10");
+    }
+
+    /// The shared-constants cache must be invisible to draws: a cached
+    /// sampler's constants and its whole draw sequence are bit-identical
+    /// to an uncached inline recompute of the published formulas.
+    #[test]
+    fn zipf_cache_is_draw_identical() {
+        let (n, theta) = (5_000i64, 0.99f64);
+        // Build twice: the second construction is guaranteed a cache hit.
+        let first = KeySampler::new(KeyDistribution::Zipfian { theta }, n);
+        let cached = KeySampler::new(KeyDistribution::Zipfian { theta }, n);
+        // Inline reference (the pre-cache construction path).
+        let zetan = zeta(n, theta);
+        let zeta2 = zeta(n.min(2), theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        for s in [&first, &cached] {
+            assert_eq!(s.alpha.to_bits(), alpha.to_bits());
+            assert_eq!(s.eta.to_bits(), eta.to_bits());
+            assert_eq!(s.zetan.to_bits(), zetan.to_bits());
+        }
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..5_000 {
+            assert_eq!(first.sample(&mut a), cached.sample(&mut b));
+        }
     }
 
     #[test]

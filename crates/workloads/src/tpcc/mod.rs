@@ -203,6 +203,11 @@ pub struct TpccWorkload {
     statements: Option<txns::Statements>,
     /// Home CN per warehouse (index w-1).
     home_cn: Vec<usize>,
+    /// Cached local-warehouse list for the pinned-CN configuration: a
+    /// pure function of `(pin_cn, home_cn)`, both fixed after setup, so
+    /// rebuilding it per transaction (as the hot path used to) is pure
+    /// allocation churn at scale.
+    local_cache: Option<(usize, Vec<i64>)>,
     rng: rand::rngs::SmallRng,
     h_seq: i64,
     seed: u64,
@@ -231,6 +236,7 @@ impl TpccWorkload {
             remote_supply_fraction: 0.01,
             statements: None,
             home_cn: Vec::new(),
+            local_cache: None,
             rng: rand::rngs::SmallRng::seed_from_u64(seed ^ 0x7bcc_5eed),
             h_seq: 0,
             seed,
@@ -247,6 +253,7 @@ impl TpccWorkload {
             .expect("warehouse table")
             .clone();
         let shard_count = cluster.db.shards().len() as u16;
+        self.local_cache = None;
         self.home_cn = (1..=self.scale.warehouses)
             .map(|w| {
                 let shard = schema
@@ -302,9 +309,13 @@ impl crate::driver::Workload for TpccWorkload {
         let st = self.statements.take().expect("setup() must run first");
         let (w, dist) = match (self.pin_cn, self.local_warehouses_only) {
             (Some(cn), true) => {
-                let local: Vec<i64> = (1..=self.scale.warehouses)
-                    .filter(|&w| self.home_cn[(w - 1) as usize] == cn)
-                    .collect();
+                if !matches!(&self.local_cache, Some((c, _)) if *c == cn) {
+                    let fresh: Vec<i64> = (1..=self.scale.warehouses)
+                        .filter(|&w| self.home_cn[(w - 1) as usize] == cn)
+                        .collect();
+                    self.local_cache = Some((cn, fresh));
+                }
+                let local = &self.local_cache.as_ref().expect("just cached").1;
                 if local.is_empty() {
                     (
                         (terminal as i64 % self.scale.warehouses) + 1,

@@ -16,6 +16,8 @@
 #   bench-smoke    tiny-scale figure runs gated against BENCH_smoke.json
 #   txn            transaction hot-path wall-clock + allocation gate
 #                  against BENCH_txn.json (the CI "txn" job)
+#   scale          scale-out routing + terminal-state gate at a reduced
+#                  shape against BENCH_scale.json (the CI "scale" job)
 #   realnet        real-backend tests + loopback smoke gated against
 #                  BENCH_realnet.json (the CI "realnet" job)
 set -euo pipefail
@@ -145,6 +147,27 @@ stage_txn() {
         BENCH_txn.json "$out/txn.json" --tolerance 0.20
 }
 
+# Scale-out gate: scale_bench at a reduced parameterization (CI machines
+# cannot afford the full 256-shard/10⁵-terminal default, which is a
+# manual/nightly run). The "scale" artifact is wall_clock=true, so only
+# the routing-speedup and bytes-per-terminal *ratios* are compared
+# (floors 2x / 4x); the in-bench FNV digest assert already proved the
+# fast and legacy routers made identical decisions. The parameters here
+# must match scripts/regen_bench.sh, which blesses the baseline.
+stage_scale() {
+    echo "==> scale-out routing + terminal-state gate"
+    local out=target/scale-bench
+    rm -rf "$out"
+    mkdir -p "$out"
+    GDB_SCALE_SHARDS=64 GDB_SCALE_REGIONS=5 GDB_SCALE_TERMINALS=5000 \
+        GDB_SCALE_KEYS=1024 GDB_SCALE_EPOCHS=4 GDB_SCALE_OPS=8 GDB_SCALE_MOVES=8 \
+        GDB_SCALE_CLUSTER_MS=500 GDB_SCALE_THINK_MS=100 \
+        timeout 600 cargo run --release -q -p gdb-bench --bin scale_bench -- \
+        --json "$out/scale.json"
+    cargo run --release -q -p gdb-bench --bin benchcmp -- check \
+        BENCH_scale.json "$out/scale.json" --tolerance 0.20
+}
+
 # Real-backend gate: the realnet crate's tests (unit + sim/real
 # divergence + seam scans), then the 3-node loopback TPC-C smoke gated
 # against BENCH_realnet.json. The artifact is wall_clock=true, so only
@@ -174,6 +197,7 @@ nemesis-smoke) stage_nemesis_smoke ;;
 shell) stage_shell ;;
 bench-smoke) stage_bench_smoke ;;
 txn) stage_txn ;;
+scale) stage_scale ;;
 realnet) stage_realnet ;;
 main)
     stage_lint
@@ -190,6 +214,7 @@ all)
     stage_shell
     stage_bench_smoke
     stage_txn
+    stage_scale
     stage_realnet
     echo "CI OK"
     ;;

@@ -14,6 +14,13 @@
 #   BENCH_realnet.json - 3-node loopback TPC-C smoke on the real
 #                       backends. Also wall_clock=true: the gate checks
 #                       only the tcp-over-thread throughput ratio.
+#   BENCH_scale.json  - scale-out routing + terminal-state benchmark at
+#                       the reduced CI shape (the full 256-shard /
+#                       10^5-terminal default is a manual run). Also
+#                       wall_clock=true: the gate checks the fast-over-
+#                       legacy routing speedup and the bytes-per-terminal
+#                       reduction, both in-run ratios. The parameters
+#                       here must match stage_scale in scripts/ci.sh.
 #   BENCH_txn.json    - transaction hot-path benchmark (live pipeline vs
 #                       the frozen pre-pass reference). wall_clock=true:
 #                       the gate checks the fast-over-legacy speedup and
@@ -52,6 +59,12 @@ cargo run --release -q -p gdb-bench --bin engine_bench -- --json BENCH_engine.js
 
 echo "==> wall-clock txn hot-path benchmark -> BENCH_txn.json"
 cargo run --release -q -p gdb-bench --bin txn_bench -- --json BENCH_txn.json
+
+echo "==> scale-out reduced-shape benchmark -> BENCH_scale.json"
+GDB_SCALE_SHARDS=64 GDB_SCALE_REGIONS=5 GDB_SCALE_TERMINALS=5000 \
+    GDB_SCALE_KEYS=1024 GDB_SCALE_EPOCHS=4 GDB_SCALE_OPS=8 GDB_SCALE_MOVES=8 \
+    GDB_SCALE_CLUSTER_MS=500 GDB_SCALE_THINK_MS=100 \
+    cargo run --release -q -p gdb-bench --bin scale_bench -- --json BENCH_scale.json
 
 echo "==> realnet loopback smoke -> BENCH_realnet.json"
 GDB_BENCH_SCALE=tiny GDB_BENCH_SECS=2 GDB_BENCH_TERMINALS=8 \
